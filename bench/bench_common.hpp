@@ -1,0 +1,47 @@
+#ifndef HPLREPRO_BENCH_COMMON_HPP
+#define HPLREPRO_BENCH_COMMON_HPP
+
+/// \file bench_common.hpp
+/// Helpers shared by the paper-figure benchmark binaries.
+
+#include <iostream>
+#include <string>
+
+#include "benchsuite/common.hpp"
+#include "clsim/runtime.hpp"
+#include "hpl/HPL.h"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hplrepro::bench {
+
+inline clsim::Device tesla_device() {
+  return *clsim::Platform::get().device_by_name("Tesla");
+}
+inline clsim::Device quadro_device() {
+  return *clsim::Platform::get().device_by_name("Quadro");
+}
+inline clsim::Device cpu_device() {
+  return *clsim::Platform::get().device_by_type(clsim::DeviceType::Cpu);
+}
+
+inline HPL::Device hpl_tesla() { return *HPL::Device::by_name("Tesla"); }
+inline HPL::Device hpl_quadro() { return *HPL::Device::by_name("Quadro"); }
+
+inline std::string fmt(double v, int digits = 4) {
+  return format_double(v, digits);
+}
+
+inline std::string fmt_pct(double v) { return format_double(v, 3) + "%"; }
+
+inline std::string fmt_x(double v) { return format_double(v, 3) + "x"; }
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(reproduces " << paper_ref << ")\n\n";
+}
+
+}  // namespace hplrepro::bench
+
+#endif  // HPLREPRO_BENCH_COMMON_HPP

@@ -1,0 +1,132 @@
+// Reproduces paper Figure 7: speedups of the GPU (Tesla C2050) executions
+// of the OpenCL and HPL versions of all five benchmarks over a serial CPU
+// execution, transfers excluded (paper §V-B).
+//
+// The serial baseline is the same workload run on the simulated one-core
+// Xeon device (the substitution DESIGN.md documents); speedup =
+// CPU modeled time / GPU modeled time.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchsuite/ep.hpp"
+#include "benchsuite/floyd.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/spmv.hpp"
+#include "benchsuite/transpose.hpp"
+
+namespace bs = hplrepro::benchsuite;
+using namespace hplrepro::bench;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double cpu_seconds;
+  double opencl_seconds;
+  double hpl_seconds;
+  std::string paper_note;
+};
+
+}  // namespace
+
+namespace {
+
+void warm_up_process() {
+  bs::EpConfig tiny;
+  tiny.pairs = 1 << 8;
+  tiny.chunk = 16;
+  tiny.local_size = 16;
+  (void)bs::ep_opencl(tiny, cpu_device());
+  (void)bs::ep_hpl(tiny, hpl_tesla());
+  HPL::purge_kernel_cache();
+}
+
+}  // namespace
+
+int main() {
+  warm_up_process();
+  print_header("Figure 7: speedup over serial CPU, all benchmarks",
+               "paper Fig. 7; paper values range from 5.4x (spmv) to 257x "
+               "(EP) for OpenCL");
+
+  std::vector<Row> rows;
+
+  {
+    bs::EpConfig config = bs::ep_class('C');
+    config.repeats = 4;
+    HPL::purge_kernel_cache();
+    const auto cpu = bs::ep_opencl(config, cpu_device());
+    const auto ocl = bs::ep_opencl(config, tesla_device());
+    const auto hpl = bs::ep_hpl(config, hpl_tesla());
+    rows.push_back({"EP (class C)", cpu.timings.modeled_no_transfer(),
+                    ocl.timings.modeled_no_transfer(),
+                    hpl.timings.modeled_no_transfer(), "257x"});
+  }
+  {
+    bs::FloydConfig config;
+    config.nodes = 256;  // paper: 1024 nodes
+    HPL::purge_kernel_cache();
+    const auto cpu = bs::floyd_opencl(config, cpu_device());
+    const auto ocl = bs::floyd_opencl(config, tesla_device());
+    const auto hpl = bs::floyd_hpl(config, hpl_tesla());
+    rows.push_back({"Floyd (256 nodes)", cpu.timings.modeled_no_transfer(),
+                    ocl.timings.modeled_no_transfer(),
+                    hpl.timings.modeled_no_transfer(), "(tall bar)"});
+  }
+  {
+    bs::TransposeConfig config;
+    config.rows = 1024;
+    config.cols = 1024;  // paper: 16K x 16K
+    config.repeats = 15;
+    HPL::purge_kernel_cache();
+    const auto cpu = bs::transpose_opencl(config, cpu_device());
+    const auto ocl = bs::transpose_opencl(config, tesla_device());
+    const auto hpl = bs::transpose_hpl(config, hpl_tesla());
+    rows.push_back({"Transpose (1K x 1K)",
+                    cpu.timings.modeled_no_transfer(),
+                    ocl.timings.modeled_no_transfer(),
+                    hpl.timings.modeled_no_transfer(), "(medium bar)"});
+  }
+  {
+    bs::SpmvConfig config;
+    config.rows = 4096;  // paper: 16K x 16K at 1% nonzeroes
+    config.repeats = 30;
+    HPL::purge_kernel_cache();
+    const auto cpu = bs::spmv_opencl(config, cpu_device());
+    const auto ocl = bs::spmv_opencl(config, tesla_device());
+    const auto hpl = bs::spmv_hpl(config, hpl_tesla());
+    rows.push_back({"Spmv (4K x 4K, 1%)", cpu.timings.modeled_no_transfer(),
+                    ocl.timings.modeled_no_transfer(),
+                    hpl.timings.modeled_no_transfer(), "5.4x"});
+  }
+  {
+    bs::ReductionConfig config;
+    config.elements = 1 << 21;  // paper: 16M values
+    config.repeats = 30;
+    HPL::purge_kernel_cache();
+    const auto cpu = bs::reduction_opencl(config, cpu_device());
+    const auto ocl = bs::reduction_opencl(config, tesla_device());
+    const auto hpl = bs::reduction_hpl(config, hpl_tesla());
+    rows.push_back({"Reduction (2M)", cpu.timings.modeled_no_transfer(),
+                    ocl.timings.modeled_no_transfer(),
+                    hpl.timings.modeled_no_transfer(), "(short bar)"});
+  }
+
+  hplrepro::Table table({"benchmark", "CPU serial (s)", "OpenCL (s)",
+                         "HPL (s)", "OpenCL speedup", "HPL speedup",
+                         "HPL slowdown vs OpenCL", "paper (OpenCL)"});
+  for (const auto& row : rows) {
+    const double su_ocl = row.cpu_seconds / row.opencl_seconds;
+    const double su_hpl = row.cpu_seconds / row.hpl_seconds;
+    const double slowdown =
+        (row.hpl_seconds / row.opencl_seconds - 1.0) * 100.0;
+    table.add_row({row.name, fmt(row.cpu_seconds), fmt(row.opencl_seconds),
+                   fmt(row.hpl_seconds), fmt_x(su_ocl), fmt_x(su_hpl),
+                   fmt_pct(slowdown), row.paper_note});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: EP >> Floyd > transpose/reduction > spmv; "
+               "HPL within a few percent of OpenCL everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces paper Figure 8: slowdown of HPL with respect to OpenCL for
+// the five benchmarks on the Tesla C2050, transfers excluded — plus the
+// paper's side observation that for matrix transpose, including transfers
+// shrinks the relative overhead (3.47% -> 0.41% in the paper).
+//
+// Each benchmark launches its kernel(s) repeatedly (the paper's stated
+// common case: kernels are reused many times, and HPL caches the generated
+// binary), with the one-time HPL capture/codegen and the OpenCL program
+// build both included in the measurement.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchsuite/ep.hpp"
+#include "benchsuite/floyd.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/spmv.hpp"
+#include "benchsuite/transpose.hpp"
+
+namespace bs = hplrepro::benchsuite;
+using namespace hplrepro::bench;
+
+namespace {
+
+struct Row {
+  std::string name;
+  bs::Timings opencl;
+  bs::Timings hpl;
+  std::string paper_note;
+};
+
+}  // namespace
+
+namespace {
+
+void warm_up_process() {
+  bs::EpConfig tiny;
+  tiny.pairs = 1 << 8;
+  tiny.chunk = 16;
+  tiny.local_size = 16;
+  (void)bs::ep_opencl(tiny, tesla_device());
+  (void)bs::ep_hpl(tiny, hpl_tesla());
+  HPL::purge_kernel_cache();
+}
+
+}  // namespace
+
+int main() {
+  warm_up_process();
+  print_header("Figure 8: slowdown of HPL vs OpenCL per benchmark (Tesla)",
+               "paper Fig. 8; paper slowdowns are typically below 4%");
+
+  std::vector<Row> rows;
+
+  {
+    bs::EpConfig config = bs::ep_class('C');
+    config.repeats = 6;
+    HPL::purge_kernel_cache();
+    rows.push_back({"EP (class C)",
+                    bs::ep_opencl(config, tesla_device()).timings,
+                    bs::ep_hpl(config, hpl_tesla()).timings, "~1%"});
+  }
+  {
+    bs::FloydConfig config;
+    config.nodes = 256;
+    config.repeats = 2;
+    HPL::purge_kernel_cache();
+    rows.push_back({"Floyd (256)",
+                    bs::floyd_opencl(config, tesla_device()).timings,
+                    bs::floyd_hpl(config, hpl_tesla()).timings, "~2%"});
+  }
+  {
+    bs::TransposeConfig config;
+    config.rows = config.cols = 1024;
+    config.repeats = 25;
+    HPL::purge_kernel_cache();
+    rows.push_back({"Transpose (1K)",
+                    bs::transpose_opencl(config, tesla_device()).timings,
+                    bs::transpose_hpl(config, hpl_tesla()).timings,
+                    "3.47%"});
+  }
+  {
+    bs::SpmvConfig config;
+    config.rows = 4096;
+    config.repeats = 40;
+    HPL::purge_kernel_cache();
+    rows.push_back({"Spmv (4K)",
+                    bs::spmv_opencl(config, tesla_device()).timings,
+                    bs::spmv_hpl(config, hpl_tesla()).timings, "~2%"});
+  }
+  {
+    bs::ReductionConfig config;
+    config.elements = 1 << 21;
+    config.repeats = 40;
+    HPL::purge_kernel_cache();
+    rows.push_back({"Reduction (2M)",
+                    bs::reduction_opencl(config, tesla_device()).timings,
+                    bs::reduction_hpl(config, hpl_tesla()).timings, "~1%"});
+  }
+
+  hplrepro::Table table({"benchmark", "OpenCL (s)", "HPL (s)",
+                         "HPL slowdown", "slowdown w/ transfers",
+                         "paper (no transfers)"});
+  for (const auto& row : rows) {
+    const double no_t =
+        (row.hpl.modeled_no_transfer() / row.opencl.modeled_no_transfer() -
+         1.0) *
+        100.0;
+    const double with_t =
+        (row.hpl.modeled_total() / row.opencl.modeled_total() - 1.0) * 100.0;
+    table.add_row({row.name, fmt(row.opencl.modeled_no_transfer()),
+                   fmt(row.hpl.modeled_no_transfer()), fmt_pct(no_t),
+                   fmt_pct(with_t), row.paper_note});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe degradation comes from HPL's one-time kernel capture "
+               "and code generation; the generated kernels themselves run "
+               "at hand-written speed (identical simulated kernel time). "
+               "As in the paper, counting transfers dilutes the transpose "
+               "overhead further.\n";
+  return 0;
+}

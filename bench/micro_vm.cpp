@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the substrate itself: clc compile
+// time, VM interpretation throughput, HPL capture/codegen cost, and warm
+// eval dispatch overhead. These quantify the fixed costs that appear in
+// the paper-figure measurements.
+
+#include <benchmark/benchmark.h>
+
+#include "clsim/runtime.hpp"
+#include "hpl/HPL.h"
+
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+const char* kSaxpySource = R"CLC(
+__kernel void saxpy(__global float* y, __global const float* x, float a) {
+  size_t i = get_global_id(0);
+  y[i] = a * x[i] + y[i];
+}
+)CLC";
+
+void BM_ClcCompileSaxpy(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = hplrepro::clc::compile(kSaxpySource);
+    benchmark::DoNotOptimize(result.module.functions.data());
+  }
+}
+BENCHMARK(BM_ClcCompileSaxpy);
+
+void BM_VmSaxpyThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  clsim::Context context(*clsim::Platform::get().device_by_name("Tesla"));
+  clsim::CommandQueue queue(context);
+  clsim::Buffer x(context, n * 4), y(context, n * 4);
+  x.fill_zero();
+  y.fill_zero();
+  clsim::Program program(context, kSaxpySource);
+  program.build();
+  clsim::Kernel kernel(program, "saxpy");
+  kernel.set_arg(0, y);
+  kernel.set_arg(1, x);
+  kernel.set_arg(2, 2.0f);
+
+  for (auto _ : state) {
+    queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n),
+                                 clsim::NDRange(64));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_VmSaxpyThroughput)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void hpl_saxpy(HPL::Array<float, 1> y, HPL::Array<float, 1> x,
+               HPL::Float a) {
+  using namespace HPL;
+  y[idx] = a * x[idx] + y[idx];
+}
+
+void BM_HplCaptureAndCodegen(benchmark::State& state) {
+  HPL::Array<float, 1> x(64), y(64);
+  for (auto _ : state) {
+    HPL::purge_kernel_cache();
+    HPL::eval(hpl_saxpy)(y, x, 1.0f);  // cold: capture + codegen + build
+  }
+}
+BENCHMARK(BM_HplCaptureAndCodegen);
+
+void BM_HplWarmEvalDispatch(benchmark::State& state) {
+  HPL::Array<float, 1> x(64), y(64);
+  HPL::eval(hpl_saxpy)(y, x, 1.0f);  // prime the cache
+  for (auto _ : state) {
+    HPL::eval(hpl_saxpy)(y, x, 1.0f);
+  }
+}
+BENCHMARK(BM_HplWarmEvalDispatch);
+
+void BM_BarrierGroupScheduling(benchmark::State& state) {
+  // A barrier kernel forces the phase-based scheduler: measures the cost
+  // of suspending/resuming every work-item of a group.
+  const char* src = R"CLC(
+__kernel void sync_heavy(__global float* data) {
+  __local float s[64];
+  size_t lid = get_local_id(0);
+  s[lid] = data[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  s[lid] += s[(lid + 1) % 64];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  data[get_global_id(0)] = s[lid];
+}
+)CLC";
+  clsim::Context context(*clsim::Platform::get().device_by_name("Tesla"));
+  clsim::CommandQueue queue(context);
+  const std::size_t n = 1 << 12;
+  clsim::Buffer data(context, n * 4);
+  data.fill_zero();
+  clsim::Program program(context, src);
+  program.build();
+  clsim::Kernel kernel(program, "sync_heavy");
+  kernel.set_arg(0, data);
+  for (auto _ : state) {
+    queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n),
+                                 clsim::NDRange(64));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_BarrierGroupScheduling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces paper Table I: source lines of code of the OpenCL and HPL
+// versions of the five benchmarks and the reduction achieved by HPL.
+//
+// The counts are computed from the sources checked into this repository
+// with a Sloccount-equivalent physical-SLOC counter (comments and blank
+// lines excluded). Our OpenCL baselines are leaner than the original NPB /
+// AMD APP / SHOC programs the paper counted (those carried their own
+// self-verification and timing infrastructure), so absolute counts are
+// lower; the direction and rough magnitude of the reduction is what this
+// table reproduces.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchsuite/sloc.hpp"
+
+namespace bs = hplrepro::benchsuite;
+using namespace hplrepro::bench;
+
+int main() {
+  print_header("Table I: SLOCs of the OpenCL and HPL benchmark versions",
+               "paper Table I; paper reductions: EP 75.6%, Floyd 90.9%, "
+               "transpose 88.6%, spmv 68.4%, reduction 71.8%");
+
+  hplrepro::Table table(
+      {"Benchmark", "OpenCL", "HPL", "Reduction", "paper reduction"});
+
+  const char* paper[] = {"75.6%", "90.9%", "88.6%", "68.4%", "71.8%"};
+  std::size_t total_ocl = 0, total_hpl = 0;
+  std::size_t i = 0;
+  for (const auto& entry : bs::table1_sources()) {
+    std::size_t ocl = 0, hpl = 0;
+    for (const auto& path : entry.opencl) {
+      ocl += bs::count_sloc_file(bs::repo_path(path));
+    }
+    for (const auto& path : entry.hpl) {
+      hpl += bs::count_sloc_file(bs::repo_path(path));
+    }
+    total_ocl += ocl;
+    total_hpl += hpl;
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(hpl) / static_cast<double>(ocl));
+    table.add_row({entry.benchmark, std::to_string(ocl), std::to_string(hpl),
+                   fmt_pct(reduction), paper[i++]});
+  }
+  const double total_reduction =
+      100.0 *
+      (1.0 - static_cast<double>(total_hpl) / static_cast<double>(total_ocl));
+  table.add_row({"(total)", std::to_string(total_ocl),
+                 std::to_string(total_hpl), fmt_pct(total_reduction), "-"});
+  table.print(std::cout);
+
+  std::cout << "\nHPL versions are shorter because environment setup, "
+               "buffer management, transfers and kernel compilation are "
+               "automated (paper §V-A).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Dot product with local memory and a barrier — the paper's Figure 4.
+//
+// Demonstrates: Local arrays, barrier(LOCAL), the for_/endfor_ and
+// if_/endif_ kernel control constructs, explicit global/local domains, and
+// the two-stage (device + host) reduction pattern.
+
+#include <cstdio>
+
+#include "hpl/HPL.h"
+
+#define N 256
+#define M 32
+#define nGroup (N / M)
+
+using namespace HPL;
+
+namespace {
+
+void dotp(Array<float, 1> v1, Array<float, 1> v2, Array<float, 1> pSums) {
+  Int i;
+  Array<float, 1, Local> sharedM(M);
+
+  // Each thread multiplies one pair into the group's scratchpad.
+  sharedM[lidx] = v1[idx] * v2[idx];
+
+  barrier(LOCAL);
+
+  // The first thread of each group accumulates the group's partial sum.
+  if_(lidx == 0) {
+    for_(i = 0, i < M, i++) {
+      pSums[gidx] += sharedM[i];
+    } endfor_
+  } endif_
+}
+
+}  // namespace
+
+int main() {
+  Array<float, 1> v1(N), v2(N), pSums(nGroup);
+  for (int i = 0; i < N; ++i) {
+    v1(i) = static_cast<float>(i % 10);
+    v2(i) = 0.5f;
+  }
+
+  // N threads in groups of M: gidx in [0, nGroup).
+  eval(dotp).global(N).local(M)(v1, v2, pSums);
+
+  float result = 0.0f;
+  for (int i = 0; i < nGroup; ++i) result += pSums(i);
+
+  float expected = 0.0f;
+  for (int i = 0; i < N; ++i) expected += static_cast<float>(i % 10) * 0.5f;
+
+  std::printf("Dot = %.1f (expect %.1f)\n", result, expected);
+  return result == expected ? 0 : 1;
+}

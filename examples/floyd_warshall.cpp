@@ -1,0 +1,66 @@
+// Floyd-Warshall all-pairs shortest paths.
+//
+// Demonstrates: a host-side loop launching the same kernel many times with
+// a changing scalar argument. HPL's kernel cache compiles once and its
+// coherence layer keeps the matrix resident on the device for all n
+// launches — no transfer happens between iterations.
+
+#include <cstdio>
+#include <vector>
+
+#include "hpl/HPL.h"
+
+using namespace HPL;
+
+namespace {
+
+void floyd_pass(Array<float, 2> dist, Uint k) {
+  Float alternative;
+  alternative = dist[idx][k] + dist[k][idy];
+  if_(alternative < dist[idx][idy]) {
+    dist[idx][idy] = alternative;
+  } endif_
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t n = 64;
+
+  // A ring graph: consecutive nodes at distance 1, everything else "far".
+  Array<float, 2> dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist(i, j) = i == j ? 0.0f : 1e9f;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dist(i, (i + 1) % n) = 1.0f;
+    dist((i + 1) % n, i) = 1.0f;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    eval(floyd_pass).global(n, n).local(16, 16)(
+        dist, static_cast<std::uint32_t>(k));
+  }
+
+  // On a bidirectional ring the shortest path is the ring distance.
+  int errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t direct = i > j ? i - j : j - i;
+      const float expected = static_cast<float>(std::min(direct, n - direct));
+      if (dist(i, j) != expected) ++errors;
+    }
+  }
+
+  const ProfileSnapshot prof = profile();
+  std::printf("floyd-warshall on a %zu-node ring: %s\n", n,
+              errors == 0 ? "PASSED" : "FAILED");
+  std::printf("%llu launches, %llu kernel built, %llu bytes uploaded "
+              "(matrix stays on the device between launches)\n",
+              static_cast<unsigned long long>(prof.kernel_launches),
+              static_cast<unsigned long long>(prof.kernels_built),
+              static_cast<unsigned long long>(prof.bytes_to_device));
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Sparse matrix-vector product on CSR storage — the paper's Figure 5.
+//
+// Demonstrates heterogeneous cooperation: the CPU builds the CSR format
+// sequentially (it is better at irregular pointer chasing), then the
+// naturally parallel multiply runs on the device, with a group of M
+// threads cooperating on each row through local memory.
+
+#include <cstdio>
+#include <vector>
+
+#include "hpl/HPL.h"
+
+#define nRows 1024
+#define M 8
+
+using namespace HPL;
+
+namespace {
+
+void spmv(Array<float, 1> A, Array<float, 1> vec, Array<int, 1> cols,
+          Array<int, 1> rowptr, Array<float, 1> out) {
+  Int j;
+  Float mySum = 0;
+
+  // Lane `lidx` of the group handling row `gidx` strides over the row.
+  for_(j = rowptr[gidx] + lidx, j < rowptr[gidx + 1], j += M) {
+    mySum += A[j] * vec[cols[j]];
+  } endfor_
+
+  Array<float, 1, Local> sdata(M);
+  sdata[lidx] = mySum;
+  barrier(LOCAL);
+
+  // Reduce sdata (binary tree, unrolled for M = 8 as in the paper).
+  if_(lidx < 4) {
+    sdata[lidx] += sdata[lidx + 4];
+  } endif_
+  barrier(LOCAL);
+  if_(lidx < 2) {
+    sdata[lidx] += sdata[lidx + 2];
+  } endif_
+  barrier(LOCAL);
+  if_(lidx == 0) {
+    out[gidx] = sdata[0] + sdata[1];
+  } endif_
+}
+
+}  // namespace
+
+int main() {
+  // The CPU works sequentially to make the CSR format (paper §IV-C): a
+  // banded matrix with 4 nonzeroes per row.
+  const int per_row = 4;
+  const int nz = nRows * per_row;
+
+  Array<float, 1> A(nz), vec(nRows), out(nRows);
+  Array<int, 1> cols(nz), rowptr(nRows + 1);
+
+  for (int r = 0; r <= nRows; ++r) rowptr(r) = r * per_row;
+  for (int r = 0; r < nRows; ++r) {
+    for (int k = 0; k < per_row; ++k) {
+      cols(r * per_row + k) = (r + k) % nRows;
+      A(r * per_row + k) = 1.0f + static_cast<float>(k);
+    }
+  }
+  for (int r = 0; r < nRows; ++r) vec(r) = static_cast<float>(r % 3);
+
+  eval(spmv).global(nRows * M).local(M)(A, vec, cols, rowptr, out);
+
+  // Verify against a serial computation.
+  int errors = 0;
+  for (int r = 0; r < nRows; ++r) {
+    float expected = 0.0f;
+    for (int k = 0; k < per_row; ++k) {
+      expected += (1.0f + static_cast<float>(k)) *
+                  static_cast<float>(((r + k) % nRows) % 3);
+    }
+    if (out(r) != expected) ++errors;
+  }
+  std::printf("spmv on %d rows: %s\n", nRows,
+              errors == 0 ? "PASSED" : "FAILED");
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Matrix transpose, naive and tiled — the paper's Figure 10(b) plus the
+// optimised variant used in its evaluation.
+//
+// Demonstrates: 2-D arrays with natural multi-dimensional indexing (no
+// manual linearisation, unlike EPGPU in Fig. 10(a)), 2-D local arrays, and
+// how the same data moves between two kernels without extra transfers.
+
+#include <cstdio>
+
+#include "hpl/HPL.h"
+
+using namespace HPL;
+
+namespace {
+
+constexpr std::size_t kTile = 16;
+
+// Naive version: one global read + one (uncoalesced) global write each.
+// (The paper's Fig. 10(b) writes dest[idy][idx] = src[idx][idy], which
+// assumes a square matrix; this is the rectangular-safe equivalent.)
+void naive_transpose(Array<float, 2> dest, Array<float, 2> src) {
+  dest[idx][idy] = src[idy][idx];
+}
+
+// Tiled version: stage a kTile x kTile tile in local memory (padded by one
+// column to avoid bank conflicts) so reads and writes stay contiguous.
+void tiled_transpose(Array<float, 2> dest, Array<float, 2> src) {
+  Array<float, 2, Local> tile(kTile, kTile + 1);
+
+  tile[lidy][lidx] = src[idy][idx];
+  barrier(LOCAL);
+  dest[gidx * kTile + lidy][gidy * kTile + lidx] = tile[lidx][lidy];
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t h = 256, w = 128;
+
+  Array<float, 2> src(h, w), dst_naive(w, h), dst_tiled(w, h);
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      src(r, c) = static_cast<float>(r * 1000 + c);
+    }
+  }
+
+  eval(naive_transpose).global(w, h)(dst_naive, src);
+  eval(tiled_transpose).global(w, h).local(kTile, kTile)(dst_tiled, src);
+
+  int errors = 0;
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      if (dst_naive(c, r) != src(r, c)) ++errors;
+      if (dst_tiled(c, r) != src(r, c)) ++errors;
+    }
+  }
+  std::printf("transpose %zux%zu: %s\n", h, w,
+              errors == 0 ? "PASSED" : "FAILED");
+
+  const ProfileSnapshot prof = profile();
+  std::printf("2 kernels built, %llu launches, %.1f KB moved to device\n",
+              static_cast<unsigned long long>(prof.kernel_launches),
+              static_cast<double>(prof.bytes_to_device) / 1024.0);
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#ifndef HPLREPRO_BENCHSUITE_COMMON_HPP
+#define HPLREPRO_BENCHSUITE_COMMON_HPP
+
+/// \file common.hpp
+/// Shared infrastructure for the five paper benchmarks. Each benchmark is
+/// implemented three times:
+///   * `<name>_serial`  — plain C++ on the host (correctness oracle);
+///   * `<name>_opencl`  — OpenCL style: clsim host API + kernel strings
+///                        (stands in for the paper's hand-written OpenCL);
+///   * `<name>_hpl`     — using the HPL library.
+/// Device versions report Timings combining real host-side overhead with
+/// simulated device time, the quantity whose ratios the paper reports.
+
+#include <cstdint>
+
+#include "clsim/runtime.hpp"
+#include "hpl/runtime.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct Timings {
+  double host_seconds = 0;          // real wall-clock host overhead
+  double kernel_sim_seconds = 0;    // simulated device kernel time
+  double transfer_sim_seconds = 0;  // simulated host<->device transfers
+
+  /// The paper's Figs. 6-8 convention: transfers excluded.
+  double modeled_no_transfer() const {
+    return host_seconds + kernel_sim_seconds;
+  }
+  double modeled_total() const {
+    return host_seconds + kernel_sim_seconds + transfer_sim_seconds;
+  }
+
+  Timings& operator+=(const Timings& o) {
+    host_seconds += o.host_seconds;
+    kernel_sim_seconds += o.kernel_sim_seconds;
+    transfer_sim_seconds += o.transfer_sim_seconds;
+    return *this;
+  }
+};
+
+/// Measures an OpenCL-style section: captures the queue's simulated and
+/// wall times around `body` and converts them into Timings, where
+/// host_seconds = (wall time of body) - (wall time spent simulating).
+template <typename Body>
+Timings time_opencl_section(clsim::CommandQueue& queue, Body&& body) {
+  const double sim0 = queue.simulated_seconds();
+  const double simk0 = queue.simulated_kernel_seconds();
+  const double wall_sim0 = queue.wall_seconds();
+  Stopwatch watch;
+  body();
+  const double wall = watch.seconds();
+  Timings t;
+  t.kernel_sim_seconds = queue.simulated_kernel_seconds() - simk0;
+  t.transfer_sim_seconds =
+      (queue.simulated_seconds() - sim0) - t.kernel_sim_seconds;
+  t.host_seconds = wall - (queue.wall_seconds() - wall_sim0);
+  if (t.host_seconds < 0) t.host_seconds = 0;
+  return t;
+}
+
+/// Measures an HPL section symmetrically to time_opencl_section:
+/// host_seconds is the section's wall time minus the wall time HPL spent
+/// simulating device work, so the two variants are directly comparable.
+template <typename Body>
+Timings time_hpl_section(Body&& body) {
+  const HPL::ProfileSnapshot before = HPL::profile();
+  Stopwatch watch;
+  body();
+  const double wall = watch.seconds();
+  const HPL::ProfileSnapshot after = HPL::profile();
+  Timings t;
+  t.kernel_sim_seconds =
+      after.kernel_sim_seconds - before.kernel_sim_seconds;
+  t.transfer_sim_seconds =
+      after.transfer_sim_seconds - before.transfer_sim_seconds;
+  t.host_seconds =
+      wall - (after.sim_wall_seconds - before.sim_wall_seconds);
+  if (t.host_seconds < 0) t.host_seconds = 0;
+  return t;
+}
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_COMMON_HPP

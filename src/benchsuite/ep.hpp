@@ -1,0 +1,58 @@
+#ifndef HPLREPRO_BENCHSUITE_EP_HPP
+#define HPLREPRO_BENCHSUITE_EP_HPP
+
+/// \file ep.hpp
+/// The NAS Parallel Benchmarks EP (Embarrassingly Parallel) kernel:
+/// generate pairs of uniform deviates with the NAS LCG, transform the
+/// accepted ones into Gaussian deviates (Marsaglia polar method as NPB
+/// specifies), count them per annulus and sum them.
+///
+/// Problem classes follow NPB's W/A/B/C geometric progression, scaled down
+/// uniformly because the device is a simulator (see EXPERIMENTS.md).
+
+#include <array>
+#include <cstdint>
+
+#include "benchsuite/common.hpp"
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct EpConfig {
+  std::uint64_t pairs = 1 << 16;   // number of (x, y) pairs
+  std::uint64_t chunk = 64;        // pairs per work-item
+  std::size_t local_size = 64;
+  /// Kernel launches per run (kernels are typically invoked many times;
+  /// paper §V-B). The computation is idempotent across repeats.
+  int repeats = 1;
+
+  std::uint64_t items() const { return pairs / chunk; }
+};
+
+/// Scaled NPB classes (paper Fig. 6 sweeps W, A, B, C).
+EpConfig ep_class(char cls);
+
+struct EpResult {
+  double sx = 0;
+  double sy = 0;
+  std::array<std::uint64_t, 10> q{};
+  std::uint64_t accepted = 0;
+};
+
+struct EpRun {
+  EpResult result;
+  Timings timings;
+};
+
+/// Serial C++ reference (correctness oracle).
+EpResult ep_serial(const EpConfig& config);
+
+/// OpenCL-style implementation against the clsim host API.
+EpRun ep_opencl(const EpConfig& config, const clsim::Device& device);
+
+/// HPL implementation.
+EpRun ep_hpl(const EpConfig& config, HPL::Device device);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_EP_HPP

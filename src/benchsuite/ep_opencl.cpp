@@ -1,0 +1,212 @@
+// OpenCL implementation of NAS EP, written exactly the way a hand-coded
+// OpenCL host program is: platform and device discovery, context, queue,
+// buffer and program management through the C API, an error check after
+// every call, explicit argument binding and explicit resource release.
+// This is the baseline whose verbosity the paper's Table I measures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchsuite/ep.hpp"
+#include "clsim/cl_api.hpp"
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+const char* kEpKernelSource = R"CLC(
+double randlc_next(double x, double a) {
+  double t1, t2, t3, t4, a1, a2, x1, x2, z;
+  t1 = 1.1920928955078125e-07 * a;
+  a1 = (double)((long)t1);
+  a2 = a - 8388608.0 * a1;
+  t1 = 1.1920928955078125e-07 * x;
+  x1 = (double)((long)t1);
+  x2 = x - 8388608.0 * x1;
+  t1 = a1 * x2 + a2 * x1;
+  t2 = (double)((long)(1.1920928955078125e-07 * t1));
+  z = t1 - 8388608.0 * t2;
+  t3 = 8388608.0 * z + a2 * x2;
+  t4 = (double)((long)(1.4210854715202004e-14 * t3));
+  return t3 - 70368744177664.0 * t4;
+}
+
+__kernel void ep_kernel(__global const double* seeds,
+                        __global double* sx_out,
+                        __global double* sy_out,
+                        __global int* q_out,
+                        int chunk) {
+  size_t tid = get_global_id(0);
+  double a = 1220703125.0;
+  double x = seeds[tid];
+  double sx = 0.0;
+  double sy = 0.0;
+  int q[10];
+  for (int i = 0; i < 10; i++) {
+    q[i] = 0;
+  }
+  for (int k = 0; k < chunk; k++) {
+    x = randlc_next(x, a);
+    double u1 = 1.4210854715202004e-14 * x;
+    x = randlc_next(x, a);
+    double u2 = 1.4210854715202004e-14 * x;
+    double xi = 2.0 * u1 - 1.0;
+    double yi = 2.0 * u2 - 1.0;
+    double t = xi * xi + yi * yi;
+    if (t <= 1.0) {
+      double f = sqrt(-2.0 * log(t) / t);
+      double gx = xi * f;
+      double gy = yi * f;
+      int l = (int)fmax(fabs(gx), fabs(gy));
+      q[l] = q[l] + 1;
+      sx = sx + gx;
+      sy = sy + gy;
+    }
+  }
+  sx_out[tid] = sx;
+  sy_out[tid] = sy;
+  for (int i = 0; i < 10; i++) {
+    q_out[tid * 10 + i] = q[i];
+  }
+}
+)CLC";
+
+void check(cl_int err, const char* what) {
+  if (err != CL_SUCCESS) {
+    std::fprintf(stderr, "EP OpenCL error %d at %s\n", err, what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+}  // namespace
+
+EpRun ep_opencl(const EpConfig& config, const clsim::Device& device) {
+  const std::size_t items = config.items();
+  cl_int err;
+
+  // Host-side setup: per-work-item starting seeds of the LCG stream.
+  std::vector<double> seeds(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    seeds[i] = NasLcg::skip_ahead(NasLcg::kDefaultSeed, 2 * config.chunk * i);
+  }
+  std::vector<double> sx(items), sy(items);
+  std::vector<std::int32_t> q(items * 10);
+
+  // Environment setup.
+  cl_platform_id platform;
+  cl_uint num_platforms;
+  err = clGetPlatformIDs(1, &platform, &num_platforms);
+  check(err, "clGetPlatformIDs");
+
+  cl_device_id dev = clsim::cl_api_device(device);
+
+  cl_context context = clCreateContext(nullptr, 1, &dev, nullptr, nullptr,
+                                       &err);
+  check(err, "clCreateContext");
+
+  cl_command_queue queue = clCreateCommandQueue(context, dev, 0, &err);
+  check(err, "clCreateCommandQueue");
+
+  // Device buffers.
+  cl_mem seeds_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                    items * sizeof(double), nullptr, &err);
+  check(err, "clCreateBuffer(seeds)");
+  cl_mem sx_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                 items * sizeof(double), nullptr, &err);
+  check(err, "clCreateBuffer(sx)");
+  cl_mem sy_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                 items * sizeof(double), nullptr, &err);
+  check(err, "clCreateBuffer(sy)");
+  cl_mem q_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                items * 10 * sizeof(std::int32_t), nullptr,
+                                &err);
+  check(err, "clCreateBuffer(q)");
+
+  EpRun run;
+  // The timed section covers what the paper's measurements cover (§V-B):
+  // kernel compilation, transfers and execution.
+  run.timings = time_opencl_section(clsim::cl_api_queue(queue), [&] {
+    err = clEnqueueWriteBuffer(queue, seeds_buf, CL_TRUE, 0,
+                               items * sizeof(double), seeds.data(), 0,
+                               nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(seeds)");
+
+    // Program build.
+    cl_program program = clCreateProgramWithSource(context, 1,
+                                                   &kEpKernelSource, nullptr,
+                                                   &err);
+    check(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &dev, nullptr, nullptr, nullptr);
+    if (err != CL_SUCCESS) {
+      char log[4096];
+      clGetProgramBuildInfo(program, dev, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                            log, nullptr);
+      std::fprintf(stderr, "EP build log:\n%s\n", log);
+      check(err, "clBuildProgram");
+    }
+
+    cl_kernel kernel = clCreateKernel(program, "ep_kernel", &err);
+    check(err, "clCreateKernel");
+
+    const std::int32_t chunk = static_cast<std::int32_t>(config.chunk);
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &seeds_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &sx_buf);
+    check(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(kernel, 2, sizeof(cl_mem), &sy_buf);
+    check(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(kernel, 3, sizeof(cl_mem), &q_buf);
+    check(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(kernel, 4, sizeof(std::int32_t), &chunk);
+    check(err, "clSetKernelArg(4)");
+
+    const std::size_t global = items;
+    const std::size_t local = config.local_size;
+    for (int r = 0; r < config.repeats; ++r) {
+      err = clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   &local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+    }
+    err = clFinish(queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(queue, sx_buf, CL_TRUE, 0,
+                              items * sizeof(double), sx.data(), 0, nullptr,
+                              nullptr);
+    check(err, "clEnqueueReadBuffer(sx)");
+    err = clEnqueueReadBuffer(queue, sy_buf, CL_TRUE, 0,
+                              items * sizeof(double), sy.data(), 0, nullptr,
+                              nullptr);
+    check(err, "clEnqueueReadBuffer(sy)");
+    err = clEnqueueReadBuffer(queue, q_buf, CL_TRUE, 0,
+                              items * 10 * sizeof(std::int32_t), q.data(), 0,
+                              nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(q)");
+
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+  });
+
+  // Final host-side accumulation.
+  for (std::size_t i = 0; i < items; ++i) {
+    run.result.sx += sx[i];
+    run.result.sy += sy[i];
+    for (std::size_t l = 0; l < 10; ++l) {
+      run.result.q[l] += static_cast<std::uint64_t>(q[i * 10 + l]);
+    }
+  }
+  for (const auto count : run.result.q) run.result.accepted += count;
+
+  clReleaseMemObject(seeds_buf);
+  clReleaseMemObject(sx_buf);
+  clReleaseMemObject(sy_buf);
+  clReleaseMemObject(q_buf);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

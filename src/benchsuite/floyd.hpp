@@ -1,0 +1,40 @@
+#ifndef HPLREPRO_BENCHSUITE_FLOYD_HPP
+#define HPLREPRO_BENCHSUITE_FLOYD_HPP
+
+/// \file floyd.hpp
+/// Floyd-Warshall all-pairs shortest paths (the AMD APP SDK benchmark the
+/// paper uses). The host iterates the pivot k; each step launches an
+/// n x n kernel relaxing every (i, j) through k.
+
+#include <cstdint>
+#include <vector>
+
+#include "benchsuite/common.hpp"
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct FloydConfig {
+  std::size_t nodes = 128;          // paper: 1024 (Tesla), 512 (Quadro)
+  std::size_t tile = 16;            // local domain edge
+  std::uint64_t seed = 0x5EEDF10Dull;
+  int repeats = 1;  // extra full pivot sweeps (idempotent once converged)
+};
+
+/// Random dense distance matrix (row-major n*n, no self loops).
+std::vector<float> floyd_make_graph(const FloydConfig& config);
+
+/// Serial C++ reference.
+std::vector<float> floyd_serial(const FloydConfig& config);
+
+struct FloydRun {
+  std::vector<float> distances;
+  Timings timings;
+};
+
+FloydRun floyd_opencl(const FloydConfig& config, const clsim::Device& device);
+FloydRun floyd_hpl(const FloydConfig& config, HPL::Device device);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_FLOYD_HPP

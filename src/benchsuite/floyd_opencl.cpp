@@ -1,0 +1,122 @@
+// OpenCL implementation of Floyd-Warshall in classic hand-written host
+// style: explicit environment setup, buffer and program management with
+// per-call error checks, and one NDRange launch per pivot.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchsuite/floyd.hpp"
+#include "clsim/cl_api.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+const char* kFloydKernelSource = R"CLC(
+__kernel void floyd_pass(__global float* dist, uint n, uint k) {
+  size_t i = get_global_id(0);
+  size_t j = get_global_id(1);
+  float current = dist[i * n + j];
+  float alternative = dist[i * n + k] + dist[k * n + j];
+  if (alternative < current) {
+    dist[i * n + j] = alternative;
+  }
+}
+)CLC";
+
+void check(cl_int err, const char* what) {
+  if (err != CL_SUCCESS) {
+    std::fprintf(stderr, "Floyd OpenCL error %d at %s\n", err, what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+}  // namespace
+
+FloydRun floyd_opencl(const FloydConfig& config,
+                      const clsim::Device& device) {
+  const std::size_t n = config.nodes;
+  std::vector<float> graph = floyd_make_graph(config);
+  cl_int err;
+
+  FloydRun run;
+  run.distances.resize(n * n);
+
+  // Environment setup.
+  cl_platform_id platform;
+  err = clGetPlatformIDs(1, &platform, nullptr);
+  check(err, "clGetPlatformIDs");
+
+  cl_device_id dev = clsim::cl_api_device(device);
+
+  cl_context context = clCreateContext(nullptr, 1, &dev, nullptr, nullptr,
+                                       &err);
+  check(err, "clCreateContext");
+
+  cl_command_queue queue = clCreateCommandQueue(context, dev, 0, &err);
+  check(err, "clCreateCommandQueue");
+
+  cl_mem dist_buf = clCreateBuffer(context, CL_MEM_READ_WRITE,
+                                   n * n * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(dist)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(queue), [&] {
+    err = clEnqueueWriteBuffer(queue, dist_buf, CL_TRUE, 0,
+                               n * n * sizeof(float), graph.data(), 0,
+                               nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(dist)");
+
+    cl_program program = clCreateProgramWithSource(context, 1,
+                                                   &kFloydKernelSource,
+                                                   nullptr, &err);
+    check(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &dev, nullptr, nullptr, nullptr);
+    if (err != CL_SUCCESS) {
+      char log[4096];
+      clGetProgramBuildInfo(program, dev, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                            log, nullptr);
+      std::fprintf(stderr, "Floyd build log:\n%s\n", log);
+      check(err, "clBuildProgram");
+    }
+
+    cl_kernel kernel = clCreateKernel(program, "floyd_pass", &err);
+    check(err, "clCreateKernel");
+
+    const std::uint32_t n_arg = static_cast<std::uint32_t>(n);
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &dist_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(std::uint32_t), &n_arg);
+    check(err, "clSetKernelArg(1)");
+
+    const std::size_t global[2] = {n, n};
+    const std::size_t local[2] = {config.tile, config.tile};
+    for (int r = 0; r < config.repeats; ++r) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t k_arg = static_cast<std::uint32_t>(k);
+        err = clSetKernelArg(kernel, 2, sizeof(std::uint32_t), &k_arg);
+        check(err, "clSetKernelArg(2)");
+        err = clEnqueueNDRangeKernel(queue, kernel, 2, nullptr, global,
+                                     local, 0, nullptr, nullptr);
+        check(err, "clEnqueueNDRangeKernel");
+      }
+    }
+    err = clFinish(queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(queue, dist_buf, CL_TRUE, 0,
+                              n * n * sizeof(float), run.distances.data(), 0,
+                              nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(dist)");
+
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+  });
+
+  clReleaseMemObject(dist_buf);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,36 @@
+#include "benchsuite/floyd.hpp"
+
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+std::vector<float> floyd_make_graph(const FloydConfig& config) {
+  const std::size_t n = config.nodes;
+  std::vector<float> d(n * n);
+  SplitMix64 rng(config.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // Bounded positive weights; 0 on the diagonal. Dense graph keeps the
+      // classic O(n^3) relaxation meaningful.
+      d[i * n + j] = i == j ? 0.0f : 1.0f + rng.next_float() * 99.0f;
+    }
+  }
+  return d;
+}
+
+std::vector<float> floyd_serial(const FloydConfig& config) {
+  const std::size_t n = config.nodes;
+  std::vector<float> d = floyd_make_graph(config);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dik = d[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        const float alt = dik + d[k * n + j];
+        if (alt < d[i * n + j]) d[i * n + j] = alt;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,42 @@
+#ifndef HPLREPRO_BENCHSUITE_REDUCTION_HPP
+#define HPLREPRO_BENCHSUITE_REDUCTION_HPP
+
+/// \file reduction.hpp
+/// Sum reduction of a large float vector (the SHOC benchmark the paper
+/// uses): a grid-stride kernel reduces the input into one partial sum per
+/// work-group through __local memory; the host adds the partials.
+
+#include <cstdint>
+#include <vector>
+
+#include "benchsuite/common.hpp"
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct ReductionConfig {
+  std::size_t elements = 1 << 20;  // paper: 16M single-precision values
+  std::size_t groups = 64;
+  std::size_t local_size = 128;
+  std::uint64_t seed = 0xADD5EEDull;
+  int repeats = 1;  // kernel launches per run (idempotent)
+
+  std::size_t global_size() const { return groups * local_size; }
+};
+
+std::vector<float> reduction_make_input(const ReductionConfig& config);
+
+double reduction_serial(const ReductionConfig& config);
+
+struct ReductionRun {
+  double sum = 0;
+  Timings timings;
+};
+
+ReductionRun reduction_opencl(const ReductionConfig& config,
+                              const clsim::Device& device);
+ReductionRun reduction_hpl(const ReductionConfig& config, HPL::Device device);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_REDUCTION_HPP

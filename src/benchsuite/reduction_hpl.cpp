@@ -1,0 +1,65 @@
+// HPL sum reduction: the grid-stride loop, the __local tree and the
+// barriers translate one-to-one from the OpenCL scheme, but the host side
+// shrinks to the eval call and a loop over the partials.
+
+#include "benchsuite/reduction.hpp"
+#include "hpl/HPL.h"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+using namespace HPL;
+
+void reduce_sum(Array<float, 1> in, Array<float, 1> partials, Uint n) {
+  Array<float, 1, Local> sdata(128);
+  Uint i, s;
+  Float sum = 0;
+
+  for_(i = cast<std::uint32_t>(idx), i < n, i += cast<std::uint32_t>(szx)) {
+    sum += in[i];
+  } endfor_
+
+  sdata[lidx] = sum;
+  barrier(LOCAL);
+
+  for_(s = cast<std::uint32_t>(lszx) >> 1, s > 0u, s = s >> 1) {
+    if_(lidx < s) {
+      sdata[lidx] += sdata[lidx + s];
+    } endif_
+    barrier(LOCAL);
+  } endfor_
+
+  if_(lidx == 0) {
+    partials[gidx] = sdata[0];
+  } endif_
+}
+
+}  // namespace
+
+ReductionRun reduction_hpl(const ReductionConfig& config, HPL::Device device) {
+  std::vector<float> input = reduction_make_input(config);
+  const std::size_t n = config.elements;
+
+  Array<float, 1> in(n, input.data());
+  Array<float, 1> partials(config.groups);
+
+  ReductionRun run;
+  const float* partial_host = nullptr;
+  run.timings = time_hpl_section([&] {
+    for (int r = 0; r < config.repeats; ++r) {
+      eval(reduce_sum)
+          .global(config.global_size())
+          .local(config.local_size)
+          .device(device)(in, partials, static_cast<std::uint32_t>(n));
+    }
+    partial_host = partials.data();  // syncs the partials back to the host
+  });
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    run.sum += static_cast<double>(partial_host[g]);
+  }
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,140 @@
+// OpenCL implementation of the sum reduction (SHOC scheme) in classic
+// hand-written host style: grid-stride accumulation into a __local tree
+// reduction, one partial per group, final sum on the host.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchsuite/reduction.hpp"
+#include "clsim/cl_api.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+const char* kReductionKernelSource = R"CLC(
+__kernel void reduce_sum(__global const float* in,
+                         __global float* partials,
+                         uint n) {
+  __local float sdata[128];
+  size_t tid = get_local_id(0);
+  size_t gid = get_global_id(0);
+  size_t stride = get_global_size(0);
+
+  float sum = 0.0f;
+  for (size_t i = gid; i < n; i += stride) {
+    sum += in[i];
+  }
+  sdata[tid] = sum;
+  barrier(CLK_LOCAL_MEM_FENCE);
+
+  for (uint s = (uint)get_local_size(0) >> 1; s > 0u; s >>= 1) {
+    if (tid < s) {
+      sdata[tid] += sdata[tid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (tid == 0) {
+    partials[get_group_id(0)] = sdata[0];
+  }
+}
+)CLC";
+
+void check(cl_int err, const char* what) {
+  if (err != CL_SUCCESS) {
+    std::fprintf(stderr, "Reduction OpenCL error %d at %s\n", err, what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+}  // namespace
+
+ReductionRun reduction_opencl(const ReductionConfig& config,
+                              const clsim::Device& device) {
+  const std::vector<float> input = reduction_make_input(config);
+  const std::size_t n = config.elements;
+  cl_int err;
+
+  ReductionRun run;
+  std::vector<float> partials(config.groups);
+
+  // Environment setup.
+  cl_platform_id platform;
+  err = clGetPlatformIDs(1, &platform, nullptr);
+  check(err, "clGetPlatformIDs");
+
+  cl_device_id dev = clsim::cl_api_device(device);
+
+  cl_context context = clCreateContext(nullptr, 1, &dev, nullptr, nullptr,
+                                       &err);
+  check(err, "clCreateContext");
+
+  cl_command_queue queue = clCreateCommandQueue(context, dev, 0, &err);
+  check(err, "clCreateCommandQueue");
+
+  cl_mem in_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                 n * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(in)");
+  cl_mem partials_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                       config.groups * sizeof(float),
+                                       nullptr, &err);
+  check(err, "clCreateBuffer(partials)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(queue), [&] {
+    err = clEnqueueWriteBuffer(queue, in_buf, CL_TRUE, 0, n * sizeof(float),
+                               input.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(in)");
+
+    cl_program program = clCreateProgramWithSource(
+        context, 1, &kReductionKernelSource, nullptr, &err);
+    check(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &dev, nullptr, nullptr, nullptr);
+    if (err != CL_SUCCESS) {
+      char log[4096];
+      clGetProgramBuildInfo(program, dev, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                            log, nullptr);
+      std::fprintf(stderr, "Reduction build log:\n%s\n", log);
+      check(err, "clBuildProgram");
+    }
+
+    cl_kernel kernel = clCreateKernel(program, "reduce_sum", &err);
+    check(err, "clCreateKernel");
+
+    const std::uint32_t n_arg = static_cast<std::uint32_t>(n);
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &in_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &partials_buf);
+    check(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(kernel, 2, sizeof(std::uint32_t), &n_arg);
+    check(err, "clSetKernelArg(2)");
+
+    const std::size_t global = config.global_size();
+    const std::size_t local = config.local_size;
+    for (int r = 0; r < config.repeats; ++r) {
+      err = clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   &local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+    }
+    err = clFinish(queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(queue, partials_buf, CL_TRUE, 0,
+                              config.groups * sizeof(float), partials.data(),
+                              0, nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(partials)");
+
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+  });
+
+  for (const float p : partials) run.sum += static_cast<double>(p);
+
+  clReleaseMemObject(in_buf);
+  clReleaseMemObject(partials_buf);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

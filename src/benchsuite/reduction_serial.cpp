@@ -1,0 +1,22 @@
+#include "benchsuite/reduction.hpp"
+
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+std::vector<float> reduction_make_input(const ReductionConfig& config) {
+  std::vector<float> in(config.elements);
+  SplitMix64 rng(config.seed);
+  // Values in [-1, 1): keeps the float sum well-conditioned at 16M terms.
+  for (auto& v : in) v = rng.next_float() * 2.0f - 1.0f;
+  return in;
+}
+
+double reduction_serial(const ReductionConfig& config) {
+  const std::vector<float> in = reduction_make_input(config);
+  double sum = 0;
+  for (const float v : in) sum += static_cast<double>(v);
+  return sum;
+}
+
+}  // namespace hplrepro::benchsuite

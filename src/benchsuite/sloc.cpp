@@ -1,0 +1,112 @@
+#include "benchsuite/sloc.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hplrepro::benchsuite {
+
+std::size_t count_sloc_text(std::string_view text) {
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State state = State::Code;
+  bool line_has_code = false;
+  std::size_t sloc = 0;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      if (line_has_code) ++sloc;
+      line_has_code = false;
+      if (state == State::LineComment) state = State::Code;
+      continue;
+    }
+
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::String;
+          line_has_code = true;
+        } else if (c == '\'') {
+          state = State::Char;
+          line_has_code = true;
+        } else if (c != ' ' && c != '\t' && c != '\r') {
+          line_has_code = true;
+        }
+        break;
+      case State::LineComment:
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        }
+        break;
+      case State::String:
+        line_has_code = true;
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        }
+        break;
+      case State::Char:
+        line_has_code = true;
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  if (line_has_code) ++sloc;
+  return sloc;
+}
+
+std::size_t count_sloc_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("count_sloc_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return count_sloc_text(buffer.str());
+}
+
+std::string repo_path(const std::string& relative) {
+#ifdef HPLREPRO_SOURCE_DIR
+  return std::string(HPLREPRO_SOURCE_DIR) + "/" + relative;
+#else
+  return relative;
+#endif
+}
+
+const std::vector<BenchmarkSources>& table1_sources() {
+  static const std::vector<BenchmarkSources> sources = {
+      {"EP",
+       {"src/benchsuite/ep_opencl.cpp"},
+       {"src/benchsuite/ep_hpl.cpp"}},
+      {"Floyd-Warshall",
+       {"src/benchsuite/floyd_opencl.cpp"},
+       {"src/benchsuite/floyd_hpl.cpp"}},
+      {"Matrix transpose",
+       {"src/benchsuite/transpose_opencl.cpp"},
+       {"src/benchsuite/transpose_hpl.cpp"}},
+      {"Spmv",
+       {"src/benchsuite/spmv_opencl.cpp"},
+       {"src/benchsuite/spmv_hpl.cpp"}},
+      {"Reduction",
+       {"src/benchsuite/reduction_opencl.cpp"},
+       {"src/benchsuite/reduction_hpl.cpp"}},
+  };
+  return sources;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,38 @@
+#ifndef HPLREPRO_BENCHSUITE_SLOC_HPP
+#define HPLREPRO_BENCHSUITE_SLOC_HPP
+
+/// \file sloc.hpp
+/// Physical source-lines-of-code counter reproducing Sloccount's C/C++
+/// definition (paper §V-A): a SLOC is a line containing at least one
+/// character that is not whitespace and not part of a comment. Applied to
+/// the checked-in benchmark sources to regenerate Table I.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hplrepro::benchsuite {
+
+/// Counts SLOC in C/C++ source text (handles //, /* */ and string
+/// literals so comment markers inside strings do not confuse it).
+std::size_t count_sloc_text(std::string_view text);
+
+/// Counts SLOC in a file. Throws on I/O failure.
+std::size_t count_sloc_file(const std::string& path);
+
+struct BenchmarkSources {
+  std::string benchmark;               // e.g. "EP"
+  std::vector<std::string> opencl;     // repo-relative paths
+  std::vector<std::string> hpl;
+};
+
+/// The five paper benchmarks and the sources of their two variants.
+const std::vector<BenchmarkSources>& table1_sources();
+
+/// Absolute path of a repo-relative file (uses the build-time source dir).
+std::string repo_path(const std::string& relative);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_SLOC_HPP

@@ -1,0 +1,48 @@
+#ifndef HPLREPRO_BENCHSUITE_SPMV_HPP
+#define HPLREPRO_BENCHSUITE_SPMV_HPP
+
+/// \file spmv.hpp
+/// Sparse matrix-vector product on CSR storage (the SHOC benchmark the
+/// paper uses, and the paper's own §IV-C example): one work-group of M
+/// threads cooperates on each row, reducing partial products through
+/// __local memory.
+
+#include <cstdint>
+#include <vector>
+
+#include "benchsuite/common.hpp"
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct SpmvConfig {
+  std::size_t rows = 1024;         // paper: 16K (Tesla) / 8K (Quadro)
+  double density = 0.01;           // paper: 1% nonzeroes
+  std::size_t threads_per_row = 8; // the paper's local domain M
+  std::uint64_t seed = 0x5BA45EEDull;
+  int repeats = 1;  // kernel launches per run (idempotent)
+};
+
+/// CSR matrix plus dense vector.
+struct CsrProblem {
+  std::vector<float> values;
+  std::vector<std::int32_t> cols;
+  std::vector<std::int32_t> rowptr;  // rows + 1 entries
+  std::vector<float> vec;
+};
+
+CsrProblem spmv_make_problem(const SpmvConfig& config);
+
+std::vector<float> spmv_serial(const SpmvConfig& config);
+
+struct SpmvRun {
+  std::vector<float> output;
+  Timings timings;
+};
+
+SpmvRun spmv_opencl(const SpmvConfig& config, const clsim::Device& device);
+SpmvRun spmv_hpl(const SpmvConfig& config, HPL::Device device);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_SPMV_HPP

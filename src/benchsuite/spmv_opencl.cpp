@@ -1,0 +1,173 @@
+// OpenCL implementation of the CSR sparse matrix-vector product (SHOC
+// scheme) in classic hand-written host style: M threads cooperate on each
+// row with a __local tree reduction; the host manages five buffers,
+// program compilation and argument binding explicitly.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchsuite/spmv.hpp"
+#include "clsim/cl_api.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+const char* kSpmvKernelSource = R"CLC(
+__kernel void spmv_csr(__global const float* values,
+                       __global const float* vec,
+                       __global const int* cols,
+                       __global const int* rowptr,
+                       __global float* out,
+                       uint threads_per_row) {
+  __local float sdata[64];
+  size_t row = get_group_id(0);
+  size_t lane = get_local_id(0);
+
+  float sum = 0.0f;
+  for (int j = rowptr[row] + (int)lane; j < rowptr[row + 1];
+       j += (int)threads_per_row) {
+    sum += values[j] * vec[cols[j]];
+  }
+  sdata[lane] = sum;
+  barrier(CLK_LOCAL_MEM_FENCE);
+
+  for (uint s = threads_per_row >> 1; s > 0; s >>= 1) {
+    if (lane < s) {
+      sdata[lane] += sdata[lane + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lane == 0) {
+    out[row] = sdata[0];
+  }
+}
+)CLC";
+
+void check(cl_int err, const char* what) {
+  if (err != CL_SUCCESS) {
+    std::fprintf(stderr, "Spmv OpenCL error %d at %s\n", err, what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+}  // namespace
+
+SpmvRun spmv_opencl(const SpmvConfig& config, const clsim::Device& device) {
+  const CsrProblem problem = spmv_make_problem(config);
+  const std::size_t n = config.rows;
+  const std::size_t nnz = problem.values.size();
+  const std::size_t m = config.threads_per_row;
+  cl_int err;
+
+  SpmvRun run;
+  run.output.resize(n);
+
+  // Environment setup.
+  cl_platform_id platform;
+  err = clGetPlatformIDs(1, &platform, nullptr);
+  check(err, "clGetPlatformIDs");
+
+  cl_device_id dev = clsim::cl_api_device(device);
+
+  cl_context context = clCreateContext(nullptr, 1, &dev, nullptr, nullptr,
+                                       &err);
+  check(err, "clCreateContext");
+
+  cl_command_queue queue = clCreateCommandQueue(context, dev, 0, &err);
+  check(err, "clCreateCommandQueue");
+
+  cl_mem val_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                  nnz * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(values)");
+  cl_mem vec_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                  n * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(vec)");
+  cl_mem col_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                  nnz * sizeof(std::int32_t), nullptr, &err);
+  check(err, "clCreateBuffer(cols)");
+  cl_mem row_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                  (n + 1) * sizeof(std::int32_t), nullptr,
+                                  &err);
+  check(err, "clCreateBuffer(rowptr)");
+  cl_mem out_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                  n * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(out)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(queue), [&] {
+    err = clEnqueueWriteBuffer(queue, val_buf, CL_TRUE, 0,
+                               nnz * sizeof(float), problem.values.data(), 0,
+                               nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(values)");
+    err = clEnqueueWriteBuffer(queue, vec_buf, CL_TRUE, 0, n * sizeof(float),
+                               problem.vec.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(vec)");
+    err = clEnqueueWriteBuffer(queue, col_buf, CL_TRUE, 0,
+                               nnz * sizeof(std::int32_t),
+                               problem.cols.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(cols)");
+    err = clEnqueueWriteBuffer(queue, row_buf, CL_TRUE, 0,
+                               (n + 1) * sizeof(std::int32_t),
+                               problem.rowptr.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(rowptr)");
+
+    cl_program program = clCreateProgramWithSource(context, 1,
+                                                   &kSpmvKernelSource,
+                                                   nullptr, &err);
+    check(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &dev, nullptr, nullptr, nullptr);
+    if (err != CL_SUCCESS) {
+      char log[4096];
+      clGetProgramBuildInfo(program, dev, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                            log, nullptr);
+      std::fprintf(stderr, "Spmv build log:\n%s\n", log);
+      check(err, "clBuildProgram");
+    }
+
+    cl_kernel kernel = clCreateKernel(program, "spmv_csr", &err);
+    check(err, "clCreateKernel");
+
+    const std::uint32_t m_arg = static_cast<std::uint32_t>(m);
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &val_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &vec_buf);
+    check(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(kernel, 2, sizeof(cl_mem), &col_buf);
+    check(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(kernel, 3, sizeof(cl_mem), &row_buf);
+    check(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(kernel, 4, sizeof(cl_mem), &out_buf);
+    check(err, "clSetKernelArg(4)");
+    err = clSetKernelArg(kernel, 5, sizeof(std::uint32_t), &m_arg);
+    check(err, "clSetKernelArg(5)");
+
+    const std::size_t global = n * m;
+    const std::size_t local = m;
+    for (int r = 0; r < config.repeats; ++r) {
+      err = clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   &local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+    }
+    err = clFinish(queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(queue, out_buf, CL_TRUE, 0, n * sizeof(float),
+                              run.output.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(out)");
+
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+  });
+
+  clReleaseMemObject(val_buf);
+  clReleaseMemObject(vec_buf);
+  clReleaseMemObject(col_buf);
+  clReleaseMemObject(row_buf);
+  clReleaseMemObject(out_buf);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,55 @@
+#include "benchsuite/spmv.hpp"
+
+#include <algorithm>
+
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+CsrProblem spmv_make_problem(const SpmvConfig& config) {
+  const std::size_t n = config.rows;
+  const auto per_row = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) * config.density));
+
+  CsrProblem problem;
+  problem.rowptr.resize(n + 1);
+  problem.values.reserve(n * per_row);
+  problem.cols.reserve(n * per_row);
+  problem.vec.resize(n);
+
+  SplitMix64 rng(config.seed);
+  problem.rowptr[0] = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    // Random strictly-increasing column pattern per row (CSR convention).
+    std::vector<std::int32_t> cols(per_row);
+    for (auto& c : cols) {
+      c = static_cast<std::int32_t>(rng.next_below(n));
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (const auto c : cols) {
+      problem.cols.push_back(c);
+      problem.values.push_back(rng.next_float() * 2.0f - 1.0f);
+    }
+    problem.rowptr[r + 1] = static_cast<std::int32_t>(problem.cols.size());
+  }
+  for (auto& v : problem.vec) v = rng.next_float() * 4.0f - 2.0f;
+  return problem;
+}
+
+std::vector<float> spmv_serial(const SpmvConfig& config) {
+  const CsrProblem problem = spmv_make_problem(config);
+  const std::size_t n = config.rows;
+  std::vector<float> out(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (std::int32_t j = problem.rowptr[i]; j < problem.rowptr[i + 1]; ++j) {
+      sum += problem.values[static_cast<std::size_t>(j)] *
+             problem.vec[static_cast<std::size_t>(problem.cols[j])];
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,43 @@
+#ifndef HPLREPRO_BENCHSUITE_TRANSPOSE_HPP
+#define HPLREPRO_BENCHSUITE_TRANSPOSE_HPP
+
+/// \file transpose.hpp
+/// Matrix transpose (the AMD APP SDK benchmark the paper uses): the
+/// optimised variant reads coalesced tiles into __local memory and writes
+/// them back transposed, so both global accesses stay contiguous
+/// (see the paper's footnote 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "benchsuite/common.hpp"
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+struct TransposeConfig {
+  std::size_t rows = 512;    // paper: 16K (Tesla) / 5K (Quadro)
+  std::size_t cols = 512;
+  std::uint64_t seed = 0x7A05E5EEDull;
+  int repeats = 1;  // kernel launches per run (idempotent)
+
+  static constexpr std::size_t kTile = 16;  // fixed tile edge
+};
+
+std::vector<float> transpose_make_input(const TransposeConfig& config);
+
+/// Serial reference: out[c][r] = in[r][c].
+std::vector<float> transpose_serial(const TransposeConfig& config);
+
+struct TransposeRun {
+  std::vector<float> output;  // cols x rows
+  Timings timings;
+};
+
+TransposeRun transpose_opencl(const TransposeConfig& config,
+                              const clsim::Device& device);
+TransposeRun transpose_hpl(const TransposeConfig& config, HPL::Device device);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_TRANSPOSE_HPP

@@ -1,0 +1,26 @@
+#include "benchsuite/transpose.hpp"
+
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+std::vector<float> transpose_make_input(const TransposeConfig& config) {
+  std::vector<float> in(config.rows * config.cols);
+  SplitMix64 rng(config.seed);
+  for (auto& v : in) v = rng.next_float() * 100.0f - 50.0f;
+  return in;
+}
+
+std::vector<float> transpose_serial(const TransposeConfig& config) {
+  const std::size_t rows = config.rows, cols = config.cols;
+  const std::vector<float> in = transpose_make_input(config);
+  std::vector<float> out(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+  return out;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,160 @@
+#ifndef HPLREPRO_CLC_AST_HPP
+#define HPLREPRO_CLC_AST_HPP
+
+/// \file ast.hpp
+/// Abstract syntax tree for the OpenCL C subset. The parser builds it, the
+/// semantic analyser annotates types and symbols in place, and the bytecode
+/// generator consumes it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clc/types.hpp"
+
+namespace hplrepro::clc {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A declared variable or parameter, owned by its enclosing function (or
+/// by a DeclStmt). Sema fills in storage assignment.
+struct VarDecl {
+  std::string name;
+  Type type;                   // element type if array_size > 0
+  std::uint64_t array_size = 0;  // 0 = plain scalar/pointer variable
+  AddressSpace space = AddressSpace::Private;  // storage space for arrays
+  ExprPtr init;                // optional initializer (scalars only)
+  int line = 0;
+  int column = 0;
+
+  // --- Assigned by sema ---
+  bool is_param = false;
+  int param_index = -1;
+  int slot = -1;            // frame slot (scalars, pointers, array base ptr)
+  std::uint64_t arena_offset = 0;  // offset in local/private arena (arrays)
+};
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  FloatLit,
+  VarRef,
+  Unary,
+  Binary,
+  Assign,
+  Conditional,
+  Call,
+  Index,
+  Cast,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Neg, Not, BitNot, PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+};
+
+/// For Assign: which compound operation, if any.
+enum class AssignOp : std::uint8_t {
+  None, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int column = 0;
+
+  // Literals
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+
+  // VarRef
+  std::string name;
+  VarDecl* decl = nullptr;  // resolved by sema (null for builtin variables)
+
+  // Unary / Binary / Assign / Conditional / Index / Cast
+  UnaryOp unary_op = UnaryOp::Plus;
+  BinaryOp binary_op = BinaryOp::Add;
+  AssignOp assign_op = AssignOp::None;
+  ExprPtr lhs;   // also: operand (unary), base (index), condition (?:)
+  ExprPtr rhs;   // also: index (index), then-branch (?:)
+  ExprPtr third; // else-branch (?:)
+
+  // Call
+  std::vector<ExprPtr> args;
+  int callee_function = -1;  // resolved user function index
+  int callee_builtin = -1;   // resolved builtin id
+
+  // Cast target is stored in `type`.
+
+  // --- Assigned by sema ---
+  Type type;       // result type of the expression
+  bool is_lvalue = false;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+enum class StmtKind : std::uint8_t {
+  Compound,
+  Decl,
+  ExprStmt,
+  If,
+  For,
+  While,
+  DoWhile,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int column = 0;
+
+  std::vector<StmtPtr> body;            // Compound
+  std::vector<std::unique_ptr<VarDecl>> decls;  // Decl
+  ExprPtr expr;       // ExprStmt / Return value / If-For-While-DoWhile cond
+  StmtPtr init;       // For
+  ExprPtr step;       // For
+  StmtPtr then_branch;  // If / loop body
+  StmtPtr else_branch;  // If
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+/// A function definition (kernel or helper).
+struct FunctionDecl {
+  std::string name;
+  Type return_type;
+  bool is_kernel = false;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  StmtPtr body;
+  int line = 0;
+  int column = 0;
+
+  // --- Assigned by sema / codegen ---
+  int num_slots = 0;               // frame size in value slots
+  std::uint64_t private_bytes = 0; // private arena bytes for this frame
+  std::uint64_t local_bytes = 0;   // __local arena bytes (kernel-wide)
+  bool uses_barrier = false;
+  bool uses_double = false;
+};
+
+/// A whole translation unit.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_AST_HPP

@@ -1,0 +1,84 @@
+#include "clc/builtins.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+namespace {
+
+constexpr std::array kBuiltins = {
+    BuiltinInfo{Builtin::GetWorkDim, BuiltinKind::WorkItem, "get_work_dim", 0},
+    BuiltinInfo{Builtin::GetGlobalId, BuiltinKind::WorkItem, "get_global_id", 1},
+    BuiltinInfo{Builtin::GetLocalId, BuiltinKind::WorkItem, "get_local_id", 1},
+    BuiltinInfo{Builtin::GetGroupId, BuiltinKind::WorkItem, "get_group_id", 1},
+    BuiltinInfo{Builtin::GetGlobalSize, BuiltinKind::WorkItem, "get_global_size", 1},
+    BuiltinInfo{Builtin::GetLocalSize, BuiltinKind::WorkItem, "get_local_size", 1},
+    BuiltinInfo{Builtin::GetNumGroups, BuiltinKind::WorkItem, "get_num_groups", 1},
+    BuiltinInfo{Builtin::Barrier, BuiltinKind::Barrier, "barrier", 1},
+    BuiltinInfo{Builtin::Sqrt, BuiltinKind::MathFp, "sqrt", 1},
+    BuiltinInfo{Builtin::Rsqrt, BuiltinKind::MathFp, "rsqrt", 1},
+    BuiltinInfo{Builtin::Fabs, BuiltinKind::MathFp, "fabs", 1},
+    BuiltinInfo{Builtin::Exp, BuiltinKind::MathFp, "exp", 1},
+    BuiltinInfo{Builtin::Exp2, BuiltinKind::MathFp, "exp2", 1},
+    BuiltinInfo{Builtin::Log, BuiltinKind::MathFp, "log", 1},
+    BuiltinInfo{Builtin::Log2, BuiltinKind::MathFp, "log2", 1},
+    BuiltinInfo{Builtin::Log10, BuiltinKind::MathFp, "log10", 1},
+    BuiltinInfo{Builtin::Sin, BuiltinKind::MathFp, "sin", 1},
+    BuiltinInfo{Builtin::Cos, BuiltinKind::MathFp, "cos", 1},
+    BuiltinInfo{Builtin::Tan, BuiltinKind::MathFp, "tan", 1},
+    BuiltinInfo{Builtin::Asin, BuiltinKind::MathFp, "asin", 1},
+    BuiltinInfo{Builtin::Acos, BuiltinKind::MathFp, "acos", 1},
+    BuiltinInfo{Builtin::Atan, BuiltinKind::MathFp, "atan", 1},
+    BuiltinInfo{Builtin::Floor, BuiltinKind::MathFp, "floor", 1},
+    BuiltinInfo{Builtin::Ceil, BuiltinKind::MathFp, "ceil", 1},
+    BuiltinInfo{Builtin::Trunc, BuiltinKind::MathFp, "trunc", 1},
+    BuiltinInfo{Builtin::Round, BuiltinKind::MathFp, "round", 1},
+    BuiltinInfo{Builtin::Pow, BuiltinKind::MathFp, "pow", 2},
+    BuiltinInfo{Builtin::Atan2, BuiltinKind::MathFp, "atan2", 2},
+    BuiltinInfo{Builtin::Fmod, BuiltinKind::MathFp, "fmod", 2},
+    BuiltinInfo{Builtin::Fmin, BuiltinKind::MathFp, "fmin", 2},
+    BuiltinInfo{Builtin::Fmax, BuiltinKind::MathFp, "fmax", 2},
+    BuiltinInfo{Builtin::Hypot, BuiltinKind::MathFp, "hypot", 2},
+    BuiltinInfo{Builtin::Fma, BuiltinKind::MathFp, "fma", 3},
+    BuiltinInfo{Builtin::Mad, BuiltinKind::MathFp, "mad", 3},
+    BuiltinInfo{Builtin::Min, BuiltinKind::Common, "min", 2},
+    BuiltinInfo{Builtin::Max, BuiltinKind::Common, "max", 2},
+    BuiltinInfo{Builtin::Abs, BuiltinKind::IntOnly, "abs", 1},
+    BuiltinInfo{Builtin::Clamp, BuiltinKind::Common, "clamp", 3},
+};
+
+static_assert(kBuiltins.size() == static_cast<std::size_t>(Builtin::Count_));
+
+const std::unordered_map<std::string_view, const BuiltinInfo*>& name_table() {
+  static const auto table = [] {
+    std::unordered_map<std::string_view, const BuiltinInfo*> t;
+    for (const auto& b : kBuiltins) t.emplace(b.name, &b);
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::optional<BuiltinInfo> find_builtin(std::string_view name) {
+  const auto& table = name_table();
+  if (auto it = table.find(name); it != table.end()) return *it->second;
+  return std::nullopt;
+}
+
+const BuiltinInfo& builtin_info(Builtin id) {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= kBuiltins.size()) throw InternalError("builtin_info: bad id");
+  return kBuiltins[index];
+}
+
+std::optional<std::uint64_t> predefined_constant(std::string_view name) {
+  if (name == "CLK_LOCAL_MEM_FENCE") return kClkLocalMemFence;
+  if (name == "CLK_GLOBAL_MEM_FENCE") return kClkGlobalMemFence;
+  return std::nullopt;
+}
+
+}  // namespace hplrepro::clc

@@ -1,0 +1,97 @@
+#ifndef HPLREPRO_CLC_BUILTINS_HPP
+#define HPLREPRO_CLC_BUILTINS_HPP
+
+/// \file builtins.hpp
+/// Registry of the OpenCL C built-in functions the clc compiler supports:
+/// work-item identification, barriers, and the math/common/integer
+/// functions used by HPL's code generator and the benchmark kernels.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "clc/types.hpp"
+
+namespace hplrepro::clc {
+
+enum class Builtin : std::uint16_t {
+  // Work-item functions (arg: dimension index; returns size_t)
+  GetWorkDim,
+  GetGlobalId,
+  GetLocalId,
+  GetGroupId,
+  GetGlobalSize,
+  GetLocalSize,
+  GetNumGroups,
+
+  // Synchronisation
+  Barrier,
+
+  // Math (float/double generic; arity 1 unless noted)
+  Sqrt,
+  Rsqrt,
+  Fabs,
+  Exp,
+  Exp2,
+  Log,
+  Log2,
+  Log10,
+  Sin,
+  Cos,
+  Tan,
+  Asin,
+  Acos,
+  Atan,
+  Floor,
+  Ceil,
+  Trunc,
+  Round,
+  Pow,    // arity 2
+  Atan2,  // arity 2
+  Fmod,   // arity 2
+  Fmin,   // arity 2
+  Fmax,   // arity 2
+  Hypot,  // arity 2
+  Fma,    // arity 3
+  Mad,    // arity 3
+
+  // Integer / common (generic over arithmetic types)
+  Min,    // arity 2
+  Max,    // arity 2
+  Abs,    // arity 1, integer
+  Clamp,  // arity 3
+
+  Count_,
+};
+
+enum class BuiltinKind : std::uint8_t {
+  WorkItem,  // (uint) -> size_t
+  Barrier,   // (flags) -> void
+  MathFp,    // float/double generic
+  Common,    // generic over arithmetic types (min/max/clamp)
+  IntOnly,   // integer types only (abs)
+};
+
+struct BuiltinInfo {
+  Builtin id;
+  BuiltinKind kind;
+  std::string_view name;
+  int arity;
+};
+
+/// Looks up a builtin by source name ("sqrt", "get_global_id", ...).
+std::optional<BuiltinInfo> find_builtin(std::string_view name);
+
+const BuiltinInfo& builtin_info(Builtin id);
+
+/// Named constants predefined by the OpenCL C environment (barrier flags).
+/// Returns the value if `name` is one of them.
+std::optional<std::uint64_t> predefined_constant(std::string_view name);
+
+/// Barrier flag bits (values match what predefined_constant returns).
+inline constexpr std::uint64_t kClkLocalMemFence = 1;
+inline constexpr std::uint64_t kClkGlobalMemFence = 2;
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_BUILTINS_HPP

@@ -1,0 +1,152 @@
+#include "clc/bytecode.hpp"
+
+#include <sstream>
+
+namespace hplrepro::clc {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::PushI: return "push.i";
+    case Op::PushF: return "push.f";
+    case Op::PushD: return "push.d";
+    case Op::Dup: return "dup";
+    case Op::Pop: return "pop";
+    case Op::Swap: return "swap";
+    case Op::LoadSlot: return "load.slot";
+    case Op::StoreSlot: return "store.slot";
+    case Op::PtrAdd: return "ptr.add";
+    case Op::LocalPtr: return "ptr.local";
+    case Op::PrivatePtr: return "ptr.private";
+    case Op::LoadI8: return "load.i8";
+    case Op::LoadU8: return "load.u8";
+    case Op::LoadI16: return "load.i16";
+    case Op::LoadU16: return "load.u16";
+    case Op::LoadI32: return "load.i32";
+    case Op::LoadU32: return "load.u32";
+    case Op::LoadI64: return "load.i64";
+    case Op::LoadF32: return "load.f32";
+    case Op::LoadF64: return "load.f64";
+    case Op::StoreI8: return "store.i8";
+    case Op::StoreI16: return "store.i16";
+    case Op::StoreI32: return "store.i32";
+    case Op::StoreI64: return "store.i64";
+    case Op::StoreF32: return "store.f32";
+    case Op::StoreF64: return "store.f64";
+    case Op::AddI: return "add.i";
+    case Op::SubI: return "sub.i";
+    case Op::MulI: return "mul.i";
+    case Op::DivI: return "div.i";
+    case Op::DivU: return "div.u";
+    case Op::RemI: return "rem.i";
+    case Op::RemU: return "rem.u";
+    case Op::NegI: return "neg.i";
+    case Op::AndI: return "and.i";
+    case Op::OrI: return "or.i";
+    case Op::XorI: return "xor.i";
+    case Op::ShlI: return "shl.i";
+    case Op::ShrI: return "shr.i";
+    case Op::ShrU: return "shr.u";
+    case Op::NotI: return "not.i";
+    case Op::Sext8: return "sext.8";
+    case Op::Sext16: return "sext.16";
+    case Op::Sext32: return "sext.32";
+    case Op::Zext8: return "zext.8";
+    case Op::Zext16: return "zext.16";
+    case Op::Zext32: return "zext.32";
+    case Op::Zext1: return "zext.1";
+    case Op::AddF: return "add.f";
+    case Op::SubF: return "sub.f";
+    case Op::MulF: return "mul.f";
+    case Op::DivF: return "div.f";
+    case Op::NegF: return "neg.f";
+    case Op::AddD: return "add.d";
+    case Op::SubD: return "sub.d";
+    case Op::MulD: return "mul.d";
+    case Op::DivD: return "div.d";
+    case Op::NegD: return "neg.d";
+    case Op::EqI: return "eq.i";
+    case Op::NeI: return "ne.i";
+    case Op::LtI: return "lt.i";
+    case Op::LeI: return "le.i";
+    case Op::GtI: return "gt.i";
+    case Op::GeI: return "ge.i";
+    case Op::LtU: return "lt.u";
+    case Op::LeU: return "le.u";
+    case Op::GtU: return "gt.u";
+    case Op::GeU: return "ge.u";
+    case Op::EqF: return "eq.f";
+    case Op::NeF: return "ne.f";
+    case Op::LtF: return "lt.f";
+    case Op::LeF: return "le.f";
+    case Op::GtF: return "gt.f";
+    case Op::GeF: return "ge.f";
+    case Op::EqD: return "eq.d";
+    case Op::NeD: return "ne.d";
+    case Op::LtD: return "lt.d";
+    case Op::LeD: return "le.d";
+    case Op::GtD: return "gt.d";
+    case Op::GeD: return "ge.d";
+    case Op::LNot: return "lnot";
+    case Op::Bool: return "bool";
+    case Op::I2F: return "cvt.i2f";
+    case Op::I2D: return "cvt.i2d";
+    case Op::U2F: return "cvt.u2f";
+    case Op::U2D: return "cvt.u2d";
+    case Op::F2I: return "cvt.f2i";
+    case Op::D2I: return "cvt.d2i";
+    case Op::F2U: return "cvt.f2u";
+    case Op::D2U: return "cvt.d2u";
+    case Op::F2D: return "cvt.f2d";
+    case Op::D2F: return "cvt.d2f";
+    case Op::Jmp: return "jmp";
+    case Op::JmpIfZero: return "jz";
+    case Op::JmpIfNonZero: return "jnz";
+    case Op::Call: return "call";
+    case Op::Ret: return "ret";
+    case Op::RetVoid: return "ret.void";
+    case Op::BarrierOp: return "barrier";
+    case Op::BuiltinOp: return "builtin";
+    case Op::WorkItemFn: return "workitem";
+  }
+  return "?";
+}
+
+std::string disassemble(const CompiledFunction& fn) {
+  std::ostringstream oss;
+  oss << (fn.is_kernel ? "kernel " : "function ") << fn.name << " (slots="
+      << fn.num_slots << ", private=" << fn.private_bytes
+      << "B, local=" << fn.local_bytes << "B)\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    const Instr& in = fn.code[pc];
+    oss << "  " << pc << ": " << op_name(in.op);
+    switch (in.op) {
+      case Op::PushI:
+      case Op::LocalPtr:
+      case Op::PrivatePtr:
+        oss << ' ' << in.imm;
+        break;
+      case Op::PushF:
+      case Op::PushD:
+        oss << " <bits:" << in.imm << '>';
+        break;
+      case Op::LoadSlot:
+      case Op::StoreSlot:
+      case Op::PtrAdd:
+      case Op::Jmp:
+      case Op::JmpIfZero:
+      case Op::JmpIfNonZero:
+      case Op::Call:
+      case Op::BuiltinOp:
+      case Op::WorkItemFn:
+        oss << ' ' << in.a;
+        break;
+      default:
+        break;
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace hplrepro::clc

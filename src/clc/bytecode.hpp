@@ -1,0 +1,185 @@
+#ifndef HPLREPRO_CLC_BYTECODE_HPP
+#define HPLREPRO_CLC_BYTECODE_HPP
+
+/// \file bytecode.hpp
+/// The clc bytecode: a typed stack machine that the VM interprets.
+///
+/// Design notes:
+///  * One 8-byte Value slot type; opcodes are statically typed (AddI vs
+///    AddF vs AddD), so values carry no runtime tags.
+///  * Integer arithmetic happens in 64 bits; the compiler re-normalises
+///    (sign/zero-extends) after operations whose result type is narrower.
+///  * Pointers are encoded in a u64: [63:62] address space, [61:48] buffer
+///    index (global/constant), [47:0] byte offset. Local offsets are
+///    relative to the work-group's local arena, private offsets to the
+///    work-item's private arena.
+///  * `Barrier` suspends the work-item; the group scheduler resumes it once
+///    every item in the group has reached the barrier.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clc/types.hpp"
+
+namespace hplrepro::clc {
+
+union Value {
+  std::int64_t i64;
+  std::uint64_t u64;
+  double f64;
+  float f32;
+};
+static_assert(sizeof(Value) == 8);
+
+// --- Pointer encoding -------------------------------------------------------
+
+enum class PtrSpace : std::uint64_t {
+  Private = 0,
+  Global = 1,
+  Local = 2,
+  Constant = 3,
+};
+
+inline constexpr int kPtrSpaceShift = 62;
+inline constexpr int kPtrBufferShift = 48;
+inline constexpr std::uint64_t kPtrOffsetMask = (1ull << 48) - 1;
+inline constexpr std::uint64_t kPtrBufferMask = (1ull << 14) - 1;
+
+inline std::uint64_t make_pointer(PtrSpace space, std::uint64_t buffer,
+                                  std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(space) << kPtrSpaceShift) |
+         ((buffer & kPtrBufferMask) << kPtrBufferShift) |
+         (offset & kPtrOffsetMask);
+}
+
+inline PtrSpace pointer_space(std::uint64_t p) {
+  return static_cast<PtrSpace>(p >> kPtrSpaceShift);
+}
+inline std::uint64_t pointer_buffer(std::uint64_t p) {
+  return (p >> kPtrBufferShift) & kPtrBufferMask;
+}
+inline std::uint64_t pointer_offset(std::uint64_t p) {
+  return p & kPtrOffsetMask;
+}
+/// Pointer arithmetic only touches the offset field.
+inline std::uint64_t pointer_add(std::uint64_t p, std::int64_t bytes) {
+  const std::uint64_t off =
+      (pointer_offset(p) + static_cast<std::uint64_t>(bytes)) & kPtrOffsetMask;
+  return (p & ~kPtrOffsetMask) | off;
+}
+
+// --- Opcodes ----------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  Nop,
+  // Stack / constants
+  PushI,   // imm: int64 constant
+  PushF,   // imm: float bits (low 32)
+  PushD,   // imm: double bits
+  Dup,
+  Pop,
+  Swap,
+  // Slots
+  LoadSlot,   // a: slot index
+  StoreSlot,  // a: slot index (pops value)
+  // Pointers
+  PtrAdd,      // a: element size; pops index(i64), ptr -> ptr + index*size
+  LocalPtr,    // imm: offset in the group's local arena
+  PrivatePtr,  // imm: frame-relative offset in the private arena
+  // Memory (typed). Loads pop a pointer and push the value; stores pop a
+  // value then a pointer.
+  LoadI8, LoadU8, LoadI16, LoadU16, LoadI32, LoadU32, LoadI64, LoadF32, LoadF64,
+  StoreI8, StoreI16, StoreI32, StoreI64, StoreF32, StoreF64,
+  // Integer arithmetic (64-bit)
+  AddI, SubI, MulI, DivI, DivU, RemI, RemU, NegI,
+  AndI, OrI, XorI, ShlI, ShrI, ShrU, NotI,
+  // Width renormalisation after narrow arithmetic
+  Sext8, Sext16, Sext32, Zext8, Zext16, Zext32, Zext1,
+  // Float (f32) arithmetic
+  AddF, SubF, MulF, DivF, NegF,
+  // Double (f64) arithmetic
+  AddD, SubD, MulD, DivD, NegD,
+  // Comparisons -> i64 0/1
+  EqI, NeI, LtI, LeI, GtI, GeI, LtU, LeU, GtU, GeU,
+  EqF, NeF, LtF, LeF, GtF, GeF,
+  EqD, NeD, LtD, LeD, GtD, GeD,
+  LNot,  // logical not of i64
+  Bool,  // normalise i64 to 0/1
+  // Conversions
+  I2F, I2D, U2F, U2D, F2I, D2I, F2U, D2U, F2D, D2F,
+  // Control flow
+  Jmp,          // a: target pc
+  JmpIfZero,    // a: target pc (pops i64)
+  JmpIfNonZero, // a: target pc (pops i64)
+  Call,         // a: function index (args on stack, left to right)
+  Ret,          // pops return value
+  RetVoid,
+  // OpenCL specials
+  BarrierOp,  // imm: fence flags; suspends until group sync
+  BuiltinOp,  // a: builtin id; imm: operand scalar class (0 int, 1 f32, 2 f64)
+  WorkItemFn, // a: builtin id; pops dimension, pushes size_t value
+};
+
+const char* op_name(Op op);
+
+/// Classification used by the instruction counters / timing model.
+enum class OpClass : std::uint8_t {
+  Control,   // jumps, calls, stack shuffling, conversions
+  IntAlu,
+  FloatAlu,
+  DoubleAlu,
+  GlobalMem,   // global/constant loads+stores (classified at run time)
+  LocalMem,
+  SpecialFn,   // transcendental builtins
+};
+
+struct Instr {
+  Op op = Op::Nop;
+  std::int32_t a = 0;
+  std::int64_t imm = 0;
+};
+
+struct ParamInfo {
+  std::string name;
+  Type type;
+};
+
+struct CompiledFunction {
+  std::string name;
+  bool is_kernel = false;
+  std::vector<ParamInfo> params;
+  std::vector<Instr> code;
+  int num_slots = 0;
+  std::uint64_t private_bytes = 0;
+  std::uint64_t local_bytes = 0;  // meaningful for kernels
+  bool uses_barrier = false;      // transitively
+  bool uses_double = false;       // transitively
+};
+
+/// A compiled translation unit plus its entry-point table.
+struct Module {
+  std::vector<CompiledFunction> functions;
+  std::map<std::string, int> by_name;
+
+  const CompiledFunction* find(const std::string& name) const {
+    auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : &functions[it->second];
+  }
+
+  std::vector<std::string> kernel_names() const {
+    std::vector<std::string> names;
+    for (const auto& f : functions) {
+      if (f.is_kernel) names.push_back(f.name);
+    }
+    return names;
+  }
+};
+
+/// Human-readable disassembly (tests and debugging).
+std::string disassemble(const CompiledFunction& fn);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_BYTECODE_HPP

@@ -1,0 +1,817 @@
+#include "clc/codegen.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "clc/builtins.hpp"
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+namespace {
+
+/// Operand class encodings for BuiltinOp.imm.
+enum : std::int64_t { kClsInt = 0, kClsF32 = 1, kClsF64 = 2, kClsUInt = 3 };
+
+class FunctionCodegen {
+public:
+  FunctionCodegen(const TranslationUnit& unit, const FunctionDecl& fn)
+      : unit_(unit), fn_(fn) {
+    out_.name = fn.name;
+    out_.is_kernel = fn.is_kernel;
+    out_.num_slots = fn.num_slots;
+    out_.private_bytes = fn.private_bytes;
+    out_.local_bytes = fn.local_bytes;
+    out_.uses_barrier = fn.uses_barrier;
+    out_.uses_double = fn.uses_double;
+    for (const auto& p : fn.params) {
+      out_.params.push_back(ParamInfo{p->name, p->type});
+    }
+    next_scratch_ = fn.num_slots;
+    max_slots_ = fn.num_slots;
+  }
+
+  CompiledFunction run() {
+    gen_stmt(*fn_.body);
+    emit(Op::RetVoid);
+    out_.num_slots = max_slots_;
+    return std::move(out_);
+  }
+
+private:
+  // --- Emission helpers -----------------------------------------------------
+
+  std::size_t emit(Op op, std::int32_t a = 0, std::int64_t imm = 0) {
+    out_.code.push_back(Instr{op, a, imm});
+    return out_.code.size() - 1;
+  }
+
+  std::size_t here() const { return out_.code.size(); }
+
+  void patch(std::size_t instr, std::size_t target) {
+    out_.code[instr].a = static_cast<std::int32_t>(target);
+  }
+
+  int scratch_push() {
+    const int slot = next_scratch_++;
+    if (next_scratch_ > max_slots_) max_slots_ = next_scratch_;
+    return slot;
+  }
+  void scratch_pop() { --next_scratch_; }
+
+  // --- Type plumbing ----------------------------------------------------------
+
+  static bool is_f32(const Type& t) { return !t.pointer && t.scalar == Scalar::Float; }
+  static bool is_f64(const Type& t) { return !t.pointer && t.scalar == Scalar::Double; }
+
+  /// Re-normalises the 64-bit top-of-stack to the width/signedness of `s`.
+  void renorm(Scalar s) {
+    switch (s) {
+      case Scalar::Bool: emit(Op::Bool); break;
+      case Scalar::Char: emit(Op::Sext8); break;
+      case Scalar::UChar: emit(Op::Zext8); break;
+      case Scalar::Short: emit(Op::Sext16); break;
+      case Scalar::UShort: emit(Op::Zext16); break;
+      case Scalar::Int: emit(Op::Sext32); break;
+      case Scalar::UInt: emit(Op::Zext32); break;
+      case Scalar::Long:
+      case Scalar::ULong: break;
+      default: throw InternalError("renorm: non-integer scalar");
+    }
+  }
+
+  /// Emits a conversion of the top of stack from scalar `from` to `to`.
+  void convert(Scalar from, Scalar to) {
+    if (from == to) return;
+    const bool ff = is_floating(from), tf = is_floating(to);
+    if (!ff && !tf) {
+      renorm(to);
+      return;
+    }
+    if (!ff && tf) {
+      const Op op = is_unsigned_integer(from)
+                        ? (to == Scalar::Float ? Op::U2F : Op::U2D)
+                        : (to == Scalar::Float ? Op::I2F : Op::I2D);
+      emit(op);
+      return;
+    }
+    if (ff && !tf) {
+      const Op op = is_unsigned_integer(to)
+                        ? (from == Scalar::Float ? Op::F2U : Op::D2U)
+                        : (from == Scalar::Float ? Op::F2I : Op::D2I);
+      emit(op);
+      renorm(to);
+      return;
+    }
+    emit(from == Scalar::Float ? Op::F2D : Op::D2F);
+  }
+
+  void convert(const Type& from, const Type& to) {
+    if (from.pointer || to.pointer) return;  // pointer identity casts only
+    convert(from.scalar, to.scalar);
+  }
+
+  static std::int64_t float_bits(float f) {
+    return static_cast<std::int64_t>(std::bit_cast<std::uint32_t>(f));
+  }
+  static std::int64_t double_bits(double d) {
+    return std::bit_cast<std::int64_t>(d);
+  }
+
+  void push_constant_one(Scalar s) {
+    if (s == Scalar::Float) {
+      emit(Op::PushF, 0, float_bits(1.0f));
+    } else if (s == Scalar::Double) {
+      emit(Op::PushD, 0, double_bits(1.0));
+    } else {
+      emit(Op::PushI, 0, 1);
+    }
+  }
+
+  // --- Typed operation selection ---------------------------------------------
+
+  void emit_arith(BinaryOp op, Scalar s) {
+    const bool u = is_unsigned_integer(s);
+    if (is_floating(s)) {
+      const bool d = s == Scalar::Double;
+      switch (op) {
+        case BinaryOp::Add: emit(d ? Op::AddD : Op::AddF); return;
+        case BinaryOp::Sub: emit(d ? Op::SubD : Op::SubF); return;
+        case BinaryOp::Mul: emit(d ? Op::MulD : Op::MulF); return;
+        case BinaryOp::Div: emit(d ? Op::DivD : Op::DivF); return;
+        default: throw InternalError("emit_arith: float op");
+      }
+    }
+    switch (op) {
+      case BinaryOp::Add: emit(Op::AddI); break;
+      case BinaryOp::Sub: emit(Op::SubI); break;
+      case BinaryOp::Mul: emit(Op::MulI); break;
+      case BinaryOp::Div: emit(u ? Op::DivU : Op::DivI); break;
+      case BinaryOp::Rem: emit(u ? Op::RemU : Op::RemI); break;
+      case BinaryOp::And: emit(Op::AndI); break;
+      case BinaryOp::Or: emit(Op::OrI); break;
+      case BinaryOp::Xor: emit(Op::XorI); break;
+      case BinaryOp::Shl: emit(Op::ShlI); break;
+      case BinaryOp::Shr: emit(u ? Op::ShrU : Op::ShrI); break;
+      default: throw InternalError("emit_arith: bad int op");
+    }
+    renorm(s);
+  }
+
+  void emit_compare(BinaryOp op, Scalar s) {
+    if (s == Scalar::Float) {
+      switch (op) {
+        case BinaryOp::Eq: emit(Op::EqF); return;
+        case BinaryOp::Ne: emit(Op::NeF); return;
+        case BinaryOp::Lt: emit(Op::LtF); return;
+        case BinaryOp::Le: emit(Op::LeF); return;
+        case BinaryOp::Gt: emit(Op::GtF); return;
+        case BinaryOp::Ge: emit(Op::GeF); return;
+        default: break;
+      }
+    } else if (s == Scalar::Double) {
+      switch (op) {
+        case BinaryOp::Eq: emit(Op::EqD); return;
+        case BinaryOp::Ne: emit(Op::NeD); return;
+        case BinaryOp::Lt: emit(Op::LtD); return;
+        case BinaryOp::Le: emit(Op::LeD); return;
+        case BinaryOp::Gt: emit(Op::GtD); return;
+        case BinaryOp::Ge: emit(Op::GeD); return;
+        default: break;
+      }
+    } else {
+      const bool u = is_unsigned_integer(s);
+      switch (op) {
+        case BinaryOp::Eq: emit(Op::EqI); return;
+        case BinaryOp::Ne: emit(Op::NeI); return;
+        case BinaryOp::Lt: emit(u ? Op::LtU : Op::LtI); return;
+        case BinaryOp::Le: emit(u ? Op::LeU : Op::LeI); return;
+        case BinaryOp::Gt: emit(u ? Op::GtU : Op::GtI); return;
+        case BinaryOp::Ge: emit(u ? Op::GeU : Op::GeI); return;
+        default: break;
+      }
+    }
+    throw InternalError("emit_compare: bad op");
+  }
+
+  static Op load_op(Scalar s) {
+    switch (s) {
+      case Scalar::Bool:
+      case Scalar::UChar: return Op::LoadU8;
+      case Scalar::Char: return Op::LoadI8;
+      case Scalar::Short: return Op::LoadI16;
+      case Scalar::UShort: return Op::LoadU16;
+      case Scalar::Int: return Op::LoadI32;
+      case Scalar::UInt: return Op::LoadU32;
+      case Scalar::Long:
+      case Scalar::ULong: return Op::LoadI64;
+      case Scalar::Float: return Op::LoadF32;
+      case Scalar::Double: return Op::LoadF64;
+      default: throw InternalError("load_op: bad scalar");
+    }
+  }
+
+  static Op store_op(Scalar s) {
+    switch (s) {
+      case Scalar::Bool:
+      case Scalar::UChar:
+      case Scalar::Char: return Op::StoreI8;
+      case Scalar::Short:
+      case Scalar::UShort: return Op::StoreI16;
+      case Scalar::Int:
+      case Scalar::UInt: return Op::StoreI32;
+      case Scalar::Long:
+      case Scalar::ULong: return Op::StoreI64;
+      case Scalar::Float: return Op::StoreF32;
+      case Scalar::Double: return Op::StoreF64;
+      default: throw InternalError("store_op: bad scalar");
+    }
+  }
+
+  // --- Expressions ------------------------------------------------------------
+
+  /// Generates `expr`, leaving its value on the stack iff `want_value`.
+  /// Returns true iff a value was left on the stack.
+  bool gen_expr(const Expr& expr, bool want_value = true) {
+    switch (expr.kind) {
+      case ExprKind::IntLit: {
+        if (!want_value) return false;
+        // Literal values of unsigned 32-bit type keep their zero-extended
+        // form; signed ones sign-extend.
+        std::int64_t v = static_cast<std::int64_t>(expr.int_value);
+        if (expr.type.scalar == Scalar::Int) {
+          v = static_cast<std::int32_t>(expr.int_value);
+        } else if (expr.type.scalar == Scalar::UInt) {
+          v = static_cast<std::int64_t>(expr.int_value & 0xFFFFFFFFull);
+        }
+        emit(Op::PushI, 0, v);
+        return true;
+      }
+      case ExprKind::FloatLit:
+        if (!want_value) return false;
+        if (expr.type.scalar == Scalar::Float) {
+          emit(Op::PushF, 0, float_bits(static_cast<float>(expr.float_value)));
+        } else {
+          emit(Op::PushD, 0, double_bits(expr.float_value));
+        }
+        return true;
+      case ExprKind::VarRef: {
+        if (!want_value) return false;
+        const VarDecl& decl = *expr.decl;
+        if (decl.array_size > 0) {
+          if (decl.space == AddressSpace::Local) {
+            emit(Op::LocalPtr, 0,
+                 static_cast<std::int64_t>(decl.arena_offset));
+          } else {
+            emit(Op::PrivatePtr, 0,
+                 static_cast<std::int64_t>(decl.arena_offset));
+          }
+        } else {
+          emit(Op::LoadSlot, decl.slot);
+        }
+        return true;
+      }
+      case ExprKind::Unary:
+        return gen_unary(expr, want_value);
+      case ExprKind::Binary:
+        return gen_binary(expr, want_value);
+      case ExprKind::Assign:
+        return gen_assign(expr, want_value);
+      case ExprKind::Conditional:
+        return gen_conditional(expr, want_value);
+      case ExprKind::Call:
+        return gen_call(expr, want_value);
+      case ExprKind::Index: {
+        gen_lvalue_pointer(expr);
+        emit(load_op(expr.type.scalar));
+        if (!want_value) {
+          emit(Op::Pop);
+          return false;
+        }
+        return true;
+      }
+      case ExprKind::Cast: {
+        gen_expr(*expr.lhs, true);
+        convert(expr.lhs->type, expr.type);
+        if (!want_value) {
+          emit(Op::Pop);
+          return false;
+        }
+        return true;
+      }
+    }
+    throw InternalError("gen_expr: bad kind");
+  }
+
+  /// Leaves a pointer to the element denoted by an Index expression.
+  void gen_lvalue_pointer(const Expr& index_expr) {
+    gen_expr(*index_expr.lhs, true);  // base pointer
+    gen_expr(*index_expr.rhs, true);  // index (any integer, already 64-bit)
+    emit(Op::PtrAdd,
+         static_cast<std::int32_t>(scalar_size(index_expr.type.scalar)));
+  }
+
+  bool gen_unary(const Expr& expr, bool want_value) {
+    switch (expr.unary_op) {
+      case UnaryOp::Plus: {
+        const bool pushed = gen_expr(*expr.lhs, want_value);
+        if (pushed) convert(expr.lhs->type, expr.type);
+        return pushed;
+      }
+      case UnaryOp::Neg: {
+        gen_expr(*expr.lhs, true);
+        convert(expr.lhs->type, expr.type);
+        if (is_f32(expr.type)) {
+          emit(Op::NegF);
+        } else if (is_f64(expr.type)) {
+          emit(Op::NegD);
+        } else {
+          emit(Op::NegI);
+          renorm(expr.type.scalar);
+        }
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+      case UnaryOp::Not: {
+        gen_expr(*expr.lhs, true);
+        gen_truth(expr.lhs->type);
+        emit(Op::LNot);
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+      case UnaryOp::BitNot: {
+        gen_expr(*expr.lhs, true);
+        convert(expr.lhs->type.scalar, expr.type.scalar);
+        emit(Op::NotI);
+        renorm(expr.type.scalar);
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        return gen_incdec(expr, want_value);
+    }
+    throw InternalError("gen_unary: bad op");
+  }
+
+  /// Converts the top-of-stack of the given type into an i64 truth value
+  /// (nonzero -> 1). Floats compare against zero.
+  void gen_truth(const Type& t) {
+    if (t.pointer) { emit(Op::Bool); return; }
+    if (t.scalar == Scalar::Float) {
+      emit(Op::PushF, 0, float_bits(0.0f));
+      emit(Op::NeF);
+    } else if (t.scalar == Scalar::Double) {
+      emit(Op::PushD, 0, double_bits(0.0));
+      emit(Op::NeD);
+    } else {
+      emit(Op::Bool);
+    }
+  }
+
+  bool gen_incdec(const Expr& expr, bool want_value) {
+    const bool is_post = expr.unary_op == UnaryOp::PostInc ||
+                         expr.unary_op == UnaryOp::PostDec;
+    const bool is_inc = expr.unary_op == UnaryOp::PreInc ||
+                        expr.unary_op == UnaryOp::PostInc;
+    const Expr& target = *expr.lhs;
+    const Scalar s = expr.type.scalar;
+
+    auto apply_delta = [&] {
+      push_constant_one(s);
+      emit_arith(is_inc ? BinaryOp::Add : BinaryOp::Sub, s);
+    };
+
+    if (target.kind == ExprKind::VarRef) {
+      const int slot = target.decl->slot;
+      emit(Op::LoadSlot, slot);
+      if (is_post && want_value) emit(Op::Dup);
+      apply_delta();
+      if (!is_post && want_value) emit(Op::Dup);
+      emit(Op::StoreSlot, slot);
+      return want_value;
+    }
+
+    // Memory lvalue.
+    const int sp = scratch_push();
+    gen_lvalue_pointer(target);
+    emit(Op::StoreSlot, sp);
+    emit(Op::LoadSlot, sp);
+    emit(load_op(s));
+    if (is_post && want_value) emit(Op::Dup);
+    apply_delta();
+    if (!is_post && want_value) emit(Op::Dup);
+    emit(Op::LoadSlot, sp);
+    emit(Op::Swap);
+    emit(store_op(s));
+    scratch_pop();
+    return want_value;
+  }
+
+  bool gen_binary(const Expr& expr, bool want_value) {
+    const BinaryOp op = expr.binary_op;
+
+    if (op == BinaryOp::LogicalAnd || op == BinaryOp::LogicalOr) {
+      // Short-circuit; result is int 0/1.
+      gen_expr(*expr.lhs, true);
+      gen_truth(expr.lhs->type);
+      emit(Op::Dup);
+      const std::size_t jump = emit(
+          op == BinaryOp::LogicalAnd ? Op::JmpIfZero : Op::JmpIfNonZero, -1);
+      emit(Op::Pop);
+      gen_expr(*expr.rhs, true);
+      gen_truth(expr.rhs->type);
+      patch(jump, here());
+      if (!want_value) { emit(Op::Pop); return false; }
+      return true;
+    }
+
+    // Pointer arithmetic.
+    if (expr.type.pointer) {
+      const Expr& ptr = expr.lhs->type.pointer ? *expr.lhs : *expr.rhs;
+      const Expr& idx = expr.lhs->type.pointer ? *expr.rhs : *expr.lhs;
+      gen_expr(ptr, true);
+      gen_expr(idx, true);
+      if (op == BinaryOp::Sub) {
+        emit(Op::NegI);
+      }
+      emit(Op::PtrAdd,
+           static_cast<std::int32_t>(scalar_size(expr.type.scalar)));
+      if (!want_value) { emit(Op::Pop); return false; }
+      return true;
+    }
+
+    const bool is_compare = op == BinaryOp::Lt || op == BinaryOp::Le ||
+                            op == BinaryOp::Gt || op == BinaryOp::Ge ||
+                            op == BinaryOp::Eq || op == BinaryOp::Ne;
+
+    if (is_compare && expr.lhs->type.pointer) {
+      gen_expr(*expr.lhs, true);
+      gen_expr(*expr.rhs, true);
+      emit(op == BinaryOp::Eq ? Op::EqI : Op::NeI);
+      if (!want_value) { emit(Op::Pop); return false; }
+      return true;
+    }
+
+    Scalar common;
+    if (is_compare) {
+      common = arithmetic_result(expr.lhs->type.scalar, expr.rhs->type.scalar);
+    } else if (op == BinaryOp::Shl || op == BinaryOp::Shr) {
+      common = expr.type.scalar;  // shift: promoted LHS type
+    } else {
+      common = expr.type.scalar;
+    }
+
+    gen_expr(*expr.lhs, true);
+    convert(expr.lhs->type.scalar, common);
+    gen_expr(*expr.rhs, true);
+    if (op == BinaryOp::Shl || op == BinaryOp::Shr) {
+      // Shift count stays integral; no conversion to LHS type required.
+    } else {
+      convert(expr.rhs->type.scalar, common);
+    }
+
+    if (is_compare) {
+      emit_compare(op, common);
+    } else {
+      emit_arith(op, common);
+    }
+    if (!want_value) { emit(Op::Pop); return false; }
+    return true;
+  }
+
+  bool gen_assign(const Expr& expr, bool want_value) {
+    const Expr& lhs = *expr.lhs;
+    const Type lhs_type = lhs.type;
+
+    // Map AssignOp to the corresponding BinaryOp for compound forms.
+    auto compound_op = [&]() -> BinaryOp {
+      switch (expr.assign_op) {
+        case AssignOp::Add: return BinaryOp::Add;
+        case AssignOp::Sub: return BinaryOp::Sub;
+        case AssignOp::Mul: return BinaryOp::Mul;
+        case AssignOp::Div: return BinaryOp::Div;
+        case AssignOp::Rem: return BinaryOp::Rem;
+        case AssignOp::And: return BinaryOp::And;
+        case AssignOp::Or: return BinaryOp::Or;
+        case AssignOp::Xor: return BinaryOp::Xor;
+        case AssignOp::Shl: return BinaryOp::Shl;
+        case AssignOp::Shr: return BinaryOp::Shr;
+        case AssignOp::None: break;
+      }
+      throw InternalError("compound_op: none");
+    };
+
+    if (lhs.kind == ExprKind::VarRef) {
+      const int slot = lhs.decl->slot;
+      if (expr.assign_op == AssignOp::None) {
+        gen_expr(*expr.rhs, true);
+        convert(expr.rhs->type, lhs_type);
+      } else {
+        const BinaryOp bop = compound_op();
+        const Scalar common = (bop == BinaryOp::Shl || bop == BinaryOp::Shr)
+                                  ? promote(lhs_type.scalar)
+                                  : arithmetic_result(lhs_type.scalar,
+                                                      expr.rhs->type.scalar);
+        emit(Op::LoadSlot, slot);
+        convert(lhs_type.scalar, common);
+        gen_expr(*expr.rhs, true);
+        if (bop != BinaryOp::Shl && bop != BinaryOp::Shr) {
+          convert(expr.rhs->type.scalar, common);
+        }
+        emit_arith(bop, common);
+        convert(common, lhs_type.scalar);
+      }
+      if (want_value) emit(Op::Dup);
+      emit(Op::StoreSlot, slot);
+      return want_value;
+    }
+
+    if (lhs.kind != ExprKind::Index) {
+      throw InternalError("gen_assign: unsupported lvalue");
+    }
+
+    const Scalar elem = lhs_type.scalar;
+    if (expr.assign_op == AssignOp::None) {
+      gen_lvalue_pointer(lhs);
+      gen_expr(*expr.rhs, true);
+      convert(expr.rhs->type, lhs_type);
+      if (!want_value) {
+        emit(store_op(elem));
+        return false;
+      }
+      const int sv = scratch_push();
+      emit(Op::StoreSlot, sv);
+      emit(Op::LoadSlot, sv);
+      emit(store_op(elem));
+      emit(Op::LoadSlot, sv);
+      scratch_pop();
+      return true;
+    }
+
+    // Compound assignment to memory.
+    const BinaryOp bop = compound_op();
+    const Scalar common = (bop == BinaryOp::Shl || bop == BinaryOp::Shr)
+                              ? promote(elem)
+                              : arithmetic_result(elem, expr.rhs->type.scalar);
+    gen_lvalue_pointer(lhs);
+    emit(Op::Dup);
+    emit(load_op(elem));
+    convert(elem, common);
+    gen_expr(*expr.rhs, true);
+    if (bop != BinaryOp::Shl && bop != BinaryOp::Shr) {
+      convert(expr.rhs->type.scalar, common);
+    }
+    emit_arith(bop, common);
+    convert(common, elem);
+    if (!want_value) {
+      emit(store_op(elem));
+      return false;
+    }
+    const int sv = scratch_push();
+    emit(Op::StoreSlot, sv);
+    emit(Op::LoadSlot, sv);
+    emit(store_op(elem));
+    emit(Op::LoadSlot, sv);
+    scratch_pop();
+    return true;
+  }
+
+  bool gen_conditional(const Expr& expr, bool want_value) {
+    gen_expr(*expr.lhs, true);
+    gen_truth(expr.lhs->type);
+    const std::size_t jump_else = emit(Op::JmpIfZero, -1);
+    gen_expr(*expr.rhs, true);
+    convert(expr.rhs->type, expr.type);
+    const std::size_t jump_end = emit(Op::Jmp, -1);
+    patch(jump_else, here());
+    gen_expr(*expr.third, true);
+    convert(expr.third->type, expr.type);
+    patch(jump_end, here());
+    if (!want_value) { emit(Op::Pop); return false; }
+    return true;
+  }
+
+  bool gen_call(const Expr& expr, bool want_value) {
+    if (expr.callee_builtin >= 0) {
+      return gen_builtin_call(expr, want_value);
+    }
+
+    const FunctionDecl& callee =
+        *unit_.functions[static_cast<std::size_t>(expr.callee_function)];
+    for (std::size_t i = 0; i < expr.args.size(); ++i) {
+      gen_expr(*expr.args[i], true);
+      convert(expr.args[i]->type, callee.params[i]->type);
+    }
+    emit(Op::Call, expr.callee_function);
+    if (callee.return_type.is_void()) return false;
+    if (!want_value) { emit(Op::Pop); return false; }
+    return true;
+  }
+
+  bool gen_builtin_call(const Expr& expr, bool want_value) {
+    const auto id = static_cast<Builtin>(expr.callee_builtin);
+    const BuiltinInfo& info = builtin_info(id);
+
+    switch (info.kind) {
+      case BuiltinKind::WorkItem: {
+        if (info.arity == 1) {
+          gen_expr(*expr.args[0], true);
+        } else {
+          emit(Op::PushI, 0, 0);  // get_work_dim: dummy operand
+        }
+        emit(Op::WorkItemFn, expr.callee_builtin);
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+      case BuiltinKind::Barrier: {
+        gen_expr(*expr.args[0], true);
+        emit(Op::BarrierOp);
+        return false;
+      }
+      case BuiltinKind::MathFp: {
+        const Scalar common = expr.type.scalar;
+        for (const auto& arg : expr.args) {
+          gen_expr(*arg, true);
+          convert(arg->type.scalar, common);
+        }
+        emit(Op::BuiltinOp, expr.callee_builtin,
+             common == Scalar::Double ? kClsF64 : kClsF32);
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+      case BuiltinKind::Common:
+      case BuiltinKind::IntOnly: {
+        const Scalar common = expr.type.scalar;
+        for (const auto& arg : expr.args) {
+          gen_expr(*arg, true);
+          convert(arg->type.scalar, common);
+        }
+        std::int64_t cls = kClsInt;
+        if (common == Scalar::Float) cls = kClsF32;
+        else if (common == Scalar::Double) cls = kClsF64;
+        else if (is_unsigned_integer(common)) cls = kClsUInt;
+        emit(Op::BuiltinOp, expr.callee_builtin, cls);
+        renormalize_builtin_result(common);
+        if (!want_value) { emit(Op::Pop); return false; }
+        return true;
+      }
+    }
+    throw InternalError("gen_builtin_call: bad kind");
+  }
+
+  void renormalize_builtin_result(Scalar s) {
+    if (is_integer(s)) renorm(s);
+  }
+
+  // --- Statements -------------------------------------------------------------
+
+  void gen_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Compound:
+        for (const auto& s : stmt.body) gen_stmt(*s);
+        return;
+      case StmtKind::Decl:
+        for (const auto& d : stmt.decls) {
+          if (d->init) {
+            gen_expr(*d->init, true);
+            convert(d->init->type, d->type);
+            emit(Op::StoreSlot, d->slot);
+          }
+        }
+        return;
+      case StmtKind::ExprStmt:
+        gen_expr(*stmt.expr, false);
+        return;
+      case StmtKind::If: {
+        gen_expr(*stmt.expr, true);
+        gen_truth(stmt.expr->type);
+        const std::size_t jump_else = emit(Op::JmpIfZero, -1);
+        gen_stmt(*stmt.then_branch);
+        if (stmt.else_branch) {
+          const std::size_t jump_end = emit(Op::Jmp, -1);
+          patch(jump_else, here());
+          gen_stmt(*stmt.else_branch);
+          patch(jump_end, here());
+        } else {
+          patch(jump_else, here());
+        }
+        return;
+      }
+      case StmtKind::While: {
+        const std::size_t top = here();
+        gen_expr(*stmt.expr, true);
+        gen_truth(stmt.expr->type);
+        const std::size_t jump_out = emit(Op::JmpIfZero, -1);
+        loop_stack_.push_back({top, {}});
+        gen_stmt(*stmt.then_branch);
+        emit(Op::Jmp, static_cast<std::int32_t>(top));
+        patch(jump_out, here());
+        finish_loop();
+        return;
+      }
+      case StmtKind::DoWhile: {
+        const std::size_t top = here();
+        // continue in a do-while jumps to the condition check; collect and
+        // patch below.
+        loop_stack_.push_back({std::size_t(-1), {}});
+        gen_stmt(*stmt.then_branch);
+        const std::size_t cond_pos = here();
+        gen_expr(*stmt.expr, true);
+        gen_truth(stmt.expr->type);
+        emit(Op::JmpIfNonZero, static_cast<std::int32_t>(top));
+        finish_loop(cond_pos);
+        return;
+      }
+      case StmtKind::For: {
+        if (stmt.init) gen_stmt(*stmt.init);
+        const std::size_t top = here();
+        std::size_t jump_out = std::size_t(-1);
+        if (stmt.expr) {
+          gen_expr(*stmt.expr, true);
+          gen_truth(stmt.expr->type);
+          jump_out = emit(Op::JmpIfZero, -1);
+        }
+        loop_stack_.push_back({std::size_t(-1), {}});
+        gen_stmt(*stmt.then_branch);
+        const std::size_t step_pos = here();
+        if (stmt.step) gen_expr(*stmt.step, false);
+        emit(Op::Jmp, static_cast<std::int32_t>(top));
+        if (jump_out != std::size_t(-1)) patch(jump_out, here());
+        finish_loop(step_pos);
+        return;
+      }
+      case StmtKind::Return:
+        if (stmt.expr) {
+          gen_expr(*stmt.expr, true);
+          convert(stmt.expr->type, fn_.return_type);
+          emit(Op::Ret);
+        } else {
+          emit(Op::RetVoid);
+        }
+        return;
+      case StmtKind::Break:
+        loop_stack_.back().break_jumps.push_back(emit(Op::Jmp, -1));
+        return;
+      case StmtKind::Continue: {
+        auto& loop = loop_stack_.back();
+        if (loop.continue_target != std::size_t(-1)) {
+          emit(Op::Jmp, static_cast<std::int32_t>(loop.continue_target));
+        } else {
+          loop.continue_jumps.push_back(emit(Op::Jmp, -1));
+        }
+        return;
+      }
+      case StmtKind::Empty:
+        return;
+    }
+    throw InternalError("gen_stmt: bad kind");
+  }
+
+  struct LoopContext {
+    std::size_t continue_target;  // -1 if deferred (for/do-while)
+    std::vector<std::size_t> break_jumps;
+    std::vector<std::size_t> continue_jumps;
+
+    LoopContext(std::size_t target, std::vector<std::size_t> breaks)
+        : continue_target(target), break_jumps(std::move(breaks)) {}
+  };
+
+  /// Pops the loop context, patching break jumps to `here()` and deferred
+  /// continue jumps to `continue_pos` (if provided).
+  void finish_loop(std::size_t continue_pos = std::size_t(-1)) {
+    LoopContext loop = std::move(loop_stack_.back());
+    loop_stack_.pop_back();
+    for (const std::size_t j : loop.break_jumps) patch(j, here());
+    for (const std::size_t j : loop.continue_jumps) {
+      if (continue_pos == std::size_t(-1)) {
+        throw InternalError("finish_loop: unpatched continue");
+      }
+      patch(j, continue_pos);
+    }
+  }
+
+  const TranslationUnit& unit_;
+  const FunctionDecl& fn_;
+  CompiledFunction out_;
+  int next_scratch_ = 0;
+  int max_slots_ = 0;
+  std::vector<LoopContext> loop_stack_;
+};
+
+}  // namespace
+
+Module generate_bytecode(const TranslationUnit& unit) {
+  Module module;
+  for (const auto& fn : unit.functions) {
+    FunctionCodegen gen(unit, *fn);
+    module.functions.push_back(gen.run());
+    module.by_name.emplace(fn->name,
+                           static_cast<int>(module.functions.size() - 1));
+  }
+  return module;
+}
+
+}  // namespace hplrepro::clc

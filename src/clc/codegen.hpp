@@ -1,0 +1,24 @@
+#ifndef HPLREPRO_CLC_CODEGEN_HPP
+#define HPLREPRO_CLC_CODEGEN_HPP
+
+/// \file codegen.hpp
+/// Bytecode generation from the type-annotated AST. Must only run after
+/// Sema succeeded; it assumes all invariants Sema establishes.
+///
+/// Stack invariant: every integer value on the operand stack is correctly
+/// sign- or zero-extended to 64 bits according to its static type; f32
+/// values live in Value::f32, f64 in Value::f64. The generator re-normalises
+/// after any operation whose result type is narrower than 64 bits, which
+/// gives C's wraparound semantics for 32-bit and narrower arithmetic.
+
+#include "clc/ast.hpp"
+#include "clc/bytecode.hpp"
+
+namespace hplrepro::clc {
+
+/// Compiles the translation unit into a Module.
+Module generate_bytecode(const TranslationUnit& unit);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_CODEGEN_HPP

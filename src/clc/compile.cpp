@@ -1,0 +1,38 @@
+#include "clc/compile.hpp"
+
+#include "clc/codegen.hpp"
+#include "clc/lexer.hpp"
+#include "clc/parser.hpp"
+#include "clc/preprocessor.hpp"
+#include "clc/sema.hpp"
+
+namespace hplrepro::clc {
+
+CompileResult compile(std::string_view source) {
+  DiagnosticSink diags;
+
+  PreprocessResult preprocessed = preprocess(source, diags);
+  if (diags.has_errors()) throw CompileError(diags.log());
+
+  Lexer lexer(preprocessed.text, diags);
+  std::vector<Token> tokens = lexer.lex_all();
+  if (diags.has_errors()) throw CompileError(diags.log());
+
+  tokens = expand_macros(std::move(tokens), preprocessed.macros, diags);
+  if (diags.has_errors()) throw CompileError(diags.log());
+
+  Parser parser(std::move(tokens), diags);
+  TranslationUnit unit = parser.parse();
+  if (diags.has_errors()) throw CompileError(diags.log());
+
+  Sema sema(unit, diags);
+  sema.run();
+  if (diags.has_errors()) throw CompileError(diags.log());
+
+  CompileResult result;
+  result.module = generate_bytecode(unit);
+  result.build_log = diags.log();
+  return result;
+}
+
+}  // namespace hplrepro::clc

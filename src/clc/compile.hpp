@@ -1,0 +1,26 @@
+#ifndef HPLREPRO_CLC_COMPILE_HPP
+#define HPLREPRO_CLC_COMPILE_HPP
+
+/// \file compile.hpp
+/// Top-level clc entry point: source text in, executable Module out.
+
+#include <string>
+#include <string_view>
+
+#include "clc/bytecode.hpp"
+#include "clc/diagnostics.hpp"
+
+namespace hplrepro::clc {
+
+struct CompileResult {
+  Module module;
+  std::string build_log;  // warnings (and errors when not throwing)
+};
+
+/// Compiles OpenCL C source to bytecode.
+/// \throws CompileError (with the build log) if the source has errors.
+CompileResult compile(std::string_view source);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_COMPILE_HPP

@@ -1,0 +1,29 @@
+#include "clc/diagnostics.hpp"
+
+#include <sstream>
+
+namespace hplrepro::clc {
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream oss;
+  oss << line << ':' << column << ": "
+      << (severity == Severity::Error ? "error: " : "warning: ") << message;
+  return oss.str();
+}
+
+void DiagnosticSink::error(int line, int column, std::string message) {
+  entries_.push_back({Severity::Error, line, column, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(int line, int column, std::string message) {
+  entries_.push_back({Severity::Warning, line, column, std::move(message)});
+}
+
+std::string DiagnosticSink::log() const {
+  std::ostringstream oss;
+  for (const auto& d : entries_) oss << d.to_string() << '\n';
+  return oss.str();
+}
+
+}  // namespace hplrepro::clc

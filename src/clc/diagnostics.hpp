@@ -1,0 +1,57 @@
+#ifndef HPLREPRO_CLC_DIAGNOSTICS_HPP
+#define HPLREPRO_CLC_DIAGNOSTICS_HPP
+
+/// \file diagnostics.hpp
+/// Diagnostic collection for the clc compiler. A build produces a list of
+/// diagnostics (the OpenCL "build log"); any error-severity entry makes the
+/// build fail with CompileError, mirroring clBuildProgram semantics.
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+enum class Severity { Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class DiagnosticSink {
+public:
+  void error(int line, int column, std::string message);
+  void warning(int line, int column, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+
+  /// Formats all entries, one per line — the "build log".
+  std::string log() const;
+
+private:
+  std::vector<Diagnostic> entries_;
+  int error_count_ = 0;
+};
+
+/// Thrown by clc::compile when the source has errors. Carries the build log.
+class CompileError : public Error {
+public:
+  explicit CompileError(std::string log)
+      : Error("clc compile failed:\n" + log), log_(std::move(log)) {}
+
+  const std::string& build_log() const { return log_; }
+
+private:
+  std::string log_;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_DIAGNOSTICS_HPP

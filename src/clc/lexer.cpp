@@ -1,0 +1,334 @@
+#include "clc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace hplrepro::clc {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keyword_table() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"void", Tok::KwVoid},       {"bool", Tok::KwBool},
+      {"char", Tok::KwChar},       {"uchar", Tok::KwUChar},
+      {"short", Tok::KwShort},     {"ushort", Tok::KwUShort},
+      {"int", Tok::KwInt},         {"uint", Tok::KwUInt},
+      {"long", Tok::KwLong},       {"ulong", Tok::KwULong},
+      {"float", Tok::KwFloat},     {"double", Tok::KwDouble},
+      {"size_t", Tok::KwSizeT},    {"unsigned", Tok::KwUInt},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"for", Tok::KwFor},         {"while", Tok::KwWhile},
+      {"do", Tok::KwDo},           {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"const", Tok::KwConst},
+      {"__kernel", Tok::KwKernel}, {"kernel", Tok::KwKernel},
+      {"__global", Tok::KwGlobal}, {"global", Tok::KwGlobal},
+      {"__local", Tok::KwLocal},   {"local", Tok::KwLocal},
+      {"__constant", Tok::KwConstant}, {"constant", Tok::KwConstant},
+      {"__private", Tok::KwPrivate},   {"private", Tok::KwPrivate},
+      {"true", Tok::KwTrue},       {"false", Tok::KwFalse},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "<end of input>";
+    case Tok::Identifier: return "identifier";
+    case Tok::IntLiteral: return "integer literal";
+    case Tok::FloatLiteral: return "floating literal";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Less: return "'<'";
+    case Tok::Greater: return "'>'";
+    case Tok::LessEq: return "'<='";
+    case Tok::GreaterEq: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::BangEq: return "'!='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwChar: return "'char'";
+    case Tok::KwUChar: return "'uchar'";
+    case Tok::KwShort: return "'short'";
+    case Tok::KwUShort: return "'ushort'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwUInt: return "'uint'";
+    case Tok::KwLong: return "'long'";
+    case Tok::KwULong: return "'ulong'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwSizeT: return "'size_t'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwKernel: return "'__kernel'";
+    case Tok::KwGlobal: return "'__global'";
+    case Tok::KwLocal: return "'__local'";
+    case Tok::KwConstant: return "'__constant'";
+    case Tok::KwPrivate: return "'__private'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+  }
+  return "<?>";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticSink& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = peek();
+  if (c == '\0') return c;
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(line_, column_, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind) const {
+  Token t;
+  t.kind = kind;
+  t.line = tok_line_;
+  t.column = tok_column_;
+  return t;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  const std::size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  const std::string_view text = src_.substr(start, pos_ - start);
+  const auto& keywords = keyword_table();
+  if (auto it = keywords.find(text); it != keywords.end()) {
+    return make(it->second);
+  }
+  Token t = make(Tok::Identifier);
+  t.text = std::string(text);
+  return t;
+}
+
+Token Lexer::lex_number() {
+  const std::size_t start = pos_;
+  bool is_float = false;
+  bool is_hex = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    is_hex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.') {
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        is_float = true;
+        advance();  // e
+        if (peek() == '+' || peek() == '-') advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+  }
+
+  const std::string body(src_.substr(start, pos_ - start));
+
+  if (is_float) {
+    Token t = make(Tok::FloatLiteral);
+    t.float_value = std::strtod(body.c_str(), nullptr);
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      t.is_float_suffix = true;
+    }
+    return t;
+  }
+
+  Token t = make(Tok::IntLiteral);
+  t.int_value = std::strtoull(body.c_str(), nullptr, is_hex ? 16 : 10);
+  for (;;) {
+    if (peek() == 'u' || peek() == 'U') {
+      advance();
+      t.is_unsigned_suffix = true;
+    } else if (peek() == 'l' || peek() == 'L') {
+      advance();
+      t.is_long_suffix = true;
+    } else {
+      break;
+    }
+  }
+  return t;
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  tok_line_ = line_;
+  tok_column_ = column_;
+
+  const char c = peek();
+  if (c == '\0') return make(Tok::End);
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_identifier_or_keyword();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    return lex_number();
+  }
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::LParen);
+    case ')': return make(Tok::RParen);
+    case '{': return make(Tok::LBrace);
+    case '}': return make(Tok::RBrace);
+    case '[': return make(Tok::LBracket);
+    case ']': return make(Tok::RBracket);
+    case ',': return make(Tok::Comma);
+    case ';': return make(Tok::Semicolon);
+    case '?': return make(Tok::Question);
+    case ':': return make(Tok::Colon);
+    case '~': return make(Tok::Tilde);
+    case '+':
+      if (match('+')) return make(Tok::PlusPlus);
+      if (match('=')) return make(Tok::PlusAssign);
+      return make(Tok::Plus);
+    case '-':
+      if (match('-')) return make(Tok::MinusMinus);
+      if (match('=')) return make(Tok::MinusAssign);
+      return make(Tok::Minus);
+    case '*':
+      return match('=') ? make(Tok::StarAssign) : make(Tok::Star);
+    case '/':
+      return match('=') ? make(Tok::SlashAssign) : make(Tok::Slash);
+    case '%':
+      return match('=') ? make(Tok::PercentAssign) : make(Tok::Percent);
+    case '^':
+      return match('=') ? make(Tok::CaretAssign) : make(Tok::Caret);
+    case '!':
+      return match('=') ? make(Tok::BangEq) : make(Tok::Bang);
+    case '=':
+      return match('=') ? make(Tok::EqEq) : make(Tok::Assign);
+    case '&':
+      if (match('&')) return make(Tok::AmpAmp);
+      if (match('=')) return make(Tok::AmpAssign);
+      return make(Tok::Amp);
+    case '|':
+      if (match('|')) return make(Tok::PipePipe);
+      if (match('=')) return make(Tok::PipeAssign);
+      return make(Tok::Pipe);
+    case '<':
+      if (match('<')) return match('=') ? make(Tok::ShlAssign) : make(Tok::Shl);
+      if (match('=')) return make(Tok::LessEq);
+      return make(Tok::Less);
+    case '>':
+      if (match('>')) return match('=') ? make(Tok::ShrAssign) : make(Tok::Shr);
+      if (match('=')) return make(Tok::GreaterEq);
+      return make(Tok::Greater);
+    default:
+      diags_.error(tok_line_, tok_column_,
+                   std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    const bool done = t.kind == Tok::End;
+    out.push_back(std::move(t));
+    if (done) return out;
+  }
+}
+
+}  // namespace hplrepro::clc

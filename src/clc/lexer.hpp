@@ -1,0 +1,46 @@
+#ifndef HPLREPRO_CLC_LEXER_HPP
+#define HPLREPRO_CLC_LEXER_HPP
+
+/// \file lexer.hpp
+/// Hand-written lexer for the OpenCL C subset. Handles line and block
+/// comments, integer literals (decimal/hex/octal with u/l suffixes) and
+/// floating literals (with exponents and the f suffix).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clc/diagnostics.hpp"
+#include "clc/token.hpp"
+
+namespace hplrepro::clc {
+
+class Lexer {
+public:
+  Lexer(std::string_view source, DiagnosticSink& diags);
+
+  /// Lexes the entire input. The returned stream always ends with Tok::End.
+  std::vector<Token> lex_all();
+
+private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_whitespace_and_comments();
+  Token make(Tok kind) const;
+  Token lex_number();
+  Token lex_identifier_or_keyword();
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+  DiagnosticSink& diags_;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_LEXER_HPP

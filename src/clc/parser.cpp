@@ -1,0 +1,690 @@
+#include "clc/parser.hpp"
+
+#include <optional>
+
+namespace hplrepro::clc {
+
+namespace {
+
+/// Exception used internally for panic-mode recovery; never escapes parse().
+struct ParseAbort {};
+
+/// Binary operator precedence (higher binds tighter). Assignment and ?: are
+/// handled separately.
+struct OpInfo {
+  BinaryOp op;
+  int precedence;
+};
+
+std::optional<OpInfo> binary_op_info(Tok t) {
+  switch (t) {
+    case Tok::Star: return OpInfo{BinaryOp::Mul, 10};
+    case Tok::Slash: return OpInfo{BinaryOp::Div, 10};
+    case Tok::Percent: return OpInfo{BinaryOp::Rem, 10};
+    case Tok::Plus: return OpInfo{BinaryOp::Add, 9};
+    case Tok::Minus: return OpInfo{BinaryOp::Sub, 9};
+    case Tok::Shl: return OpInfo{BinaryOp::Shl, 8};
+    case Tok::Shr: return OpInfo{BinaryOp::Shr, 8};
+    case Tok::Less: return OpInfo{BinaryOp::Lt, 7};
+    case Tok::LessEq: return OpInfo{BinaryOp::Le, 7};
+    case Tok::Greater: return OpInfo{BinaryOp::Gt, 7};
+    case Tok::GreaterEq: return OpInfo{BinaryOp::Ge, 7};
+    case Tok::EqEq: return OpInfo{BinaryOp::Eq, 6};
+    case Tok::BangEq: return OpInfo{BinaryOp::Ne, 6};
+    case Tok::Amp: return OpInfo{BinaryOp::And, 5};
+    case Tok::Caret: return OpInfo{BinaryOp::Xor, 4};
+    case Tok::Pipe: return OpInfo{BinaryOp::Or, 3};
+    case Tok::AmpAmp: return OpInfo{BinaryOp::LogicalAnd, 2};
+    case Tok::PipePipe: return OpInfo{BinaryOp::LogicalOr, 1};
+    default: return std::nullopt;
+  }
+}
+
+std::optional<AssignOp> assign_op_of(Tok t) {
+  switch (t) {
+    case Tok::Assign: return AssignOp::None;
+    case Tok::PlusAssign: return AssignOp::Add;
+    case Tok::MinusAssign: return AssignOp::Sub;
+    case Tok::StarAssign: return AssignOp::Mul;
+    case Tok::SlashAssign: return AssignOp::Div;
+    case Tok::PercentAssign: return AssignOp::Rem;
+    case Tok::AmpAssign: return AssignOp::And;
+    case Tok::PipeAssign: return AssignOp::Or;
+    case Tok::CaretAssign: return AssignOp::Xor;
+    case Tok::ShlAssign: return AssignOp::Shl;
+    case Tok::ShrAssign: return AssignOp::Shr;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<AddressSpace> address_space_of(Tok t) {
+  switch (t) {
+    case Tok::KwGlobal: return AddressSpace::Global;
+    case Tok::KwLocal: return AddressSpace::Local;
+    case Tok::KwConstant: return AddressSpace::Constant;
+    case Tok::KwPrivate: return AddressSpace::Private;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticSink& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::check(Tok kind) const { return peek().kind == kind; }
+
+bool Parser::accept(Tok kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok kind, const char* context) {
+  if (!check(kind)) {
+    fail(peek(), std::string("expected ") + tok_name(kind) + " " + context +
+                     ", found " + tok_name(peek().kind));
+  }
+  return advance();
+}
+
+void Parser::fail(const Token& at, const std::string& message) {
+  diags_.error(at.line, at.column, message);
+  throw ParseAbort{};
+}
+
+bool Parser::token_is_scalar_type(Tok t) const {
+  switch (t) {
+    case Tok::KwVoid:
+    case Tok::KwBool:
+    case Tok::KwChar:
+    case Tok::KwUChar:
+    case Tok::KwShort:
+    case Tok::KwUShort:
+    case Tok::KwInt:
+    case Tok::KwUInt:
+    case Tok::KwLong:
+    case Tok::KwULong:
+    case Tok::KwFloat:
+    case Tok::KwDouble:
+    case Tok::KwSizeT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Parser::at_type_start(int ahead) const {
+  const Tok t = peek(ahead).kind;
+  return token_is_scalar_type(t) || t == Tok::KwConst ||
+         address_space_of(t).has_value();
+}
+
+Scalar Parser::parse_scalar_type() {
+  const Token& t = advance();
+  switch (t.kind) {
+    case Tok::KwVoid: return Scalar::Void;
+    case Tok::KwBool: return Scalar::Bool;
+    case Tok::KwChar: return Scalar::Char;
+    case Tok::KwUChar: return Scalar::UChar;
+    case Tok::KwShort: return Scalar::Short;
+    case Tok::KwUShort: return Scalar::UShort;
+    case Tok::KwInt: return Scalar::Int;
+    case Tok::KwUInt:
+      // 'unsigned' may be followed by a base type: unsigned int/char/...
+      if (check(Tok::KwInt)) { advance(); return Scalar::UInt; }
+      if (check(Tok::KwChar)) { advance(); return Scalar::UChar; }
+      if (check(Tok::KwShort)) { advance(); return Scalar::UShort; }
+      if (check(Tok::KwLong)) { advance(); return Scalar::ULong; }
+      return Scalar::UInt;
+    case Tok::KwLong: return Scalar::Long;
+    case Tok::KwULong: return Scalar::ULong;
+    case Tok::KwFloat: return Scalar::Float;
+    case Tok::KwDouble: return Scalar::Double;
+    case Tok::KwSizeT: return Scalar::ULong;
+    default:
+      fail(t, std::string("expected a type, found ") + tok_name(t.kind));
+  }
+}
+
+ExprPtr Parser::make_expr(ExprKind kind, const Token& at) const {
+  auto e = std::make_unique<Expr>(kind);
+  e->line = at.line;
+  e->column = at.column;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<VarDecl> Parser::parse_param() {
+  auto decl = std::make_unique<VarDecl>();
+  decl->line = peek().line;
+  decl->column = peek().column;
+  decl->is_param = true;
+
+  AddressSpace space = AddressSpace::Private;
+  bool saw_space = false;
+  bool is_const = false;
+  for (;;) {
+    if (auto s = address_space_of(peek().kind)) {
+      space = *s;
+      saw_space = true;
+      advance();
+    } else if (accept(Tok::KwConst)) {
+      is_const = true;
+    } else {
+      break;
+    }
+  }
+
+  const Scalar scalar = parse_scalar_type();
+  if (accept(Tok::KwConst)) is_const = true;
+
+  if (accept(Tok::Star)) {
+    if (!saw_space) space = AddressSpace::Global;
+    decl->type = Type::pointer_to(scalar, space, is_const);
+    if (accept(Tok::KwConst)) decl->type.const_qualified = true;
+  } else {
+    if (saw_space && space != AddressSpace::Private) {
+      fail(peek(), "only pointer parameters may have an address space");
+    }
+    decl->type = Type::scalar_type(scalar);
+  }
+
+  const Token& name = expect(Tok::Identifier, "in parameter declaration");
+  decl->name = name.text;
+  return decl;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parse_function() {
+  auto fn = std::make_unique<FunctionDecl>();
+  fn->line = peek().line;
+  fn->column = peek().column;
+  fn->is_kernel = accept(Tok::KwKernel);
+
+  const Scalar ret = parse_scalar_type();
+  fn->return_type = Type::scalar_type(ret);
+  if (fn->is_kernel && ret != Scalar::Void) {
+    diags_.error(fn->line, fn->column, "kernel functions must return void");
+  }
+
+  const Token& name = expect(Tok::Identifier, "in function declaration");
+  fn->name = name.text;
+
+  expect(Tok::LParen, "after function name");
+  if (!check(Tok::RParen)) {
+    if (check(Tok::KwVoid) && peek(1).kind == Tok::RParen) {
+      advance();  // f(void)
+    } else {
+      fn->params.push_back(parse_param());
+      while (accept(Tok::Comma)) fn->params.push_back(parse_param());
+    }
+  }
+  expect(Tok::RParen, "after parameter list");
+
+  fn->body = parse_compound();
+  return fn;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_compound() {
+  const Token& open = expect(Tok::LBrace, "to open a block");
+  auto stmt = std::make_unique<Stmt>(StmtKind::Compound);
+  stmt->line = open.line;
+  stmt->column = open.column;
+  while (!check(Tok::RBrace) && !check(Tok::End)) {
+    stmt->body.push_back(parse_statement());
+  }
+  expect(Tok::RBrace, "to close a block");
+  return stmt;
+}
+
+StmtPtr Parser::parse_decl_statement() {
+  auto stmt = std::make_unique<Stmt>(StmtKind::Decl);
+  stmt->line = peek().line;
+  stmt->column = peek().column;
+
+  AddressSpace space = AddressSpace::Private;
+  bool is_const = false;
+  for (;;) {
+    if (auto s = address_space_of(peek().kind)) {
+      space = *s;
+      advance();
+    } else if (accept(Tok::KwConst)) {
+      is_const = true;
+    } else {
+      break;
+    }
+  }
+
+  const Scalar scalar = parse_scalar_type();
+  if (accept(Tok::KwConst)) is_const = true;
+
+  do {
+    auto decl = std::make_unique<VarDecl>();
+    decl->line = peek().line;
+    decl->column = peek().column;
+    decl->space = space;
+
+    const bool is_pointer = accept(Tok::Star);
+    const Token& name = expect(Tok::Identifier, "in variable declaration");
+    decl->name = name.text;
+
+    if (accept(Tok::LBracket)) {
+      // Array declaration: the extent must be an integer constant; full
+      // constant folding happens in sema. Store the expression via init?
+      // No: extents are restricted to literal constants here, which is all
+      // that generated code and the baseline kernels use.
+      const Token& size = expect(Tok::IntLiteral, "as array extent");
+      decl->array_size = size.int_value;
+      if (decl->array_size == 0) {
+        diags_.error(size.line, size.column, "array extent must be nonzero");
+      }
+      expect(Tok::RBracket, "after array extent");
+      decl->type = Type::scalar_type(scalar);
+      decl->type.const_qualified = is_const;
+      if (is_pointer) {
+        fail(name, "arrays of pointers are not supported");
+      }
+    } else if (is_pointer) {
+      decl->type = Type::pointer_to(scalar, space, is_const);
+    } else {
+      decl->type = Type::scalar_type(scalar);
+      decl->type.const_qualified = is_const;
+      if (space == AddressSpace::Constant) {
+        diags_.error(decl->line, decl->column,
+                     "__constant variables must be kernel arguments");
+      }
+    }
+
+    if (accept(Tok::Assign)) {
+      decl->init = parse_assignment();
+      if (decl->array_size != 0) {
+        diags_.error(decl->line, decl->column,
+                     "array initializers are not supported");
+      }
+    }
+    stmt->decls.push_back(std::move(decl));
+  } while (accept(Tok::Comma));
+
+  expect(Tok::Semicolon, "after declaration");
+  return stmt;
+}
+
+StmtPtr Parser::parse_if() {
+  const Token& kw = advance();  // 'if'
+  auto stmt = std::make_unique<Stmt>(StmtKind::If);
+  stmt->line = kw.line;
+  stmt->column = kw.column;
+  expect(Tok::LParen, "after 'if'");
+  stmt->expr = parse_expression();
+  expect(Tok::RParen, "after if condition");
+  stmt->then_branch = parse_statement();
+  if (accept(Tok::KwElse)) stmt->else_branch = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_for() {
+  const Token& kw = advance();  // 'for'
+  auto stmt = std::make_unique<Stmt>(StmtKind::For);
+  stmt->line = kw.line;
+  stmt->column = kw.column;
+  expect(Tok::LParen, "after 'for'");
+
+  if (accept(Tok::Semicolon)) {
+    // no init
+  } else if (at_type_start()) {
+    stmt->init = parse_decl_statement();
+  } else {
+    auto init = std::make_unique<Stmt>(StmtKind::ExprStmt);
+    init->line = peek().line;
+    init->column = peek().column;
+    init->expr = parse_expression();
+    stmt->init = std::move(init);
+    expect(Tok::Semicolon, "after for-init");
+  }
+
+  if (!check(Tok::Semicolon)) stmt->expr = parse_expression();
+  expect(Tok::Semicolon, "after for-condition");
+
+  if (!check(Tok::RParen)) stmt->step = parse_expression();
+  expect(Tok::RParen, "after for-step");
+
+  stmt->then_branch = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_while() {
+  const Token& kw = advance();  // 'while'
+  auto stmt = std::make_unique<Stmt>(StmtKind::While);
+  stmt->line = kw.line;
+  stmt->column = kw.column;
+  expect(Tok::LParen, "after 'while'");
+  stmt->expr = parse_expression();
+  expect(Tok::RParen, "after while condition");
+  stmt->then_branch = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_do_while() {
+  const Token& kw = advance();  // 'do'
+  auto stmt = std::make_unique<Stmt>(StmtKind::DoWhile);
+  stmt->line = kw.line;
+  stmt->column = kw.column;
+  stmt->then_branch = parse_statement();
+  if (!accept(Tok::KwWhile)) {
+    fail(peek(), "expected 'while' after do-body");
+  }
+  expect(Tok::LParen, "after 'while'");
+  stmt->expr = parse_expression();
+  expect(Tok::RParen, "after do-while condition");
+  expect(Tok::Semicolon, "after do-while");
+  return stmt;
+}
+
+StmtPtr Parser::parse_statement() {
+  switch (peek().kind) {
+    case Tok::LBrace:
+      return parse_compound();
+    case Tok::KwIf:
+      return parse_if();
+    case Tok::KwFor:
+      return parse_for();
+    case Tok::KwWhile:
+      return parse_while();
+    case Tok::KwDo:
+      return parse_do_while();
+    case Tok::KwReturn: {
+      const Token& kw = advance();
+      auto stmt = std::make_unique<Stmt>(StmtKind::Return);
+      stmt->line = kw.line;
+      stmt->column = kw.column;
+      if (!check(Tok::Semicolon)) stmt->expr = parse_expression();
+      expect(Tok::Semicolon, "after return");
+      return stmt;
+    }
+    case Tok::KwBreak: {
+      const Token& kw = advance();
+      auto stmt = std::make_unique<Stmt>(StmtKind::Break);
+      stmt->line = kw.line;
+      stmt->column = kw.column;
+      expect(Tok::Semicolon, "after break");
+      return stmt;
+    }
+    case Tok::KwContinue: {
+      const Token& kw = advance();
+      auto stmt = std::make_unique<Stmt>(StmtKind::Continue);
+      stmt->line = kw.line;
+      stmt->column = kw.column;
+      expect(Tok::Semicolon, "after continue");
+      return stmt;
+    }
+    case Tok::Semicolon: {
+      const Token& kw = advance();
+      auto stmt = std::make_unique<Stmt>(StmtKind::Empty);
+      stmt->line = kw.line;
+      stmt->column = kw.column;
+      return stmt;
+    }
+    default:
+      if (at_type_start()) return parse_decl_statement();
+      auto stmt = std::make_unique<Stmt>(StmtKind::ExprStmt);
+      stmt->line = peek().line;
+      stmt->column = peek().column;
+      stmt->expr = parse_expression();
+      expect(Tok::Semicolon, "after expression statement");
+      return stmt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression() { return parse_assignment(); }
+
+ExprPtr Parser::parse_assignment() {
+  ExprPtr lhs = parse_conditional();
+  if (auto op = assign_op_of(peek().kind)) {
+    const Token& tok = advance();
+    auto e = make_expr(ExprKind::Assign, tok);
+    e->assign_op = *op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_assignment();  // right-associative
+    return e;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_conditional() {
+  ExprPtr cond = parse_binary(1);
+  if (!check(Tok::Question)) return cond;
+  const Token& tok = advance();
+  auto e = make_expr(ExprKind::Conditional, tok);
+  e->lhs = std::move(cond);
+  e->rhs = parse_assignment();
+  expect(Tok::Colon, "in conditional expression");
+  e->third = parse_conditional();
+  return e;
+}
+
+ExprPtr Parser::parse_binary(int min_precedence) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    const auto info = binary_op_info(peek().kind);
+    if (!info || info->precedence < min_precedence) return lhs;
+    const Token& tok = advance();
+    ExprPtr rhs = parse_binary(info->precedence + 1);
+    auto e = make_expr(ExprKind::Binary, tok);
+    e->binary_op = info->op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case Tok::Plus: {
+      advance();
+      auto e = make_expr(ExprKind::Unary, tok);
+      e->unary_op = UnaryOp::Plus;
+      e->lhs = parse_unary();
+      return e;
+    }
+    case Tok::Minus: {
+      advance();
+      auto e = make_expr(ExprKind::Unary, tok);
+      e->unary_op = UnaryOp::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    case Tok::Bang: {
+      advance();
+      auto e = make_expr(ExprKind::Unary, tok);
+      e->unary_op = UnaryOp::Not;
+      e->lhs = parse_unary();
+      return e;
+    }
+    case Tok::Tilde: {
+      advance();
+      auto e = make_expr(ExprKind::Unary, tok);
+      e->unary_op = UnaryOp::BitNot;
+      e->lhs = parse_unary();
+      return e;
+    }
+    case Tok::PlusPlus:
+    case Tok::MinusMinus: {
+      advance();
+      auto e = make_expr(ExprKind::Unary, tok);
+      e->unary_op =
+          tok.kind == Tok::PlusPlus ? UnaryOp::PreInc : UnaryOp::PreDec;
+      e->lhs = parse_unary();
+      return e;
+    }
+    case Tok::LParen:
+      // Cast if '(' is followed by a type.
+      if (at_type_start(1)) {
+        advance();  // '('
+        AddressSpace space = AddressSpace::Private;
+        bool saw_space = false;
+        bool is_const = false;
+        for (;;) {
+          if (auto s = address_space_of(peek().kind)) {
+            space = *s;
+            saw_space = true;
+            advance();
+          } else if (accept(Tok::KwConst)) {
+            is_const = true;
+          } else {
+            break;
+          }
+        }
+        const Scalar scalar = parse_scalar_type();
+        auto e = make_expr(ExprKind::Cast, tok);
+        if (accept(Tok::Star)) {
+          if (!saw_space) space = AddressSpace::Global;
+          e->type = Type::pointer_to(scalar, space, is_const);
+        } else {
+          e->type = Type::scalar_type(scalar);
+        }
+        expect(Tok::RParen, "after cast type");
+        e->lhs = parse_unary();
+        return e;
+      }
+      return parse_postfix();
+    default:
+      return parse_postfix();
+  }
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    const Token& tok = peek();
+    if (accept(Tok::LBracket)) {
+      auto idx = make_expr(ExprKind::Index, tok);
+      idx->lhs = std::move(e);
+      idx->rhs = parse_expression();
+      expect(Tok::RBracket, "after array index");
+      e = std::move(idx);
+    } else if (check(Tok::PlusPlus) || check(Tok::MinusMinus)) {
+      advance();
+      auto post = make_expr(ExprKind::Unary, tok);
+      post->unary_op =
+          tok.kind == Tok::PlusPlus ? UnaryOp::PostInc : UnaryOp::PostDec;
+      post->lhs = std::move(e);
+      e = std::move(post);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case Tok::IntLiteral: {
+      advance();
+      auto e = make_expr(ExprKind::IntLit, tok);
+      e->int_value = tok.int_value;
+      Scalar s = Scalar::Int;
+      if (tok.is_long_suffix) {
+        s = tok.is_unsigned_suffix ? Scalar::ULong : Scalar::Long;
+      } else if (tok.is_unsigned_suffix) {
+        s = Scalar::UInt;
+      } else if (tok.int_value > 0x7FFFFFFFull) {
+        s = tok.int_value > 0x7FFFFFFFFFFFFFFFull ? Scalar::ULong
+                                                  : Scalar::Long;
+      }
+      e->type = Type::scalar_type(s);
+      return e;
+    }
+    case Tok::FloatLiteral: {
+      advance();
+      auto e = make_expr(ExprKind::FloatLit, tok);
+      e->float_value = tok.float_value;
+      e->type = Type::scalar_type(tok.is_float_suffix ? Scalar::Float
+                                                      : Scalar::Double);
+      return e;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      advance();
+      auto e = make_expr(ExprKind::IntLit, tok);
+      e->int_value = tok.kind == Tok::KwTrue ? 1 : 0;
+      e->type = Type::scalar_type(Scalar::Bool);
+      return e;
+    }
+    case Tok::Identifier: {
+      advance();
+      if (check(Tok::LParen)) {
+        advance();
+        auto call = make_expr(ExprKind::Call, tok);
+        call->name = tok.text;
+        if (!check(Tok::RParen)) {
+          call->args.push_back(parse_assignment());
+          while (accept(Tok::Comma)) call->args.push_back(parse_assignment());
+        }
+        expect(Tok::RParen, "after call arguments");
+        return call;
+      }
+      auto e = make_expr(ExprKind::VarRef, tok);
+      e->name = tok.text;
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr inner = parse_expression();
+      expect(Tok::RParen, "after parenthesized expression");
+      return inner;
+    }
+    default:
+      fail(tok, std::string("expected an expression, found ") +
+                    tok_name(tok.kind));
+  }
+}
+
+TranslationUnit Parser::parse() {
+  TranslationUnit unit;
+  while (!check(Tok::End)) {
+    const std::size_t before = pos_;
+    try {
+      unit.functions.push_back(parse_function());
+    } catch (const ParseAbort&) {
+      // Panic: skip to the next plausible function start (a '}' followed by
+      // a kernel/type keyword, or end of input).
+      if (pos_ == before) advance();
+      int depth = 0;
+      while (!check(Tok::End)) {
+        if (check(Tok::LBrace)) ++depth;
+        if (check(Tok::RBrace)) {
+          advance();
+          if (--depth <= 0) break;
+          continue;
+        }
+        advance();
+      }
+    }
+  }
+  return unit;
+}
+
+}  // namespace hplrepro::clc

@@ -1,0 +1,63 @@
+#ifndef HPLREPRO_CLC_PARSER_HPP
+#define HPLREPRO_CLC_PARSER_HPP
+
+/// \file parser.hpp
+/// Recursive-descent parser for the OpenCL C subset.
+
+#include <vector>
+
+#include "clc/ast.hpp"
+#include "clc/diagnostics.hpp"
+#include "clc/token.hpp"
+
+namespace hplrepro::clc {
+
+class Parser {
+public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& diags);
+
+  /// Parses a translation unit. On syntax errors, diagnostics are recorded
+  /// and a best-effort partial tree is returned; the caller must check
+  /// diags.has_errors() before using it.
+  TranslationUnit parse();
+
+private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok kind) const;
+  bool accept(Tok kind);
+  const Token& expect(Tok kind, const char* context);
+  [[noreturn]] void fail(const Token& at, const std::string& message);
+
+  bool at_type_start(int ahead = 0) const;
+  bool token_is_scalar_type(Tok t) const;
+  Scalar parse_scalar_type();
+
+  std::unique_ptr<FunctionDecl> parse_function();
+  std::unique_ptr<VarDecl> parse_param();
+  StmtPtr parse_statement();
+  StmtPtr parse_compound();
+  StmtPtr parse_decl_statement();
+  StmtPtr parse_if();
+  StmtPtr parse_for();
+  StmtPtr parse_while();
+  StmtPtr parse_do_while();
+
+  ExprPtr parse_expression();       // comma not supported at top level
+  ExprPtr parse_assignment();
+  ExprPtr parse_conditional();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  ExprPtr make_expr(ExprKind kind, const Token& at) const;
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticSink& diags_;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_PARSER_HPP

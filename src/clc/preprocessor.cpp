@@ -1,0 +1,116 @@
+#include "clc/preprocessor.hpp"
+
+#include <unordered_map>
+
+#include "clc/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace hplrepro::clc {
+
+PreprocessResult preprocess(std::string_view source, DiagnosticSink& diags) {
+  PreprocessResult result;
+  result.text.reserve(source.size());
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string_view line =
+        source.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos);
+    ++line_no;
+
+    const std::string_view trimmed = hplrepro::trim(line);
+    if (!trimmed.empty() && trimmed.front() == '#') {
+      const std::string_view directive = hplrepro::trim(trimmed.substr(1));
+      if (hplrepro::starts_with(directive, "define")) {
+        std::string_view rest = hplrepro::trim(directive.substr(6));
+        // Name = leading identifier characters.
+        std::size_t name_end = 0;
+        while (name_end < rest.size() &&
+               (std::isalnum(static_cast<unsigned char>(rest[name_end])) ||
+                rest[name_end] == '_')) {
+          ++name_end;
+        }
+        if (name_end == 0) {
+          diags.error(line_no, 1, "#define requires a macro name");
+        } else if (name_end < rest.size() && rest[name_end] == '(') {
+          diags.error(line_no, 1,
+                      "function-like macros are not supported by clc");
+        } else {
+          MacroDef def;
+          def.name = std::string(rest.substr(0, name_end));
+          def.replacement =
+              std::string(hplrepro::trim(rest.substr(name_end)));
+          result.macros.push_back(std::move(def));
+        }
+      } else if (hplrepro::starts_with(directive, "undef")) {
+        const std::string name(hplrepro::trim(directive.substr(5)));
+        std::erase_if(result.macros,
+                      [&](const MacroDef& m) { return m.name == name; });
+      } else if (hplrepro::starts_with(directive, "pragma")) {
+        // Ignored (e.g. "#pragma OPENCL EXTENSION cl_khr_fp64 : enable").
+      } else {
+        diags.error(line_no, 1,
+                    "unsupported preprocessor directive: " +
+                        std::string(directive.substr(0, 16)));
+      }
+      // Blank the directive line, preserving line numbers.
+    } else {
+      result.text.append(line);
+    }
+    result.text.push_back('\n');
+
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return result;
+}
+
+std::vector<Token> expand_macros(std::vector<Token> tokens,
+                                 const std::vector<MacroDef>& macros,
+                                 DiagnosticSink& diags) {
+  if (macros.empty()) return tokens;
+
+  std::unordered_map<std::string, std::vector<Token>> table;
+  for (const auto& macro : macros) {
+    DiagnosticSink scratch;
+    Lexer lexer(macro.replacement, scratch);
+    std::vector<Token> body = lexer.lex_all();
+    body.pop_back();  // strip End
+    if (scratch.has_errors()) {
+      diags.error(0, 0, "invalid #define body for '" + macro.name + "'");
+      continue;
+    }
+    table[macro.name] = std::move(body);
+  }
+
+  // Iteratively expand until fixpoint (nested object-like macros), with a
+  // depth guard against cycles like "#define A B" / "#define B A".
+  for (int depth = 0; depth < 16; ++depth) {
+    bool changed = false;
+    std::vector<Token> out;
+    out.reserve(tokens.size());
+    for (auto& token : tokens) {
+      if (token.kind == Tok::Identifier) {
+        auto it = table.find(token.text);
+        if (it != table.end()) {
+          for (Token t : it->second) {
+            t.line = token.line;
+            t.column = token.column;
+            out.push_back(std::move(t));
+          }
+          changed = true;
+          continue;
+        }
+      }
+      out.push_back(std::move(token));
+    }
+    tokens = std::move(out);
+    if (!changed) return tokens;
+  }
+  diags.error(0, 0, "macro expansion did not terminate (recursive #define?)");
+  return tokens;
+}
+
+}  // namespace hplrepro::clc

@@ -1,0 +1,41 @@
+#ifndef HPLREPRO_CLC_PREPROCESSOR_HPP
+#define HPLREPRO_CLC_PREPROCESSOR_HPP
+
+/// \file preprocessor.hpp
+/// Minimal OpenCL C preprocessor: object-like `#define NAME tokens`,
+/// `#undef`, and `#pragma` (ignored). This covers what real-world kernel
+/// strings use for tile sizes and constants. Function-like macros and
+/// conditional compilation are diagnosed as unsupported.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clc/diagnostics.hpp"
+#include "clc/token.hpp"
+
+namespace hplrepro::clc {
+
+/// Strips preprocessor directives from `source` (keeping line numbering
+/// intact) and returns the macro table. Diagnoses malformed directives.
+struct MacroDef {
+  std::string name;
+  std::string replacement;  // raw token text
+};
+
+struct PreprocessResult {
+  std::string text;              // source with directive lines blanked
+  std::vector<MacroDef> macros;  // in definition order
+};
+
+PreprocessResult preprocess(std::string_view source, DiagnosticSink& diags);
+
+/// Expands object-like macros in a token stream. Nested macros are
+/// supported up to a fixed depth (cycle guard).
+std::vector<Token> expand_macros(std::vector<Token> tokens,
+                                 const std::vector<MacroDef>& macros,
+                                 DiagnosticSink& diags);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_PREPROCESSOR_HPP

@@ -1,0 +1,639 @@
+#include "clc/sema.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "clc/builtins.hpp"
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+namespace {
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/// Pointer conversion rule: same pointee and address space; constness may
+/// be added but never dropped (C's qualification conversion).
+bool pointer_convertible(const Type& from, const Type& to) {
+  return from.pointer && to.pointer && from.scalar == to.scalar &&
+         from.space == to.space &&
+         (to.const_qualified || !from.const_qualified);
+}
+
+}  // namespace
+
+Sema::Sema(TranslationUnit& unit, DiagnosticSink& diags)
+    : unit_(unit), diags_(diags) {}
+
+void Sema::run() {
+  // Function name table; duplicates are errors.
+  std::unordered_map<std::string, int> by_name;
+  for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+    auto& fn = *unit_.functions[i];
+    if (by_name.count(fn.name)) {
+      diags_.error(fn.line, fn.column,
+                   "redefinition of function '" + fn.name + "'");
+    }
+    if (find_builtin(fn.name)) {
+      diags_.error(fn.line, fn.column,
+                   "'" + fn.name + "' shadows an OpenCL builtin");
+    }
+    by_name.emplace(fn.name, static_cast<int>(i));
+  }
+
+  call_edges_.assign(unit_.functions.size(), {});
+  for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+    analyze_function(*unit_.functions[i], static_cast<int>(i));
+  }
+  if (!diags_.has_errors()) check_no_recursion();
+}
+
+void Sema::analyze_function(FunctionDecl& fn, int index) {
+  current_fn_ = &fn;
+  current_fn_index_ = index;
+  loop_depth_ = 0;
+  fn.num_slots = 0;
+  fn.private_bytes = 0;
+  fn.local_bytes = 0;
+
+  scopes_.clear();
+  scopes_.emplace_back();
+
+  for (auto& p : fn.params) {
+    p->is_param = true;
+    p->slot = fn.num_slots++;
+    if (p->type.scalar == Scalar::Void && !p->type.pointer) {
+      diags_.error(p->line, p->column, "parameter cannot have void type");
+    }
+    if (p->type.scalar == Scalar::Double ||
+        (p->type.pointer && p->type.scalar == Scalar::Double)) {
+      fn.uses_double = true;
+    }
+    // Non-kernel functions accept pointers too (passed through from the
+    // kernel); nothing extra to assign.
+    for (VarDecl* prev : scopes_.back()) {
+      if (prev->name == p->name) {
+        diags_.error(p->line, p->column,
+                     "duplicate parameter name '" + p->name + "'");
+      }
+    }
+    scopes_.back().push_back(p.get());
+  }
+
+  if (fn.body) analyze_stmt(*fn.body);
+  current_fn_ = nullptr;
+  current_fn_index_ = -1;
+}
+
+void Sema::declare_var(VarDecl& decl) {
+  for (VarDecl* prev : scopes_.back()) {
+    if (prev->name == decl.name) {
+      diags_.error(decl.line, decl.column,
+                   "redeclaration of '" + decl.name + "' in the same scope");
+    }
+  }
+
+  if (decl.type.scalar == Scalar::Void) {
+    diags_.error(decl.line, decl.column, "variable cannot have void type");
+  }
+  if (decl.type.scalar == Scalar::Double) current_fn_->uses_double = true;
+
+  if (decl.array_size > 0) {
+    // Arrays live in an arena; the variable's slot holds the base pointer,
+    // materialised at frame entry by the VM (cheap: one setup per decl).
+    const std::uint64_t elem = scalar_size(decl.type.scalar);
+    const std::uint64_t bytes = elem * decl.array_size;
+    if (decl.space == AddressSpace::Local) {
+      if (!current_fn_->is_kernel) {
+        diags_.error(decl.line, decl.column,
+                     "__local variables are only allowed in kernels");
+      }
+      current_fn_->local_bytes = align_up(current_fn_->local_bytes, 8);
+      decl.arena_offset = current_fn_->local_bytes;
+      current_fn_->local_bytes += bytes;
+    } else if (decl.space == AddressSpace::Constant) {
+      diags_.error(decl.line, decl.column,
+                   "__constant arrays must be kernel arguments");
+    } else {
+      decl.space = AddressSpace::Private;
+      current_fn_->private_bytes = align_up(current_fn_->private_bytes, 8);
+      decl.arena_offset = current_fn_->private_bytes;
+      current_fn_->private_bytes += bytes;
+    }
+  } else if (decl.space == AddressSpace::Local) {
+    diags_.error(decl.line, decl.column,
+                 "__local scalar variables are not supported; use an array");
+  }
+
+  decl.slot = current_fn_->num_slots++;
+
+  if (decl.init) {
+    const Type init_type = analyze_expr(*decl.init);
+    if (!init_type.is_void()) {
+      if (decl.type.pointer) {
+        if (!pointer_convertible(init_type, decl.type)) {
+          diags_.error(decl.line, decl.column,
+                       "cannot initialise pointer from " +
+                           init_type.to_string());
+        }
+      } else if (!init_type.is_arithmetic()) {
+        diags_.error(decl.line, decl.column,
+                     "cannot initialise " + decl.type.to_string() + " from " +
+                         init_type.to_string());
+      }
+    }
+  }
+
+  scopes_.back().push_back(&decl);
+}
+
+void Sema::analyze_stmt(Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::Compound:
+      scopes_.emplace_back();
+      for (auto& s : stmt.body) analyze_stmt(*s);
+      scopes_.pop_back();
+      break;
+    case StmtKind::Decl:
+      for (auto& d : stmt.decls) declare_var(*d);
+      break;
+    case StmtKind::ExprStmt:
+      analyze_expr(*stmt.expr);
+      break;
+    case StmtKind::If: {
+      const Type cond = analyze_expr(*stmt.expr);
+      if (!cond.is_arithmetic() && !cond.is_void()) {
+        diags_.error(stmt.line, stmt.column,
+                     "if condition must be scalar, got " + cond.to_string());
+      }
+      analyze_stmt(*stmt.then_branch);
+      if (stmt.else_branch) analyze_stmt(*stmt.else_branch);
+      break;
+    }
+    case StmtKind::For: {
+      scopes_.emplace_back();  // for-init declarations scope to the loop
+      if (stmt.init) analyze_stmt(*stmt.init);
+      if (stmt.expr) analyze_expr(*stmt.expr);
+      if (stmt.step) analyze_expr(*stmt.step);
+      ++loop_depth_;
+      analyze_stmt(*stmt.then_branch);
+      --loop_depth_;
+      scopes_.pop_back();
+      break;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile: {
+      analyze_expr(*stmt.expr);
+      ++loop_depth_;
+      analyze_stmt(*stmt.then_branch);
+      --loop_depth_;
+      break;
+    }
+    case StmtKind::Return: {
+      const Type want = current_fn_->return_type;
+      if (stmt.expr) {
+        const Type got = analyze_expr(*stmt.expr);
+        if (want.is_void()) {
+          diags_.error(stmt.line, stmt.column,
+                       "void function returns a value");
+        } else if (!got.is_arithmetic() && !got.is_void()) {
+          diags_.error(stmt.line, stmt.column,
+                       "cannot return " + got.to_string());
+        }
+      } else if (!want.is_void()) {
+        diags_.error(stmt.line, stmt.column,
+                     "non-void function returns without a value");
+      }
+      break;
+    }
+    case StmtKind::Break:
+      if (loop_depth_ == 0) {
+        diags_.error(stmt.line, stmt.column, "break outside of a loop");
+      }
+      break;
+    case StmtKind::Continue:
+      if (loop_depth_ == 0) {
+        diags_.error(stmt.line, stmt.column, "continue outside of a loop");
+      }
+      break;
+    case StmtKind::Empty:
+      break;
+  }
+}
+
+Type Sema::error(const Expr& expr, const std::string& message) {
+  diags_.error(expr.line, expr.column, message);
+  return Type::void_type();
+}
+
+Type Sema::analyze_expr(Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+      // Parser already set expr.type.
+      return expr.type;
+    case ExprKind::VarRef:
+      return analyze_var_ref(expr);
+    case ExprKind::Unary:
+      return analyze_unary(expr);
+    case ExprKind::Binary:
+      return analyze_binary(expr);
+    case ExprKind::Assign:
+      return analyze_assign(expr);
+    case ExprKind::Conditional:
+      return analyze_conditional(expr);
+    case ExprKind::Call:
+      return analyze_call(expr);
+    case ExprKind::Index:
+      return analyze_index(expr);
+    case ExprKind::Cast:
+      return analyze_cast(expr);
+  }
+  throw InternalError("analyze_expr: bad kind");
+}
+
+Type Sema::analyze_var_ref(Expr& expr) {
+  for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+    for (auto decl = scope->rbegin(); decl != scope->rend(); ++decl) {
+      if ((*decl)->name == expr.name) {
+        expr.decl = *decl;
+        if ((*decl)->array_size > 0) {
+          // Array designator decays to a pointer rvalue.
+          expr.type = Type::pointer_to((*decl)->type.scalar, (*decl)->space,
+                                       (*decl)->type.const_qualified);
+          expr.is_lvalue = false;
+        } else {
+          expr.type = (*decl)->type;
+          expr.is_lvalue = !(*decl)->type.const_qualified ||
+                           (*decl)->type.pointer;
+          // Plain (non-pointer) const scalars are not assignable:
+          if (!(*decl)->type.pointer && (*decl)->type.const_qualified) {
+            expr.is_lvalue = false;
+          } else {
+            expr.is_lvalue = true;
+          }
+        }
+        return expr.type;
+      }
+    }
+  }
+  if (auto constant = predefined_constant(expr.name)) {
+    expr.kind = ExprKind::IntLit;
+    expr.int_value = *constant;
+    expr.type = Type::scalar_type(Scalar::UInt);
+    return expr.type;
+  }
+  return error(expr, "use of undeclared identifier '" + expr.name + "'");
+}
+
+Type Sema::analyze_unary(Expr& expr) {
+  const Type operand = analyze_expr(*expr.lhs);
+  if (operand.is_void()) return operand;
+
+  switch (expr.unary_op) {
+    case UnaryOp::Plus:
+    case UnaryOp::Neg:
+      if (!operand.is_arithmetic()) {
+        return error(expr, "unary +/- requires an arithmetic operand");
+      }
+      expr.type = Type::scalar_type(promote(operand.scalar));
+      return expr.type;
+    case UnaryOp::Not:
+      if (!operand.is_arithmetic()) {
+        return error(expr, "'!' requires a scalar operand");
+      }
+      expr.type = Type::scalar_type(Scalar::Int);
+      return expr.type;
+    case UnaryOp::BitNot:
+      if (!operand.is_integer()) {
+        return error(expr, "'~' requires an integer operand");
+      }
+      expr.type = Type::scalar_type(promote(operand.scalar));
+      return expr.type;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      if (!expr.lhs->is_lvalue) {
+        return error(expr, "increment/decrement requires an lvalue");
+      }
+      if (!operand.is_arithmetic()) {
+        return error(expr, "increment/decrement requires arithmetic type");
+      }
+      expr.type = operand;
+      return expr.type;
+  }
+  throw InternalError("analyze_unary: bad op");
+}
+
+Type Sema::analyze_binary(Expr& expr) {
+  const Type lt = analyze_expr(*expr.lhs);
+  const Type rt = analyze_expr(*expr.rhs);
+  if (lt.is_void() || rt.is_void()) return Type::void_type();
+
+  const BinaryOp op = expr.binary_op;
+
+  // Pointer arithmetic: ptr + int / ptr - int.
+  if ((op == BinaryOp::Add || op == BinaryOp::Sub) &&
+      (lt.pointer || rt.pointer)) {
+    const Type& ptr = lt.pointer ? lt : rt;
+    const Type& idx = lt.pointer ? rt : lt;
+    if (rt.pointer && op == BinaryOp::Sub && lt.pointer) {
+      return error(expr, "pointer difference is not supported");
+    }
+    if (!idx.is_integer()) {
+      return error(expr, "pointer arithmetic requires an integer operand");
+    }
+    if (op == BinaryOp::Sub && rt.pointer) {
+      return error(expr, "cannot subtract a pointer from an integer");
+    }
+    expr.type = ptr;
+    return expr.type;
+  }
+
+  switch (op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      if (!lt.is_arithmetic() || !rt.is_arithmetic()) {
+        return error(expr, "arithmetic operator requires arithmetic operands");
+      }
+      expr.type = Type::scalar_type(arithmetic_result(lt.scalar, rt.scalar));
+      return expr.type;
+    case BinaryOp::Rem:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+    case BinaryOp::Xor:
+      if (!lt.is_integer() || !rt.is_integer()) {
+        return error(expr, "integer operator requires integer operands");
+      }
+      expr.type = Type::scalar_type(arithmetic_result(lt.scalar, rt.scalar));
+      return expr.type;
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (!lt.is_integer() || !rt.is_integer()) {
+        return error(expr, "shift requires integer operands");
+      }
+      expr.type = Type::scalar_type(promote(lt.scalar));
+      return expr.type;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (lt.pointer && rt.pointer) {
+        if (op != BinaryOp::Eq && op != BinaryOp::Ne) {
+          return error(expr, "only ==/!= are supported on pointers");
+        }
+      } else if (!lt.is_arithmetic() || !rt.is_arithmetic()) {
+        return error(expr, "comparison requires arithmetic operands");
+      }
+      expr.type = Type::scalar_type(Scalar::Int);
+      return expr.type;
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      if (!lt.is_arithmetic() || !rt.is_arithmetic()) {
+        return error(expr, "logical operator requires scalar operands");
+      }
+      expr.type = Type::scalar_type(Scalar::Int);
+      return expr.type;
+  }
+  throw InternalError("analyze_binary: bad op");
+}
+
+Type Sema::analyze_assign(Expr& expr) {
+  const Type lt = analyze_expr(*expr.lhs);
+  const Type rt = analyze_expr(*expr.rhs);
+  if (lt.is_void() || rt.is_void()) return Type::void_type();
+
+  if (!expr.lhs->is_lvalue) {
+    return error(expr, "left side of assignment is not assignable");
+  }
+  if (lt.pointer) {
+    if (expr.assign_op != AssignOp::None) {
+      return error(expr, "compound assignment on pointers is not supported");
+    }
+    if (!pointer_convertible(rt, lt)) {
+      return error(expr, "cannot assign " + rt.to_string() + " to " +
+                             lt.to_string());
+    }
+  } else {
+    if (!rt.is_arithmetic() && !rt.pointer) {
+      return error(expr, "cannot assign " + rt.to_string());
+    }
+    if (rt.pointer) {
+      return error(expr, "cannot assign a pointer to a scalar");
+    }
+    if (expr.assign_op != AssignOp::None) {
+      // Compound: validate the implied binary operation.
+      const bool int_only =
+          expr.assign_op == AssignOp::Rem || expr.assign_op == AssignOp::And ||
+          expr.assign_op == AssignOp::Or || expr.assign_op == AssignOp::Xor ||
+          expr.assign_op == AssignOp::Shl || expr.assign_op == AssignOp::Shr;
+      if (int_only && (!lt.is_integer() || !rt.is_integer())) {
+        return error(expr, "compound integer assignment on non-integers");
+      }
+    }
+  }
+  expr.type = lt;
+  expr.type.const_qualified = false;
+  return expr.type;
+}
+
+Type Sema::analyze_conditional(Expr& expr) {
+  const Type ct = analyze_expr(*expr.lhs);
+  const Type tt = analyze_expr(*expr.rhs);
+  const Type ft = analyze_expr(*expr.third);
+  if (ct.is_void() || tt.is_void() || ft.is_void()) return Type::void_type();
+  if (!ct.is_arithmetic()) {
+    return error(expr, "?: condition must be scalar");
+  }
+  if (tt.pointer || ft.pointer) {
+    if (tt != ft) return error(expr, "?: branch types do not match");
+    expr.type = tt;
+  } else {
+    expr.type = Type::scalar_type(arithmetic_result(tt.scalar, ft.scalar));
+  }
+  return expr.type;
+}
+
+Type Sema::analyze_call(Expr& expr) {
+  // Builtins take priority; user code may not shadow them (checked in run).
+  if (auto builtin = find_builtin(expr.name)) {
+    if (static_cast<int>(expr.args.size()) != builtin->arity) {
+      return error(expr, "'" + expr.name + "' expects " +
+                             std::to_string(builtin->arity) + " argument(s)");
+    }
+    expr.callee_builtin = static_cast<int>(builtin->id);
+
+    Scalar common = Scalar::Int;
+    bool first = true;
+    for (auto& arg : expr.args) {
+      const Type at = analyze_expr(*arg);
+      if (at.is_void()) return Type::void_type();
+      if (!at.is_arithmetic()) {
+        return error(expr, "builtin '" + expr.name +
+                               "' requires arithmetic arguments");
+      }
+      common = first ? promote(at.scalar)
+                     : arithmetic_result(common, at.scalar);
+      first = false;
+    }
+
+    switch (builtin->kind) {
+      case BuiltinKind::WorkItem:
+        expr.type = Type::scalar_type(Scalar::ULong);  // size_t
+        return expr.type;
+      case BuiltinKind::Barrier:
+        if (current_fn_) current_fn_->uses_barrier = true;
+        expr.type = Type::void_type();
+        return Type::scalar_type(Scalar::Void);
+      case BuiltinKind::MathFp:
+        if (!is_floating(common)) common = Scalar::Float;
+        if (common == Scalar::Double) current_fn_->uses_double = true;
+        expr.type = Type::scalar_type(common);
+        return expr.type;
+      case BuiltinKind::Common:
+        expr.type = Type::scalar_type(common);
+        return expr.type;
+      case BuiltinKind::IntOnly:
+        if (!is_integer(common)) {
+          return error(expr, "'" + expr.name + "' requires integer arguments");
+        }
+        expr.type = Type::scalar_type(common);
+        return expr.type;
+    }
+    throw InternalError("analyze_call: bad builtin kind");
+  }
+
+  // User function.
+  int index = -1;
+  for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+    if (unit_.functions[i]->name == expr.name) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (index < 0) {
+    return error(expr, "call to undeclared function '" + expr.name + "'");
+  }
+  FunctionDecl& callee = *unit_.functions[index];
+  if (callee.is_kernel) {
+    return error(expr, "kernels cannot be called from device code");
+  }
+  if (expr.args.size() != callee.params.size()) {
+    return error(expr, "'" + expr.name + "' expects " +
+                           std::to_string(callee.params.size()) +
+                           " argument(s), got " +
+                           std::to_string(expr.args.size()));
+  }
+  for (std::size_t i = 0; i < expr.args.size(); ++i) {
+    const Type at = analyze_expr(*expr.args[i]);
+    const Type& pt = callee.params[i]->type;
+    if (at.is_void()) return Type::void_type();
+    if (pt.pointer) {
+      if (!pointer_convertible(at, pt)) {
+        return error(expr, "argument " + std::to_string(i + 1) + " of '" +
+                               expr.name + "': cannot pass " + at.to_string() +
+                               " as " + pt.to_string());
+      }
+    } else if (!at.is_arithmetic()) {
+      return error(expr, "argument " + std::to_string(i + 1) + " of '" +
+                             expr.name + "' must be arithmetic");
+    }
+  }
+  expr.callee_function = index;
+  if (current_fn_index_ >= 0) {
+    call_edges_[static_cast<std::size_t>(current_fn_index_)].push_back(index);
+  }
+  expr.type = callee.return_type;
+  return expr.type;
+}
+
+Type Sema::analyze_index(Expr& expr) {
+  const Type base = analyze_expr(*expr.lhs);
+  const Type idx = analyze_expr(*expr.rhs);
+  if (base.is_void() || idx.is_void()) return Type::void_type();
+  if (!base.pointer) {
+    return error(expr, "subscripted value is not a pointer or array");
+  }
+  if (!idx.is_integer()) {
+    return error(expr, "array index must be an integer");
+  }
+  expr.type = Type::scalar_type(base.scalar);
+  expr.is_lvalue = !base.const_qualified &&
+                   base.space != AddressSpace::Constant;
+  return expr.type;
+}
+
+Type Sema::analyze_cast(Expr& expr) {
+  const Type from = analyze_expr(*expr.lhs);
+  if (from.is_void()) return Type::void_type();
+  const Type to = expr.type;
+  if (to.pointer) {
+    if (!from.pointer) {
+      return error(expr, "cannot cast non-pointer to pointer");
+    }
+    if (from.space != to.space) {
+      return error(expr, "cannot cast across address spaces");
+    }
+  } else if (!from.is_arithmetic()) {
+    return error(expr, "cannot cast " + from.to_string() + " to " +
+                           to.to_string());
+  }
+  return expr.type;
+}
+
+void Sema::check_no_recursion() {
+  // DFS cycle detection over the call graph. OpenCL C forbids recursion and
+  // the VM depends on bounded call depth per work-item.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> marks(unit_.functions.size(), Mark::White);
+
+  std::function<bool(std::size_t)> visit = [&](std::size_t node) {
+    marks[node] = Mark::Grey;
+    for (int next : call_edges_[node]) {
+      const auto n = static_cast<std::size_t>(next);
+      if (marks[n] == Mark::Grey) return false;
+      if (marks[n] == Mark::White && !visit(n)) return false;
+    }
+    marks[node] = Mark::Black;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+    if (marks[i] == Mark::White && !visit(i)) {
+      const auto& fn = *unit_.functions[i];
+      diags_.error(fn.line, fn.column,
+                   "recursion detected involving '" + fn.name +
+                       "'; OpenCL C forbids recursive calls");
+      return;
+    }
+  }
+
+  // Propagate uses_barrier / uses_double transitively (callee -> caller).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+      for (int callee : call_edges_[i]) {
+        auto& caller_fn = *unit_.functions[i];
+        auto& callee_fn = *unit_.functions[static_cast<std::size_t>(callee)];
+        if (callee_fn.uses_barrier && !caller_fn.uses_barrier) {
+          caller_fn.uses_barrier = true;
+          changed = true;
+        }
+        if (callee_fn.uses_double && !caller_fn.uses_double) {
+          caller_fn.uses_double = true;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hplrepro::clc

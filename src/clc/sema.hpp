@@ -1,0 +1,64 @@
+#ifndef HPLREPRO_CLC_SEMA_HPP
+#define HPLREPRO_CLC_SEMA_HPP
+
+/// \file sema.hpp
+/// Semantic analysis for the OpenCL C subset: name resolution, type
+/// checking and annotation, storage assignment (frame slots and local /
+/// private arena offsets), call resolution (user functions and builtins),
+/// and whole-program checks (no recursion, __local only in kernels).
+
+#include <vector>
+
+#include "clc/ast.hpp"
+#include "clc/diagnostics.hpp"
+
+namespace hplrepro::clc {
+
+class Sema {
+public:
+  Sema(TranslationUnit& unit, DiagnosticSink& diags);
+
+  /// Runs all checks; diagnostics are reported into the sink.
+  void run();
+
+private:
+  struct Scope;
+
+  void analyze_function(FunctionDecl& fn, int index);
+  void analyze_stmt(Stmt& stmt);
+  void declare_var(VarDecl& decl);
+
+  /// Type-checks an expression tree; annotates type/is_lvalue. Returns the
+  /// result type (Void on error, after reporting).
+  Type analyze_expr(Expr& expr);
+  Type analyze_var_ref(Expr& expr);
+  Type analyze_unary(Expr& expr);
+  Type analyze_binary(Expr& expr);
+  Type analyze_assign(Expr& expr);
+  Type analyze_conditional(Expr& expr);
+  Type analyze_call(Expr& expr);
+  Type analyze_index(Expr& expr);
+  Type analyze_cast(Expr& expr);
+
+  /// Reports an error at the expression's location and returns Void.
+  Type error(const Expr& expr, const std::string& message);
+
+  bool check_convertible(const Expr& value, const Type& to,
+                         const char* context);
+
+  void check_no_recursion();
+
+  TranslationUnit& unit_;
+  DiagnosticSink& diags_;
+
+  FunctionDecl* current_fn_ = nullptr;
+  int current_fn_index_ = -1;
+  int loop_depth_ = 0;
+
+  std::vector<std::vector<VarDecl*>> scopes_;
+  std::vector<std::vector<int>> call_edges_;  // caller index -> callee indices
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_SEMA_HPP

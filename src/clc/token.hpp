@@ -1,0 +1,54 @@
+#ifndef HPLREPRO_CLC_TOKEN_HPP
+#define HPLREPRO_CLC_TOKEN_HPP
+
+/// \file token.hpp
+/// Token kinds produced by the clc lexer.
+
+#include <cstdint>
+#include <string>
+
+namespace hplrepro::clc {
+
+enum class Tok : std::uint8_t {
+  End,
+  Identifier,
+  IntLiteral,    // value in Token::int_value; unsigned/long suffix flags set
+  FloatLiteral,  // value in Token::float_value; is_float_suffix for 'f'
+
+  // Punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Question, Colon,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Less, Greater, LessEq, GreaterEq, EqEq, BangEq,
+  AmpAmp, PipePipe,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+
+  // Keywords
+  KwVoid, KwBool, KwChar, KwUChar, KwShort, KwUShort, KwInt, KwUInt,
+  KwLong, KwULong, KwFloat, KwDouble, KwSizeT,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwConst, KwKernel, KwGlobal, KwLocal, KwConstant, KwPrivate,
+  KwTrue, KwFalse,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier spelling (identifiers only)
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  bool is_unsigned_suffix = false;
+  bool is_long_suffix = false;
+  bool is_float_suffix = false;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_TOKEN_HPP

@@ -1,0 +1,146 @@
+#include "clc/types.hpp"
+
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+std::size_t scalar_size(Scalar s) {
+  switch (s) {
+    case Scalar::Void: return 0;
+    case Scalar::Bool: return 1;
+    case Scalar::Char:
+    case Scalar::UChar: return 1;
+    case Scalar::Short:
+    case Scalar::UShort: return 2;
+    case Scalar::Int:
+    case Scalar::UInt: return 4;
+    case Scalar::Long:
+    case Scalar::ULong: return 8;
+    case Scalar::Float: return 4;
+    case Scalar::Double: return 8;
+  }
+  throw InternalError("scalar_size: bad scalar");
+}
+
+bool is_integer(Scalar s) {
+  switch (s) {
+    case Scalar::Bool:
+    case Scalar::Char:
+    case Scalar::UChar:
+    case Scalar::Short:
+    case Scalar::UShort:
+    case Scalar::Int:
+    case Scalar::UInt:
+    case Scalar::Long:
+    case Scalar::ULong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_signed_integer(Scalar s) {
+  switch (s) {
+    case Scalar::Char:
+    case Scalar::Short:
+    case Scalar::Int:
+    case Scalar::Long:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unsigned_integer(Scalar s) {
+  return is_integer(s) && !is_signed_integer(s) && s != Scalar::Bool;
+}
+
+bool is_floating(Scalar s) {
+  return s == Scalar::Float || s == Scalar::Double;
+}
+
+int scalar_rank(Scalar s) {
+  switch (s) {
+    case Scalar::Bool: return 0;
+    case Scalar::Char:
+    case Scalar::UChar: return 1;
+    case Scalar::Short:
+    case Scalar::UShort: return 2;
+    case Scalar::Int:
+    case Scalar::UInt: return 3;
+    case Scalar::Long:
+    case Scalar::ULong: return 4;
+    case Scalar::Float: return 5;
+    case Scalar::Double: return 6;
+    case Scalar::Void: return -1;
+  }
+  throw InternalError("scalar_rank: bad scalar");
+}
+
+const char* scalar_name(Scalar s) {
+  switch (s) {
+    case Scalar::Void: return "void";
+    case Scalar::Bool: return "bool";
+    case Scalar::Char: return "char";
+    case Scalar::UChar: return "uchar";
+    case Scalar::Short: return "short";
+    case Scalar::UShort: return "ushort";
+    case Scalar::Int: return "int";
+    case Scalar::UInt: return "uint";
+    case Scalar::Long: return "long";
+    case Scalar::ULong: return "ulong";
+    case Scalar::Float: return "float";
+    case Scalar::Double: return "double";
+  }
+  return "?";
+}
+
+std::string Type::to_string() const {
+  std::string out;
+  if (pointer) {
+    switch (space) {
+      case AddressSpace::Private: out += "__private "; break;
+      case AddressSpace::Global: out += "__global "; break;
+      case AddressSpace::Local: out += "__local "; break;
+      case AddressSpace::Constant: out += "__constant "; break;
+    }
+    if (const_qualified) out += "const ";
+  }
+  out += scalar_name(scalar);
+  if (pointer) out += "*";
+  return out;
+}
+
+Scalar promote(Scalar s) {
+  // bool/char/short (and unsigned variants) promote to int; int fits all
+  // their values so the promoted type is always signed int.
+  switch (s) {
+    case Scalar::Bool:
+    case Scalar::Char:
+    case Scalar::UChar:
+    case Scalar::Short:
+    case Scalar::UShort:
+      return Scalar::Int;
+    default:
+      return s;
+  }
+}
+
+Scalar arithmetic_result(Scalar a, Scalar b) {
+  if (a == Scalar::Double || b == Scalar::Double) return Scalar::Double;
+  if (a == Scalar::Float || b == Scalar::Float) return Scalar::Float;
+  a = promote(a);
+  b = promote(b);
+  if (a == b) return a;
+  const bool sa = is_signed_integer(a), sb = is_signed_integer(b);
+  if (sa == sb) return scalar_rank(a) >= scalar_rank(b) ? a : b;
+  const Scalar u = sa ? b : a;  // the unsigned one
+  const Scalar s = sa ? a : b;  // the signed one
+  if (scalar_rank(u) >= scalar_rank(s)) return u;
+  // Signed type has higher rank. It can represent all values of the
+  // unsigned type only when strictly wider (int vs uint etc. -> here rank
+  // comparison already covers it because widths are tied to rank).
+  return s;
+}
+
+}  // namespace hplrepro::clc

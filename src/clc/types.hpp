@@ -1,0 +1,90 @@
+#ifndef HPLREPRO_CLC_TYPES_HPP
+#define HPLREPRO_CLC_TYPES_HPP
+
+/// \file types.hpp
+/// The clc type system: OpenCL C scalar types, address spaces and pointers.
+///
+/// The subset implemented is the sterile core of OpenCL C 1.x that HPL's
+/// code generator emits and that the hand-written baseline kernels use:
+/// scalar types, pointers qualified with an address space, and fixed-size
+/// arrays (which appear only on declarations, not as first-class values).
+/// Vector types (float4, ...) and images are out of scope.
+
+#include <cstdint>
+#include <string>
+
+namespace hplrepro::clc {
+
+enum class Scalar : std::uint8_t {
+  Void,
+  Bool,
+  Char,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Float,
+  Double,
+};
+
+enum class AddressSpace : std::uint8_t {
+  Private,   // default for function-scope variables
+  Global,    // __global
+  Local,     // __local
+  Constant,  // __constant
+};
+
+/// Size in bytes of a scalar object (OpenCL C sizes: long is 64-bit).
+std::size_t scalar_size(Scalar s);
+
+bool is_integer(Scalar s);
+bool is_signed_integer(Scalar s);
+bool is_unsigned_integer(Scalar s);
+bool is_floating(Scalar s);
+
+/// Integer conversion rank as in C; used for usual arithmetic conversions.
+int scalar_rank(Scalar s);
+
+const char* scalar_name(Scalar s);
+
+/// A clc type: a scalar, or a pointer to a scalar in some address space.
+struct Type {
+  Scalar scalar = Scalar::Void;
+  bool pointer = false;
+  AddressSpace space = AddressSpace::Private;  // pointee space if pointer
+  bool const_qualified = false;                // pointee constness if pointer
+
+  static Type void_type() { return {}; }
+  static Type scalar_type(Scalar s) { return Type{s, false, AddressSpace::Private, false}; }
+  static Type pointer_to(Scalar s, AddressSpace space, bool is_const = false) {
+    return Type{s, true, space, is_const};
+  }
+
+  bool is_void() const { return !pointer && scalar == Scalar::Void; }
+  bool is_arithmetic() const { return !pointer && scalar != Scalar::Void; }
+  bool is_integer() const { return !pointer && clc::is_integer(scalar); }
+  bool is_floating() const { return !pointer && clc::is_floating(scalar); }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.scalar == b.scalar && a.pointer == b.pointer &&
+           (!a.pointer || (a.space == b.space &&
+                           a.const_qualified == b.const_qualified));
+  }
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+
+  std::string to_string() const;
+};
+
+/// Result type of a binary arithmetic expression per the usual arithmetic
+/// conversions (C99 6.3.1.8, which OpenCL C inherits).
+Scalar arithmetic_result(Scalar a, Scalar b);
+
+/// Scalar type an operand of type `s` is promoted to (integer promotion).
+Scalar promote(Scalar s);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_TYPES_HPP

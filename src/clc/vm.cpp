@@ -1,0 +1,590 @@
+#include "clc/vm.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "clc/builtins.hpp"
+
+namespace hplrepro::clc {
+
+namespace {
+
+OpClass op_class_of(Op op) {
+  switch (op) {
+    case Op::AddI: case Op::SubI: case Op::MulI: case Op::DivI: case Op::DivU:
+    case Op::RemI: case Op::RemU: case Op::NegI: case Op::AndI: case Op::OrI:
+    case Op::XorI: case Op::ShlI: case Op::ShrI: case Op::ShrU: case Op::NotI:
+    case Op::EqI: case Op::NeI: case Op::LtI: case Op::LeI: case Op::GtI:
+    case Op::GeI: case Op::LtU: case Op::LeU: case Op::GtU: case Op::GeU:
+    case Op::PtrAdd:
+      return OpClass::IntAlu;
+    case Op::AddF: case Op::SubF: case Op::MulF: case Op::DivF: case Op::NegF:
+    case Op::EqF: case Op::NeF: case Op::LtF: case Op::LeF: case Op::GtF:
+    case Op::GeF:
+      return OpClass::FloatAlu;
+    case Op::AddD: case Op::SubD: case Op::MulD: case Op::DivD: case Op::NegD:
+    case Op::EqD: case Op::NeD: case Op::LtD: case Op::LeD: case Op::GtD:
+    case Op::GeD:
+      return OpClass::DoubleAlu;
+    case Op::LoadI8: case Op::LoadU8: case Op::LoadI16: case Op::LoadU16:
+    case Op::LoadI32: case Op::LoadU32: case Op::LoadI64: case Op::LoadF32:
+    case Op::LoadF64: case Op::StoreI8: case Op::StoreI16: case Op::StoreI32:
+    case Op::StoreI64: case Op::StoreF32: case Op::StoreF64:
+      return OpClass::GlobalMem;  // refined at run time by address space
+    default:
+      return OpClass::Control;
+  }
+}
+
+struct OpClassTable {
+  OpClass cls[256];
+  OpClassTable() {
+    for (int i = 0; i < 256; ++i) cls[i] = OpClass::Control;
+    for (int i = 0; i <= static_cast<int>(Op::WorkItemFn); ++i) {
+      cls[i] = op_class_of(static_cast<Op>(i));
+    }
+  }
+};
+const OpClassTable kOpClass;
+
+std::int64_t checked_trunc_i64(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 9.2233720368547758e18) return INT64_MAX;
+  if (v <= -9.2233720368547758e18) return INT64_MIN;
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t checked_trunc_u64(double v) {
+  if (std::isnan(v) || v <= 0) return 0;
+  if (v >= 1.8446744073709552e19) return UINT64_MAX;
+  return static_cast<std::uint64_t>(v);
+}
+
+double apply_math_builtin_d(Builtin id, const double* a) {
+  switch (id) {
+    case Builtin::Sqrt: return std::sqrt(a[0]);
+    case Builtin::Rsqrt: return 1.0 / std::sqrt(a[0]);
+    case Builtin::Fabs: return std::fabs(a[0]);
+    case Builtin::Exp: return std::exp(a[0]);
+    case Builtin::Exp2: return std::exp2(a[0]);
+    case Builtin::Log: return std::log(a[0]);
+    case Builtin::Log2: return std::log2(a[0]);
+    case Builtin::Log10: return std::log10(a[0]);
+    case Builtin::Sin: return std::sin(a[0]);
+    case Builtin::Cos: return std::cos(a[0]);
+    case Builtin::Tan: return std::tan(a[0]);
+    case Builtin::Asin: return std::asin(a[0]);
+    case Builtin::Acos: return std::acos(a[0]);
+    case Builtin::Atan: return std::atan(a[0]);
+    case Builtin::Floor: return std::floor(a[0]);
+    case Builtin::Ceil: return std::ceil(a[0]);
+    case Builtin::Trunc: return std::trunc(a[0]);
+    case Builtin::Round: return std::round(a[0]);
+    case Builtin::Pow: return std::pow(a[0], a[1]);
+    case Builtin::Atan2: return std::atan2(a[0], a[1]);
+    case Builtin::Fmod: return std::fmod(a[0], a[1]);
+    case Builtin::Fmin: return std::fmin(a[0], a[1]);
+    case Builtin::Fmax: return std::fmax(a[0], a[1]);
+    case Builtin::Hypot: return std::hypot(a[0], a[1]);
+    case Builtin::Fma: return std::fma(a[0], a[1], a[2]);
+    case Builtin::Mad: return a[0] * a[1] + a[2];
+    case Builtin::Min: return std::fmin(a[0], a[1]);
+    case Builtin::Max: return std::fmax(a[0], a[1]);
+    case Builtin::Clamp: return std::fmin(std::fmax(a[0], a[1]), a[2]);
+    default:
+      throw InternalError("apply_math_builtin_d: bad id");
+  }
+}
+
+float apply_math_builtin_f(Builtin id, const float* a) {
+  switch (id) {
+    case Builtin::Sqrt: return std::sqrt(a[0]);
+    case Builtin::Rsqrt: return 1.0f / std::sqrt(a[0]);
+    case Builtin::Fabs: return std::fabs(a[0]);
+    case Builtin::Exp: return std::exp(a[0]);
+    case Builtin::Exp2: return std::exp2(a[0]);
+    case Builtin::Log: return std::log(a[0]);
+    case Builtin::Log2: return std::log2(a[0]);
+    case Builtin::Log10: return std::log10(a[0]);
+    case Builtin::Sin: return std::sin(a[0]);
+    case Builtin::Cos: return std::cos(a[0]);
+    case Builtin::Tan: return std::tan(a[0]);
+    case Builtin::Asin: return std::asin(a[0]);
+    case Builtin::Acos: return std::acos(a[0]);
+    case Builtin::Atan: return std::atan(a[0]);
+    case Builtin::Floor: return std::floor(a[0]);
+    case Builtin::Ceil: return std::ceil(a[0]);
+    case Builtin::Trunc: return std::trunc(a[0]);
+    case Builtin::Round: return std::round(a[0]);
+    case Builtin::Pow: return std::pow(a[0], a[1]);
+    case Builtin::Atan2: return std::atan2(a[0], a[1]);
+    case Builtin::Fmod: return std::fmod(a[0], a[1]);
+    case Builtin::Fmin: return std::fmin(a[0], a[1]);
+    case Builtin::Fmax: return std::fmax(a[0], a[1]);
+    case Builtin::Hypot: return std::hypot(a[0], a[1]);
+    case Builtin::Fma: return std::fma(a[0], a[1], a[2]);
+    case Builtin::Mad: return a[0] * a[1] + a[2];
+    case Builtin::Min: return std::fmin(a[0], a[1]);
+    case Builtin::Max: return std::fmax(a[0], a[1]);
+    case Builtin::Clamp: return std::fmin(std::fmax(a[0], a[1]), a[2]);
+    default:
+      throw InternalError("apply_math_builtin_f: bad id");
+  }
+}
+
+bool is_transcendental(Builtin id) {
+  switch (id) {
+    case Builtin::Fabs:
+    case Builtin::Fmin:
+    case Builtin::Fmax:
+    case Builtin::Fma:
+    case Builtin::Mad:
+    case Builtin::Floor:
+    case Builtin::Ceil:
+    case Builtin::Trunc:
+    case Builtin::Round:
+    case Builtin::Min:
+    case Builtin::Max:
+    case Builtin::Abs:
+    case Builtin::Clamp:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void WorkItemVM::reset(const Module& module, const CompiledFunction& kernel,
+                       std::span<const Value> args) {
+  if (args.size() != kernel.params.size()) {
+    throw InternalError("WorkItemVM::reset: argument count mismatch");
+  }
+  module_ = &module;
+  stack_.clear();
+  stack_.reserve(64);
+  frames_.clear();
+  frames_.push_back(Frame{&kernel, 0, 0, 0});
+  slots_.assign(static_cast<std::size_t>(kernel.num_slots), Value{});
+  for (std::size_t i = 0; i < args.size(); ++i) slots_[i] = args[i];
+  private_arena_.assign(kernel.private_bytes, std::byte{0});
+  barrier_flags_ = 0;
+}
+
+RunStatus WorkItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
+                          const WorkItemInfo& item, ExecStats& stats,
+                          MemTracker* tracker) {
+  std::uint64_t fuel = fuel_;
+
+  // Local aliases for the hot loop.
+  auto trap = [](const char* what) -> void { throw TrapError(what); };
+
+  auto push = [&](Value v) { stack_.push_back(v); };
+  auto pop = [&]() -> Value {
+    Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  };
+  auto top = [&]() -> Value& { return stack_.back(); };
+
+  // Resolves a pointer to host memory, bounds-checked.
+  auto resolve = [&](std::uint64_t ptr, std::size_t size) -> std::byte* {
+    const std::uint64_t offset = pointer_offset(ptr);
+    switch (pointer_space(ptr)) {
+      case PtrSpace::Global:
+      case PtrSpace::Constant: {
+        const std::uint64_t buffer = pointer_buffer(ptr);
+        if (buffer >= mem.buffers.size()) trap("bad buffer index");
+        auto span = mem.buffers[buffer];
+        if (offset + size > span.size()) trap("global access out of bounds");
+        return span.data() + offset;
+      }
+      case PtrSpace::Local:
+        if (offset + size > mem.local.size()) {
+          trap("local access out of bounds");
+        }
+        return mem.local.data() + offset;
+      case PtrSpace::Private:
+        if (offset + size > private_arena_.size()) {
+          trap("private access out of bounds");
+        }
+        return private_arena_.data() + offset;
+    }
+    trap("bad pointer space");
+    return nullptr;
+  };
+
+  // Accounts a memory access in the stats and coalescing tracker.
+  auto note_access = [&](std::uint64_t ptr, std::uint32_t size, bool store,
+                         std::uint32_t pc_key) {
+    switch (pointer_space(ptr)) {
+      case PtrSpace::Global:
+      case PtrSpace::Constant:
+        if (store) {
+          stats.global_store_bytes += size;
+        } else {
+          stats.global_load_bytes += size;
+        }
+        ++stats.global_accesses;
+        if (tracker) {
+          tracker->global_access(pc_key, item.linear_in_group,
+                                 pointer_buffer(ptr), pointer_offset(ptr),
+                                 size, store);
+        }
+        break;
+      case PtrSpace::Local:
+        stats.local_bytes += size;
+        ++stats.local_accesses;
+        break;
+      case PtrSpace::Private:
+        stats.private_bytes += size;
+        break;
+    }
+  };
+
+  while (!frames_.empty()) {
+    Frame& frame = frames_.back();
+    const CompiledFunction& fn = *frame.fn;
+    if (frame.pc >= fn.code.size()) {
+      // Fell off the end of a void function.
+      frames_.pop_back();
+      continue;
+    }
+    const Instr instr = fn.code[frame.pc];
+    const std::uint32_t pc_key =
+        (static_cast<std::uint32_t>(frame.fn - module_->functions.data())
+         << 20) |
+        static_cast<std::uint32_t>(frame.pc);
+    ++frame.pc;
+
+    if (fuel-- == 0) trap("instruction budget exhausted (infinite loop?)");
+
+    switch (kOpClass.cls[static_cast<int>(instr.op)]) {
+      case OpClass::IntAlu: ++stats.int_ops; break;
+      case OpClass::FloatAlu: ++stats.float_ops; break;
+      case OpClass::DoubleAlu: ++stats.double_ops; break;
+      default: ++stats.control_ops; break;  // memory adjusted in note_access
+    }
+
+    switch (instr.op) {
+      case Op::Nop:
+        break;
+      case Op::PushI: {
+        Value v;
+        v.i64 = instr.imm;
+        push(v);
+        break;
+      }
+      case Op::PushF: {
+        Value v;
+        v.f32 = std::bit_cast<float>(static_cast<std::uint32_t>(instr.imm));
+        push(v);
+        break;
+      }
+      case Op::PushD: {
+        Value v;
+        v.f64 = std::bit_cast<double>(instr.imm);
+        push(v);
+        break;
+      }
+      case Op::Dup:
+        push(stack_.back());
+        break;
+      case Op::Pop:
+        stack_.pop_back();
+        break;
+      case Op::Swap:
+        std::swap(stack_[stack_.size() - 1], stack_[stack_.size() - 2]);
+        break;
+      case Op::LoadSlot:
+        push(slots_[frame.slot_base + static_cast<std::size_t>(instr.a)]);
+        break;
+      case Op::StoreSlot:
+        slots_[frame.slot_base + static_cast<std::size_t>(instr.a)] = pop();
+        break;
+      case Op::PtrAdd: {
+        const std::int64_t index = pop().i64;
+        top().u64 = pointer_add(top().u64, index * instr.a);
+        break;
+      }
+      case Op::LocalPtr: {
+        Value v;
+        v.u64 = make_pointer(PtrSpace::Local, 0,
+                             static_cast<std::uint64_t>(instr.imm));
+        push(v);
+        break;
+      }
+      case Op::PrivatePtr: {
+        Value v;
+        v.u64 = make_pointer(
+            PtrSpace::Private, 0,
+            frame.priv_base + static_cast<std::uint64_t>(instr.imm));
+        push(v);
+        break;
+      }
+
+#define HPLREPRO_LOAD_CASE(OPNAME, CTYPE, FIELD, EXT)                       \
+  case Op::OPNAME: {                                                        \
+    const std::uint64_t ptr = pop().u64;                                    \
+    note_access(ptr, sizeof(CTYPE), false, pc_key);                         \
+    CTYPE raw;                                                              \
+    std::memcpy(&raw, resolve(ptr, sizeof(CTYPE)), sizeof(CTYPE));          \
+    Value v;                                                                \
+    v.FIELD = EXT(raw);                                                     \
+    push(v);                                                                \
+    break;                                                                  \
+  }
+      HPLREPRO_LOAD_CASE(LoadI8, std::int8_t, i64, static_cast<std::int64_t>)
+      HPLREPRO_LOAD_CASE(LoadU8, std::uint8_t, u64, static_cast<std::uint64_t>)
+      HPLREPRO_LOAD_CASE(LoadI16, std::int16_t, i64, static_cast<std::int64_t>)
+      HPLREPRO_LOAD_CASE(LoadU16, std::uint16_t, u64, static_cast<std::uint64_t>)
+      HPLREPRO_LOAD_CASE(LoadI32, std::int32_t, i64, static_cast<std::int64_t>)
+      HPLREPRO_LOAD_CASE(LoadU32, std::uint32_t, u64, static_cast<std::uint64_t>)
+      HPLREPRO_LOAD_CASE(LoadI64, std::int64_t, i64, static_cast<std::int64_t>)
+      HPLREPRO_LOAD_CASE(LoadF32, float, f32, )
+      HPLREPRO_LOAD_CASE(LoadF64, double, f64, )
+#undef HPLREPRO_LOAD_CASE
+
+#define HPLREPRO_STORE_CASE(OPNAME, CTYPE, FIELD)                           \
+  case Op::OPNAME: {                                                        \
+    const Value v = pop();                                                  \
+    const std::uint64_t ptr = pop().u64;                                    \
+    note_access(ptr, sizeof(CTYPE), true, pc_key);                          \
+    const CTYPE raw = static_cast<CTYPE>(v.FIELD);                          \
+    std::memcpy(resolve(ptr, sizeof(CTYPE)), &raw, sizeof(CTYPE));          \
+    break;                                                                  \
+  }
+      HPLREPRO_STORE_CASE(StoreI8, std::int8_t, i64)
+      HPLREPRO_STORE_CASE(StoreI16, std::int16_t, i64)
+      HPLREPRO_STORE_CASE(StoreI32, std::int32_t, i64)
+      HPLREPRO_STORE_CASE(StoreI64, std::int64_t, i64)
+      HPLREPRO_STORE_CASE(StoreF32, float, f32)
+      HPLREPRO_STORE_CASE(StoreF64, double, f64)
+#undef HPLREPRO_STORE_CASE
+
+#define HPLREPRO_BIN_CASE(OPNAME, FIELD, EXPR)                              \
+  case Op::OPNAME: {                                                        \
+    const Value b = pop();                                                  \
+    Value& a = top();                                                       \
+    a.FIELD = (EXPR);                                                       \
+    break;                                                                  \
+  }
+      HPLREPRO_BIN_CASE(AddI, i64, a.i64 + b.i64)
+      HPLREPRO_BIN_CASE(SubI, i64, a.i64 - b.i64)
+      HPLREPRO_BIN_CASE(MulI, i64, a.i64 * b.i64)
+      HPLREPRO_BIN_CASE(DivI, i64, b.i64 == 0 ? 0 : (a.i64 == INT64_MIN && b.i64 == -1 ? a.i64 : a.i64 / b.i64))
+      HPLREPRO_BIN_CASE(DivU, u64, b.u64 == 0 ? 0 : a.u64 / b.u64)
+      HPLREPRO_BIN_CASE(RemI, i64, b.i64 == 0 ? 0 : (a.i64 == INT64_MIN && b.i64 == -1 ? 0 : a.i64 % b.i64))
+      HPLREPRO_BIN_CASE(RemU, u64, b.u64 == 0 ? 0 : a.u64 % b.u64)
+      HPLREPRO_BIN_CASE(AndI, u64, a.u64 & b.u64)
+      HPLREPRO_BIN_CASE(OrI, u64, a.u64 | b.u64)
+      HPLREPRO_BIN_CASE(XorI, u64, a.u64 ^ b.u64)
+      HPLREPRO_BIN_CASE(ShlI, u64, a.u64 << (b.u64 & 63))
+      HPLREPRO_BIN_CASE(ShrI, i64, a.i64 >> (b.u64 & 63))
+      HPLREPRO_BIN_CASE(ShrU, u64, a.u64 >> (b.u64 & 63))
+      HPLREPRO_BIN_CASE(AddF, f32, a.f32 + b.f32)
+      HPLREPRO_BIN_CASE(SubF, f32, a.f32 - b.f32)
+      HPLREPRO_BIN_CASE(MulF, f32, a.f32 * b.f32)
+      HPLREPRO_BIN_CASE(DivF, f32, a.f32 / b.f32)
+      HPLREPRO_BIN_CASE(AddD, f64, a.f64 + b.f64)
+      HPLREPRO_BIN_CASE(SubD, f64, a.f64 - b.f64)
+      HPLREPRO_BIN_CASE(MulD, f64, a.f64 * b.f64)
+      HPLREPRO_BIN_CASE(DivD, f64, a.f64 / b.f64)
+      HPLREPRO_BIN_CASE(EqI, i64, a.i64 == b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(NeI, i64, a.i64 != b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LtI, i64, a.i64 < b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LeI, i64, a.i64 <= b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GtI, i64, a.i64 > b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GeI, i64, a.i64 >= b.i64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LtU, i64, a.u64 < b.u64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LeU, i64, a.u64 <= b.u64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GtU, i64, a.u64 > b.u64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GeU, i64, a.u64 >= b.u64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(EqF, i64, a.f32 == b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(NeF, i64, a.f32 != b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LtF, i64, a.f32 < b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LeF, i64, a.f32 <= b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GtF, i64, a.f32 > b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GeF, i64, a.f32 >= b.f32 ? 1 : 0)
+      HPLREPRO_BIN_CASE(EqD, i64, a.f64 == b.f64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(NeD, i64, a.f64 != b.f64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LtD, i64, a.f64 < b.f64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(LeD, i64, a.f64 <= b.f64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GtD, i64, a.f64 > b.f64 ? 1 : 0)
+      HPLREPRO_BIN_CASE(GeD, i64, a.f64 >= b.f64 ? 1 : 0)
+#undef HPLREPRO_BIN_CASE
+
+      case Op::NegI: top().i64 = -top().i64; break;
+      case Op::NotI: top().u64 = ~top().u64; break;
+      case Op::NegF: top().f32 = -top().f32; break;
+      case Op::NegD: top().f64 = -top().f64; break;
+      case Op::LNot: top().i64 = top().i64 == 0 ? 1 : 0; break;
+      case Op::Bool: top().i64 = top().i64 != 0 ? 1 : 0; break;
+
+      case Op::Sext8: top().i64 = static_cast<std::int8_t>(top().i64); break;
+      case Op::Sext16: top().i64 = static_cast<std::int16_t>(top().i64); break;
+      case Op::Sext32: top().i64 = static_cast<std::int32_t>(top().i64); break;
+      case Op::Zext8: top().u64 &= 0xFFull; break;
+      case Op::Zext16: top().u64 &= 0xFFFFull; break;
+      case Op::Zext32: top().u64 &= 0xFFFFFFFFull; break;
+      case Op::Zext1: top().u64 &= 1ull; break;
+
+      case Op::I2F: top().f32 = static_cast<float>(top().i64); break;
+      case Op::I2D: top().f64 = static_cast<double>(top().i64); break;
+      case Op::U2F: top().f32 = static_cast<float>(top().u64); break;
+      case Op::U2D: top().f64 = static_cast<double>(top().u64); break;
+      case Op::F2I: top().i64 = checked_trunc_i64(top().f32); break;
+      case Op::D2I: top().i64 = checked_trunc_i64(top().f64); break;
+      case Op::F2U: top().u64 = checked_trunc_u64(top().f32); break;
+      case Op::D2U: top().u64 = checked_trunc_u64(top().f64); break;
+      case Op::F2D: top().f64 = static_cast<double>(top().f32); break;
+      case Op::D2F: top().f32 = static_cast<float>(top().f64); break;
+
+      case Op::Jmp:
+        frame.pc = static_cast<std::size_t>(instr.a);
+        break;
+      case Op::JmpIfZero:
+        if (pop().i64 == 0) frame.pc = static_cast<std::size_t>(instr.a);
+        break;
+      case Op::JmpIfNonZero:
+        if (pop().i64 != 0) frame.pc = static_cast<std::size_t>(instr.a);
+        break;
+
+      case Op::Call: {
+        const CompiledFunction& callee =
+            module_->functions[static_cast<std::size_t>(instr.a)];
+        const std::size_t nargs = callee.params.size();
+        if (frames_.size() >= 64) trap("call stack overflow");
+        Frame next;
+        next.fn = &callee;
+        next.pc = 0;
+        next.slot_base = slots_.size();
+        next.priv_base = frame.priv_base + fn.private_bytes;
+        slots_.resize(next.slot_base +
+                      static_cast<std::size_t>(callee.num_slots));
+        if (private_arena_.size() < next.priv_base + callee.private_bytes) {
+          private_arena_.resize(next.priv_base + callee.private_bytes);
+        }
+        for (std::size_t i = 0; i < nargs; ++i) {
+          slots_[next.slot_base + nargs - 1 - i] = pop();
+        }
+        frames_.push_back(next);
+        break;
+      }
+      case Op::Ret: {
+        // Return value stays on the operand stack for the caller.
+        slots_.resize(frame.slot_base);
+        frames_.pop_back();
+        break;
+      }
+      case Op::RetVoid:
+        slots_.resize(frame.slot_base);
+        frames_.pop_back();
+        break;
+
+      case Op::BarrierOp: {
+        barrier_flags_ = pop().u64;
+        ++stats.barriers_executed;
+        return RunStatus::Barrier;
+      }
+
+      case Op::WorkItemFn: {
+        const auto id = static_cast<Builtin>(instr.a);
+        const std::uint64_t dim = pop().u64;
+        const std::size_t d = dim < 3 ? static_cast<std::size_t>(dim) : 0;
+        Value v;
+        switch (id) {
+          case Builtin::GetWorkDim:
+            v.u64 = static_cast<std::uint64_t>(launch.work_dim);
+            break;
+          case Builtin::GetGlobalId: v.u64 = item.global_id[d]; break;
+          case Builtin::GetLocalId: v.u64 = item.local_id[d]; break;
+          case Builtin::GetGroupId: v.u64 = item.group_id[d]; break;
+          case Builtin::GetGlobalSize: v.u64 = launch.global_size[d]; break;
+          case Builtin::GetLocalSize: v.u64 = launch.local_size[d]; break;
+          case Builtin::GetNumGroups: v.u64 = launch.num_groups[d]; break;
+          default:
+            trap("bad work-item function");
+            v.u64 = 0;
+        }
+        push(v);
+        break;
+      }
+
+      case Op::BuiltinOp: {
+        const auto id = static_cast<Builtin>(instr.a);
+        const BuiltinInfo& info = builtin_info(id);
+        const int arity = info.arity;
+        if (is_transcendental(id)) {
+          ++stats.special_ops;
+        } else if (instr.imm == 1) {
+          ++stats.float_ops;
+        } else if (instr.imm == 2) {
+          ++stats.double_ops;
+        } else {
+          ++stats.int_ops;
+        }
+        switch (instr.imm) {
+          case 1: {  // f32
+            float a[3] = {0, 0, 0};
+            for (int i = arity - 1; i >= 0; --i) a[i] = pop().f32;
+            Value v;
+            v.f32 = apply_math_builtin_f(id, a);
+            push(v);
+            break;
+          }
+          case 2: {  // f64
+            double a[3] = {0, 0, 0};
+            for (int i = arity - 1; i >= 0; --i) a[i] = pop().f64;
+            Value v;
+            v.f64 = apply_math_builtin_d(id, a);
+            push(v);
+            break;
+          }
+          case 0: {  // signed integer
+            std::int64_t a[3] = {0, 0, 0};
+            for (int i = arity - 1; i >= 0; --i) a[i] = pop().i64;
+            Value v;
+            switch (id) {
+              case Builtin::Min: v.i64 = a[0] < a[1] ? a[0] : a[1]; break;
+              case Builtin::Max: v.i64 = a[0] > a[1] ? a[0] : a[1]; break;
+              case Builtin::Abs: v.i64 = a[0] < 0 ? -a[0] : a[0]; break;
+              case Builtin::Clamp:
+                v.i64 = a[0] < a[1] ? a[1] : (a[0] > a[2] ? a[2] : a[0]);
+                break;
+              default:
+                trap("bad integer builtin");
+                v.i64 = 0;
+            }
+            push(v);
+            break;
+          }
+          default: {  // unsigned integer
+            std::uint64_t a[3] = {0, 0, 0};
+            for (int i = arity - 1; i >= 0; --i) a[i] = pop().u64;
+            Value v;
+            switch (id) {
+              case Builtin::Min: v.u64 = a[0] < a[1] ? a[0] : a[1]; break;
+              case Builtin::Max: v.u64 = a[0] > a[1] ? a[0] : a[1]; break;
+              case Builtin::Abs: v.u64 = a[0]; break;
+              case Builtin::Clamp:
+                v.u64 = a[0] < a[1] ? a[1] : (a[0] > a[2] ? a[2] : a[0]);
+                break;
+              default:
+                trap("bad unsigned builtin");
+                v.u64 = 0;
+            }
+            push(v);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  return RunStatus::Done;
+}
+
+}  // namespace hplrepro::clc

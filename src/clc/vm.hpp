@@ -1,0 +1,104 @@
+#ifndef HPLREPRO_CLC_VM_HPP
+#define HPLREPRO_CLC_VM_HPP
+
+/// \file vm.hpp
+/// The clc virtual machine: executes one work-item of a compiled kernel.
+///
+/// A work-item is a resumable activation: its operand stack, call frames
+/// and private arena are plain data members, so executing `barrier()`
+/// simply returns control to the caller (the clsim group scheduler) with
+/// RunStatus::Barrier; calling run() again resumes after the barrier once
+/// the whole group has arrived. No OS threads or fibers are involved.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clc/bytecode.hpp"
+#include "clc/stats.hpp"
+#include "support/error.hpp"
+
+namespace hplrepro::clc {
+
+/// Thrown when a kernel performs an invalid operation at run time
+/// (out-of-bounds access, stack overflow, exhausted fuel, ...).
+class TrapError : public Error {
+public:
+  explicit TrapError(const std::string& what) : Error("kernel trap: " + what) {}
+};
+
+struct LaunchInfo {
+  int work_dim = 1;
+  std::uint64_t global_size[3] = {1, 1, 1};
+  std::uint64_t local_size[3] = {1, 1, 1};
+  std::uint64_t num_groups[3] = {1, 1, 1};
+};
+
+struct WorkItemInfo {
+  std::uint64_t global_id[3] = {0, 0, 0};
+  std::uint64_t local_id[3] = {0, 0, 0};
+  std::uint64_t group_id[3] = {0, 0, 0};
+  std::uint64_t linear_in_group = 0;  // used by the coalescing tracker
+};
+
+/// Memory environment shared by the work-items of one launch/group.
+struct MemoryEnv {
+  /// Buffer table for Global/Constant pointers (index = PtrSpace buffer id).
+  std::span<std::span<std::byte>> buffers;
+  /// This group's __local arena.
+  std::span<std::byte> local;
+};
+
+/// Observer for global-memory accesses, used for coalescing analysis.
+/// `pc_key` identifies the memory instruction (function index << 20 | pc).
+class MemTracker {
+public:
+  virtual ~MemTracker() = default;
+  virtual void global_access(std::uint32_t pc_key, std::uint64_t item_linear,
+                             std::uint64_t buffer, std::uint64_t offset,
+                             std::uint32_t size, bool is_store) = 0;
+};
+
+enum class RunStatus { Done, Barrier };
+
+class WorkItemVM {
+public:
+  /// Prepares the VM to execute `kernel` from `module` with the given
+  /// argument values (scalars or encoded pointers), one per parameter.
+  void reset(const Module& module, const CompiledFunction& kernel,
+             std::span<const Value> args);
+
+  /// Runs until the kernel finishes (Done) or suspends at a barrier
+  /// (Barrier). Resumable: call again after a Barrier return.
+  RunStatus run(const MemoryEnv& mem, const LaunchInfo& launch,
+                const WorkItemInfo& item, ExecStats& stats,
+                MemTracker* tracker);
+
+  /// Flags of the barrier that suspended the item (valid after Barrier).
+  std::uint64_t barrier_flags() const { return barrier_flags_; }
+
+  /// Upper bound on dynamic instructions per run() call; a trap fires when
+  /// exceeded (guards against infinite loops in user kernels).
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+private:
+  struct Frame {
+    const CompiledFunction* fn = nullptr;
+    std::size_t pc = 0;
+    std::size_t slot_base = 0;
+    std::size_t priv_base = 0;
+  };
+
+  const Module* module_ = nullptr;
+  std::vector<Value> stack_;
+  std::vector<Frame> frames_;
+  std::vector<Value> slots_;
+  std::vector<std::byte> private_arena_;
+  std::uint64_t barrier_flags_ = 0;
+  std::uint64_t fuel_ = 1ull << 62;
+};
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_VM_HPP

@@ -1,0 +1,488 @@
+#include "clsim/cl_api.hpp"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+
+namespace clsim = hplrepro::clsim;
+
+// Handle bodies. Each wraps the corresponding RAII clsim object plus a
+// reference count, so the C API's retain/release semantics hold.
+
+struct _cl_platform_id {
+  // Singleton; nothing to store.
+};
+
+struct _cl_device_id {
+  clsim::Device device;
+};
+
+struct _cl_context {
+  std::unique_ptr<clsim::Context> context;
+  cl_device_id device = nullptr;
+  int refs = 1;
+};
+
+struct _cl_command_queue {
+  std::unique_ptr<clsim::CommandQueue> queue;
+  int refs = 1;
+};
+
+struct _cl_mem {
+  std::unique_ptr<clsim::Buffer> buffer;
+  int refs = 1;
+};
+
+struct _cl_program {
+  std::unique_ptr<clsim::Program> program;
+  cl_context context = nullptr;
+  int refs = 1;
+};
+
+struct _cl_kernel {
+  std::unique_ptr<clsim::Kernel> kernel;
+  int refs = 1;
+};
+
+namespace {
+
+_cl_platform_id g_platform;
+
+/// Device handles are interned so repeated queries return stable ids.
+std::vector<std::unique_ptr<_cl_device_id>>& device_handles() {
+  static std::vector<std::unique_ptr<_cl_device_id>> handles;
+  return handles;
+}
+
+cl_device_id intern_device(const clsim::Device& device) {
+  for (auto& h : device_handles()) {
+    if (h->device == device) return h.get();
+  }
+  device_handles().push_back(
+      std::make_unique<_cl_device_id>(_cl_device_id{device}));
+  return device_handles().back().get();
+}
+
+template <typename Handle>
+cl_int release(Handle handle, cl_int bad_code) {
+  if (handle == nullptr) return bad_code;
+  if (--handle->refs == 0) delete handle;
+  return CL_SUCCESS;
+}
+
+cl_int set_error(cl_int* errcode_ret, cl_int code) {
+  if (errcode_ret != nullptr) *errcode_ret = code;
+  return code;
+}
+
+bool kernel_param_is_float(cl_kernel kernel, cl_uint index) {
+  const hplrepro::clc::Type& type = kernel->kernel->param_type(index);
+  return !type.pointer && (type.scalar == hplrepro::clc::Scalar::Float ||
+                           type.scalar == hplrepro::clc::Scalar::Double);
+}
+
+}  // namespace
+
+// --- Platform / device -----------------------------------------------------
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms) {
+  if (platforms == nullptr && num_platforms == nullptr) {
+    return CL_INVALID_VALUE;
+  }
+  if (platforms != nullptr) {
+    if (num_entries == 0) return CL_INVALID_VALUE;
+    platforms[0] = &g_platform;
+  }
+  if (num_platforms != nullptr) *num_platforms = 1;
+  return CL_SUCCESS;
+}
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id* devices,
+                      cl_uint* num_devices) {
+  if (platform != &g_platform) return CL_INVALID_VALUE;
+  std::vector<cl_device_id> matching;
+  for (const auto& device : clsim::Platform::get().devices()) {
+    const bool is_cpu = device.type() == clsim::DeviceType::Cpu;
+    const bool wanted = (device_type & CL_DEVICE_TYPE_ALL) == CL_DEVICE_TYPE_ALL ||
+                        (is_cpu && (device_type & CL_DEVICE_TYPE_CPU)) ||
+                        (!is_cpu && (device_type & CL_DEVICE_TYPE_GPU));
+    if (wanted) matching.push_back(intern_device(device));
+  }
+  if (matching.empty()) return CL_DEVICE_NOT_FOUND;
+  if (devices != nullptr) {
+    if (num_entries == 0) return CL_INVALID_VALUE;
+    const cl_uint count =
+        std::min<cl_uint>(num_entries, static_cast<cl_uint>(matching.size()));
+    for (cl_uint i = 0; i < count; ++i) devices[i] = matching[i];
+  }
+  if (num_devices != nullptr) {
+    *num_devices = static_cast<cl_uint>(matching.size());
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
+                       std::size_t param_value_size, void* param_value,
+                       std::size_t* param_value_size_ret) {
+  if (device == nullptr) return CL_INVALID_DEVICE;
+  if (param_name != CL_DEVICE_NAME) return CL_INVALID_VALUE;
+  const std::string& name = device->device.name();
+  if (param_value != nullptr) {
+    if (param_value_size < name.size() + 1) return CL_INVALID_VALUE;
+    std::memcpy(param_value, name.c_str(), name.size() + 1);
+  }
+  if (param_value_size_ret != nullptr) {
+    *param_value_size_ret = name.size() + 1;
+  }
+  return CL_SUCCESS;
+}
+
+// --- Context / queue --------------------------------------------------------
+
+cl_context clCreateContext(const void* /*properties*/, cl_uint num_devices,
+                           const cl_device_id* devices, void* /*pfn_notify*/,
+                           void* /*user_data*/, cl_int* errcode_ret) {
+  if (num_devices != 1 || devices == nullptr || devices[0] == nullptr) {
+    set_error(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto* handle = new _cl_context;
+  handle->context = std::make_unique<clsim::Context>(devices[0]->device);
+  handle->device = devices[0];
+  set_error(errcode_ret, CL_SUCCESS);
+  return handle;
+}
+
+cl_command_queue clCreateCommandQueue(cl_context context,
+                                      cl_device_id device,
+                                      cl_bitfield /*properties*/,
+                                      cl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_error(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (device == nullptr || device != context->device) {
+    set_error(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto* handle = new _cl_command_queue;
+  handle->queue = std::make_unique<clsim::CommandQueue>(*context->context);
+  set_error(errcode_ret, CL_SUCCESS);
+  return handle;
+}
+
+// --- Memory objects -----------------------------------------------------------
+
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags,
+                      std::size_t size, void* host_ptr, cl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_error(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if ((flags & CL_MEM_COPY_HOST_PTR) != 0 && host_ptr == nullptr) {
+    set_error(errcode_ret, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  clsim::MemFlags mem_flags = clsim::MemFlags::ReadWrite;
+  if (flags & CL_MEM_READ_ONLY) mem_flags = clsim::MemFlags::ReadOnly;
+  if (flags & CL_MEM_WRITE_ONLY) mem_flags = clsim::MemFlags::WriteOnly;
+  auto* handle = new _cl_mem;
+  try {
+    handle->buffer =
+        std::make_unique<clsim::Buffer>(*context->context, size, mem_flags);
+  } catch (const clsim::RuntimeError&) {
+    delete handle;
+    set_error(errcode_ret, CL_INVALID_BUFFER_SIZE);
+    return nullptr;
+  }
+  if (flags & CL_MEM_COPY_HOST_PTR) {
+    std::memcpy(handle->buffer->raw(), host_ptr, size);
+  }
+  set_error(errcode_ret, CL_SUCCESS);
+  return handle;
+}
+
+// --- Programs / kernels ----------------------------------------------------------
+
+cl_program clCreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char** strings,
+                                     const std::size_t* lengths,
+                                     cl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_error(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (count == 0 || strings == nullptr) {
+    set_error(errcode_ret, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::string source;
+  for (cl_uint i = 0; i < count; ++i) {
+    if (strings[i] == nullptr) {
+      set_error(errcode_ret, CL_INVALID_VALUE);
+      return nullptr;
+    }
+    if (lengths != nullptr && lengths[i] != 0) {
+      source.append(strings[i], lengths[i]);
+    } else {
+      source.append(strings[i]);
+    }
+  }
+  auto* handle = new _cl_program;
+  handle->program =
+      std::make_unique<clsim::Program>(*context->context, std::move(source));
+  handle->context = context;
+  set_error(errcode_ret, CL_SUCCESS);
+  return handle;
+}
+
+cl_int clBuildProgram(cl_program program, cl_uint /*num_devices*/,
+                      const cl_device_id* /*device_list*/,
+                      const char* options, void* /*pfn_notify*/,
+                      void* /*user_data*/) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  if (options != nullptr && options[0] != '\0') {
+    return CL_INVALID_BUILD_OPTIONS;  // build options are not supported
+  }
+  try {
+    program->program->build();
+  } catch (const clsim::RuntimeError&) {
+    return CL_BUILD_PROGRAM_FAILURE;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id /*device*/,
+                             cl_program_build_info param_name,
+                             std::size_t param_value_size, void* param_value,
+                             std::size_t* param_value_size_ret) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  if (param_name != CL_PROGRAM_BUILD_LOG) return CL_INVALID_VALUE;
+  const std::string& log = program->program->build_log();
+  if (param_value != nullptr) {
+    if (param_value_size < log.size() + 1) return CL_INVALID_VALUE;
+    std::memcpy(param_value, log.c_str(), log.size() + 1);
+  }
+  if (param_value_size_ret != nullptr) {
+    *param_value_size_ret = log.size() + 1;
+  }
+  return CL_SUCCESS;
+}
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
+                         cl_int* errcode_ret) {
+  if (program == nullptr) {
+    set_error(errcode_ret, CL_INVALID_PROGRAM);
+    return nullptr;
+  }
+  if (kernel_name == nullptr) {
+    set_error(errcode_ret, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  if (!program->program->built()) {
+    set_error(errcode_ret, CL_INVALID_PROGRAM_EXECUTABLE);
+    return nullptr;
+  }
+  auto* handle = new _cl_kernel;
+  try {
+    handle->kernel =
+        std::make_unique<clsim::Kernel>(*program->program, kernel_name);
+  } catch (const clsim::RuntimeError&) {
+    delete handle;
+    set_error(errcode_ret, CL_INVALID_KERNEL_NAME);
+    return nullptr;
+  }
+  set_error(errcode_ret, CL_SUCCESS);
+  return handle;
+}
+
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index,
+                      std::size_t arg_size, const void* arg_value) {
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  if (arg_value == nullptr) {
+    // OpenCL: a NULL value with a nonzero size declares a dynamically
+    // sized __local argument.
+    if (arg_size == 0) return CL_INVALID_ARG_SIZE;
+    try {
+      kernel->kernel->set_arg_local(arg_index, arg_size);
+    } catch (const clsim::RuntimeError&) {
+      return CL_INVALID_ARG_VALUE;
+    }
+    return CL_SUCCESS;
+  }
+  try {
+    if (arg_size == sizeof(cl_mem)) {
+      // Could be a buffer handle; OpenCL disambiguates by parameter type.
+      cl_mem mem = nullptr;
+      std::memcpy(&mem, arg_value, sizeof(cl_mem));
+      // Heuristic-free approach: try the buffer path first; if the kernel
+      // parameter is a scalar of size 8, fall through to the scalar path.
+      if (mem != nullptr && mem->buffer != nullptr) {
+        try {
+          kernel->kernel->set_arg(arg_index, *mem->buffer);
+          return CL_SUCCESS;
+        } catch (const clsim::RuntimeError&) {
+          // Parameter is not a pointer: treat the bytes as a scalar below.
+        }
+      }
+    }
+    switch (arg_size) {
+      case 1: {
+        std::int8_t v;
+        std::memcpy(&v, arg_value, 1);
+        kernel->kernel->set_arg(arg_index, static_cast<std::int32_t>(v));
+        break;
+      }
+      case 2: {
+        std::int16_t v;
+        std::memcpy(&v, arg_value, 2);
+        kernel->kernel->set_arg(arg_index, static_cast<std::int32_t>(v));
+        break;
+      }
+      case 4: {
+        // Could be int or float; set both representations and let the
+        // runtime pick based on the declared parameter type.
+        float f;
+        std::int32_t i;
+        std::memcpy(&f, arg_value, 4);
+        std::memcpy(&i, arg_value, 4);
+        if (kernel_param_is_float(kernel, arg_index)) {
+          kernel->kernel->set_arg(arg_index, f);
+        } else {
+          kernel->kernel->set_arg(arg_index, i);
+        }
+        break;
+      }
+      case 8: {
+        double d;
+        std::int64_t i;
+        std::memcpy(&d, arg_value, 8);
+        std::memcpy(&i, arg_value, 8);
+        if (kernel_param_is_float(kernel, arg_index)) {
+          kernel->kernel->set_arg(arg_index, d);
+        } else {
+          kernel->kernel->set_arg(arg_index, i);
+        }
+        break;
+      }
+      default:
+        return CL_INVALID_ARG_SIZE;
+    }
+  } catch (const clsim::RuntimeError&) {
+    return CL_INVALID_ARG_INDEX;
+  }
+  return CL_SUCCESS;
+}
+
+// --- Command execution --------------------------------------------------------------
+
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_bool /*blocking_write*/, std::size_t offset,
+                            std::size_t size, const void* ptr,
+                            cl_uint /*num_events*/, const void* /*wait*/,
+                            void* /*event*/) {
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr) return CL_INVALID_VALUE;
+  try {
+    queue->queue->enqueue_write_buffer(*buffer->buffer, ptr, size, offset);
+  } catch (const clsim::RuntimeError&) {
+    return CL_INVALID_VALUE;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_bool /*blocking_read*/, std::size_t offset,
+                           std::size_t size, void* ptr,
+                           cl_uint /*num_events*/, const void* /*wait*/,
+                           void* /*event*/) {
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr) return CL_INVALID_VALUE;
+  try {
+    queue->queue->enqueue_read_buffer(*buffer->buffer, ptr, size, offset);
+  } catch (const clsim::RuntimeError&) {
+    return CL_INVALID_VALUE;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
+                              cl_uint work_dim,
+                              const std::size_t* global_work_offset,
+                              const std::size_t* global_work_size,
+                              const std::size_t* local_work_size,
+                              cl_uint /*num_events*/, const void* /*wait*/,
+                              void* /*event*/) {
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  if (work_dim < 1 || work_dim > 3) return CL_INVALID_WORK_DIMENSION;
+  if (global_work_offset != nullptr) return CL_INVALID_VALUE;  // unsupported
+  if (global_work_size == nullptr) return CL_INVALID_VALUE;
+
+  clsim::NDRange global;
+  global.dims = static_cast<int>(work_dim);
+  for (cl_uint d = 0; d < work_dim; ++d) global.sizes[d] = global_work_size[d];
+
+  std::optional<clsim::NDRange> local;
+  if (local_work_size != nullptr) {
+    clsim::NDRange l;
+    l.dims = static_cast<int>(work_dim);
+    for (cl_uint d = 0; d < work_dim; ++d) l.sizes[d] = local_work_size[d];
+    local = l;
+  }
+  try {
+    queue->queue->enqueue_ndrange_kernel(*kernel->kernel, global, local);
+  } catch (const hplrepro::Error&) {
+    return CL_INVALID_WORK_GROUP_SIZE;
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clFinish(cl_command_queue queue) {
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  queue->queue->finish();
+  return CL_SUCCESS;
+}
+
+// --- Reference counting ----------------------------------------------------------------
+
+cl_int clRetainMemObject(cl_mem mem) {
+  if (mem == nullptr) return CL_INVALID_MEM_OBJECT;
+  ++mem->refs;
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseMemObject(cl_mem mem) {
+  return release(mem, CL_INVALID_MEM_OBJECT);
+}
+cl_int clReleaseKernel(cl_kernel kernel) {
+  return release(kernel, CL_INVALID_KERNEL);
+}
+cl_int clReleaseProgram(cl_program program) {
+  return release(program, CL_INVALID_PROGRAM);
+}
+cl_int clReleaseCommandQueue(cl_command_queue queue) {
+  return release(queue, CL_INVALID_COMMAND_QUEUE);
+}
+cl_int clReleaseContext(cl_context context) {
+  return release(context, CL_INVALID_CONTEXT);
+}
+
+// --- Simulator access ---------------------------------------------------------------------
+
+namespace hplrepro::clsim {
+
+CommandQueue& cl_api_queue(cl_command_queue queue) { return *queue->queue; }
+
+cl_device_id cl_api_device(const Device& device) {
+  return intern_device(device);
+}
+
+}  // namespace hplrepro::clsim

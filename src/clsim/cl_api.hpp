@@ -1,0 +1,193 @@
+#ifndef HPLREPRO_CLSIM_CL_API_HPP
+#define HPLREPRO_CLSIM_CL_API_HPP
+
+/// \file cl_api.hpp
+/// A C-style OpenCL 1.x host API over the clsim runtime.
+///
+/// The paper's baseline benchmarks are ordinary OpenCL C programs: they
+/// call clGetPlatformIDs / clCreateBuffer / clSetKernelArg / ... and check
+/// an error code after every call. This header reproduces that API surface
+/// (names, call shapes, error codes, manual retain/release) on top of the
+/// simulated runtime, so the OpenCL-style benchmark versions in this
+/// repository are written exactly the way hand-written OpenCL is — which
+/// is what makes the Table I SLOC comparison meaningful.
+///
+/// Only the entry points the benchmarks need are provided; they follow the
+/// OpenCL 1.2 signatures closely (sans the naming prefix `cl` -> `clsim`
+/// namespace is NOT used: the functions are global, as in OpenCL).
+
+#include <cstddef>
+#include <cstdint>
+
+// --- Scalar typedefs (as in CL/cl.h) -----------------------------------------
+
+using cl_int = std::int32_t;
+using cl_uint = std::uint32_t;
+using cl_ulong = std::uint64_t;
+using cl_bool = std::uint32_t;
+using cl_bitfield = std::uint64_t;
+using cl_device_type = cl_bitfield;
+using cl_mem_flags = cl_bitfield;
+using cl_program_build_info = cl_uint;
+using cl_device_info = cl_uint;
+
+// --- Opaque handles -----------------------------------------------------------
+
+struct _cl_platform_id;
+struct _cl_device_id;
+struct _cl_context;
+struct _cl_command_queue;
+struct _cl_mem;
+struct _cl_program;
+struct _cl_kernel;
+
+using cl_platform_id = _cl_platform_id*;
+using cl_device_id = _cl_device_id*;
+using cl_context = _cl_context*;
+using cl_command_queue = _cl_command_queue*;
+using cl_mem = _cl_mem*;
+using cl_program = _cl_program*;
+using cl_kernel = _cl_kernel*;
+
+// --- Error codes ----------------------------------------------------------------
+
+inline constexpr cl_int CL_SUCCESS = 0;
+inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_BUILD_PROGRAM_FAILURE = -11;
+inline constexpr cl_int CL_INVALID_VALUE = -30;
+inline constexpr cl_int CL_INVALID_DEVICE = -33;
+inline constexpr cl_int CL_INVALID_CONTEXT = -34;
+inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr cl_int CL_INVALID_BINARY = -42;
+inline constexpr cl_int CL_INVALID_BUILD_OPTIONS = -43;
+inline constexpr cl_int CL_INVALID_PROGRAM = -44;
+inline constexpr cl_int CL_INVALID_PROGRAM_EXECUTABLE = -45;
+inline constexpr cl_int CL_INVALID_KERNEL_NAME = -46;
+inline constexpr cl_int CL_INVALID_KERNEL = -48;
+inline constexpr cl_int CL_INVALID_ARG_INDEX = -49;
+inline constexpr cl_int CL_INVALID_ARG_VALUE = -50;
+inline constexpr cl_int CL_INVALID_ARG_SIZE = -51;
+inline constexpr cl_int CL_INVALID_KERNEL_ARGS = -52;
+inline constexpr cl_int CL_INVALID_WORK_DIMENSION = -53;
+inline constexpr cl_int CL_INVALID_WORK_GROUP_SIZE = -54;
+inline constexpr cl_int CL_INVALID_BUFFER_SIZE = -61;
+
+// --- Enumerations ---------------------------------------------------------------
+
+inline constexpr cl_device_type CL_DEVICE_TYPE_CPU = 1u << 1;
+inline constexpr cl_device_type CL_DEVICE_TYPE_GPU = 1u << 2;
+inline constexpr cl_device_type CL_DEVICE_TYPE_ALL = 0xFFFFFFFF;
+
+inline constexpr cl_mem_flags CL_MEM_READ_WRITE = 1u << 0;
+inline constexpr cl_mem_flags CL_MEM_WRITE_ONLY = 1u << 1;
+inline constexpr cl_mem_flags CL_MEM_READ_ONLY = 1u << 2;
+inline constexpr cl_mem_flags CL_MEM_COPY_HOST_PTR = 1u << 5;
+
+inline constexpr cl_bool CL_FALSE = 0;
+inline constexpr cl_bool CL_TRUE = 1;
+
+inline constexpr cl_program_build_info CL_PROGRAM_BUILD_LOG = 0x1183;
+inline constexpr cl_device_info CL_DEVICE_NAME = 0x102B;
+
+// --- Platform / device ------------------------------------------------------------
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms);
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id* devices,
+                      cl_uint* num_devices);
+
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
+                       std::size_t param_value_size, void* param_value,
+                       std::size_t* param_value_size_ret);
+
+// --- Context / queue ----------------------------------------------------------------
+
+cl_context clCreateContext(const void* properties, cl_uint num_devices,
+                           const cl_device_id* devices, void* pfn_notify,
+                           void* user_data, cl_int* errcode_ret);
+
+cl_command_queue clCreateCommandQueue(cl_context context,
+                                      cl_device_id device,
+                                      cl_bitfield properties,
+                                      cl_int* errcode_ret);
+
+// --- Memory objects ---------------------------------------------------------------------
+
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags,
+                      std::size_t size, void* host_ptr, cl_int* errcode_ret);
+
+// --- Programs / kernels --------------------------------------------------------------------
+
+cl_program clCreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char** strings,
+                                     const std::size_t* lengths,
+                                     cl_int* errcode_ret);
+
+cl_int clBuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id* device_list, const char* options,
+                      void* pfn_notify, void* user_data);
+
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_program_build_info param_name,
+                             std::size_t param_value_size, void* param_value,
+                             std::size_t* param_value_size_ret);
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
+                         cl_int* errcode_ret);
+
+/// As in OpenCL: buffers are passed as (sizeof(cl_mem), &mem); scalars as
+/// (sizeof(T), &value) where T matches the kernel parameter type.
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index,
+                      std::size_t arg_size, const void* arg_value);
+
+// --- Command execution ------------------------------------------------------------------------
+
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_bool blocking_write, std::size_t offset,
+                            std::size_t size, const void* ptr,
+                            cl_uint num_events, const void* wait_list,
+                            void* event);
+
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_bool blocking_read, std::size_t offset,
+                           std::size_t size, void* ptr, cl_uint num_events,
+                           const void* wait_list, void* event);
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
+                              cl_uint work_dim,
+                              const std::size_t* global_work_offset,
+                              const std::size_t* global_work_size,
+                              const std::size_t* local_work_size,
+                              cl_uint num_events, const void* wait_list,
+                              void* event);
+
+cl_int clFinish(cl_command_queue queue);
+
+// --- Reference counting ---------------------------------------------------------------------------
+
+cl_int clRetainMemObject(cl_mem mem);
+cl_int clReleaseMemObject(cl_mem mem);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clReleaseProgram(cl_program program);
+cl_int clReleaseCommandQueue(cl_command_queue queue);
+cl_int clReleaseContext(cl_context context);
+
+// --- Simulator access (not part of OpenCL) ------------------------------------------------
+
+namespace hplrepro::clsim {
+class CommandQueue;
+class Device;
+
+/// The underlying simulated queue (for the benchmark harness timers).
+CommandQueue& cl_api_queue(cl_command_queue queue);
+
+/// Device handle for a given simulated device (so the baselines can pick
+/// the Tesla / Quadro / Xeon explicitly, as the paper's setups do).
+cl_device_id cl_api_device(const Device& device);
+
+}  // namespace hplrepro::clsim
+
+#endif  // HPLREPRO_CLSIM_CL_API_HPP

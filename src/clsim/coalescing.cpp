@@ -1,0 +1,49 @@
+#include "clsim/coalescing.hpp"
+
+#include <algorithm>
+
+namespace hplrepro::clsim {
+
+void CoalescingTracker::global_access(std::uint32_t pc_key,
+                                      std::uint64_t item_linear,
+                                      std::uint64_t buffer,
+                                      std::uint64_t offset, std::uint32_t size,
+                                      bool /*is_store*/) {
+  PerInstr& state = instrs_[pc_key];
+  const std::uint64_t warp = item_linear / warp_size_;
+  if (warp != state.warp) {
+    transactions_ += state.segments.size();
+    state.segments.clear();
+    state.warp = warp;
+  }
+
+  // Tag segments with the buffer id in the top bits so accesses to two
+  // different buffers never merge.
+  const std::uint64_t first = (buffer << 50) | (offset / segment_bytes_);
+  const std::uint64_t last =
+      (buffer << 50) | ((offset + size - 1) / segment_bytes_);
+  for (std::uint64_t seg = first; seg <= last; ++seg) {
+    if (std::find(state.segments.begin(), state.segments.end(), seg) ==
+        state.segments.end()) {
+      state.segments.push_back(seg);
+    }
+  }
+}
+
+std::uint64_t CoalescingTracker::finish() {
+  for (auto& [key, state] : instrs_) {
+    transactions_ += state.segments.size();
+    state.segments.clear();
+    state.warp = UINT64_MAX;
+  }
+  const std::uint64_t result = transactions_;
+  transactions_ = 0;
+  return result;
+}
+
+void CoalescingTracker::reset() {
+  instrs_.clear();
+  transactions_ = 0;
+}
+
+}  // namespace hplrepro::clsim

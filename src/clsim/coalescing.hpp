@@ -1,0 +1,59 @@
+#ifndef HPLREPRO_CLSIM_COALESCING_HPP
+#define HPLREPRO_CLSIM_COALESCING_HPP
+
+/// \file coalescing.hpp
+/// Warp-level memory coalescing analysis.
+///
+/// GPUs service the global-memory accesses of a warp in units of aligned
+/// segments (32 B on Fermi). When the 32 lanes of a warp touch consecutive
+/// addresses, a 128 B request needs only 4 segments; a random gather needs
+/// up to 32. This tracker replays that bookkeeping: for every memory
+/// instruction (identified by pc_key) it collects the segments touched by
+/// the current warp and counts one transaction per distinct segment.
+///
+/// Work-items of a group run sequentially in the simulator, so the tracker
+/// keys the "current warp" on item_linear / warp_size and flushes when a
+/// new warp starts issuing from the same instruction.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/vm.hpp"
+
+namespace hplrepro::clsim {
+
+class CoalescingTracker final : public clc::MemTracker {
+public:
+  explicit CoalescingTracker(unsigned warp_size, unsigned segment_bytes)
+      : warp_size_(warp_size == 0 ? 1 : warp_size),
+        segment_bytes_(segment_bytes == 0 ? 32 : segment_bytes) {}
+
+  void global_access(std::uint32_t pc_key, std::uint64_t item_linear,
+                     std::uint64_t buffer, std::uint64_t offset,
+                     std::uint32_t size, bool is_store) override;
+
+  /// Flushes pending warps and returns the transaction count since the
+  /// last reset.
+  std::uint64_t finish();
+
+  /// Clears all state (reuse across groups).
+  void reset();
+
+private:
+  struct PerInstr {
+    std::uint64_t warp = UINT64_MAX;
+    // Segments touched by the current warp at this instruction. Accesses
+    // are usually strided, so a small vector with linear scan beats a set.
+    std::vector<std::uint64_t> segments;
+  };
+
+  unsigned warp_size_;
+  unsigned segment_bytes_;
+  std::unordered_map<std::uint32_t, PerInstr> instrs_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace hplrepro::clsim
+
+#endif  // HPLREPRO_CLSIM_COALESCING_HPP

@@ -1,0 +1,77 @@
+#include "clsim/device.hpp"
+
+namespace hplrepro::clsim {
+
+DeviceSpec tesla_c2050() {
+  DeviceSpec d;
+  d.name = "SimTesla C2050";
+  d.type = DeviceType::Gpu;
+  d.compute_units = 448;
+  d.clock_ghz = 1.15;
+  d.ipc = 1.0;
+  d.special_op_cycles = 8;   // SFU-assisted transcendentals
+  d.double_rate = 0.5;       // Fermi: FP64 at half FP32 rate
+  d.supports_double = true;
+  d.global_bandwidth_gbs = 144.0;
+  d.local_bandwidth_gbs = 1030.0;  // shared memory aggregate
+  d.models_coalescing = true;
+  d.warp_size = 32;
+  d.segment_bytes = 32;
+  d.global_mem_bytes = 6ull << 30;
+  d.local_mem_bytes = 48 * 1024;
+  d.launch_overhead_us = 7.0;
+  d.barrier_cycles = 32;
+  d.transfer_bandwidth_gbs = 5.6;
+  d.transfer_latency_us = 10.0;
+  return d;
+}
+
+DeviceSpec quadro_fx380() {
+  DeviceSpec d;
+  d.name = "SimQuadro FX380";
+  d.type = DeviceType::Gpu;
+  d.compute_units = 16;
+  d.clock_ghz = 0.70;
+  d.ipc = 1.0;
+  d.special_op_cycles = 16;
+  d.double_rate = 0.0;  // unused
+  d.supports_double = false;
+  d.global_bandwidth_gbs = 22.4;
+  d.local_bandwidth_gbs = 120.0;
+  d.models_coalescing = true;
+  d.warp_size = 32;
+  d.segment_bytes = 32;
+  d.global_mem_bytes = 256ull << 20;
+  d.local_mem_bytes = 16 * 1024;
+  d.launch_overhead_us = 9.0;
+  d.barrier_cycles = 48;
+  d.transfer_bandwidth_gbs = 3.0;
+  d.transfer_latency_us = 12.0;
+  return d;
+}
+
+DeviceSpec xeon_host() {
+  DeviceSpec d;
+  d.name = "SimXeon E5506 (1 core)";
+  d.type = DeviceType::Cpu;
+  d.compute_units = 1;
+  d.clock_ghz = 2.13;
+  d.ipc = 2.0;                // superscalar core on simple loop bodies
+  d.special_op_cycles = 150;  // libm log/sqrt/exp on Nehalem: ~100-200 cyc
+  d.double_rate = 1.0;       // SSE doubles at full rate
+  d.supports_double = true;
+  d.global_bandwidth_gbs = 8.0;  // single-thread effective stream bandwidth
+  d.local_bandwidth_gbs = 40.0;  // __local degenerates to L1-resident data
+  d.models_coalescing = false;   // caches hide access granularity
+  d.warp_size = 1;
+  d.segment_bytes = 64;
+  d.global_mem_bytes = 12ull << 30;
+  d.local_mem_bytes = 48 * 1024;
+  d.launch_overhead_us = 0.2;  // plain function call, no driver in the way
+  d.barrier_cycles = 8;
+  d.transfer_bandwidth_gbs = 12.0;  // memcpy within host RAM
+  d.transfer_latency_us = 0.1;
+  return d;
+}
+
+}  // namespace hplrepro::clsim

@@ -1,0 +1,238 @@
+#include "clsim/executor.hpp"
+
+#include <mutex>
+
+#include "clsim/coalescing.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hplrepro::clsim {
+
+using clc::ExecStats;
+using clc::LaunchInfo;
+using clc::MemoryEnv;
+using clc::RunStatus;
+using clc::WorkItemInfo;
+using clc::WorkItemVM;
+
+namespace {
+std::uint64_t g_work_item_fuel = 1ull << 33;  // ~8.6e9 ops per item
+}
+
+void set_work_item_fuel(std::uint64_t fuel) { g_work_item_fuel = fuel; }
+std::uint64_t work_item_fuel() { return g_work_item_fuel; }
+
+NDRange choose_local_range(const NDRange& global, std::size_t max_group) {
+  NDRange local;
+  local.dims = global.dims;
+  std::size_t budget = max_group;
+  for (int d = 0; d < global.dims; ++d) {
+    std::size_t pick = 1;
+    for (std::size_t candidate = budget; candidate >= 1; --candidate) {
+      if (global.sizes[d] % candidate == 0) {
+        pick = candidate;
+        break;
+      }
+    }
+    local.sizes[d] = pick;
+    budget = std::max<std::size_t>(1, budget / pick);
+  }
+  return local;
+}
+
+namespace {
+
+struct GroupGrid {
+  std::size_t counts[3];
+  std::size_t total() const { return counts[0] * counts[1] * counts[2]; }
+};
+
+/// Runs all work-items of one work-group to completion, honouring
+/// barriers. Reuses the caller's VM pool and local arena.
+class GroupRunner {
+public:
+  GroupRunner(const clc::Module& module, const clc::CompiledFunction& kernel,
+              std::span<const clc::Value> args,
+              std::span<std::span<std::byte>> buffers,
+              const LaunchInfo& launch, const DeviceSpec& device,
+              std::uint64_t extra_local_bytes)
+      : module_(module),
+        kernel_(kernel),
+        args_(args),
+        buffers_(buffers),
+        launch_(launch),
+        tracker_(device.warp_size, device.segment_bytes),
+        use_tracker_(device.models_coalescing) {
+    local_arena_.resize(kernel.local_bytes + extra_local_bytes);
+    group_items_ = launch.local_size[0] * launch.local_size[1] *
+                   launch.local_size[2];
+    if (!kernel.uses_barrier) {
+      vms_.resize(1);
+    } else {
+      vms_.resize(group_items_);
+    }
+    items_.resize(group_items_);
+  }
+
+  void run_group(std::size_t gx, std::size_t gy, std::size_t gz,
+                 ExecStats& stats) {
+    std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
+    MemoryEnv mem{buffers_, std::span<std::byte>(local_arena_)};
+    clc::MemTracker* tracker = use_tracker_ ? &tracker_ : nullptr;
+
+    // Precompute per-item identifiers.
+    std::size_t linear = 0;
+    for (std::size_t lz = 0; lz < launch_.local_size[2]; ++lz) {
+      for (std::size_t ly = 0; ly < launch_.local_size[1]; ++ly) {
+        for (std::size_t lx = 0; lx < launch_.local_size[0]; ++lx) {
+          WorkItemInfo& item = items_[linear];
+          item.local_id[0] = lx;
+          item.local_id[1] = ly;
+          item.local_id[2] = lz;
+          item.group_id[0] = gx;
+          item.group_id[1] = gy;
+          item.group_id[2] = gz;
+          item.global_id[0] = gx * launch_.local_size[0] + lx;
+          item.global_id[1] = gy * launch_.local_size[1] + ly;
+          item.global_id[2] = gz * launch_.local_size[2] + lz;
+          item.linear_in_group = linear;
+          ++linear;
+        }
+      }
+    }
+
+    if (!kernel_.uses_barrier) {
+      // Fast path: one VM reused; every item runs to completion.
+      WorkItemVM& vm = vms_[0];
+      vm.set_fuel(work_item_fuel());
+      for (std::size_t i = 0; i < group_items_; ++i) {
+        vm.reset(module_, kernel_, args_);
+        const RunStatus status =
+            vm.run(mem, launch_, items_[i], stats, tracker);
+        if (status != RunStatus::Done) {
+          throw clc::TrapError(
+              "kernel reached a barrier not seen at compile time");
+        }
+      }
+    } else {
+      // Barrier-capable path: all items live simultaneously; execute in
+      // phases delimited by barriers.
+      for (std::size_t i = 0; i < group_items_; ++i) {
+        vms_[i].set_fuel(work_item_fuel());
+        vms_[i].reset(module_, kernel_, args_);
+      }
+      std::size_t done_count = 0;
+      std::vector<bool> done(group_items_, false);
+      while (done_count < group_items_) {
+        std::size_t finished_this_phase = 0;
+        std::size_t at_barrier = 0;
+        for (std::size_t i = 0; i < group_items_; ++i) {
+          if (done[i]) continue;
+          const RunStatus status =
+              vms_[i].run(mem, launch_, items_[i], stats, tracker);
+          if (status == RunStatus::Done) {
+            done[i] = true;
+            ++done_count;
+            ++finished_this_phase;
+          } else {
+            ++at_barrier;
+          }
+        }
+        // OpenCL requires that if any item of a group reaches a barrier,
+        // every item reaches it. Mixed outcomes within one phase mean the
+        // program would deadlock on real hardware; report it instead of
+        // silently releasing the barrier.
+        if (at_barrier != 0 && finished_this_phase != 0) {
+          throw clc::TrapError(
+              "divergent barrier: some work-items exited while others wait "
+              "at a barrier");
+        }
+      }
+    }
+
+    stats.items += group_items_;
+    stats.groups += 1;
+    if (use_tracker_) {
+      stats.global_transactions += tracker_.finish();
+    }
+  }
+
+private:
+  const clc::Module& module_;
+  const clc::CompiledFunction& kernel_;
+  std::span<const clc::Value> args_;
+  std::span<std::span<std::byte>> buffers_;
+  const LaunchInfo& launch_;
+  CoalescingTracker tracker_;
+  bool use_tracker_;
+  std::vector<std::byte> local_arena_;
+  std::vector<WorkItemVM> vms_;
+  std::vector<WorkItemInfo> items_;
+  std::size_t group_items_ = 0;
+};
+
+}  // namespace
+
+LaunchResult execute_ndrange(const clc::Module& module,
+                             const clc::CompiledFunction& kernel,
+                             std::span<const clc::Value> args,
+                             std::span<std::span<std::byte>> buffers,
+                             const NDRange& global, const NDRange& local,
+                             const DeviceSpec& device,
+                             hplrepro::ThreadPool& pool,
+                             std::uint64_t extra_local_bytes) {
+  hplrepro::Stopwatch wall;
+
+  if (global.dims != local.dims) {
+    throw InvalidArgument("global and local ranges must have equal rank");
+  }
+  LaunchInfo launch;
+  launch.work_dim = global.dims;
+  GroupGrid grid{};
+  for (int d = 0; d < 3; ++d) {
+    launch.global_size[d] = global.sizes[d];
+    launch.local_size[d] = local.sizes[d];
+    if (local.sizes[d] == 0 || global.sizes[d] % local.sizes[d] != 0) {
+      throw InvalidArgument(
+          "local size must evenly divide global size in every dimension");
+    }
+    launch.num_groups[d] = global.sizes[d] / local.sizes[d];
+    grid.counts[d] = launch.num_groups[d];
+  }
+  if (kernel.uses_double && !device.supports_double) {
+    throw InvalidArgument("device '" + device.name +
+                          "' does not support double precision");
+  }
+  if (kernel.local_bytes + extra_local_bytes > device.local_mem_bytes) {
+    throw InvalidArgument("kernel needs more __local memory than device '" +
+                          device.name + "' provides");
+  }
+
+  const std::size_t total_groups = grid.total();
+
+  ExecStats total_stats;
+  std::mutex stats_mutex;
+
+  pool.parallel_for_chunked(
+      total_groups, [&](std::size_t begin, std::size_t end) {
+        GroupRunner runner(module, kernel, args, buffers, launch, device,
+                           extra_local_bytes);
+        ExecStats chunk_stats;
+        for (std::size_t g = begin; g < end; ++g) {
+          const std::size_t gx = g % grid.counts[0];
+          const std::size_t gy = (g / grid.counts[0]) % grid.counts[1];
+          const std::size_t gz = g / (grid.counts[0] * grid.counts[1]);
+          runner.run_group(gx, gy, gz, chunk_stats);
+        }
+        std::lock_guard lock(stats_mutex);
+        total_stats += chunk_stats;
+      });
+
+  LaunchResult result;
+  result.stats = total_stats;
+  result.timing = simulate_kernel_time(total_stats, device);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace hplrepro::clsim

@@ -1,0 +1,70 @@
+#ifndef HPLREPRO_CLSIM_EXECUTOR_HPP
+#define HPLREPRO_CLSIM_EXECUTOR_HPP
+
+/// \file executor.hpp
+/// NDRange executor: runs every work-group of a kernel launch over a host
+/// thread pool, with work-items inside a group executed as resumable VM
+/// activations so barriers have real semantics.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "clc/bytecode.hpp"
+#include "clc/stats.hpp"
+#include "clc/vm.hpp"
+#include "clsim/device.hpp"
+#include "clsim/timing.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hplrepro::clsim {
+
+/// An N-dimensional range (OpenCL NDRange).
+struct NDRange {
+  int dims = 1;
+  std::size_t sizes[3] = {1, 1, 1};
+
+  NDRange() = default;
+  explicit NDRange(std::size_t x) : dims(1), sizes{x, 1, 1} {}
+  NDRange(std::size_t x, std::size_t y) : dims(2), sizes{x, y, 1} {}
+  NDRange(std::size_t x, std::size_t y, std::size_t z)
+      : dims(3), sizes{x, y, z} {}
+
+  std::size_t total() const { return sizes[0] * sizes[1] * sizes[2]; }
+};
+
+/// Picks a local range whose sizes divide `global` evenly; used when the
+/// client does not specify one (OpenCL's NULL local_work_size).
+NDRange choose_local_range(const NDRange& global,
+                           std::size_t max_group = 256);
+
+/// Per-work-item dynamic instruction budget between barriers. Kernels that
+/// exceed it trap (guards the host against runaway device loops). The
+/// default is large enough for any realistic kernel; tests lower it.
+void set_work_item_fuel(std::uint64_t fuel);
+std::uint64_t work_item_fuel();
+
+struct LaunchResult {
+  clc::ExecStats stats;
+  TimingBreakdown timing;
+  double wall_seconds = 0;  // host wall-clock spent simulating
+};
+
+/// Executes `kernel` over the given ranges. `args` must hold one Value per
+/// kernel parameter (scalars, or pointers encoded with buffer-table
+/// indices — including Local-space pointers into the per-group arena for
+/// dynamically sized __local arguments); `buffers` is the buffer table
+/// those pointers index. `extra_local_bytes` extends every group's local
+/// arena beyond the kernel's statically declared __local arrays.
+LaunchResult execute_ndrange(const clc::Module& module,
+                             const clc::CompiledFunction& kernel,
+                             std::span<const clc::Value> args,
+                             std::span<std::span<std::byte>> buffers,
+                             const NDRange& global, const NDRange& local,
+                             const DeviceSpec& device,
+                             hplrepro::ThreadPool& pool,
+                             std::uint64_t extra_local_bytes = 0);
+
+}  // namespace hplrepro::clsim
+
+#endif  // HPLREPRO_CLSIM_EXECUTOR_HPP

@@ -1,0 +1,288 @@
+#include "clsim/runtime.hpp"
+
+#include <cstring>
+
+#include "support/stopwatch.hpp"
+
+namespace hplrepro::clsim {
+
+// --- Platform ----------------------------------------------------------------
+
+Platform::Platform() : pool_(0) {
+  auto add = [this](const DeviceSpec& spec) {
+    devices_.push_back(Device(std::make_shared<DeviceSpec>(spec)));
+  };
+  // Order matters: HPL's default is the first non-CPU device, and the
+  // paper's default device is the Tesla.
+  add(tesla_c2050());
+  add(quadro_fx380());
+  add(xeon_host());
+}
+
+Platform& Platform::get() {
+  static Platform instance;
+  return instance;
+}
+
+std::optional<Device> Platform::device_by_type(DeviceType type) const {
+  for (const auto& d : devices_) {
+    if (d.type() == type) return d;
+  }
+  return std::nullopt;
+}
+
+Device Platform::default_accelerator() const {
+  for (const auto& d : devices_) {
+    if (d.type() != DeviceType::Cpu) return d;
+  }
+  return devices_.front();
+}
+
+std::optional<Device> Platform::device_by_name(
+    const std::string& needle) const {
+  for (const auto& d : devices_) {
+    if (d.name().find(needle) != std::string::npos) return d;
+  }
+  return std::nullopt;
+}
+
+Device Platform::register_device(const DeviceSpec& spec) {
+  devices_.push_back(Device(std::make_shared<DeviceSpec>(spec)));
+  return devices_.back();
+}
+
+// --- Buffer ------------------------------------------------------------------
+
+Buffer::Buffer(Context& context, std::size_t bytes, MemFlags flags) {
+  if (bytes == 0) throw RuntimeError("buffer size must be nonzero");
+  if (bytes > context.device().spec().global_mem_bytes) {
+    throw RuntimeError("buffer larger than device global memory");
+  }
+  storage_ = std::make_shared<Storage>();
+  // Deliberately uninitialised, like clCreateBuffer: allocation must be
+  // cheap; contents are undefined until the first write.
+  storage_->data = std::make_unique_for_overwrite<std::byte[]>(bytes);
+  storage_->size = bytes;
+  storage_->flags = flags;
+}
+
+void Buffer::fill_zero() {
+  std::memset(storage_->data.get(), 0, storage_->size);
+}
+
+// --- Program -----------------------------------------------------------------
+
+Program::Program(Context& context, std::string source)
+    : device_(context.device()), source_(std::move(source)) {}
+
+void Program::build() {
+  try {
+    clc::CompileResult result = clc::compile(source_);
+    build_log_ = result.build_log;
+    module_ = std::move(result.module);
+  } catch (const clc::CompileError& e) {
+    build_log_ = e.build_log();
+    throw RuntimeError("program build failed:\n" + build_log_);
+  }
+}
+
+const clc::Module& Program::module() const {
+  if (!module_) throw RuntimeError("program has not been built");
+  return *module_;
+}
+
+// --- Kernel ------------------------------------------------------------------
+
+Kernel::Kernel(Program& program, const std::string& name)
+    : module_(&program.module()) {
+  fn_ = module_->find(name);
+  if (fn_ == nullptr || !fn_->is_kernel) {
+    throw RuntimeError("no kernel named '" + name + "' in program");
+  }
+  args_.resize(fn_->params.size());
+}
+
+const clc::Type& Kernel::param_type(unsigned index) const {
+  if (index >= fn_->params.size()) {
+    throw RuntimeError("param_type: index out of range");
+  }
+  return fn_->params[index].type;
+}
+
+void Kernel::set_arg(unsigned index, const Buffer& buffer) {
+  if (index >= args_.size()) throw RuntimeError("kernel arg index out of range");
+  const clc::Type& param = fn_->params[index].type;
+  if (!param.pointer) {
+    throw RuntimeError("kernel parameter " + std::to_string(index) +
+                       " ('" + fn_->params[index].name +
+                       "') is a scalar; a buffer was supplied");
+  }
+  args_[index] = buffer.storage_;
+}
+
+void Kernel::set_arg_local(unsigned index, std::size_t bytes) {
+  if (index >= args_.size()) throw RuntimeError("kernel arg index out of range");
+  const clc::Type& param = fn_->params[index].type;
+  if (!param.pointer || param.space != clc::AddressSpace::Local) {
+    throw RuntimeError("kernel parameter " + std::to_string(index) + " ('" +
+                       fn_->params[index].name +
+                       "') is not a __local pointer");
+  }
+  if (bytes == 0) throw RuntimeError("__local argument size must be nonzero");
+  args_[index] = LocalAlloc{bytes};
+}
+
+void Kernel::set_scalar(unsigned index, double as_double, std::int64_t as_int,
+                        bool from_float) {
+  if (index >= args_.size()) throw RuntimeError("kernel arg index out of range");
+  const clc::Type& param = fn_->params[index].type;
+  if (param.pointer) {
+    throw RuntimeError("kernel parameter " + std::to_string(index) +
+                       " ('" + fn_->params[index].name +
+                       "') is a pointer; a scalar was supplied");
+  }
+  clc::Value v{};
+  switch (param.scalar) {
+    case clc::Scalar::Float:
+      v.f32 = from_float ? static_cast<float>(as_double)
+                         : static_cast<float>(as_int);
+      break;
+    case clc::Scalar::Double:
+      v.f64 = from_float ? as_double : static_cast<double>(as_int);
+      break;
+    default: {
+      std::int64_t raw = from_float ? static_cast<std::int64_t>(as_double)
+                                    : as_int;
+      // Normalise to the parameter's width/signedness, matching the VM's
+      // stack invariant for slot values.
+      switch (param.scalar) {
+        case clc::Scalar::Bool: raw = raw != 0; break;
+        case clc::Scalar::Char: raw = static_cast<std::int8_t>(raw); break;
+        case clc::Scalar::UChar: raw = static_cast<std::uint8_t>(raw); break;
+        case clc::Scalar::Short: raw = static_cast<std::int16_t>(raw); break;
+        case clc::Scalar::UShort: raw = static_cast<std::uint16_t>(raw); break;
+        case clc::Scalar::Int: raw = static_cast<std::int32_t>(raw); break;
+        case clc::Scalar::UInt: raw = static_cast<std::uint32_t>(raw); break;
+        default: break;
+      }
+      v.i64 = raw;
+      break;
+    }
+  }
+  args_[index] = v;
+}
+
+void Kernel::set_arg(unsigned index, double value) {
+  set_scalar(index, value, 0, true);
+}
+void Kernel::set_arg(unsigned index, float value) {
+  set_scalar(index, value, 0, true);
+}
+void Kernel::set_arg(unsigned index, std::int32_t value) {
+  set_scalar(index, 0, value, false);
+}
+void Kernel::set_arg(unsigned index, std::uint32_t value) {
+  set_scalar(index, 0, static_cast<std::int64_t>(value), false);
+}
+void Kernel::set_arg(unsigned index, std::int64_t value) {
+  set_scalar(index, 0, value, false);
+}
+void Kernel::set_arg(unsigned index, std::uint64_t value) {
+  set_scalar(index, 0, static_cast<std::int64_t>(value), false);
+}
+
+// --- CommandQueue -------------------------------------------------------------
+
+CommandQueue::CommandQueue(Context& context) : device_(context.device()) {}
+
+Event CommandQueue::enqueue_write_buffer(Buffer& buffer, const void* src,
+                                         std::size_t bytes,
+                                         std::size_t offset) {
+  if (offset + bytes > buffer.size()) {
+    throw RuntimeError("write_buffer out of range");
+  }
+  hplrepro::Stopwatch wall;
+  std::memcpy(buffer.raw() + offset, src, bytes);
+  Event event;
+  event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
+  event.wall_seconds_ = wall.seconds();
+  sim_seconds_ += event.sim_seconds_;
+  wall_seconds_ += event.wall_seconds_;
+  return event;
+}
+
+Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, void* dst,
+                                        std::size_t bytes,
+                                        std::size_t offset) {
+  if (offset + bytes > buffer.size()) {
+    throw RuntimeError("read_buffer out of range");
+  }
+  hplrepro::Stopwatch wall;
+  std::memcpy(dst, buffer.raw() + offset, bytes);
+  Event event;
+  event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
+  event.wall_seconds_ = wall.seconds();
+  sim_seconds_ += event.sim_seconds_;
+  wall_seconds_ += event.wall_seconds_;
+  return event;
+}
+
+Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
+                                           const NDRange& global,
+                                           std::optional<NDRange> local) {
+  // Assemble the argument vector and buffer table.
+  std::vector<clc::Value> args(kernel.args_.size());
+  std::vector<std::shared_ptr<Buffer::Storage>> retained;
+  std::vector<std::span<std::byte>> buffers;
+
+  // Dynamically sized __local arguments are carved out of every group's
+  // arena just past the kernel's statically declared __local arrays.
+  std::uint64_t local_top = kernel.fn_->local_bytes;
+  std::uint64_t extra_local_bytes = 0;
+
+  for (std::size_t i = 0; i < kernel.args_.size(); ++i) {
+    const auto& slot = kernel.args_[i];
+    if (std::holds_alternative<std::monostate>(slot)) {
+      throw RuntimeError("kernel argument " + std::to_string(i) +
+                         " ('" + kernel.fn_->params[i].name +
+                         "') was never set");
+    }
+    if (const auto* storage =
+            std::get_if<std::shared_ptr<Buffer::Storage>>(&slot)) {
+      const clc::Type& param = kernel.fn_->params[i].type;
+      const auto space = param.space == clc::AddressSpace::Constant
+                             ? clc::PtrSpace::Constant
+                             : clc::PtrSpace::Global;
+      retained.push_back(*storage);
+      buffers.emplace_back((*storage)->data.get(), (*storage)->size);
+      args[i].u64 = clc::make_pointer(space, buffers.size() - 1, 0);
+    } else if (const auto* local = std::get_if<Kernel::LocalAlloc>(&slot)) {
+      local_top = (local_top + 7) & ~std::uint64_t{7};  // 8-byte align
+      args[i].u64 = clc::make_pointer(clc::PtrSpace::Local, 0, local_top);
+      local_top += local->bytes;
+      extra_local_bytes = local_top - kernel.fn_->local_bytes;
+    } else {
+      args[i] = std::get<clc::Value>(slot);
+    }
+  }
+
+  const NDRange local_range =
+      local.has_value() ? *local : choose_local_range(global);
+
+  LaunchResult launch = execute_ndrange(
+      *kernel.module_, *kernel.fn_, args,
+      std::span<std::span<std::byte>>(buffers), global, local_range,
+      device_.spec(), Platform::get().pool(), extra_local_bytes);
+
+  Event event;
+  event.sim_seconds_ = launch.timing.total_s;
+  event.wall_seconds_ = launch.wall_seconds;
+  event.stats_ = launch.stats;
+  event.timing_ = launch.timing;
+  sim_seconds_ += event.sim_seconds_;
+  sim_kernel_seconds_ += event.sim_seconds_;
+  wall_seconds_ += event.wall_seconds_;
+  return event;
+}
+
+}  // namespace hplrepro::clsim

@@ -1,0 +1,263 @@
+#ifndef HPLREPRO_CLSIM_RUNTIME_HPP
+#define HPLREPRO_CLSIM_RUNTIME_HPP
+
+/// \file runtime.hpp
+/// The clsim host API: RAII C++ objects mirroring the OpenCL 1.x host
+/// object model — Platform, Device, Context, Buffer, Program, Kernel,
+/// CommandQueue, Event. The OpenCL-style baseline benchmarks are written
+/// against this API with kernel source strings, exactly as a hand-written
+/// OpenCL program would be (minus the C error-code plumbing).
+///
+/// Execution is synchronous; "device time" is simulated by the timing
+/// model and accumulated per queue, while Events expose per-command
+/// profiling information (the analogue of CL_QUEUE_PROFILING_ENABLE).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "clc/bytecode.hpp"
+#include "clc/compile.hpp"
+#include "clsim/device.hpp"
+#include "clsim/executor.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hplrepro::clsim {
+
+class RuntimeError : public Error {
+public:
+  explicit RuntimeError(const std::string& what)
+      : Error("clsim: " + what) {}
+};
+
+class Context;
+class Buffer;
+class Program;
+class Kernel;
+class CommandQueue;
+
+/// A device in the simulated platform. Cheap value type (shared impl).
+class Device {
+public:
+  const DeviceSpec& spec() const { return *spec_; }
+  const std::string& name() const { return spec_->name; }
+  DeviceType type() const { return spec_->type; }
+  bool supports_double() const { return spec_->supports_double; }
+
+  bool operator==(const Device& other) const { return spec_ == other.spec_; }
+
+private:
+  friend class Platform;
+  explicit Device(std::shared_ptr<const DeviceSpec> spec)
+      : spec_(std::move(spec)) {}
+  std::shared_ptr<const DeviceSpec> spec_;
+};
+
+/// The simulated OpenCL platform. Exposes the device catalog (Tesla,
+/// Quadro, Xeon) plus any devices registered by tests.
+class Platform {
+public:
+  /// The process-wide platform instance.
+  static Platform& get();
+
+  const std::vector<Device>& devices() const { return devices_; }
+
+  /// First device of the given type; nullopt if none.
+  std::optional<Device> device_by_type(DeviceType type) const;
+
+  /// First device that is not a CPU (HPL's default device rule), falling
+  /// back to the first device.
+  Device default_accelerator() const;
+
+  /// Finds a device by (sub)name, e.g. "Tesla" or "Quadro".
+  std::optional<Device> device_by_name(const std::string& needle) const;
+
+  /// Registers an additional simulated device (tests, experiments).
+  Device register_device(const DeviceSpec& spec);
+
+  /// Host thread pool shared by all simulated devices.
+  hplrepro::ThreadPool& pool() { return pool_; }
+
+private:
+  Platform();
+  std::vector<Device> devices_;
+  hplrepro::ThreadPool pool_;
+};
+
+/// An OpenCL-like context bound to one device.
+class Context {
+public:
+  explicit Context(Device device) : device_(std::move(device)) {}
+  const Device& device() const { return device_; }
+
+private:
+  Device device_;
+};
+
+enum class MemFlags : std::uint32_t {
+  ReadWrite = 0,
+  ReadOnly = 1,
+  WriteOnly = 2,
+};
+
+/// A device buffer (simulated: host-side storage owned by the buffer).
+/// As with real clCreateBuffer, the contents are undefined until written.
+class Buffer {
+public:
+  Buffer(Context& context, std::size_t bytes,
+         MemFlags flags = MemFlags::ReadWrite);
+
+  std::size_t size() const { return storage_->size; }
+  MemFlags flags() const { return storage_->flags; }
+
+  /// Direct access to the simulated device storage. Bypasses the queue's
+  /// simulated transfer accounting; tests use it for verification.
+  std::byte* raw() { return storage_->data.get(); }
+  const std::byte* raw() const { return storage_->data.get(); }
+
+  /// Zero-fills the storage (testing convenience; real OpenCL would use
+  /// clEnqueueFillBuffer).
+  void fill_zero();
+
+private:
+  friend class CommandQueue;
+  friend class Kernel;
+  struct Storage {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    MemFlags flags = MemFlags::ReadWrite;
+  };
+  std::shared_ptr<Storage> storage_;
+};
+
+/// A program: OpenCL C source compiled for the context's device by the
+/// clc compiler (the simulated vendor compiler).
+class Program {
+public:
+  Program(Context& context, std::string source);
+
+  /// Compiles the source. Throws RuntimeError on failure; the build log is
+  /// available either way, as with clBuildProgram.
+  void build();
+  bool built() const { return module_.has_value(); }
+  const std::string& build_log() const { return build_log_; }
+  const std::string& source() const { return source_; }
+
+  const clc::Module& module() const;
+  const Device& device() const { return device_; }
+
+private:
+  Device device_;
+  std::string source_;
+  std::optional<clc::Module> module_;
+  std::string build_log_;
+};
+
+/// A kernel handle plus its bound arguments (clSetKernelArg analogue).
+class Kernel {
+public:
+  Kernel(Program& program, const std::string& name);
+
+  const std::string& name() const { return fn_->name; }
+  std::size_t num_args() const { return fn_->params.size(); }
+
+  /// Declared type of parameter `index` (introspection for the C API).
+  const clc::Type& param_type(unsigned index) const;
+
+  void set_arg(unsigned index, const Buffer& buffer);
+
+  /// Dynamically sized __local argument (OpenCL's
+  /// clSetKernelArg(kernel, i, bytes, NULL)): the runtime reserves `bytes`
+  /// of per-group scratchpad and passes its address to the kernel.
+  void set_arg_local(unsigned index, std::size_t bytes);
+
+  /// Scalar argument; converted to the parameter's declared type.
+  void set_arg(unsigned index, double value);
+  void set_arg(unsigned index, float value);
+  void set_arg(unsigned index, std::int32_t value);
+  void set_arg(unsigned index, std::uint32_t value);
+  void set_arg(unsigned index, std::int64_t value);
+  void set_arg(unsigned index, std::uint64_t value);
+
+private:
+  friend class CommandQueue;
+  struct LocalAlloc {
+    std::size_t bytes = 0;
+  };
+  using ArgSlot =
+      std::variant<std::monostate, std::shared_ptr<Buffer::Storage>,
+                   clc::Value, LocalAlloc>;
+
+  void set_scalar(unsigned index, double as_double, std::int64_t as_int,
+                  bool from_float);
+
+  const clc::Module* module_;
+  const clc::CompiledFunction* fn_;
+  std::vector<ArgSlot> args_;
+};
+
+/// Profiling information for one enqueued command.
+class Event {
+public:
+  double sim_seconds() const { return sim_seconds_; }
+  const clc::ExecStats& stats() const { return stats_; }
+  const TimingBreakdown& timing() const { return timing_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+private:
+  friend class CommandQueue;
+  double sim_seconds_ = 0;
+  double wall_seconds_ = 0;
+  clc::ExecStats stats_;
+  TimingBreakdown timing_;
+};
+
+/// An in-order command queue. Commands execute synchronously (the
+/// simulator has no async pipeline) and accumulate simulated device time.
+class CommandQueue {
+public:
+  explicit CommandQueue(Context& context);
+
+  const Device& device() const { return device_; }
+
+  Event enqueue_write_buffer(Buffer& buffer, const void* src,
+                             std::size_t bytes, std::size_t offset = 0);
+  Event enqueue_read_buffer(const Buffer& buffer, void* dst,
+                            std::size_t bytes, std::size_t offset = 0);
+
+  /// Launches a kernel over `global` work-items. Passing no `local` lets
+  /// the runtime pick one (OpenCL's NULL local size).
+  Event enqueue_ndrange_kernel(Kernel& kernel, const NDRange& global,
+                               std::optional<NDRange> local = std::nullopt);
+
+  /// Blocks until all enqueued work completes (no-op; synchronous).
+  void finish() {}
+
+  /// Total simulated device seconds accumulated by this queue.
+  double simulated_seconds() const { return sim_seconds_; }
+  /// Sum over kernel launches only (excluding transfers).
+  double simulated_kernel_seconds() const { return sim_kernel_seconds_; }
+  /// Host wall-clock spent inside this queue (simulation cost).
+  double wall_seconds() const { return wall_seconds_; }
+
+  void reset_timers() {
+    sim_seconds_ = 0;
+    sim_kernel_seconds_ = 0;
+    wall_seconds_ = 0;
+  }
+
+private:
+  Device device_;
+  double sim_seconds_ = 0;
+  double sim_kernel_seconds_ = 0;
+  double wall_seconds_ = 0;
+};
+
+}  // namespace hplrepro::clsim
+
+#endif  // HPLREPRO_CLSIM_RUNTIME_HPP

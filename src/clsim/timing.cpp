@@ -1,0 +1,55 @@
+#include "clsim/timing.hpp"
+
+#include <algorithm>
+
+namespace hplrepro::clsim {
+
+TimingBreakdown simulate_kernel_time(const clc::ExecStats& stats,
+                                     const DeviceSpec& d) {
+  TimingBreakdown t;
+
+  const double hz = d.clock_ghz * 1e9;
+  const double core_ops_per_s = hz * d.ipc;
+
+  // Control-flow/stack operations are bookkeeping the VM needs but real
+  // ISAs mostly fold away (addressing modes, fused compares); charge them
+  // at a quarter of an ALU op.
+  const double double_cost = d.double_rate > 0 ? 1.0 / d.double_rate : 1.0;
+  const double weighted_ops =
+      0.25 * static_cast<double>(stats.control_ops) +
+      static_cast<double>(stats.int_ops) +
+      static_cast<double>(stats.float_ops) +
+      double_cost * static_cast<double>(stats.double_ops) +
+      d.special_op_cycles * static_cast<double>(stats.special_ops);
+
+  t.compute_s = weighted_ops / (core_ops_per_s * d.compute_units);
+
+  const double gbw = d.global_bandwidth_gbs * 1e9;
+  if (d.models_coalescing) {
+    t.global_mem_s =
+        static_cast<double>(stats.global_transactions * d.segment_bytes) / gbw;
+  } else {
+    t.global_mem_s = static_cast<double>(stats.global_load_bytes +
+                                         stats.global_store_bytes) /
+                     gbw;
+  }
+
+  t.local_mem_s = static_cast<double>(stats.local_bytes) /
+                  (d.local_bandwidth_gbs * 1e9);
+
+  t.barrier_s = static_cast<double>(stats.barriers_executed) *
+                d.barrier_cycles / (hz * d.compute_units);
+
+  t.launch_s = d.launch_overhead_us * 1e-6;
+
+  t.total_s = std::max({t.compute_s, t.global_mem_s, t.local_mem_s}) +
+              t.barrier_s + t.launch_s;
+  return t;
+}
+
+double simulate_transfer_time(std::uint64_t bytes, const DeviceSpec& d) {
+  return d.transfer_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (d.transfer_bandwidth_gbs * 1e9);
+}
+
+}  // namespace hplrepro::clsim

@@ -1,0 +1,46 @@
+#ifndef HPLREPRO_CLSIM_TIMING_HPP
+#define HPLREPRO_CLSIM_TIMING_HPP
+
+/// \file timing.hpp
+/// Roofline-style timing model: converts the VM's dynamic execution
+/// statistics into simulated device seconds.
+///
+/// kernel time = max(compute, global memory, local memory)
+///             + barrier cost + launch overhead
+///
+/// where
+///   compute  = weighted_ops / (compute_units * clock * ipc)
+///   global   = coalesced ? transactions * segment / bandwidth
+///                        : raw bytes / bandwidth
+///   local    = local bytes / local bandwidth
+///
+/// Weighted ops charge transcendentals `special_op_cycles` and doubles
+/// 1/double_rate. This deliberately simple model reproduces the *shape* of
+/// the paper's speedups: compute-bound kernels scale with core count,
+/// streaming kernels with bandwidth, and gather-heavy kernels pay the
+/// coalescing amplification.
+
+#include "clc/stats.hpp"
+#include "clsim/device.hpp"
+
+namespace hplrepro::clsim {
+
+struct TimingBreakdown {
+  double compute_s = 0;
+  double global_mem_s = 0;
+  double local_mem_s = 0;
+  double barrier_s = 0;
+  double launch_s = 0;
+  double total_s = 0;
+};
+
+/// Simulated execution time of one kernel launch.
+TimingBreakdown simulate_kernel_time(const clc::ExecStats& stats,
+                                     const DeviceSpec& device);
+
+/// Simulated time of a host<->device transfer of `bytes`.
+double simulate_transfer_time(std::uint64_t bytes, const DeviceSpec& device);
+
+}  // namespace hplrepro::clsim
+
+#endif  // HPLREPRO_CLSIM_TIMING_HPP

@@ -1,0 +1,31 @@
+#ifndef HPLREPRO_HPL_HPL_H
+#define HPLREPRO_HPL_HPL_H
+
+/// \file HPL.h
+/// Umbrella header of the Heterogeneous Programming Library (HPL), the
+/// system presented in:
+///
+///   Z. Bozkus and B. B. Fraguela, "A Portable High-Productivity Approach
+///   to Program Heterogeneous Systems", IPDPS Workshops 2012.
+///
+/// Including this single header provides (paper §III):
+///   * Array<type, ndim [, memoryFlag]> and the scalar types Int, Uint,
+///     Float, Double, ... usable in host code and in kernels;
+///   * the kernel control keywords if_/else_/endif_, for_/endfor_,
+///     while_/endwhile_ and the barrier() function;
+///   * the predefined variables idx/idy/idz, lidx/lidy/lidz,
+///     gidx/gidy/gidz plus global/local size and group-count variables;
+///   * eval(f).global(...).local(...).device(...)(args...) to request the
+///     parallel evaluation of a kernel on a device.
+///
+/// Everything lives in namespace HPL.
+
+#include "hpl/array.hpp"     // IWYU pragma: export
+#include "hpl/eval.hpp"      // IWYU pragma: export
+#include "hpl/expr.hpp"      // IWYU pragma: export
+#include "hpl/keywords.hpp"  // IWYU pragma: export
+#include "hpl/patterns.hpp"  // IWYU pragma: export
+#include "hpl/runtime.hpp"   // IWYU pragma: export
+#include "hpl/types.hpp"     // IWYU pragma: export
+
+#endif  // HPLREPRO_HPL_HPL_H

@@ -1,0 +1,110 @@
+#include "hpl/array.hpp"
+
+namespace HPL {
+namespace detail {
+
+ArrayImplPtr make_formal_impl(const char* type_name, std::size_t elem_size,
+                              int ndim, MemFlag flag) {
+  KernelBuilder* builder = KernelBuilder::current();
+  if (builder == nullptr) {
+    throw hplrepro::InternalError(
+        "formal parameter constructed outside capture");
+  }
+  auto impl = std::make_shared<ArrayImpl>();
+  impl->type_name = type_name;
+  impl->elem_size = elem_size;
+  impl->flag = flag;
+  impl->param_index = static_cast<int>(builder->params().size());
+  impl->var_name = builder->add_param(type_name, ndim, flag);
+  // Hidden dimension-size argument names for rank >= 2 (row-major
+  // linearisation, paper §III-A "arrays of any number of dimensions").
+  impl->dims.assign(static_cast<std::size_t>(ndim), 0);
+  impl->dim_names.resize(static_cast<std::size_t>(ndim));
+  for (int d = 1; d < ndim; ++d) {
+    impl->dim_names[static_cast<std::size_t>(d)] =
+        impl->var_name + "_d" + std::to_string(d);
+  }
+  return impl;
+}
+
+ArrayImplPtr make_kernel_local_impl(const char* type_name,
+                                    std::size_t elem_size,
+                                    std::vector<std::size_t> dims,
+                                    MemFlag flag) {
+  KernelBuilder* builder = KernelBuilder::current();
+  if (builder == nullptr) {
+    throw hplrepro::InternalError(
+        "kernel-local array constructed outside capture");
+  }
+  if (flag == Constant) {
+    throw hplrepro::InvalidArgument(
+        "HPL: constant-memory arrays must be kernel arguments, not "
+        "kernel-local variables");
+  }
+  auto impl = std::make_shared<ArrayImpl>();
+  impl->type_name = type_name;
+  impl->elem_size = elem_size;
+  impl->flag = flag == Local ? Local : Private;
+  impl->is_kernel_local = true;
+  impl->dims = std::move(dims);
+  impl->dim_names.resize(impl->dims.size());
+  for (std::size_t d = 1; d < impl->dims.size(); ++d) {
+    impl->dim_names[d] = std::to_string(impl->dims[d]);
+  }
+  if (!impl->dims.empty()) {
+    impl->var_name =
+        builder->declare_array(type_name, impl->dims, impl->flag);
+  }
+  return impl;
+}
+
+std::string element_code(const ArrayImpl& impl,
+                         const std::vector<std::string>& indices) {
+  std::string linear = indices[0];
+  for (std::size_t d = 1; d < indices.size(); ++d) {
+    linear = "(" + linear + ") * " + impl.dim_names[d] + " + (" +
+             indices[d] + ")";
+  }
+  return impl.var_name + "[" + linear + "]";
+}
+
+Expr element_read(ArrayImpl& impl, const std::string& element) {
+  KernelBuilder* builder = KernelBuilder::current();
+  if (builder != nullptr && impl.param_index >= 0) {
+    builder->note_read(impl.param_index);
+  }
+  return Expr(element);
+}
+
+void emit_element_assign(ArrayImpl& impl, const std::string& element,
+                         const char* op, const Expr& rhs) {
+  KernelBuilder* builder = KernelBuilder::current();
+  if (builder == nullptr) {
+    throw hplrepro::Error(
+        "HPL: [] assignment is only valid inside kernels; use () in host "
+        "code");
+  }
+  if (impl.flag == Constant) {
+    throw hplrepro::Error(
+        "HPL: arrays in constant memory are read-only inside kernels");
+  }
+  if (impl.param_index >= 0) {
+    builder->note_write(impl.param_index);
+    if (op[0] != '=') builder->note_read(impl.param_index);
+  }
+  builder->emit_statement(element + " " + op + " " + rhs.code() + ";");
+}
+
+void host_bracket_error() {
+  throw hplrepro::Error(
+      "HPL: [] indexing is only valid inside kernels; host code must use "
+      "() (paper §III-A)");
+}
+
+void kernel_paren_error() {
+  throw hplrepro::Error(
+      "HPL: host-style access inside a kernel; use [] indexing in kernels");
+}
+
+}  // namespace detail
+}  // namespace HPL

@@ -1,0 +1,427 @@
+#ifndef HPLREPRO_HPL_ARRAY_HPP
+#define HPLREPRO_HPL_ARRAY_HPP
+
+/// \file array.hpp
+/// The HPL datatypes (paper §III-A): Array<type, ndim [, memoryFlag]> and
+/// the scalar convenience aliases (Int, Uint, Float, Double, ...).
+///
+/// The same object works in both worlds:
+///  * in host code, `a(i, j)` accesses the host copy (with lazy read-back
+///    from whichever device last wrote the array);
+///  * inside kernels (i.e. while a KernelBuilder is capturing), `a[i][j]`
+///    records an OpenCL C access — reads convert to Expr, assignments emit
+///    statements and mark the parameter as written.
+///
+/// Coherence is tracked at whole-array granularity: an array a kernel
+/// writes is treated as entirely overwritten on the device, so elements
+/// the kernel did not actually store are undefined afterwards (the same
+/// contract a write-only OpenCL buffer has).
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hpl/array_impl.hpp"
+#include "hpl/builder.hpp"
+#include "hpl/expr.hpp"
+#include "hpl/types.hpp"
+#include "support/error.hpp"
+
+namespace HPL {
+
+namespace detail {
+
+struct FormalTag {};
+
+/// Registers a formal parameter with the active builder and returns the
+/// prepared impl (var_name = pN, dim name table for hidden size args).
+ArrayImplPtr make_formal_impl(const char* type_name, std::size_t elem_size,
+                              int ndim, MemFlag flag);
+
+/// Creates the impl for an array declared inside a kernel (paper: e.g.
+/// `Array<float,1,Local> sharedM(M)` in the dot-product kernel).
+ArrayImplPtr make_kernel_local_impl(const char* type_name,
+                                    std::size_t elem_size,
+                                    std::vector<std::size_t> dims,
+                                    MemFlag flag);
+
+/// Expression text for element access `name[linearised(indices)]`.
+std::string element_code(const ArrayImpl& impl,
+                         const std::vector<std::string>& indices);
+
+/// Statement emission for proxy assignments; handles read/write notes.
+void emit_element_assign(ArrayImpl& impl, const std::string& element,
+                         const char* op, const Expr& rhs);
+
+/// Expr for reading an element; notes the read.
+Expr element_read(ArrayImpl& impl, const std::string& element);
+
+[[noreturn]] void host_bracket_error();
+[[noreturn]] void kernel_paren_error();
+
+/// Accumulates `[i][j]...` applications during capture until the array's
+/// rank is reached, at which point it is usable as a value (converts to
+/// Expr) or as an assignment target.
+class Indexer {
+public:
+  Indexer(ArrayImplPtr impl, int ndim) : impl_(std::move(impl)), ndim_(ndim) {}
+
+  // Copying is used internally while accumulating indices; the assignment
+  // operators below deliberately emit kernel statements instead of copying.
+  Indexer(const Indexer&) = default;
+
+  Indexer operator[](const Expr& index) const {
+    if (static_cast<int>(indices_.size()) >= ndim_) {
+      throw hplrepro::InvalidArgument(
+          "HPL: too many [] applications for array rank");
+    }
+    Indexer next = *this;
+    next.indices_.push_back(index.code());
+    return next;
+  }
+
+  operator Expr() const {
+    return element_read(*impl_, element());
+  }
+
+  // Assignment operators complete a statement. They are usable on
+  // temporaries (`a[i] = x`), which is the normal pattern.
+  const Indexer& operator=(const Expr& rhs) const {
+    emit_element_assign(*impl_, element(), "=", rhs);
+    return *this;
+  }
+  const Indexer& operator+=(const Expr& rhs) const {
+    emit_element_assign(*impl_, element(), "+=", rhs);
+    return *this;
+  }
+  const Indexer& operator-=(const Expr& rhs) const {
+    emit_element_assign(*impl_, element(), "-=", rhs);
+    return *this;
+  }
+  const Indexer& operator*=(const Expr& rhs) const {
+    emit_element_assign(*impl_, element(), "*=", rhs);
+    return *this;
+  }
+  const Indexer& operator/=(const Expr& rhs) const {
+    emit_element_assign(*impl_, element(), "/=", rhs);
+    return *this;
+  }
+  const Indexer& operator=(const Indexer& rhs) const {
+    return *this = static_cast<Expr>(rhs);
+  }
+
+private:
+  std::string element() const {
+    if (static_cast<int>(indices_.size()) != ndim_) {
+      throw hplrepro::InvalidArgument(
+          "HPL: array indexed with fewer [] than its rank");
+    }
+    return element_code(*impl_, indices_);
+  }
+
+  ArrayImplPtr impl_;
+  int ndim_;
+  std::vector<std::string> indices_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Array<T, NDIM, FLAG>  (NDIM >= 1)
+// ---------------------------------------------------------------------------
+
+template <typename T, int NDIM, MemFlag FLAG = Global>
+class Array {
+  static_assert(NDIM >= 1 && NDIM <= 3, "HPL arrays support 1 to 3 dims");
+  using Traits = detail::TypeTraits<T>;
+
+public:
+  using value_type = T;
+  static constexpr int ndim = NDIM;
+  static constexpr MemFlag mem_flag = FLAG;
+
+  /// 1-D constructor; optionally wraps caller-owned storage.
+  explicit Array(std::size_t n, T* data = nullptr)
+    requires(NDIM == 1)
+      : impl_(make(std::vector<std::size_t>{n}, data)) {}
+
+  Array(std::size_t d0, std::size_t d1, T* data = nullptr)
+    requires(NDIM == 2)
+      : impl_(make(std::vector<std::size_t>{d0, d1}, data)) {}
+
+  Array(std::size_t d0, std::size_t d1, std::size_t d2, T* data = nullptr)
+    requires(NDIM == 3)
+      : impl_(make(std::vector<std::size_t>{d0, d1, d2}, data)) {}
+
+  /// Formal-parameter constructor used during kernel capture (internal).
+  Array(detail::FormalTag, int /*index*/)
+      : impl_(detail::make_formal_impl(Traits::name, Traits::size, NDIM,
+                                       FLAG)) {}
+
+  // --- Kernel-side indexing: brackets (paper §III-A) ---
+  detail::Indexer operator[](const Expr& index) const {
+    if (detail::KernelBuilder::current() == nullptr) {
+      detail::host_bracket_error();
+    }
+    return detail::Indexer(impl_, NDIM)[index];
+  }
+
+  // --- Host-side indexing: parentheses (paper §III-A) ---
+  T& operator()(std::size_t i)
+    requires(NDIM == 1)
+  {
+    return host_at(i);
+  }
+  T& operator()(std::size_t i, std::size_t j)
+    requires(NDIM == 2)
+  {
+    return host_at(i * impl_->dims[1] + j);
+  }
+  T& operator()(std::size_t i, std::size_t j, std::size_t k)
+    requires(NDIM == 3)
+  {
+    return host_at((i * impl_->dims[1] + j) * impl_->dims[2] + k);
+  }
+
+  /// Read-only host access that leaves device copies valid.
+  T get(std::size_t i) const
+    requires(NDIM == 1)
+  {
+    detail::sync_to_host(*impl_);
+    return reinterpret_cast<const T*>(impl_->host_bytes())[i];
+  }
+
+  /// Native pointer to the host copy (paper: method data()). The caller
+  /// may read and write through it, so device copies are invalidated.
+  T* data() {
+    detail::prepare_host_write(*impl_);
+    return reinterpret_cast<T*>(impl_->host_bytes());
+  }
+
+  std::size_t size(int dim = 0) const {
+    return impl_->dims[static_cast<std::size_t>(dim)];
+  }
+  std::size_t length() const { return impl_->total_elems(); }
+
+  detail::ArrayImplPtr impl() const { return impl_; }
+
+private:
+  static detail::ArrayImplPtr make(std::vector<std::size_t> dims, T* data) {
+    if (detail::KernelBuilder::current() != nullptr) {
+      // Declared inside a kernel: a private (or __local) array.
+      return detail::make_kernel_local_impl(Traits::name, Traits::size,
+                                            std::move(dims), FLAG);
+    }
+    if (data != nullptr) {
+      return detail::make_array_impl_wrapping(Traits::name, Traits::size,
+                                              std::move(dims), FLAG, data);
+    }
+    return detail::make_array_impl(Traits::name, Traits::size,
+                                   std::move(dims), FLAG);
+  }
+
+  T& host_at(std::size_t linear) {
+    if (detail::KernelBuilder::current() != nullptr) {
+      detail::kernel_paren_error();
+    }
+    detail::prepare_host_write(*impl_);
+    return reinterpret_cast<T*>(impl_->host_bytes())[linear];
+  }
+
+  detail::ArrayImplPtr impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Array<T, 0>: scalars
+// ---------------------------------------------------------------------------
+
+template <typename T, MemFlag FLAG>
+class Array<T, 0, FLAG> {
+  using Traits = detail::TypeTraits<T>;
+
+public:
+  using value_type = T;
+  static constexpr int ndim = 0;
+
+  /// Host scalar (value 0) or, under capture, a kernel variable decl.
+  Array() : impl_(make(nullptr)) {}
+
+  /// Host scalar with value, or kernel variable with initializer.
+  Array(T v) {
+    if (detail::KernelBuilder::current() != nullptr) {
+      const Expr init(v);
+      impl_ = make(&init);
+    } else {
+      impl_ = make(nullptr);
+      store(v);
+    }
+  }
+
+  Array(detail::FormalTag, int /*index*/)
+      : impl_(detail::make_formal_impl(Traits::name, Traits::size, 0,
+                                       Global)) {}
+
+  // Copy shares the impl (reference semantics, like all HPL arrays).
+  Array(const Array&) = default;
+
+  // --- Capture-side use ---
+  operator Expr() const {
+    detail::KernelBuilder* builder = detail::KernelBuilder::current();
+    if (builder == nullptr) {
+      return Expr(load());  // literal from the current host value
+    }
+    if (impl_->param_index >= 0) {
+      builder->note_read(impl_->param_index);
+      return Expr(impl_->var_name);
+    }
+    if (impl_->is_kernel_local) return Expr(impl_->var_name);
+    // A host scalar referenced inside a kernel: capture its current value
+    // (HPL "captures variables and macros defined outside" kernels).
+    return Expr(load());
+  }
+
+  Array& operator=(T v) {
+    if (emit_if_capturing("=", Expr(v))) return *this;
+    store(v);
+    return *this;
+  }
+  Array& operator=(const Expr& e) {
+    require_capture("assign an expression to");
+    emit("=", e);
+    return *this;
+  }
+  Array& operator=(const Array& other) {
+    if (detail::KernelBuilder::current() != nullptr) {
+      emit("=", static_cast<Expr>(other));
+    } else {
+      store(other.load());
+    }
+    return *this;
+  }
+
+#define HPL_SCALAR_COMPOUND(OP)                             \
+  Array& operator OP(T v) {                                 \
+    if (emit_if_capturing(#OP, Expr(v))) return *this;      \
+    T current = load();                                     \
+    current OP v;                                           \
+    store(current);                                         \
+    return *this;                                           \
+  }                                                         \
+  Array& operator OP(const Expr& e) {                       \
+    require_capture("apply " #OP " to");                    \
+    emit(#OP, e);                                           \
+    return *this;                                           \
+  }
+  HPL_SCALAR_COMPOUND(+=)
+  HPL_SCALAR_COMPOUND(-=)
+  HPL_SCALAR_COMPOUND(*=)
+  HPL_SCALAR_COMPOUND(/=)
+#undef HPL_SCALAR_COMPOUND
+
+  Array& operator++() { return increment("++"); }
+  Array& operator++(int) { return increment("++"); }
+  Array& operator--() { return increment("--"); }
+  Array& operator--(int) { return increment("--"); }
+
+  // --- Host-side use ---
+  T value() const {
+    if (detail::KernelBuilder::current() != nullptr) {
+      detail::kernel_paren_error();
+    }
+    return load();
+  }
+
+  detail::ArrayImplPtr impl() const { return impl_; }
+
+private:
+  detail::ArrayImplPtr make(const Expr* init) {
+    if (detail::KernelBuilder::current() != nullptr) {
+      auto impl = detail::make_kernel_local_impl(Traits::name, Traits::size,
+                                                 {}, Private);
+      impl->var_name = detail::KernelBuilder::current()->declare_scalar(
+          Traits::name, init);
+      impl->is_kernel_local = true;
+      return impl;
+    }
+    return detail::make_array_impl(Traits::name, Traits::size, {}, Global);
+  }
+
+  T load() const {
+    T v;
+    std::memcpy(&v, impl_->host_ptr, sizeof(T));
+    return v;
+  }
+  void store(T v) { std::memcpy(impl_->host_ptr, &v, sizeof(T)); }
+
+  void require_capture(const char* what) const {
+    if (detail::KernelBuilder::current() == nullptr) {
+      throw hplrepro::Error(std::string("HPL: cannot ") + what +
+                            " a scalar outside kernel capture");
+    }
+  }
+
+  /// Emits `var <op> expr;` if capturing and this scalar is a kernel
+  /// variable. Returns true when the statement was emitted.
+  bool emit_if_capturing(const char* op, const Expr& rhs) {
+    detail::KernelBuilder* builder = detail::KernelBuilder::current();
+    if (builder == nullptr) return false;
+    emit_with(builder, op, rhs);
+    return true;
+  }
+
+  void emit(const char* op, const Expr& rhs) {
+    emit_with(detail::KernelBuilder::current(), op, rhs);
+  }
+
+  void emit_with(detail::KernelBuilder* builder, const char* op,
+                 const Expr& rhs) {
+    if (impl_->param_index >= 0) {
+      throw hplrepro::Error(
+          "HPL: scalar kernel parameters are read-only (passed by value)");
+    }
+    if (!impl_->is_kernel_local) {
+      throw hplrepro::Error(
+          "HPL: cannot write a host variable from inside a kernel; kernels "
+          "communicate with the host only through their arguments");
+    }
+    builder->emit_statement(impl_->var_name + " " + op + " " + rhs.code() +
+                            ";");
+  }
+
+  Array& increment(const char* tok) {
+    detail::KernelBuilder* builder = detail::KernelBuilder::current();
+    if (builder == nullptr) {
+      T v = load();
+      v = tok[0] == '+' ? static_cast<T>(v + 1) : static_cast<T>(v - 1);
+      store(v);
+      return *this;
+    }
+    if (!impl_->is_kernel_local) {
+      throw hplrepro::Error("HPL: ++/-- on a non-kernel variable in capture");
+    }
+    builder->emit_statement(impl_->var_name + tok + ";");
+    return *this;
+  }
+
+  detail::ArrayImplPtr impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Scalar aliases (paper §III-A)
+// ---------------------------------------------------------------------------
+
+using Int = Array<std::int32_t, 0>;
+using Uint = Array<std::uint32_t, 0>;
+using Long = Array<std::int64_t, 0>;
+using Ulong = Array<std::uint64_t, 0>;
+using Float = Array<float, 0>;
+using Double = Array<double, 0>;
+using Char = Array<std::int8_t, 0>;
+using Uchar = Array<std::uint8_t, 0>;
+using Short = Array<std::int16_t, 0>;
+using Ushort = Array<std::uint16_t, 0>;
+
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_ARRAY_HPP

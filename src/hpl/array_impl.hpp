@@ -1,0 +1,87 @@
+#ifndef HPLREPRO_HPL_ARRAY_IMPL_HPP
+#define HPLREPRO_HPL_ARRAY_IMPL_HPP
+
+/// \file array_impl.hpp
+/// Type-erased backing object shared by all Array<T,N,Flag> handles.
+///
+/// An ArrayImpl owns (or wraps, when the user supplied a host pointer) the
+/// host copy of the data and tracks which copies — host and per-device
+/// buffers — are currently valid. The HPL runtime consults this state to
+/// transfer only what a kernel execution actually needs (paper §V-B:
+/// "analyze them to decide which data transfers ... will be needed").
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+#include "hpl/types.hpp"
+
+namespace HPL {
+namespace detail {
+
+struct ArrayImpl {
+  // --- Static description ---
+  std::string type_name;       // OpenCL C element type spelling
+  std::size_t elem_size = 0;
+  std::vector<std::size_t> dims;  // empty for scalars
+  MemFlag flag = Global;
+
+  // --- Host copy ---
+  std::vector<std::byte> owned_storage;  // used when the user gave no pointer
+  void* host_ptr = nullptr;
+  bool host_valid = true;
+
+  // --- Device copies (key: identity of the clsim device spec) ---
+  struct DeviceCopy {
+    std::shared_ptr<hplrepro::clsim::Buffer> buffer;
+    bool valid = false;
+  };
+  std::unordered_map<const hplrepro::clsim::DeviceSpec*, DeviceCopy> copies;
+
+  // --- Capture roles ---
+  int param_index = -1;        // >=0 while acting as a formal parameter
+  bool is_kernel_local = false;  // declared inside a kernel during capture
+  std::string var_name;        // generated name (formals and kernel-locals)
+  /// Per-dimension size spellings used to linearise multi-dim indexing:
+  /// hidden argument names for formals, literals for kernel-local arrays.
+  std::vector<std::string> dim_names;
+
+  std::size_t total_elems() const {
+    std::size_t n = 1;
+    for (const std::size_t d : dims) n *= d;
+    return n;
+  }
+  std::size_t bytes() const { return total_elems() * elem_size; }
+
+  std::byte* host_bytes() { return static_cast<std::byte*>(host_ptr); }
+  const std::byte* host_bytes() const {
+    return static_cast<const std::byte*>(host_ptr);
+  }
+};
+
+using ArrayImplPtr = std::shared_ptr<ArrayImpl>;
+
+/// Creates an impl with library-owned storage.
+ArrayImplPtr make_array_impl(const char* type_name, std::size_t elem_size,
+                             std::vector<std::size_t> dims, MemFlag flag);
+
+/// Creates an impl wrapping caller-owned storage (paper: `Array y(n, ptr)`;
+/// the user remains responsible for deallocation).
+ArrayImplPtr make_array_impl_wrapping(const char* type_name,
+                                      std::size_t elem_size,
+                                      std::vector<std::size_t> dims,
+                                      MemFlag flag, void* host_ptr);
+
+/// Makes the host copy current (reads back from a device if necessary).
+void sync_to_host(ArrayImpl& impl);
+
+/// sync_to_host + invalidates all device copies (host will be written).
+void prepare_host_write(ArrayImpl& impl);
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_ARRAY_IMPL_HPP

@@ -1,0 +1,206 @@
+#include "hpl/builder.hpp"
+
+#include "support/strings.hpp"
+
+namespace HPL {
+namespace detail {
+
+namespace {
+thread_local KernelBuilder* g_current_builder = nullptr;
+}
+
+KernelBuilder::KernelBuilder() = default;
+KernelBuilder::~KernelBuilder() = default;
+
+KernelBuilder* KernelBuilder::current() { return g_current_builder; }
+
+CaptureScope::CaptureScope(KernelBuilder& builder) {
+  if (g_current_builder != nullptr) {
+    throw hplrepro::Error(
+        "HPL: nested kernel capture (eval of a kernel from inside a kernel "
+        "is not allowed; kernels may only be invoked from host code)");
+  }
+  g_current_builder = &builder;
+}
+
+CaptureScope::~CaptureScope() { g_current_builder = nullptr; }
+
+std::string KernelBuilder::add_param(const std::string& type_name, int ndim,
+                                     MemFlag flag) {
+  ParamSig sig;
+  sig.name = "p" + std::to_string(params_.size());
+  sig.type_name = type_name;
+  sig.ndim = ndim;
+  sig.flag = flag;
+  params_.push_back(sig);
+  return params_.back().name;
+}
+
+void KernelBuilder::note_read(int param_index) {
+  if (param_index >= 0 &&
+      param_index < static_cast<int>(params_.size())) {
+    params_[static_cast<std::size_t>(param_index)].access.read = true;
+  }
+}
+
+void KernelBuilder::note_write(int param_index) {
+  if (param_index >= 0 &&
+      param_index < static_cast<int>(params_.size())) {
+    params_[static_cast<std::size_t>(param_index)].access.written = true;
+  }
+}
+
+std::string KernelBuilder::use_predefined(const char* name,
+                                           const char* init) {
+  for (const auto& [existing, unused] : predefined_) {
+    if (existing == name) return existing;
+  }
+  predefined_.emplace_back(name, init);
+  return name;
+}
+
+std::string KernelBuilder::declare_scalar(const std::string& type_name,
+                                          const Expr* init) {
+  const std::string name = "v" + std::to_string(next_var_++);
+  std::string decl = type_name + " " + name;
+  if (init != nullptr) decl += " = " + init->code();
+  decl += ";";
+  emit_statement(decl);
+  return name;
+}
+
+std::string KernelBuilder::declare_array(const std::string& type_name,
+                                         const std::vector<std::size_t>& dims,
+                                         MemFlag flag) {
+  const std::string name = "v" + std::to_string(next_var_++);
+  std::size_t total = 1;
+  for (const std::size_t d : dims) total *= d;
+  std::string decl;
+  if (flag == Local) decl += "__local ";
+  decl += type_name + " " + name + "[" + std::to_string(total) + "];";
+  // Array declarations always go to the body even inside for_ headers.
+  indent_line(decl);
+  return name;
+}
+
+void KernelBuilder::indent_line(const std::string& text) {
+  lines_.push_back(std::string(static_cast<std::size_t>(indent_) * 2, ' ') +
+                   text);
+}
+
+void KernelBuilder::emit_statement(const std::string& text) {
+  switch (mode_) {
+    case Mode::Body:
+      indent_line(text);
+      return;
+    case Mode::ForInit: {
+      // Strip the trailing ';' — parts are joined with commas in the header.
+      std::string part = text;
+      if (!part.empty() && part.back() == ';') part.pop_back();
+      for_init_.push_back(part);
+      return;
+    }
+    case Mode::ForUpdate: {
+      std::string part = text;
+      if (!part.empty() && part.back() == ';') part.pop_back();
+      for_update_.push_back(part);
+      return;
+    }
+  }
+}
+
+void KernelBuilder::begin_if(const Expr& condition) {
+  indent_line("if (" + condition.code() + ") {");
+  ++indent_;
+  blocks_.push_back(BlockKind::If);
+}
+
+void KernelBuilder::begin_else() {
+  if (blocks_.empty() || blocks_.back() != BlockKind::If) {
+    throw hplrepro::Error("HPL: else_ without a matching if_");
+  }
+  blocks_.back() = BlockKind::Else;
+  --indent_;
+  indent_line("} else {");
+  ++indent_;
+}
+
+void KernelBuilder::end_if() {
+  if (blocks_.empty() ||
+      (blocks_.back() != BlockKind::If && blocks_.back() != BlockKind::Else)) {
+    throw hplrepro::Error("HPL: endif_ without a matching if_");
+  }
+  blocks_.pop_back();
+  --indent_;
+  indent_line("}");
+}
+
+void KernelBuilder::begin_while(const Expr& condition) {
+  indent_line("while (" + condition.code() + ") {");
+  ++indent_;
+  blocks_.push_back(BlockKind::While);
+}
+
+void KernelBuilder::end_while() {
+  if (blocks_.empty() || blocks_.back() != BlockKind::While) {
+    throw hplrepro::Error("HPL: endwhile_ without a matching while_");
+  }
+  blocks_.pop_back();
+  --indent_;
+  indent_line("}");
+}
+
+void KernelBuilder::for_init_section() {
+  if (mode_ != Mode::Body) {
+    throw hplrepro::Error("HPL: for_ inside another for_'s header");
+  }
+  for_init_.clear();
+  for_cond_.clear();
+  for_update_.clear();
+  mode_ = Mode::ForInit;
+}
+
+void KernelBuilder::for_cond_section(const Expr& condition) {
+  for_cond_ = condition.code();
+  mode_ = Mode::ForUpdate;
+}
+
+void KernelBuilder::for_body_section() {
+  mode_ = Mode::Body;
+  indent_line("for (" + hplrepro::join(for_init_, ", ") + "; " + for_cond_ +
+              "; " + hplrepro::join(for_update_, ", ") + ") {");
+  ++indent_;
+  blocks_.push_back(BlockKind::For);
+}
+
+void KernelBuilder::end_for() {
+  if (blocks_.empty() || blocks_.back() != BlockKind::For) {
+    throw hplrepro::Error("HPL: endfor_ without a matching for_");
+  }
+  blocks_.pop_back();
+  --indent_;
+  indent_line("}");
+}
+
+std::string KernelBuilder::body() const {
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void KernelBuilder::check_balanced() const {
+  if (!blocks_.empty()) {
+    throw hplrepro::Error(
+        "HPL: kernel ended with an unclosed if_/for_/while_ block (missing "
+        "endif_/endfor_/endwhile_?)");
+  }
+  if (mode_ != Mode::Body) {
+    throw hplrepro::Error("HPL: kernel ended inside a for_ header");
+  }
+}
+
+}  // namespace detail
+}  // namespace HPL

@@ -1,0 +1,141 @@
+#ifndef HPLREPRO_HPL_BUILDER_HPP
+#define HPLREPRO_HPL_BUILDER_HPP
+
+/// \file builder.hpp
+/// The kernel capture context. While a KernelBuilder is active (installed
+/// as the thread-current builder by eval's first invocation of a kernel
+/// function), HPL datatypes and control keywords record OpenCL C source
+/// text and parameter access information into it instead of computing.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpl/expr.hpp"
+#include "hpl/types.hpp"
+#include "support/error.hpp"
+
+namespace HPL {
+namespace detail {
+
+/// Access pattern of one kernel parameter, discovered during capture.
+/// Drives the runtime's transfer minimisation (paper §V-B / §VI).
+struct ParamAccess {
+  bool read = false;
+  bool written = false;
+};
+
+/// Metadata for one formal kernel parameter.
+struct ParamSig {
+  std::string name;        // p0, p1, ...
+  std::string type_name;   // element type (OpenCL C spelling)
+  int ndim = 0;            // 0 = scalar passed by value
+  MemFlag flag = Global;
+  ParamAccess access;
+};
+
+class KernelBuilder {
+public:
+  KernelBuilder();
+  ~KernelBuilder();
+
+  KernelBuilder(const KernelBuilder&) = delete;
+  KernelBuilder& operator=(const KernelBuilder&) = delete;
+
+  /// The builder currently capturing on this thread, or nullptr.
+  static KernelBuilder* current();
+
+  // --- Parameters -------------------------------------------------------------
+
+  /// Registers a formal parameter; returns its generated name.
+  std::string add_param(const std::string& type_name, int ndim, MemFlag flag);
+
+  void note_read(int param_index);
+  void note_write(int param_index);
+
+  const std::vector<ParamSig>& params() const { return params_; }
+
+  // --- Variables --------------------------------------------------------------
+
+  /// Declares a kernel-local scalar; returns its generated name.
+  std::string declare_scalar(const std::string& type_name, const Expr* init);
+
+  /// Declares a kernel-local array (private or __local); returns its name.
+  std::string declare_array(const std::string& type_name,
+                            const std::vector<std::size_t>& dims,
+                            MemFlag flag);
+
+  // --- Statements -------------------------------------------------------------
+
+  /// Appends a complete statement (no trailing newline needed). In a for_
+  /// header section the statement is routed into the header instead.
+  void emit_statement(const std::string& text);
+
+  /// Records use of a predefined variable (idx, lidx, ...) so codegen can
+  /// declare it once at kernel entry; returns the spelling to use.
+  std::string use_predefined(const char* name, const char* init);
+
+  /// Declarations for every predefined variable the kernel used.
+  const std::vector<std::pair<std::string, std::string>>& predefined() const {
+    return predefined_;
+  }
+
+  // --- Control flow -----------------------------------------------------------
+
+  void begin_if(const Expr& condition);
+  void begin_else();
+  void end_if();
+
+  void begin_while(const Expr& condition);
+  void end_while();
+
+  void for_init_section();
+  void for_cond_section(const Expr& condition);
+  void for_body_section();
+  void end_for();
+
+  // --- Result -----------------------------------------------------------------
+
+  /// The captured kernel body (statements only, without the signature).
+  std::string body() const;
+
+  /// True when every control construct was properly closed.
+  void check_balanced() const;
+
+private:
+  enum class Mode { Body, ForInit, ForUpdate };
+  enum class BlockKind { If, Else, While, For };
+
+  void indent_line(const std::string& text);
+
+  std::vector<ParamSig> params_;
+  std::vector<std::string> lines_;
+  std::vector<BlockKind> blocks_;
+  int indent_ = 1;
+  int next_var_ = 0;
+
+  std::vector<std::pair<std::string, std::string>> predefined_;
+
+  Mode mode_ = Mode::Body;
+  std::vector<std::string> for_init_;
+  std::string for_cond_;
+  std::vector<std::string> for_update_;
+
+  KernelBuilder* previous_ = nullptr;
+};
+
+/// RAII activation of a builder as the thread-current capture context.
+class CaptureScope {
+public:
+  explicit CaptureScope(KernelBuilder& builder);
+  ~CaptureScope();
+
+  CaptureScope(const CaptureScope&) = delete;
+  CaptureScope& operator=(const CaptureScope&) = delete;
+};
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_BUILDER_HPP

@@ -1,0 +1,49 @@
+#include "hpl/codegen.hpp"
+
+#include "support/strings.hpp"
+
+namespace HPL {
+namespace detail {
+
+std::string generate_kernel_source(const std::string& name,
+                                   const std::vector<ParamSig>& params,
+                                   const std::string& body) {
+  return generate_kernel_source(name, params, body, {});
+}
+
+std::string generate_kernel_source(
+    const std::string& name, const std::vector<ParamSig>& params,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& predefined) {
+  std::vector<std::string> decls;
+  for (const auto& p : params) {
+    if (p.ndim == 0) {
+      decls.push_back(p.type_name + " " + p.name);
+      continue;
+    }
+    std::string decl = space_qualifier(p.flag);
+    decl += " ";
+    if (!p.access.written && p.flag != Constant) decl += "const ";
+    decl += p.type_name + "* " + p.name;
+    decls.push_back(std::move(decl));
+  }
+  // Hidden dimension-size arguments, in parameter order.
+  for (const auto& p : params) {
+    for (int d = 1; d < p.ndim; ++d) {
+      decls.push_back("uint " + p.name + "_d" + std::to_string(d));
+    }
+  }
+
+  std::string source = "__kernel void " + name + "(";
+  source += hplrepro::join(decls, ",\n    ");
+  source += ")\n{\n";
+  for (const auto& [var, init] : predefined) {
+    source += "  const size_t " + var + " = " + init + ";\n";
+  }
+  source += body;
+  source += "}\n";
+  return source;
+}
+
+}  // namespace detail
+}  // namespace HPL

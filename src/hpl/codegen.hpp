@@ -1,0 +1,36 @@
+#ifndef HPLREPRO_HPL_CODEGEN_HPP
+#define HPLREPRO_HPL_CODEGEN_HPP
+
+/// \file codegen.hpp
+/// Generates the complete OpenCL C kernel source from a captured body and
+/// the formal-parameter signatures.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpl/builder.hpp"
+
+namespace HPL {
+namespace detail {
+
+/// Builds: `__kernel void <name>(<params>, <hidden dim args>) { <body> }`.
+/// Array parameters become address-space-qualified pointers; parameters the
+/// kernel never writes become const pointers. Every rank>=2 array parameter
+/// contributes hidden `uint <p>_d<k>` size arguments (k = 1..ndim-1) used
+/// by the row-major index linearisation.
+std::string generate_kernel_source(const std::string& name,
+                                   const std::vector<ParamSig>& params,
+                                   const std::string& body);
+
+/// As above, with a prologue declaring the predefined work-item variables
+/// the kernel used (`const size_t idx = get_global_id(0);` ...).
+std::string generate_kernel_source(
+    const std::string& name, const std::vector<ParamSig>& params,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& predefined);
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_CODEGEN_HPP

@@ -1,0 +1,273 @@
+#ifndef HPLREPRO_HPL_EVAL_HPP
+#define HPLREPRO_HPL_EVAL_HPP
+
+/// \file eval.hpp
+/// Kernel invocation (paper §III-C):
+///
+///   eval(kernel).global(...).local(...).device(...)(arg1, arg2, ...)
+///
+/// The first invocation of a kernel function captures it (runs it under a
+/// KernelBuilder with formal-parameter arrays), generates OpenCL C,
+/// and builds it with the device compiler; the binary is cached so later
+/// invocations only marshal arguments and launch (paper §V-B).
+///
+/// Defaults: the device is the first non-CPU device; the global domain is
+/// the dimensions of the first array argument; the local domain is chosen
+/// by the library.
+
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "clsim/executor.hpp"
+#include "hpl/array.hpp"
+#include "hpl/codegen.hpp"
+#include "hpl/runtime.hpp"
+#include "support/stopwatch.hpp"
+
+namespace HPL {
+namespace detail {
+
+template <typename P>
+struct IsHplArray : std::false_type {};
+template <typename T, int N, MemFlag F>
+struct IsHplArray<Array<T, N, F>> : std::true_type {};
+
+template <typename P>
+struct HplArrayTraits;
+template <typename T, int N, MemFlag F>
+struct HplArrayTraits<Array<T, N, F>> {
+  using elem = T;
+  static constexpr int ndim = N;
+  static constexpr MemFlag flag = F;
+};
+
+/// Typed scalar argument setter; widens narrow integers for the clsim API
+/// (the runtime re-normalises to the kernel parameter's declared type).
+template <typename T>
+void set_scalar_arg(hplrepro::clsim::Kernel& kernel, unsigned index, T value) {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    kernel.set_arg(index, value);
+  } else if constexpr (std::is_signed_v<T>) {
+    kernel.set_arg(index, static_cast<std::int64_t>(value));
+  } else {
+    kernel.set_arg(index, static_cast<std::uint64_t>(value));
+  }
+}
+
+struct BoundArray {
+  ArrayImplPtr impl;
+  bool written = false;
+  int ndim = 0;
+};
+
+}  // namespace detail
+
+template <typename... Params>
+class Evaluator {
+  static constexpr std::size_t kNumParams = sizeof...(Params);
+
+public:
+  explicit Evaluator(void (*fn)(Params...)) : fn_(fn) {}
+
+  Evaluator& global(std::size_t x) {
+    global_ = hplrepro::clsim::NDRange(x);
+    return *this;
+  }
+  Evaluator& global(std::size_t x, std::size_t y) {
+    global_ = hplrepro::clsim::NDRange(x, y);
+    return *this;
+  }
+  Evaluator& global(std::size_t x, std::size_t y, std::size_t z) {
+    global_ = hplrepro::clsim::NDRange(x, y, z);
+    return *this;
+  }
+
+  Evaluator& local(std::size_t x) {
+    local_ = hplrepro::clsim::NDRange(x);
+    return *this;
+  }
+  Evaluator& local(std::size_t x, std::size_t y) {
+    local_ = hplrepro::clsim::NDRange(x, y);
+    return *this;
+  }
+  Evaluator& local(std::size_t x, std::size_t y, std::size_t z) {
+    local_ = hplrepro::clsim::NDRange(x, y, z);
+    return *this;
+  }
+
+  Evaluator& device(Device d) {
+    device_ = d;
+    return *this;
+  }
+
+  template <typename... Actuals>
+  void operator()(Actuals&&... actuals) {
+    static_assert(sizeof...(Actuals) == kNumParams,
+                  "eval: wrong number of kernel arguments");
+    run(std::index_sequence_for<Params...>{},
+        std::forward<Actuals>(actuals)...);
+  }
+
+private:
+  template <std::size_t... Is, typename... Actuals>
+  void run(std::index_sequence<Is...>, Actuals&&... actuals) {
+    namespace clsim = hplrepro::clsim;
+    using detail::CachedKernel;
+    using detail::Runtime;
+
+    if (detail::KernelBuilder::current() != nullptr) {
+      throw hplrepro::Error(
+          "HPL: eval can only be used in host code (paper §III-C)");
+    }
+
+    Runtime& rt = Runtime::get();
+    hplrepro::Stopwatch host_watch;
+    double sim_wall = 0;
+
+    // --- Capture + code generation (first invocation only) ---
+    const void* key = reinterpret_cast<const void*>(fn_);
+    CachedKernel* cached = rt.find_kernel(key);
+    if (cached == nullptr) {
+      detail::KernelBuilder builder;
+      {
+        detail::CaptureScope scope(builder);
+        // Braced initialisation evaluates left to right, so parameter
+        // indices are assigned positionally.
+        std::tuple<Params...> formals{
+            Params(detail::FormalTag{}, static_cast<int>(Is))...};
+        std::apply(fn_, formals);
+        builder.check_balanced();
+      }
+      CachedKernel fresh;
+      fresh.name = rt.next_kernel_name();
+      fresh.params = builder.params();
+      fresh.source = detail::generate_kernel_source(
+          fresh.name, fresh.params, builder.body(), builder.predefined());
+      cached = &rt.insert_kernel(key, std::move(fresh));
+    }
+
+    // --- Build for the target device (cached per device) ---
+    detail::DeviceEntry& dev = rt.entry(device_);
+    detail::BuiltKernel& built = rt.build_for(*cached, dev);
+
+    // --- Bind arguments; minimal transfers ---
+    std::vector<detail::BoundArray> arrays;
+    std::optional<clsim::NDRange> default_global;
+    (bind_arg<Params>(static_cast<unsigned>(Is), actuals, *cached, dev,
+                      *built.kernel, arrays, default_global),
+     ...);
+
+    // Hidden dimension-size arguments (rank >= 2), in parameter order.
+    unsigned hidden = static_cast<unsigned>(kNumParams);
+    for (const auto& bound : arrays) {
+      for (int d = 1; d < bound.ndim; ++d) {
+        built.kernel->set_arg(
+            hidden++,
+            static_cast<std::uint32_t>(
+                bound.impl->dims[static_cast<std::size_t>(d)]));
+      }
+    }
+
+    // --- Domains ---
+    clsim::NDRange global_range;
+    if (global_.has_value()) {
+      global_range = *global_;
+    } else if (default_global.has_value()) {
+      global_range = *default_global;  // dims of the first array argument
+    } else {
+      throw hplrepro::InvalidArgument(
+          "HPL: no global domain: specify .global(...) or pass an array "
+          "first argument");
+    }
+
+    // --- Launch ---
+    clsim::Event event =
+        dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range, local_);
+    sim_wall = event.wall_seconds();
+
+    for (const auto& bound : arrays) {
+      if (bound.written) rt.mark_device_written(*bound.impl, dev);
+    }
+
+    ProfileSnapshot& prof = rt.prof();
+    prof.kernel_sim_seconds += event.sim_seconds();
+    prof.kernel_launches += 1;
+    prof.sim_wall_seconds += sim_wall;
+    // Host overhead = wall time in eval minus the time spent *simulating*
+    // the device (which stands in for the kernel's execution itself).
+    prof.host_seconds += host_watch.seconds() - sim_wall;
+  }
+
+  /// Binds actual argument `actual` to parameter `i`.
+  template <typename Param, typename Actual>
+  void bind_arg(unsigned i, Actual& actual, detail::CachedKernel& cached,
+                detail::DeviceEntry& dev, hplrepro::clsim::Kernel& kernel,
+                std::vector<detail::BoundArray>& arrays,
+                std::optional<hplrepro::clsim::NDRange>& default_global) {
+    namespace clsim = hplrepro::clsim;
+    using detail::Runtime;
+    using ActualD = std::decay_t<Actual>;
+
+    if constexpr (detail::IsHplArray<Param>::value &&
+                  detail::HplArrayTraits<Param>::ndim >= 1) {
+      static_assert(detail::IsHplArray<ActualD>::value,
+                    "eval: array parameter requires an HPL Array argument");
+      using PT = detail::HplArrayTraits<Param>;
+      using AT = detail::HplArrayTraits<ActualD>;
+      static_assert(std::is_same_v<typename PT::elem, typename AT::elem>,
+                    "eval: array element type mismatch");
+      static_assert(PT::ndim == AT::ndim, "eval: array rank mismatch");
+
+      Runtime& rt = Runtime::get();
+      detail::ArrayImplPtr impl = actual.impl();
+      const detail::ParamAccess access = cached.params[i].access;
+      if (access.read) {
+        rt.ensure_on_device(*impl, dev);
+      }
+      auto& copy = rt.device_copy(*impl, dev);
+      kernel.set_arg(i, *copy.buffer);
+
+      arrays.push_back({impl, access.written, PT::ndim});
+      if (!default_global.has_value()) {
+        clsim::NDRange range;
+        range.dims = static_cast<int>(impl->dims.size());
+        for (std::size_t d = 0; d < impl->dims.size(); ++d) {
+          range.sizes[d] = impl->dims[d];
+        }
+        default_global = range;
+      }
+    } else {
+      // Scalar parameter: accept an HPL scalar or a plain arithmetic value.
+      using T = typename detail::HplArrayTraits<Param>::elem;
+      if constexpr (detail::IsHplArray<ActualD>::value) {
+        static_assert(detail::HplArrayTraits<ActualD>::ndim == 0,
+                      "eval: scalar parameter requires a scalar argument");
+        detail::set_scalar_arg<T>(kernel, i,
+                                  static_cast<T>(actual.value()));
+      } else {
+        static_assert(std::is_arithmetic_v<ActualD>,
+                      "eval: scalar parameter requires an arithmetic value");
+        detail::set_scalar_arg<T>(kernel, i, static_cast<T>(actual));
+      }
+    }
+  }
+
+  void (*fn_)(Params...);
+  std::optional<hplrepro::clsim::NDRange> global_;
+  std::optional<hplrepro::clsim::NDRange> local_;
+  Device device_{};
+};
+
+/// Requests the parallel evaluation of `kernel` (paper §III-C):
+/// `eval(kernelfunction)(arg1, arg2, ...)`.
+template <typename... Params>
+Evaluator<Params...> eval(void (*kernel)(Params...)) {
+  return Evaluator<Params...>(kernel);
+}
+
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_EVAL_HPP

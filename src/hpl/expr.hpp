@@ -1,0 +1,149 @@
+#ifndef HPLREPRO_HPL_EXPR_HPP
+#define HPLREPRO_HPL_EXPR_HPP
+
+/// \file expr.hpp
+/// Expression capture. When a kernel function runs under a KernelBuilder,
+/// operations on HPL datatypes do not compute — they build OpenCL C source
+/// text. `Expr` is the captured fragment. All C++ operators that OpenCL C
+/// supports are overloaded on Expr; HPL array/scalar types convert to Expr
+/// implicitly, so mixed expressions like `a * x[idx] + 1.0` compose
+/// naturally (paper §III-B).
+///
+/// Type checking of the captured program is deliberately left to the clc
+/// compiler, which parses the generated source from scratch — mirroring
+/// how the real HPL relies on the vendor OpenCL compiler.
+
+#include <string>
+#include <utility>
+
+#include "hpl/types.hpp"
+#include "support/strings.hpp"
+
+namespace HPL {
+
+class Expr {
+public:
+  Expr() = default;
+  explicit Expr(std::string code) : code_(std::move(code)) {}
+
+  // Literal conversions (non-template on purpose: keeps the implicit
+  // conversion from HPL scalar types viable in overload resolution).
+  Expr(int v) : code_(std::to_string(v)) {}
+  Expr(unsigned v) : code_(std::to_string(v) + "u") {}
+  Expr(long v) : code_(std::to_string(v) + "l") {}
+  Expr(unsigned long v) : code_(std::to_string(v) + "ul") {}
+  Expr(long long v) : code_(std::to_string(v) + "l") {}
+  Expr(unsigned long long v) : code_(std::to_string(v) + "ul") {}
+  Expr(float v) : code_(hplrepro::float_literal(v)) {}
+  Expr(double v) : code_(hplrepro::double_literal(v)) {}
+
+  const std::string& code() const { return code_; }
+  bool empty() const { return code_.empty(); }
+
+private:
+  std::string code_;
+};
+
+namespace detail {
+
+inline Expr binary(const Expr& a, const char* op, const Expr& b) {
+  return Expr("(" + a.code() + " " + op + " " + b.code() + ")");
+}
+
+inline Expr unary(const char* op, const Expr& a) {
+  return Expr("(" + std::string(op) + a.code() + ")");
+}
+
+}  // namespace detail
+
+// Arithmetic
+inline Expr operator+(const Expr& a, const Expr& b) { return detail::binary(a, "+", b); }
+inline Expr operator-(const Expr& a, const Expr& b) { return detail::binary(a, "-", b); }
+inline Expr operator*(const Expr& a, const Expr& b) { return detail::binary(a, "*", b); }
+inline Expr operator/(const Expr& a, const Expr& b) { return detail::binary(a, "/", b); }
+inline Expr operator%(const Expr& a, const Expr& b) { return detail::binary(a, "%", b); }
+inline Expr operator-(const Expr& a) { return detail::unary("-", a); }
+inline Expr operator+(const Expr& a) { return a; }
+
+// Comparison
+inline Expr operator<(const Expr& a, const Expr& b) { return detail::binary(a, "<", b); }
+inline Expr operator<=(const Expr& a, const Expr& b) { return detail::binary(a, "<=", b); }
+inline Expr operator>(const Expr& a, const Expr& b) { return detail::binary(a, ">", b); }
+inline Expr operator>=(const Expr& a, const Expr& b) { return detail::binary(a, ">=", b); }
+inline Expr operator==(const Expr& a, const Expr& b) { return detail::binary(a, "==", b); }
+inline Expr operator!=(const Expr& a, const Expr& b) { return detail::binary(a, "!=", b); }
+
+// Logical
+inline Expr operator&&(const Expr& a, const Expr& b) { return detail::binary(a, "&&", b); }
+inline Expr operator||(const Expr& a, const Expr& b) { return detail::binary(a, "||", b); }
+inline Expr operator!(const Expr& a) { return detail::unary("!", a); }
+
+// Bitwise
+inline Expr operator&(const Expr& a, const Expr& b) { return detail::binary(a, "&", b); }
+inline Expr operator|(const Expr& a, const Expr& b) { return detail::binary(a, "|", b); }
+inline Expr operator^(const Expr& a, const Expr& b) { return detail::binary(a, "^", b); }
+inline Expr operator<<(const Expr& a, const Expr& b) { return detail::binary(a, "<<", b); }
+inline Expr operator>>(const Expr& a, const Expr& b) { return detail::binary(a, ">>", b); }
+inline Expr operator~(const Expr& a) { return detail::unary("~", a); }
+
+// Device math functions usable inside kernels (subset mirroring clc's
+// builtin registry; the generated calls are resolved by the clc compiler).
+#define HPL_DEFINE_UNARY_FN(NAME)                          \
+  inline Expr NAME(const Expr& a) {                        \
+    return Expr(#NAME "(" + a.code() + ")");               \
+  }
+#define HPL_DEFINE_BINARY_FN(NAME)                         \
+  inline Expr NAME(const Expr& a, const Expr& b) {         \
+    return Expr(#NAME "(" + a.code() + ", " + b.code() + ")"); \
+  }
+#define HPL_DEFINE_TERNARY_FN(NAME)                        \
+  inline Expr NAME(const Expr& a, const Expr& b, const Expr& c) { \
+    return Expr(#NAME "(" + a.code() + ", " + b.code() + ", " +   \
+                c.code() + ")");                            \
+  }
+
+HPL_DEFINE_UNARY_FN(sqrt)
+HPL_DEFINE_UNARY_FN(rsqrt)
+HPL_DEFINE_UNARY_FN(fabs)
+HPL_DEFINE_UNARY_FN(exp)
+HPL_DEFINE_UNARY_FN(exp2)
+HPL_DEFINE_UNARY_FN(log)
+HPL_DEFINE_UNARY_FN(log2)
+HPL_DEFINE_UNARY_FN(log10)
+HPL_DEFINE_UNARY_FN(sin)
+HPL_DEFINE_UNARY_FN(cos)
+HPL_DEFINE_UNARY_FN(tan)
+HPL_DEFINE_UNARY_FN(asin)
+HPL_DEFINE_UNARY_FN(acos)
+HPL_DEFINE_UNARY_FN(atan)
+HPL_DEFINE_UNARY_FN(floor)
+HPL_DEFINE_UNARY_FN(ceil)
+HPL_DEFINE_UNARY_FN(trunc)
+HPL_DEFINE_UNARY_FN(round)
+HPL_DEFINE_UNARY_FN(abs)
+HPL_DEFINE_BINARY_FN(pow)
+HPL_DEFINE_BINARY_FN(atan2)
+HPL_DEFINE_BINARY_FN(fmod)
+HPL_DEFINE_BINARY_FN(fmin)
+HPL_DEFINE_BINARY_FN(fmax)
+HPL_DEFINE_BINARY_FN(hypot)
+HPL_DEFINE_BINARY_FN(min)
+HPL_DEFINE_BINARY_FN(max)
+HPL_DEFINE_TERNARY_FN(fma)
+HPL_DEFINE_TERNARY_FN(mad)
+HPL_DEFINE_TERNARY_FN(clamp)
+
+#undef HPL_DEFINE_UNARY_FN
+#undef HPL_DEFINE_BINARY_FN
+#undef HPL_DEFINE_TERNARY_FN
+
+/// Explicit cast in kernel code, e.g. cast<float>(i).
+template <typename T>
+Expr cast(const Expr& a) {
+  return Expr("((" + std::string(detail::TypeTraits<T>::name) + ")" +
+              a.code() + ")");
+}
+
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_EXPR_HPP

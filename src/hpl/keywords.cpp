@@ -1,0 +1,49 @@
+#include "hpl/keywords.hpp"
+
+#include "support/error.hpp"
+
+namespace HPL {
+namespace detail {
+
+KernelBuilder& active_builder(const char* keyword) {
+  KernelBuilder* builder = KernelBuilder::current();
+  if (builder == nullptr) {
+    throw hplrepro::Error(std::string("HPL: '") + keyword +
+                          "' used outside a kernel");
+  }
+  return *builder;
+}
+
+void begin_if_(const Expr& condition) {
+  active_builder("if_").begin_if(condition);
+}
+void begin_else_() { active_builder("else_").begin_else(); }
+void end_if_() { active_builder("endif_").end_if(); }
+
+void begin_while_(const Expr& condition) {
+  active_builder("while_").begin_while(condition);
+}
+void end_while_() { active_builder("endwhile_").end_while(); }
+
+void for_init_() { active_builder("for_").for_init_section(); }
+void for_cond_(const Expr& condition) {
+  active_builder("for_").for_cond_section(condition);
+}
+void for_body_() { active_builder("for_").for_body_section(); }
+void end_for_() { active_builder("endfor_").end_for(); }
+
+}  // namespace detail
+
+void barrier(unsigned flags) {
+  detail::KernelBuilder& builder = detail::active_builder("barrier");
+  std::string arg;
+  if (flags & LOCAL) arg = "CLK_LOCAL_MEM_FENCE";
+  if (flags & GLOBAL) {
+    if (!arg.empty()) arg += " | ";
+    arg += "CLK_GLOBAL_MEM_FENCE";
+  }
+  if (arg.empty()) arg = "0";
+  builder.emit_statement("barrier(" + arg + ");");
+}
+
+}  // namespace HPL

@@ -1,0 +1,116 @@
+#ifndef HPLREPRO_HPL_KEYWORDS_HPP
+#define HPLREPRO_HPL_KEYWORDS_HPP
+
+/// \file keywords.hpp
+/// The HPL kernel keywords (paper §III-B): control flow constructs whose
+/// names end in an underscore (`if_`, `for_`, ...), the predefined
+/// work-item identification variables (`idx`, `lidx`, `gidx`, sizes), and
+/// the `barrier` synchronisation function.
+///
+/// Control constructs are macros so that (a) `if_(c) { ... } endif_` parses
+/// as plain C++ and (b) `for_`'s three comma-separated header parts are
+/// evaluated in a defined order and routed into the generated loop header.
+
+#include "hpl/builder.hpp"
+#include "hpl/expr.hpp"
+
+namespace HPL {
+namespace detail {
+
+KernelBuilder& active_builder(const char* keyword);
+
+void begin_if_(const Expr& condition);
+void begin_else_();
+void end_if_();
+void begin_while_(const Expr& condition);
+void end_while_();
+void for_init_();
+void for_cond_(const Expr& condition);
+void for_body_();
+void end_for_();
+
+/// A variable with a predefined meaning inside kernels (idx, lidx, ...).
+/// Inside a capture the variable is declared once at kernel entry (HPL
+/// caches the work-item function result in a local, like hand-written
+/// OpenCL kernels do) and referenced by name afterwards.
+struct PredefinedVar {
+  const char* name;
+  const char* init;
+  operator Expr() const {
+    if (KernelBuilder* builder = KernelBuilder::current()) {
+      return Expr(builder->use_predefined(name, init));
+    }
+    return Expr(init);
+  }
+};
+
+/// `idx + 1` etc. work through PredefinedVar -> Expr conversion on the
+/// free Expr operators.
+
+}  // namespace detail
+
+// --- Predefined work-item variables (paper §III-B) ---------------------------
+
+/// Global ids in dimensions 0, 1, 2 of the global domain.
+inline constexpr detail::PredefinedVar idx{"idx", "get_global_id(0)"};
+inline constexpr detail::PredefinedVar idy{"idy", "get_global_id(1)"};
+inline constexpr detail::PredefinedVar idz{"idz", "get_global_id(2)"};
+
+/// Local ids within the thread's group.
+inline constexpr detail::PredefinedVar lidx{"lidx", "get_local_id(0)"};
+inline constexpr detail::PredefinedVar lidy{"lidy", "get_local_id(1)"};
+inline constexpr detail::PredefinedVar lidz{"lidz", "get_local_id(2)"};
+
+/// Group ids.
+inline constexpr detail::PredefinedVar gidx{"gidx", "get_group_id(0)"};
+inline constexpr detail::PredefinedVar gidy{"gidy", "get_group_id(1)"};
+inline constexpr detail::PredefinedVar gidz{"gidz", "get_group_id(2)"};
+
+/// Global domain sizes.
+inline constexpr detail::PredefinedVar szx{"szx", "get_global_size(0)"};
+inline constexpr detail::PredefinedVar szy{"szy", "get_global_size(1)"};
+inline constexpr detail::PredefinedVar szz{"szz", "get_global_size(2)"};
+
+/// Local domain sizes.
+inline constexpr detail::PredefinedVar lszx{"lszx", "get_local_size(0)"};
+inline constexpr detail::PredefinedVar lszy{"lszy", "get_local_size(1)"};
+inline constexpr detail::PredefinedVar lszz{"lszz", "get_local_size(2)"};
+
+/// Numbers of groups per dimension.
+inline constexpr detail::PredefinedVar ngroupsx{"ngroupsx", "get_num_groups(0)"};
+inline constexpr detail::PredefinedVar ngroupsy{"ngroupsy", "get_num_groups(1)"};
+inline constexpr detail::PredefinedVar ngroupsz{"ngroupsz", "get_num_groups(2)"};
+
+// --- barrier (paper §III-B) ---------------------------------------------------
+
+/// Memory-consistency scope flags for barrier(). LOCAL and GLOBAL can be
+/// OR-ed (`LOCAL | GLOBAL`).
+enum SyncFlag : unsigned { LOCAL = 1u, GLOBAL = 2u };
+
+inline constexpr unsigned operator|(SyncFlag a, SyncFlag b) {
+  return static_cast<unsigned>(a) | static_cast<unsigned>(b);
+}
+
+/// Barrier synchronisation across the threads of a group.
+void barrier(unsigned flags = LOCAL | GLOBAL);
+
+}  // namespace HPL
+
+// --- Control-flow keywords ------------------------------------------------------
+
+#define if_(...) ::HPL::detail::begin_if_(::HPL::Expr(__VA_ARGS__));
+#define else_ ::HPL::detail::begin_else_();
+#define endif_ ::HPL::detail::end_if_();
+
+#define while_(...) ::HPL::detail::begin_while_(::HPL::Expr(__VA_ARGS__));
+#define endwhile_ ::HPL::detail::end_while_();
+
+#define for_(INIT, COND, UPDATE)              \
+  ::HPL::detail::for_init_();                 \
+  (void)(INIT);                               \
+  ::HPL::detail::for_cond_(::HPL::Expr(COND)); \
+  (void)(UPDATE);                             \
+  ::HPL::detail::for_body_();
+#define endfor_ ::HPL::detail::end_for_();
+
+#endif  // HPLREPRO_HPL_KEYWORDS_HPP

@@ -1,0 +1,212 @@
+#ifndef HPLREPRO_HPL_PATTERNS_HPP
+#define HPLREPRO_HPL_PATTERNS_HPP
+
+/// \file patterns.hpp
+/// Functions for typical patterns of computation — the extension the paper
+/// announces as future work (§VII: "We are working to add new features to
+/// HPL in order to improve further the programmability by providing
+/// functions for typical patterns of computation").
+///
+/// Every pattern is an ordinary HPL kernel under the hood, so it inherits
+/// the whole machinery: one capture + compile per element type (the kernel
+/// cache keys on the instantiated function's address), device-resident
+/// data, minimal transfers, and portability across devices.
+///
+///   fill(a, 3.0f);                    // a[i] = 3
+///   iota(a);                          // a[i] = i
+///   axpy(y, x, 2.0);                  // y += 2x
+///   add(c, a, b); sub/mul/div(...);   // elementwise
+///   scale(a, 0.5f);                   // a *= 0.5
+///   float s = reduce_sum(a);          // tree reduction on the device
+///   float d = dot(a, b);              // fused multiply + reduction
+///
+/// All functions take an optional Device as the last argument (default:
+/// the platform's default accelerator).
+
+#include <cstddef>
+
+#include "hpl/array.hpp"
+#include "hpl/eval.hpp"
+#include "hpl/keywords.hpp"
+
+namespace HPL {
+namespace patterns_detail {
+
+inline constexpr std::size_t kReduceGroups = 64;
+inline constexpr std::size_t kReduceLocal = 128;
+
+template <typename T>
+void fill_kernel(Array<T, 1> out, Array<T, 0> value) {
+  out[idx] = value;
+}
+
+template <typename T>
+void iota_kernel(Array<T, 1> out) {
+  out[idx] = cast<T>(idx);
+}
+
+template <typename T>
+void axpy_kernel(Array<T, 1> y, Array<T, 1> x, Array<T, 0> a) {
+  y[idx] = a * x[idx] + y[idx];
+}
+
+template <typename T>
+void scale_kernel(Array<T, 1> data, Array<T, 0> factor) {
+  data[idx] = data[idx] * factor;
+}
+
+template <typename T>
+void add_kernel(Array<T, 1> out, Array<T, 1> a, Array<T, 1> b) {
+  out[idx] = a[idx] + b[idx];
+}
+
+template <typename T>
+void sub_kernel(Array<T, 1> out, Array<T, 1> a, Array<T, 1> b) {
+  out[idx] = a[idx] - b[idx];
+}
+
+template <typename T>
+void mul_kernel(Array<T, 1> out, Array<T, 1> a, Array<T, 1> b) {
+  out[idx] = a[idx] * b[idx];
+}
+
+template <typename T>
+void div_kernel(Array<T, 1> out, Array<T, 1> a, Array<T, 1> b) {
+  out[idx] = a[idx] / b[idx];
+}
+
+/// Grid-stride partial sum into one slot per group (SHOC-style).
+template <typename T>
+void reduce_kernel(Array<T, 1> in, Array<T, 1> partials, Uint n) {
+  Array<T, 1, Local> sdata(kReduceLocal);
+  Uint i, s;
+  Array<T, 0> sum = T{};
+
+  for_(i = cast<std::uint32_t>(idx), i < n, i += cast<std::uint32_t>(szx)) {
+    sum += in[i];
+  } endfor_
+  sdata[lidx] = sum;
+  barrier(LOCAL);
+  for_(s = cast<std::uint32_t>(lszx) >> 1, s > 0u, s = s >> 1) {
+    if_(lidx < s) {
+      sdata[lidx] += sdata[lidx + s];
+    } endif_
+    barrier(LOCAL);
+  } endfor_
+  if_(lidx == 0) {
+    partials[gidx] = sdata[0];
+  } endif_
+}
+
+/// Fused elementwise product + partial reduction for dot().
+template <typename T>
+void dot_kernel(Array<T, 1> a, Array<T, 1> b, Array<T, 1> partials, Uint n) {
+  Array<T, 1, Local> sdata(kReduceLocal);
+  Uint i, s;
+  Array<T, 0> sum = T{};
+
+  for_(i = cast<std::uint32_t>(idx), i < n, i += cast<std::uint32_t>(szx)) {
+    sum += a[i] * b[i];
+  } endfor_
+  sdata[lidx] = sum;
+  barrier(LOCAL);
+  for_(s = cast<std::uint32_t>(lszx) >> 1, s > 0u, s = s >> 1) {
+    if_(lidx < s) {
+      sdata[lidx] += sdata[lidx + s];
+    } endif_
+    barrier(LOCAL);
+  } endfor_
+  if_(lidx == 0) {
+    partials[gidx] = sdata[0];
+  } endif_
+}
+
+template <typename T>
+T finish_reduction(Array<T, 1>& partials) {
+  T total{};
+  for (std::size_t g = 0; g < kReduceGroups; ++g) total += partials.get(g);
+  return total;
+}
+
+}  // namespace patterns_detail
+
+// --- Public patterns ----------------------------------------------------------
+
+/// out[i] = value for every element.
+template <typename T>
+void fill(Array<T, 1>& out, T value, Device device = Device()) {
+  Array<T, 0> v(value);
+  eval(patterns_detail::fill_kernel<T>).device(device)(out, v);
+}
+
+/// out[i] = i.
+template <typename T>
+void iota(Array<T, 1>& out, Device device = Device()) {
+  eval(patterns_detail::iota_kernel<T>).device(device)(out);
+}
+
+/// y[i] += a * x[i] — the paper's SAXPY as a one-liner.
+template <typename T>
+void axpy(Array<T, 1>& y, Array<T, 1>& x, T a, Device device = Device()) {
+  Array<T, 0> av(a);
+  eval(patterns_detail::axpy_kernel<T>).device(device)(y, x, av);
+}
+
+/// data[i] *= factor.
+template <typename T>
+void scale(Array<T, 1>& data, T factor, Device device = Device()) {
+  Array<T, 0> fv(factor);
+  eval(patterns_detail::scale_kernel<T>).device(device)(data, fv);
+}
+
+/// Elementwise out = a (+|-|*|/) b.
+template <typename T>
+void add(Array<T, 1>& out, Array<T, 1>& a, Array<T, 1>& b,
+         Device device = Device()) {
+  eval(patterns_detail::add_kernel<T>).device(device)(out, a, b);
+}
+template <typename T>
+void sub(Array<T, 1>& out, Array<T, 1>& a, Array<T, 1>& b,
+         Device device = Device()) {
+  eval(patterns_detail::sub_kernel<T>).device(device)(out, a, b);
+}
+template <typename T>
+void mul(Array<T, 1>& out, Array<T, 1>& a, Array<T, 1>& b,
+         Device device = Device()) {
+  eval(patterns_detail::mul_kernel<T>).device(device)(out, a, b);
+}
+template <typename T>
+void div(Array<T, 1>& out, Array<T, 1>& a, Array<T, 1>& b,
+         Device device = Device()) {
+  eval(patterns_detail::div_kernel<T>).device(device)(out, a, b);
+}
+
+/// Sum of all elements: device-side tree reduction, host finish.
+template <typename T>
+T reduce_sum(Array<T, 1>& in, Device device = Device()) {
+  using namespace patterns_detail;
+  Array<T, 1> partials(kReduceGroups);
+  eval(reduce_kernel<T>)
+      .global(kReduceGroups * kReduceLocal)
+      .local(kReduceLocal)
+      .device(device)(in, partials,
+                      static_cast<std::uint32_t>(in.length()));
+  return finish_reduction(partials);
+}
+
+/// Dot product of two vectors.
+template <typename T>
+T dot(Array<T, 1>& a, Array<T, 1>& b, Device device = Device()) {
+  using namespace patterns_detail;
+  Array<T, 1> partials(kReduceGroups);
+  eval(dot_kernel<T>)
+      .global(kReduceGroups * kReduceLocal)
+      .local(kReduceLocal)
+      .device(device)(a, b, partials,
+                      static_cast<std::uint32_t>(a.length()));
+  return finish_reduction(partials);
+}
+
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_PATTERNS_HPP

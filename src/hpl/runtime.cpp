@@ -1,0 +1,220 @@
+#include "hpl/runtime.hpp"
+
+#include <cstring>
+
+namespace HPL {
+
+namespace clsim = hplrepro::clsim;
+
+// --- Device handle -------------------------------------------------------------
+
+const std::string& Device::name() const {
+  return detail::Runtime::get().entry(*this).device.name();
+}
+
+bool Device::supports_double() const {
+  return detail::Runtime::get().entry(*this).device.supports_double();
+}
+
+bool Device::is_cpu() const {
+  return detail::Runtime::get().entry(*this).device.type() ==
+         clsim::DeviceType::Cpu;
+}
+
+std::vector<Device> Device::all() {
+  auto& rt = detail::Runtime::get();
+  std::vector<Device> out;
+  for (int i = 0; i < rt.device_count(); ++i) out.push_back(Device(i));
+  return out;
+}
+
+Device Device::default_device() {
+  auto& rt = detail::Runtime::get();
+  for (int i = 0; i < rt.device_count(); ++i) {
+    if (rt.entry_at(i).device.type() != clsim::DeviceType::Cpu) {
+      return Device(i);
+    }
+  }
+  return Device(0);
+}
+
+std::optional<Device> Device::by_name(const std::string& needle) {
+  auto& rt = detail::Runtime::get();
+  for (int i = 0; i < rt.device_count(); ++i) {
+    if (rt.entry_at(i).device.name().find(needle) != std::string::npos) {
+      return Device(i);
+    }
+  }
+  return std::nullopt;
+}
+
+Device Device::cpu_device() {
+  auto& rt = detail::Runtime::get();
+  for (int i = 0; i < rt.device_count(); ++i) {
+    if (rt.entry_at(i).device.type() == clsim::DeviceType::Cpu) {
+      return Device(i);
+    }
+  }
+  return Device(0);
+}
+
+ProfileSnapshot profile() { return detail::Runtime::get().prof(); }
+void reset_profile() { detail::Runtime::get().prof() = ProfileSnapshot{}; }
+void purge_kernel_cache() { detail::Runtime::get().clear_kernel_cache(); }
+
+namespace detail {
+
+// --- Runtime -------------------------------------------------------------------
+
+Runtime::Runtime() {
+  for (const auto& dev : clsim::Platform::get().devices()) {
+    DeviceEntry entry{dev, nullptr, nullptr};
+    entry.context = std::make_unique<clsim::Context>(dev);
+    entry.queue = std::make_unique<clsim::CommandQueue>(*entry.context);
+    devices_.push_back(std::move(entry));
+  }
+}
+
+Runtime& Runtime::get() {
+  static Runtime instance;
+  return instance;
+}
+
+DeviceEntry& Runtime::entry(const Device& device) {
+  const int index = device.index();
+  if (index < 0) return default_entry();
+  return entry_at(index);
+}
+
+DeviceEntry& Runtime::default_entry() {
+  return entry(Device::default_device());
+}
+
+DeviceEntry& Runtime::entry_at(int index) {
+  if (index < 0 || index >= device_count()) {
+    throw hplrepro::InvalidArgument("HPL: bad device index");
+  }
+  return devices_[static_cast<std::size_t>(index)];
+}
+
+CachedKernel* Runtime::find_kernel(const void* fn) {
+  auto it = kernel_cache_.find(fn);
+  return it == kernel_cache_.end() ? nullptr : &it->second;
+}
+
+CachedKernel& Runtime::insert_kernel(const void* fn, CachedKernel kernel) {
+  return kernel_cache_[fn] = std::move(kernel);
+}
+
+void Runtime::clear_kernel_cache() { kernel_cache_.clear(); }
+
+BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
+  const auto* key = &dev.device.spec();
+  auto it = cached.built.find(key);
+  if (it != cached.built.end()) return it->second;
+
+  BuiltKernel built;
+  built.program =
+      std::make_unique<clsim::Program>(*dev.context, cached.source);
+  built.program->build();
+  built.kernel =
+      std::make_unique<clsim::Kernel>(*built.program, cached.name);
+  ++prof_.kernels_built;
+  return cached.built[key] = std::move(built);
+}
+
+std::string Runtime::next_kernel_name() {
+  return "hpl_kernel_" + std::to_string(next_kernel_id_++);
+}
+
+// --- Coherence ------------------------------------------------------------------
+
+ArrayImpl::DeviceCopy& Runtime::device_copy(ArrayImpl& impl,
+                                            DeviceEntry& dev) {
+  const auto* key = &dev.device.spec();
+  auto it = impl.copies.find(key);
+  if (it != impl.copies.end() &&
+      it->second.buffer->size() == impl.bytes()) {
+    return it->second;
+  }
+  ArrayImpl::DeviceCopy copy;
+  copy.buffer = std::make_shared<clsim::Buffer>(*dev.context, impl.bytes());
+  copy.valid = false;
+  return impl.copies[key] = std::move(copy);
+}
+
+void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
+  ArrayImpl::DeviceCopy& copy = device_copy(impl, dev);
+  if (copy.valid) return;
+  if (!impl.host_valid) sync_to_host(impl);
+  clsim::Event event = dev.queue->enqueue_write_buffer(
+      *copy.buffer, impl.host_ptr, impl.bytes());
+  prof_.transfer_sim_seconds += event.sim_seconds();
+  prof_.sim_wall_seconds += event.wall_seconds();
+  prof_.bytes_to_device += impl.bytes();
+  copy.valid = true;
+}
+
+void Runtime::mark_device_written(ArrayImpl& impl, DeviceEntry& dev) {
+  const auto* key = &dev.device.spec();
+  for (auto& [other, copy] : impl.copies) copy.valid = (other == key);
+  impl.host_valid = false;
+}
+
+void Runtime::sync_to_host(ArrayImpl& impl) {
+  if (impl.host_valid) return;
+  // Find any valid device copy and read it back through its owning queue.
+  for (int i = 0; i < device_count(); ++i) {
+    DeviceEntry& dev = entry_at(i);
+    auto it = impl.copies.find(&dev.device.spec());
+    if (it != impl.copies.end() && it->second.valid) {
+      clsim::Event event = dev.queue->enqueue_read_buffer(
+          *it->second.buffer, impl.host_ptr, impl.bytes());
+      prof_.transfer_sim_seconds += event.sim_seconds();
+      prof_.sim_wall_seconds += event.wall_seconds();
+      prof_.bytes_to_host += impl.bytes();
+      impl.host_valid = true;
+      return;
+    }
+  }
+  // No valid copy anywhere: the array was never written; treat the host
+  // copy as the (zero-initialised) truth.
+  impl.host_valid = true;
+}
+
+// --- ArrayImpl helpers ------------------------------------------------------------
+
+ArrayImplPtr make_array_impl(const char* type_name, std::size_t elem_size,
+                             std::vector<std::size_t> dims, MemFlag flag) {
+  auto impl = std::make_shared<ArrayImpl>();
+  impl->type_name = type_name;
+  impl->elem_size = elem_size;
+  impl->dims = std::move(dims);
+  impl->flag = flag;
+  impl->owned_storage.assign(impl->bytes(), std::byte{0});
+  impl->host_ptr = impl->owned_storage.data();
+  return impl;
+}
+
+ArrayImplPtr make_array_impl_wrapping(const char* type_name,
+                                      std::size_t elem_size,
+                                      std::vector<std::size_t> dims,
+                                      MemFlag flag, void* host_ptr) {
+  auto impl = std::make_shared<ArrayImpl>();
+  impl->type_name = type_name;
+  impl->elem_size = elem_size;
+  impl->dims = std::move(dims);
+  impl->flag = flag;
+  impl->host_ptr = host_ptr;
+  return impl;
+}
+
+void sync_to_host(ArrayImpl& impl) { Runtime::get().sync_to_host(impl); }
+
+void prepare_host_write(ArrayImpl& impl) {
+  Runtime::get().sync_to_host(impl);
+  for (auto& [key, copy] : impl.copies) copy.valid = false;
+}
+
+}  // namespace detail
+}  // namespace HPL

@@ -1,0 +1,158 @@
+#ifndef HPLREPRO_HPL_RUNTIME_HPP
+#define HPLREPRO_HPL_RUNTIME_HPP
+
+/// \file runtime.hpp
+/// The HPL runtime: device table (one context + queue per simulated
+/// device), the kernel cache, coherent transfers, and profiling counters.
+/// All of this is machinery the user never sees — the paper's point is
+/// precisely that eval() hides it.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+#include "hpl/array_impl.hpp"
+#include "hpl/builder.hpp"
+
+namespace HPL {
+
+namespace detail {
+class Runtime;
+}
+
+/// Handle to a computing device usable with eval(...).device(d).
+class Device {
+public:
+  Device() = default;
+
+  const std::string& name() const;
+  bool supports_double() const;
+  bool is_cpu() const;
+
+  /// All devices of the platform, in discovery order.
+  static std::vector<Device> all();
+  /// The default device: the first one that is not a general-purpose CPU
+  /// (paper §III-C); falls back to the CPU if there is no accelerator.
+  static Device default_device();
+  /// First device whose name contains `needle` (e.g. "Tesla", "Quadro").
+  static std::optional<Device> by_name(const std::string& needle);
+  /// The simulated host CPU device (used as the serial baseline).
+  static Device cpu_device();
+
+  int index() const { return index_; }
+  bool operator==(const Device& o) const { return index_ == o.index_; }
+
+private:
+  friend class detail::Runtime;
+  explicit Device(int index) : index_(index) {}
+  int index_ = -1;  // -1 = default device
+};
+
+/// Aggregated profiling counters for HPL activity. Simulated seconds come
+/// from the device timing model; host seconds are real wall-clock spent in
+/// eval (capture, code generation, builds, argument marshalling) excluding
+/// the wall time used to *simulate* the device.
+struct ProfileSnapshot {
+  double host_seconds = 0;           // eval overhead (real)
+  double kernel_sim_seconds = 0;     // simulated device execution
+  double transfer_sim_seconds = 0;   // simulated host<->device transfers
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t kernels_built = 0;   // capture+codegen+build events
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_to_host = 0;
+  /// Host wall-clock consumed *simulating* device work (an artifact of the
+  /// simulator, excluded from modeled time).
+  double sim_wall_seconds = 0;
+
+  /// Modeled time including transfers.
+  double total_seconds() const {
+    return host_seconds + kernel_sim_seconds + transfer_sim_seconds;
+  }
+  /// Modeled time excluding transfers (the paper's Figs. 6-8 convention).
+  double total_seconds_no_transfer() const {
+    return host_seconds + kernel_sim_seconds;
+  }
+};
+
+ProfileSnapshot profile();
+void reset_profile();
+
+/// Drops all cached kernels (captured sources and built binaries). Used by
+/// the benchmark harness to measure cold first-invocation behaviour.
+void purge_kernel_cache();
+
+namespace detail {
+
+/// Per-device runtime state.
+struct DeviceEntry {
+  hplrepro::clsim::Device device;
+  std::unique_ptr<hplrepro::clsim::Context> context;
+  std::unique_ptr<hplrepro::clsim::CommandQueue> queue;
+};
+
+/// A kernel built for one device.
+struct BuiltKernel {
+  std::unique_ptr<hplrepro::clsim::Program> program;
+  std::unique_ptr<hplrepro::clsim::Kernel> kernel;
+};
+
+/// A captured kernel: generated source plus per-device binaries. Cached by
+/// kernel function address so repeat invocations skip capture, codegen and
+/// compilation (paper §V-B).
+struct CachedKernel {
+  std::string name;
+  std::string source;
+  std::vector<ParamSig> params;
+  std::map<const hplrepro::clsim::DeviceSpec*, BuiltKernel> built;
+};
+
+class Runtime {
+public:
+  static Runtime& get();
+
+  DeviceEntry& entry(const Device& device);
+  DeviceEntry& default_entry();
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  DeviceEntry& entry_at(int index);
+
+  /// Cache lookup by kernel function address; nullptr on miss.
+  CachedKernel* find_kernel(const void* fn);
+  CachedKernel& insert_kernel(const void* fn, CachedKernel kernel);
+
+  /// Ensures `cached` is built for `dev` and returns the binary.
+  BuiltKernel& build_for(CachedKernel& cached, DeviceEntry& dev);
+
+  /// Ensures the array has a buffer on `dev` sized to its current dims.
+  ArrayImpl::DeviceCopy& device_copy(ArrayImpl& impl, DeviceEntry& dev);
+
+  /// Makes the device copy valid (uploading from host if needed).
+  void ensure_on_device(ArrayImpl& impl, DeviceEntry& dev);
+
+  /// Marks the device copy as the only valid one (kernel wrote it).
+  void mark_device_written(ArrayImpl& impl, DeviceEntry& dev);
+
+  void sync_to_host(ArrayImpl& impl);
+
+  ProfileSnapshot& prof() { return prof_; }
+
+  /// Generates a fresh kernel name.
+  std::string next_kernel_name();
+
+  void clear_kernel_cache();
+
+private:
+  Runtime();
+  std::vector<DeviceEntry> devices_;
+  std::map<const void*, CachedKernel> kernel_cache_;
+  ProfileSnapshot prof_;
+  int next_kernel_id_ = 0;
+};
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_RUNTIME_HPP

@@ -1,0 +1,60 @@
+#ifndef HPLREPRO_HPL_TYPES_HPP
+#define HPLREPRO_HPL_TYPES_HPP
+
+/// \file types.hpp
+/// Element-type traits and memory flags for HPL arrays (paper §III-A).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace HPL {
+
+/// Kind of device memory an Array lives in (third Array template argument).
+/// `Global` is the default; `Local` is the per-group scratchpad; `Constant`
+/// is host-writable, kernel-read-only memory (paper §II).
+enum MemFlag { Global, Local, Constant, Private };
+
+namespace detail {
+
+/// Maps a C++ element type to its OpenCL C spelling and size.
+template <typename T>
+struct TypeTraits;
+
+#define HPL_DEFINE_TYPE_TRAITS(CTYPE, NAME)                    \
+  template <>                                                  \
+  struct TypeTraits<CTYPE> {                                   \
+    static constexpr const char* name = NAME;                  \
+    static constexpr std::size_t size = sizeof(CTYPE);         \
+    static constexpr bool is_floating =                        \
+        static_cast<CTYPE>(0.5) != static_cast<CTYPE>(0);      \
+  }
+
+HPL_DEFINE_TYPE_TRAITS(float, "float");
+HPL_DEFINE_TYPE_TRAITS(double, "double");
+HPL_DEFINE_TYPE_TRAITS(std::int32_t, "int");
+HPL_DEFINE_TYPE_TRAITS(std::uint32_t, "uint");
+HPL_DEFINE_TYPE_TRAITS(std::int64_t, "long");
+HPL_DEFINE_TYPE_TRAITS(std::uint64_t, "ulong");
+HPL_DEFINE_TYPE_TRAITS(std::int8_t, "char");
+HPL_DEFINE_TYPE_TRAITS(std::uint8_t, "uchar");
+HPL_DEFINE_TYPE_TRAITS(std::int16_t, "short");
+HPL_DEFINE_TYPE_TRAITS(std::uint16_t, "ushort");
+
+#undef HPL_DEFINE_TYPE_TRAITS
+
+/// OpenCL C address-space qualifier for a memory flag (pointer params).
+inline const char* space_qualifier(MemFlag flag) {
+  switch (flag) {
+    case Global: return "__global";
+    case Local: return "__local";
+    case Constant: return "__constant";
+    case Private: return "__private";
+  }
+  return "__global";
+}
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_TYPES_HPP

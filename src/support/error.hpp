@@ -1,0 +1,39 @@
+#ifndef HPLREPRO_SUPPORT_ERROR_HPP
+#define HPLREPRO_SUPPORT_ERROR_HPP
+
+/// \file error.hpp
+/// Exception hierarchy shared by every layer of the repository.
+///
+/// Each subsystem throws a subclass so callers can distinguish, e.g., a
+/// compile error in generated OpenCL C (clc::CompileError) from a misuse of
+/// the runtime API (clsim::RuntimeError) without string matching.
+
+#include <stdexcept>
+#include <string>
+
+namespace hplrepro {
+
+/// Root of the project's exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a public API is called with arguments that violate its
+/// contract (bad sizes, null data, out-of-range dimensions, ...).
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated. Seeing this exception is
+/// always a bug in this library, never a user error.
+class InternalError : public Error {
+public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+}  // namespace hplrepro
+
+#endif  // HPLREPRO_SUPPORT_ERROR_HPP

@@ -1,0 +1,108 @@
+#ifndef HPLREPRO_SUPPORT_PRNG_HPP
+#define HPLREPRO_SUPPORT_PRNG_HPP
+
+/// \file prng.hpp
+/// Deterministic pseudo-random generators used by workload generators.
+///
+/// SplitMix64 seeds test/benchmark data reproducibly. NasLcg is the linear
+/// congruential generator specified by the NAS Parallel Benchmarks
+/// (x_{k+1} = a * x_k mod 2^46, a = 5^13), which the EP benchmark requires:
+/// EP's validation constants only hold for this exact generator.
+
+#include <cstdint>
+
+namespace hplrepro {
+
+/// SplitMix64: tiny, high-quality, splittable 64-bit generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+private:
+  std::uint64_t state_;
+};
+
+/// The NAS Parallel Benchmarks pseudo-random generator (NPB 2.3 randlc).
+/// State and results are doubles holding 46-bit integers, exactly as the
+/// benchmark specification defines, so EP reproduces NAS's reference sums.
+class NasLcg {
+public:
+  static constexpr double kDefaultSeed = 271828183.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NasLcg(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Advances the state once and returns a uniform double in (0, 1).
+  double randlc() { return randlc_step(x_, kA); }
+
+  /// Returns the current raw 46-bit state.
+  double state() const { return x_; }
+  void set_state(double x) { x_ = x; }
+
+  /// Computes a^exponent mod 2^46 times seed, i.e. jumps the stream ahead
+  /// by `exponent` steps. Used by EP to give every parallel chunk its own
+  /// independent substream, as the NAS reference code does.
+  static double skip_ahead(double seed, std::uint64_t exponent) {
+    double t = kA;
+    double x = seed;
+    // Square-and-multiply on the multiplier.
+    for (std::uint64_t e = exponent; e != 0; e >>= 1) {
+      if (e & 1) (void)randlc_step(x, t);
+      double t2 = t;
+      (void)randlc_step(t2, t);
+      t = t2;
+    }
+    return x;
+  }
+
+  /// One step of the NAS LCG: x = a*x mod 2^46, returned scaled to (0,1).
+  /// Implemented with the double-double split from the NPB reference
+  /// sources so results match bit for bit on IEEE-754 hardware.
+  static double randlc_step(double& x, double a) {
+    constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+    constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+
+    const double t1a = r23 * a;
+    const double a1 = static_cast<double>(static_cast<long long>(t1a));
+    const double a2 = a - t23 * a1;
+
+    const double t1x = r23 * x;
+    const double x1 = static_cast<double>(static_cast<long long>(t1x));
+    const double x2 = x - t23 * x1;
+
+    const double t1 = a1 * x2 + a2 * x1;
+    const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+    const double z = t1 - t23 * t2;
+    const double t3 = t23 * z + a2 * x2;
+    const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+    x = t3 - t46 * t4;
+    return r46 * x;
+  }
+
+private:
+  double x_;
+};
+
+}  // namespace hplrepro
+
+#endif  // HPLREPRO_SUPPORT_PRNG_HPP

@@ -1,0 +1,35 @@
+#ifndef HPLREPRO_SUPPORT_STOPWATCH_HPP
+#define HPLREPRO_SUPPORT_STOPWATCH_HPP
+
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch used to measure the *host-side* cost of HPL and of
+/// the OpenCL-style baselines (kernel capture, code generation, clc builds,
+/// argument marshalling). Device execution time is simulated, not measured;
+/// see clsim::TimingModel.
+
+#include <chrono>
+
+namespace hplrepro {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hplrepro
+
+#endif  // HPLREPRO_SUPPORT_STOPWATCH_HPP

@@ -1,0 +1,32 @@
+#ifndef HPLREPRO_SUPPORT_TABLE_HPP
+#define HPLREPRO_SUPPORT_TABLE_HPP
+
+/// \file table.hpp
+/// Aligned plain-text table printer used by the benchmark harness so every
+/// bench binary prints its paper table/figure in the same format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hplrepro {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment; numeric-looking cells right-align.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hplrepro
+
+#endif  // HPLREPRO_SUPPORT_TABLE_HPP

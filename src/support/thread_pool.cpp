@@ -1,0 +1,127 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace hplrepro {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+// State shared between the caller and helper tasks. Held by shared_ptr so a
+// helper that wakes up late (after the caller already observed completion
+// and returned) still touches live memory.
+struct ParallelForState {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  std::function<void(std::size_t, std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> pending_chunks{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (pending_chunks.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+
+  auto state = std::make_shared<ParallelForState>();
+  state->count = count;
+  state->body = body;
+
+  // Over-decompose ~4x relative to the worker count so that uneven
+  // work-group costs (e.g. spmv rows with varying populations) still
+  // balance, while keeping per-chunk dispatch overhead negligible.
+  const std::size_t workers = size() + 1;  // pool workers + calling thread
+  const std::size_t target_chunks = std::min(count, workers * 4);
+  state->chunk = (count + target_chunks - 1) / target_chunks;
+  state->pending_chunks = (count + state->chunk - 1) / state->chunk;
+
+  const std::size_t helpers =
+      std::min<std::size_t>(size(), state->pending_chunks.load());
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([state] { state->run_chunks(); });
+  }
+  state->run_chunks();
+
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->pending_chunks.load() == 0; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(count, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace hplrepro

@@ -1,0 +1,63 @@
+#ifndef HPLREPRO_SUPPORT_THREAD_POOL_HPP
+#define HPLREPRO_SUPPORT_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// A fixed-size work-stealing-free thread pool with a blocking parallel-for.
+///
+/// The clsim device executor schedules OpenCL work-groups over this pool.
+/// The pool is deliberately simple: one shared queue, condition-variable
+/// wakeups, and a `parallel_for` that partitions an index range into
+/// contiguous chunks. Work-groups are coarse enough (hundreds to thousands
+/// of VM instructions each) that queue contention is negligible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hplrepro {
+
+class ThreadPool {
+public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` selects
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs `body(i)` for every i in [0, count), distributing contiguous
+  /// chunks across the workers, and blocks until all iterations complete.
+  /// The calling thread participates. Exceptions thrown by `body` are
+  /// captured and the first one is rethrown on the caller after all
+  /// workers drain.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// As `parallel_for` but hands each worker a chunk [begin, end) so the
+  /// body can keep per-chunk state (e.g. a VM instance) alive across
+  /// iterations.
+  void parallel_for_chunked(
+      std::size_t count,
+      const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hplrepro
+
+#endif  // HPLREPRO_SUPPORT_THREAD_POOL_HPP

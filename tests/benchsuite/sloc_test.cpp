@@ -1,0 +1,79 @@
+// The Sloccount-equivalent counter behind Table I, plus sanity checks on
+// the registered benchmark sources.
+
+#include <gtest/gtest.h>
+
+#include "benchsuite/sloc.hpp"
+#include "support/error.hpp"
+
+using namespace hplrepro::benchsuite;
+
+namespace {
+
+TEST(Sloc, CountsPlainCode) {
+  EXPECT_EQ(count_sloc_text("int a;\nint b;\n"), 2u);
+  EXPECT_EQ(count_sloc_text(""), 0u);
+  EXPECT_EQ(count_sloc_text("\n\n\n"), 0u);
+  EXPECT_EQ(count_sloc_text("x"), 1u);  // no trailing newline
+}
+
+TEST(Sloc, IgnoresBlankAndWhitespaceLines) {
+  EXPECT_EQ(count_sloc_text("a;\n\n   \n\t\nb;\n"), 2u);
+}
+
+TEST(Sloc, IgnoresLineComments) {
+  EXPECT_EQ(count_sloc_text("// just a comment\nint a; // trailing\n"), 1u);
+}
+
+TEST(Sloc, IgnoresBlockComments) {
+  EXPECT_EQ(count_sloc_text("/* one\n two\n three */\nint a;\n"), 1u);
+  EXPECT_EQ(count_sloc_text("int a; /* tail */\n/* lead */ int b;\n"), 2u);
+}
+
+TEST(Sloc, CommentMarkersInsideStringsDoNotCount) {
+  EXPECT_EQ(count_sloc_text("const char* s = \"/* not a comment */\";\n"),
+            1u);
+  EXPECT_EQ(count_sloc_text("const char* s = \"// neither\";\nint a;\n"), 2u);
+}
+
+TEST(Sloc, EscapedQuotesInStrings) {
+  EXPECT_EQ(count_sloc_text("const char* s = \"a\\\"b // c\";\n"), 1u);
+}
+
+TEST(Sloc, CharLiterals) {
+  EXPECT_EQ(count_sloc_text("char c = '\\''; // x\n"), 1u);
+}
+
+TEST(Sloc, Table1SourcesAllExistAndAreNontrivial) {
+  for (const auto& entry : table1_sources()) {
+    for (const auto& path : entry.opencl) {
+      EXPECT_GT(count_sloc_file(repo_path(path)), 40u) << path;
+    }
+    for (const auto& path : entry.hpl) {
+      EXPECT_GT(count_sloc_file(repo_path(path)), 20u) << path;
+    }
+  }
+}
+
+TEST(Sloc, HplVersionsAreShorterForEveryBenchmark) {
+  // The paper's headline claim, as an invariant of this repository.
+  for (const auto& entry : table1_sources()) {
+    std::size_t opencl = 0, hpl = 0;
+    for (const auto& path : entry.opencl) {
+      opencl += count_sloc_file(repo_path(path));
+    }
+    for (const auto& path : entry.hpl) {
+      hpl += count_sloc_file(repo_path(path));
+    }
+    EXPECT_LT(hpl, opencl) << entry.benchmark;
+    // At least a 40% reduction on every benchmark (paper: 68-91%).
+    EXPECT_LT(static_cast<double>(hpl) / static_cast<double>(opencl), 0.6)
+        << entry.benchmark;
+  }
+}
+
+TEST(Sloc, MissingFileThrows) {
+  EXPECT_THROW(count_sloc_file("/nonexistent/path.cpp"), hplrepro::Error);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Property-style parameterised sweep: for every binary operator and a grid
+// of interesting operand values, the VM must compute exactly what native
+// C++ computes for the same types. This pins the VM's integer-width,
+// signedness and floating-point semantics across the whole operator set.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec_helper.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+// --- int32 operators -------------------------------------------------------------
+
+struct IntCase {
+  const char* op;
+  std::int32_t lhs;
+  std::int32_t rhs;
+};
+
+std::int32_t native_int_op(const std::string& op, std::int32_t a,
+                           std::int32_t b) {
+  if (op == "+") return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(a) + static_cast<std::uint32_t>(b));
+  if (op == "-") return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(a) - static_cast<std::uint32_t>(b));
+  if (op == "*") return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(a) * static_cast<std::uint32_t>(b));
+  if (op == "/") return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b);
+  if (op == "%") return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b);
+  if (op == "&") return a & b;
+  if (op == "|") return a | b;
+  if (op == "^") return a ^ b;
+  if (op == "<") return a < b ? 1 : 0;
+  if (op == "<=") return a <= b ? 1 : 0;
+  if (op == ">") return a > b ? 1 : 0;
+  if (op == ">=") return a >= b ? 1 : 0;
+  if (op == "==") return a == b ? 1 : 0;
+  if (op == "!=") return a != b ? 1 : 0;
+  ADD_FAILURE() << "unknown op " << op;
+  return 0;
+}
+
+class IntBinaryOp : public ::testing::TestWithParam<IntCase> {};
+
+TEST_P(IntBinaryOp, MatchesNativeCxx) {
+  const IntCase& c = GetParam();
+  const std::string src =
+      "__kernel void k(__global int* out) {\n"
+      "  int a = " + std::to_string(c.lhs) + ";\n"
+      "  int b = " + std::to_string(c.rhs) + ";\n"
+      "  out[0] = a " + c.op + " b;\n}\n";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::int32_t>(src),
+            native_int_op(c.op, c.lhs, c.rhs))
+      << c.lhs << ' ' << c.op << ' ' << c.rhs;
+}
+
+std::vector<IntCase> int_cases() {
+  const char* ops[] = {"+", "-", "*", "/", "%", "&", "|", "^",
+                       "<", "<=", ">", ">=", "==", "!="};
+  const std::int32_t values[] = {0,    1,     -1,        7,
+                                 -13,  1024,  INT32_MAX, INT32_MIN,
+                                 4096, -4096};
+  std::vector<IntCase> cases;
+  for (const char* op : ops) {
+    for (const std::int32_t a : values) {
+      for (const std::int32_t b : values) {
+        cases.push_back({op, a, b});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntBinaryOp, ::testing::ValuesIn(int_cases()));
+
+// --- uint32 operators --------------------------------------------------------------
+
+struct UintCase {
+  const char* op;
+  std::uint32_t lhs;
+  std::uint32_t rhs;
+};
+
+std::uint32_t native_uint_op(const std::string& op, std::uint32_t a,
+                             std::uint32_t b) {
+  if (op == "+") return a + b;
+  if (op == "-") return a - b;
+  if (op == "*") return a * b;
+  if (op == "/") return b == 0 ? 0 : a / b;
+  if (op == "%") return b == 0 ? 0 : a % b;
+  if (op == "<") return a < b ? 1 : 0;
+  if (op == ">") return a > b ? 1 : 0;
+  ADD_FAILURE() << "unknown op " << op;
+  return 0;
+}
+
+class UintBinaryOp : public ::testing::TestWithParam<UintCase> {};
+
+TEST_P(UintBinaryOp, MatchesNativeCxx) {
+  const UintCase& c = GetParam();
+  const std::string src =
+      "__kernel void k(__global uint* out) {\n"
+      "  uint a = " + std::to_string(c.lhs) + "u;\n"
+      "  uint b = " + std::to_string(c.rhs) + "u;\n"
+      "  out[0] = (uint)(a " + c.op + " b);\n}\n";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::uint32_t>(src),
+            native_uint_op(c.op, c.lhs, c.rhs))
+      << c.lhs << ' ' << c.op << ' ' << c.rhs;
+}
+
+std::vector<UintCase> uint_cases() {
+  const char* ops[] = {"+", "-", "*", "/", "%", "<", ">"};
+  const std::uint32_t values[] = {0u, 1u, 2u, 0x7FFFFFFFu, 0x80000000u,
+                                  0xFFFFFFFFu, 12345u};
+  std::vector<UintCase> cases;
+  for (const char* op : ops) {
+    for (const std::uint32_t a : values) {
+      for (const std::uint32_t b : values) {
+        cases.push_back({op, a, b});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UintBinaryOp,
+                         ::testing::ValuesIn(uint_cases()));
+
+// --- float operators ------------------------------------------------------------------
+
+struct FloatCase {
+  const char* op;
+  float lhs;
+  float rhs;
+};
+
+float native_float_op(const std::string& op, float a, float b) {
+  if (op == "+") return a + b;
+  if (op == "-") return a - b;
+  if (op == "*") return a * b;
+  if (op == "/") return a / b;
+  ADD_FAILURE() << "unknown op " << op;
+  return 0;
+}
+
+class FloatBinaryOp : public ::testing::TestWithParam<FloatCase> {};
+
+TEST_P(FloatBinaryOp, MatchesNativeCxx) {
+  const FloatCase& c = GetParam();
+  const std::string src =
+      "__kernel void k(__global float* out) {\n"
+      "  float a = " + hplrepro::float_literal(c.lhs) + ";\n"
+      "  float b = " + hplrepro::float_literal(c.rhs) + ";\n"
+      "  out[0] = a " + c.op + " b;\n}\n";
+  const float got = clc_test::eval_scalar_kernel<float>(src);
+  const float want = native_float_op(c.op, c.lhs, c.rhs);
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got));
+  } else {
+    EXPECT_EQ(got, want) << c.lhs << ' ' << c.op << ' ' << c.rhs;
+  }
+}
+
+std::vector<FloatCase> float_cases() {
+  const char* ops[] = {"+", "-", "*", "/"};
+  const float values[] = {0.0f,    1.0f,   -1.5f,       3.14159f,
+                          1e20f,   1e-20f, 16777216.0f, -65536.5f};
+  std::vector<FloatCase> cases;
+  for (const char* op : ops) {
+    for (const float a : values) {
+      for (const float b : values) {
+        cases.push_back({op, a, b});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloatBinaryOp,
+                         ::testing::ValuesIn(float_cases()));
+
+}  // namespace

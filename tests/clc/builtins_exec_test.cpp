@@ -1,0 +1,140 @@
+// Every math builtin, executed through the VM and compared against the
+// host libm (which is the simulator's reference implementation), swept
+// over a grid of arguments with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec_helper.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+struct UnaryCase {
+  const char* name;
+  double (*reference)(double);
+  double arg;
+};
+
+class UnaryMathBuiltin : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryMathBuiltin, DoubleVariantMatchesLibm) {
+  const UnaryCase& c = GetParam();
+  const std::string src =
+      "__kernel void k(__global double* out) {\n  out[0] = " +
+      std::string(c.name) + "(" + hplrepro::double_literal(c.arg) + ");\n}\n";
+  const double got = clc_test::eval_scalar_kernel<double>(src);
+  const double want = c.reference(c.arg);
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got)) << c.name << '(' << c.arg << ')';
+  } else {
+    EXPECT_DOUBLE_EQ(got, want) << c.name << '(' << c.arg << ')';
+  }
+}
+
+TEST_P(UnaryMathBuiltin, FloatVariantMatchesLibm) {
+  const UnaryCase& c = GetParam();
+  const float arg = static_cast<float>(c.arg);
+  const std::string src =
+      "__kernel void k(__global float* out) {\n  out[0] = " +
+      std::string(c.name) + "(" + hplrepro::float_literal(arg) + ");\n}\n";
+  const float got = clc_test::eval_scalar_kernel<float>(src);
+  const float want = [&] {
+    // Reference: the float overload of the same libm function.
+    if (std::string(c.name) == "sqrt") return std::sqrt(arg);
+    if (std::string(c.name) == "fabs") return std::fabs(arg);
+    if (std::string(c.name) == "exp") return std::exp(arg);
+    if (std::string(c.name) == "log") return std::log(arg);
+    if (std::string(c.name) == "sin") return std::sin(arg);
+    if (std::string(c.name) == "cos") return std::cos(arg);
+    if (std::string(c.name) == "floor") return std::floor(arg);
+    if (std::string(c.name) == "ceil") return std::ceil(arg);
+    if (std::string(c.name) == "trunc") return std::trunc(arg);
+    if (std::string(c.name) == "round") return std::round(arg);
+    if (std::string(c.name) == "exp2") return std::exp2(arg);
+    if (std::string(c.name) == "log2") return std::log2(arg);
+    if (std::string(c.name) == "log10") return std::log10(arg);
+    if (std::string(c.name) == "tan") return std::tan(arg);
+    if (std::string(c.name) == "atan") return std::atan(arg);
+    return std::nanf("");
+  }();
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got)) << c.name << '(' << arg << ')';
+  } else {
+    EXPECT_FLOAT_EQ(got, want) << c.name << '(' << arg << ')';
+  }
+}
+
+std::vector<UnaryCase> unary_cases() {
+  struct Fn {
+    const char* name;
+    double (*fn)(double);
+  };
+  const Fn fns[] = {
+      {"sqrt", std::sqrt}, {"fabs", std::fabs},   {"exp", std::exp},
+      {"log", std::log},   {"sin", std::sin},     {"cos", std::cos},
+      {"floor", std::floor}, {"ceil", std::ceil}, {"trunc", std::trunc},
+      {"round", std::round}, {"exp2", std::exp2}, {"log2", std::log2},
+      {"log10", std::log10}, {"tan", std::tan},   {"atan", std::atan},
+  };
+  const double args[] = {0.25, 1.0, 2.5, 9.0, 0.0, -1.5};
+  std::vector<UnaryCase> cases;
+  for (const auto& fn : fns) {
+    for (const double a : args) {
+      cases.push_back({fn.name, fn.fn, a});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnaryMathBuiltin,
+                         ::testing::ValuesIn(unary_cases()));
+
+TEST(BinaryMathBuiltin, PowAtan2FmodHypot) {
+  using clc_test::eval_scalar_kernel;
+  using clc_test::expr_kernel;
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(
+                       expr_kernel("double", "pow(3.0, 4.0)")),
+                   81.0);
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(
+                       expr_kernel("double", "atan2(1.0, 1.0)")),
+                   std::atan2(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(
+                       expr_kernel("double", "fmod(7.5, 2.0)")),
+                   1.5);
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(
+                       expr_kernel("double", "hypot(3.0, 4.0)")),
+                   5.0);
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(
+                       expr_kernel("double", "fma(2.0, 3.0, 1.0)")),
+                   7.0);
+  EXPECT_FLOAT_EQ(eval_scalar_kernel<float>(
+                      expr_kernel("float", "rsqrt(4.0f)")),
+                  0.5f);
+}
+
+TEST(BinaryMathBuiltin, MixedArgumentsPromoteToDouble) {
+  // pow(float, double) must compute in double.
+  using clc_test::eval_scalar_kernel;
+  using clc_test::expr_kernel;
+  EXPECT_DOUBLE_EQ(eval_scalar_kernel<double>(expr_kernel(
+                       "double", "pow(x, 0.5)", "  float x = 2.0f;\n")),
+                   std::sqrt(2.0));
+}
+
+TEST(BinaryMathBuiltin, UnsignedMinMaxClamp) {
+  using clc_test::eval_scalar_kernel;
+  using clc_test::expr_kernel;
+  // 0xFFFFFFFF as uint is the max, not -1.
+  EXPECT_EQ(eval_scalar_kernel<std::uint32_t>(expr_kernel(
+                "uint", "max(a, 1u)", "  uint a = 4294967295u;\n")),
+            4294967295u);
+  EXPECT_EQ(eval_scalar_kernel<std::uint32_t>(expr_kernel(
+                "uint", "clamp(a, 0u, 10u)", "  uint a = 4294967295u;\n")),
+            10u);
+}
+
+}  // namespace

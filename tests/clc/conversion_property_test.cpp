@@ -1,0 +1,118 @@
+// Conversion-matrix property sweep: casting a set of probe values through
+// every ordered pair of scalar types must agree with native C++ casts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec_helper.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+// Values are generated from a double master value per source type; the
+// expected result is computed by the same double -> From -> To chain in
+// native C++.
+struct ConvCase {
+  const char* from;
+  const char* to;
+  double value;
+};
+
+template <typename From, typename To>
+double reference_cast(double v) {
+  return static_cast<double>(static_cast<To>(static_cast<From>(v)));
+}
+
+double reference(const std::string& from, const std::string& to, double v) {
+  auto inner = [&]<typename From>() -> double {
+    if (to == "char") return reference_cast<From, std::int8_t>(v);
+    if (to == "uchar") return reference_cast<From, std::uint8_t>(v);
+    if (to == "short") return reference_cast<From, std::int16_t>(v);
+    if (to == "ushort") return reference_cast<From, std::uint16_t>(v);
+    if (to == "int") return reference_cast<From, std::int32_t>(v);
+    if (to == "uint") return reference_cast<From, std::uint32_t>(v);
+    if (to == "long") return reference_cast<From, std::int64_t>(v);
+    if (to == "float") return reference_cast<From, float>(v);
+    if (to == "double") return reference_cast<From, double>(v);
+    ADD_FAILURE() << "bad to-type " << to;
+    return 0;
+  };
+  if (from == "char") return inner.template operator()<std::int8_t>();
+  if (from == "uchar") return inner.template operator()<std::uint8_t>();
+  if (from == "short") return inner.template operator()<std::int16_t>();
+  if (from == "ushort") return inner.template operator()<std::uint16_t>();
+  if (from == "int") return inner.template operator()<std::int32_t>();
+  if (from == "uint") return inner.template operator()<std::uint32_t>();
+  if (from == "long") return inner.template operator()<std::int64_t>();
+  if (from == "float") return inner.template operator()<float>();
+  if (from == "double") return inner.template operator()<double>();
+  ADD_FAILURE() << "bad from-type " << from;
+  return 0;
+}
+
+class ConversionMatrix : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConversionMatrix, MatchesNativeCxx) {
+  const ConvCase& c = GetParam();
+  // Kernel: double master value -> From (via cast) -> To -> double out.
+  const std::string src =
+      "__kernel void k(__global double* out) {\n"
+      "  double master = " + hplrepro::double_literal(c.value) + ";\n"
+      "  " + c.from + " source = (" + c.from + ")master;\n"
+      "  " + c.to + " converted = (" + c.to + ")source;\n"
+      "  out[0] = (double)converted;\n}\n";
+  const double got = clc_test::eval_scalar_kernel<double>(src);
+  const double want = reference(c.from, c.to, c.value);
+  EXPECT_EQ(got, want) << c.from << " -> " << c.to << " of " << c.value;
+}
+
+bool is_floating_type(const std::string& t) {
+  return t == "float" || t == "double";
+}
+
+bool fits_integral(const std::string& t, double v) {
+  const double truncated = std::trunc(v);
+  if (t == "char") return truncated >= -128 && truncated <= 127;
+  if (t == "uchar") return truncated >= 0 && truncated <= 255;
+  if (t == "short") return truncated >= -32768 && truncated <= 32767;
+  if (t == "ushort") return truncated >= 0 && truncated <= 65535;
+  if (t == "int") return truncated >= -2147483648.0 && truncated <= 2147483647.0;
+  if (t == "uint") return truncated >= 0 && truncated <= 4294967295.0;
+  if (t == "long") return true;  // probe values are small
+  return true;
+}
+
+std::vector<ConvCase> conversion_cases() {
+  const char* types[] = {"char", "uchar", "short", "ushort", "int",
+                         "uint", "long",  "float", "double"};
+  // Probe values chosen to exercise sign extension, truncation and
+  // rounding.
+  const double values[] = {0.0, 1.0, -1.0, 100.0, 200.0, -200.0,
+                           65535.0, 1e4, 2.75, -3.25};
+  std::vector<ConvCase> cases;
+  for (const char* from : types) {
+    for (const char* to : types) {
+      for (const double v : values) {
+        // Skip chains whose floating -> integral step is out of range:
+        // that is undefined behaviour in C, so no single answer exists
+        // (the VM saturates, hardware typically wraps).
+        if (!is_floating_type(from) && !fits_integral(from, v)) continue;
+        if (is_floating_type(from) && !is_floating_type(to) &&
+            !fits_integral(to, v)) {
+          continue;
+        }
+        cases.push_back({from, to, v});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConversionMatrix,
+                         ::testing::ValuesIn(conversion_cases()));
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Compiler front-end diagnostics: bad programs must be rejected with an
+// error that names the problem, mirroring a vendor OpenCL build log.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "clc/compile.hpp"
+
+using hplrepro::clc::compile;
+using hplrepro::clc::CompileError;
+
+namespace {
+
+/// Expects compilation to fail and the build log to mention `needle`.
+void expect_error(const std::string& source, const std::string& needle) {
+  try {
+    compile(source);
+    FAIL() << "expected a compile error mentioning '" << needle << "'";
+  } catch (const CompileError& e) {
+    EXPECT_NE(e.build_log().find(needle), std::string::npos)
+        << "build log was:\n"
+        << e.build_log();
+  }
+}
+
+TEST(Diagnostics, UndeclaredIdentifier) {
+  expect_error("__kernel void k(__global int* o) { o[0] = nope; }",
+               "undeclared identifier 'nope'");
+}
+
+TEST(Diagnostics, UndeclaredFunction) {
+  expect_error("__kernel void k(__global int* o) { o[0] = magic(1); }",
+               "undeclared function 'magic'");
+}
+
+TEST(Diagnostics, WrongArgumentCount) {
+  expect_error(R"(
+int add(int a, int b) { return a + b; }
+__kernel void k(__global int* o) { o[0] = add(1); }
+)",
+               "expects 2 argument(s)");
+}
+
+TEST(Diagnostics, RecursionRejected) {
+  expect_error(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+__kernel void k(__global int* o) { o[0] = fib(10); }
+)",
+               "recursion");
+}
+
+TEST(Diagnostics, MutualRecursionRejected) {
+  expect_error(R"(
+int odd(int n);
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+__kernel void k(__global int* o) { o[0] = even(4); }
+)",
+               "");  // either a parse error (no prototypes) or recursion
+}
+
+TEST(Diagnostics, KernelMustReturnVoid) {
+  expect_error("__kernel int k(__global int* o) { return 1; }",
+               "kernel functions must return void");
+}
+
+TEST(Diagnostics, KernelsCannotBeCalled) {
+  expect_error(R"(
+__kernel void helper(__global int* o) { o[0] = 1; }
+__kernel void k(__global int* o) { helper(o); }
+)",
+               "kernels cannot be called");
+}
+
+TEST(Diagnostics, AssignToConstRejected) {
+  expect_error(R"(
+__kernel void k(__global const float* in, __global float* out) {
+  in[0] = 1.0f;
+  out[0] = 0.0f;
+}
+)",
+               "not assignable");
+}
+
+TEST(Diagnostics, ConstScalarNotAssignable) {
+  expect_error(R"(
+__kernel void k(__global int* o) {
+  const int c = 3;
+  c = 4;
+  o[0] = c;
+}
+)",
+               "not assignable");
+}
+
+TEST(Diagnostics, BreakOutsideLoop) {
+  expect_error("__kernel void k(__global int* o) { break; }",
+               "break outside of a loop");
+}
+
+TEST(Diagnostics, LocalArrayOutsideKernelRejected) {
+  expect_error(R"(
+void helper(void) {
+  __local float scratch[16];
+  scratch[0] = 1.0f;
+}
+__kernel void k(__global int* o) { helper(); o[0] = 1; }
+)",
+               "__local variables are only allowed in kernels");
+}
+
+TEST(Diagnostics, CrossAddressSpaceCastRejected) {
+  expect_error(R"(
+__kernel void k(__global float* g) {
+  __local float l[4];
+  __global float* p = (__global float*)l;
+  p[0] = 1.0f;
+  g[0] = 0.0f;
+}
+)",
+               "cannot cast across address spaces");
+}
+
+TEST(Diagnostics, PointerScalarMismatch) {
+  expect_error(R"(
+__kernel void k(__global float* f) {
+  int x = f;
+  f[0] = (float)x;
+}
+)",
+               "cannot initialise");
+}
+
+TEST(Diagnostics, SubscriptOnScalarRejected) {
+  expect_error("__kernel void k(__global int* o) { int x = 0; o[0] = x[1]; }",
+               "not a pointer or array");
+}
+
+TEST(Diagnostics, RedeclarationInSameScope) {
+  expect_error(R"(
+__kernel void k(__global int* o) {
+  int x = 1;
+  int x = 2;
+  o[0] = x;
+}
+)",
+               "redeclaration of 'x'");
+}
+
+TEST(Diagnostics, DuplicateFunction) {
+  expect_error(R"(
+void f(void) { }
+void f(void) { }
+__kernel void k(__global int* o) { o[0] = 1; }
+)",
+               "redefinition of function 'f'");
+}
+
+TEST(Diagnostics, ShadowingBuiltinRejected) {
+  expect_error(R"(
+float sqrt(float x) { return x; }
+__kernel void k(__global float* o) { o[0] = sqrt(4.0f); }
+)",
+               "shadows an OpenCL builtin");
+}
+
+TEST(Diagnostics, SyntaxErrorHasLocation) {
+  try {
+    compile("__kernel void k(__global int* o) { o[0] = ; }");
+    FAIL() << "expected a compile error";
+  } catch (const CompileError& e) {
+    // Line 1, around column 43.
+    EXPECT_NE(e.build_log().find("1:"), std::string::npos) << e.build_log();
+    EXPECT_NE(e.build_log().find("expected an expression"),
+              std::string::npos)
+        << e.build_log();
+  }
+}
+
+TEST(Diagnostics, UnterminatedCommentReported) {
+  expect_error("__kernel void k(__global int* o) { o[0] = 1; } /* oops",
+               "unterminated block comment");
+}
+
+TEST(Diagnostics, ArrayExtentMustBePositive) {
+  expect_error("__kernel void k(__global int* o) { int a[0]; o[0] = 1; }",
+               "array extent must be nonzero");
+}
+
+TEST(Diagnostics, VoidVariableRejected) {
+  expect_error("__kernel void k(__global int* o) { void v; o[0] = 1; }",
+               "variable cannot have void type");
+}
+
+TEST(Diagnostics, MissingKernelNameInProgram) {
+  // Valid program, but the kernel lookup must fail cleanly at the runtime
+  // layer — covered in clsim tests; here we check the module side.
+  auto result = compile("__kernel void real_name(__global int* o) { o[0] = 1; }");
+  EXPECT_EQ(result.module.find("wrong_name"), nullptr);
+  EXPECT_NE(result.module.find("real_name"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+#ifndef HPLREPRO_TESTS_CLC_EXEC_HELPER_HPP
+#define HPLREPRO_TESTS_CLC_EXEC_HELPER_HPP
+
+// Test harness: compile an OpenCL C snippet and run one kernel over a
+// small NDRange against typed host vectors.
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+
+namespace clc_test {
+
+namespace clsim = hplrepro::clsim;
+
+inline clsim::Device test_device() {
+  return *clsim::Platform::get().device_by_name("Tesla");
+}
+
+/// Runs `kernel_name` from `source` over `global` items with a buffer of
+/// `T` as the single argument (in/out).
+template <typename T>
+std::vector<T> run_kernel_1buf(const std::string& source,
+                               const std::string& kernel_name,
+                               std::vector<T> data, std::size_t global,
+                               std::optional<std::size_t> local = {}) {
+  clsim::Context context(test_device());
+  clsim::CommandQueue queue(context);
+  clsim::Buffer buffer(context, data.size() * sizeof(T));
+  queue.enqueue_write_buffer(buffer, data.data(), data.size() * sizeof(T));
+
+  clsim::Program program(context, source);
+  program.build();
+  clsim::Kernel kernel(program, kernel_name);
+  kernel.set_arg(0, buffer);
+
+  std::optional<clsim::NDRange> local_range;
+  if (local.has_value()) local_range = clsim::NDRange(*local);
+  queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(global), local_range);
+
+  queue.enqueue_read_buffer(buffer, data.data(), data.size() * sizeof(T));
+  return data;
+}
+
+/// Compiles `expr_source`, a full translation unit with a kernel named
+/// "k" writing one result of type T to out[0], runs it with one work-item,
+/// and returns the value. Used by expression-semantics tests.
+template <typename T>
+T eval_scalar_kernel(const std::string& source) {
+  std::vector<T> out(1, T{});
+  out = run_kernel_1buf<T>(source, "k", std::move(out), 1);
+  return out[0];
+}
+
+/// Wraps a C expression of type `type` into a one-item kernel.
+inline std::string expr_kernel(const std::string& type,
+                               const std::string& expr,
+                               const std::string& prologue = "") {
+  return "__kernel void k(__global " + type + "* out) {\n" + prologue +
+         "  out[0] = " + expr + ";\n}\n";
+}
+
+}  // namespace clc_test
+
+#endif  // HPLREPRO_TESTS_CLC_EXEC_HELPER_HPP

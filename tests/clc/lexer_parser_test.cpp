@@ -1,0 +1,169 @@
+// Lexer and parser units: token classification, literal values, operator
+// disassembly of compiled functions, and structural parsing checks.
+
+#include <gtest/gtest.h>
+
+#include "clc/compile.hpp"
+#include "clc/lexer.hpp"
+#include "clc/parser.hpp"
+
+using namespace hplrepro::clc;
+
+namespace {
+
+std::vector<Token> lex(const std::string& text) {
+  DiagnosticSink diags;
+  Lexer lexer(text, diags);
+  auto tokens = lexer.lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.log();
+  return tokens;
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto tokens = lex("0 42 0x1F 123u 5ul 7l");
+  ASSERT_EQ(tokens.size(), 7u);  // 6 + End
+  EXPECT_EQ(tokens[0].int_value, 0u);
+  EXPECT_EQ(tokens[1].int_value, 42u);
+  EXPECT_EQ(tokens[2].int_value, 0x1Fu);
+  EXPECT_TRUE(tokens[3].is_unsigned_suffix);
+  EXPECT_TRUE(tokens[4].is_unsigned_suffix);
+  EXPECT_TRUE(tokens[4].is_long_suffix);
+  EXPECT_TRUE(tokens[5].is_long_suffix);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto tokens = lex("1.5 2.0f 1e3 2.5e-2 .25");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_TRUE(tokens[1].is_float_suffix);
+  EXPECT_FLOAT_EQ(static_cast<float>(tokens[1].float_value), 2.0f);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.25);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto tokens = lex("<< >> <= >= == != && || += -= <<= >>= ++ --");
+  const Tok expected[] = {Tok::Shl, Tok::Shr, Tok::LessEq, Tok::GreaterEq,
+                          Tok::EqEq, Tok::BangEq, Tok::AmpAmp, Tok::PipePipe,
+                          Tok::PlusAssign, Tok::MinusAssign, Tok::ShlAssign,
+                          Tok::ShrAssign, Tok::PlusPlus, Tok::MinusMinus};
+  ASSERT_EQ(tokens.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto tokens = lex("a // comment with * tokens\nb /* block\nspanning */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+  EXPECT_EQ(tokens[2].line, 3);
+}
+
+TEST(Lexer, KeywordsAndAlternateSpellings) {
+  auto tokens = lex("__kernel kernel __global global size_t unsigned");
+  EXPECT_EQ(tokens[0].kind, Tok::KwKernel);
+  EXPECT_EQ(tokens[1].kind, Tok::KwKernel);
+  EXPECT_EQ(tokens[2].kind, Tok::KwGlobal);
+  EXPECT_EQ(tokens[3].kind, Tok::KwGlobal);
+  EXPECT_EQ(tokens[4].kind, Tok::KwSizeT);
+  EXPECT_EQ(tokens[5].kind, Tok::KwUInt);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto tokens = lex("a\n  b\n    c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 5);
+}
+
+// --- Parser/compile structure -----------------------------------------------------
+
+TEST(Parser, KernelMetadataExtracted) {
+  auto result = compile(R"(
+void helper(int x) { }
+__kernel void my_kernel(__global float* a, __constant int* t, float s) {
+  a[0] = s;
+  helper(t[0]);
+}
+)");
+  const auto* kernel = result.module.find("my_kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_TRUE(kernel->is_kernel);
+  ASSERT_EQ(kernel->params.size(), 3u);
+  EXPECT_TRUE(kernel->params[0].type.pointer);
+  EXPECT_EQ(kernel->params[0].type.space, AddressSpace::Global);
+  EXPECT_EQ(kernel->params[1].type.space, AddressSpace::Constant);
+  EXPECT_FALSE(kernel->params[2].type.pointer);
+  EXPECT_EQ(kernel->params[2].type.scalar, Scalar::Float);
+
+  const auto* helper = result.module.find("helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_FALSE(helper->is_kernel);
+  EXPECT_EQ(result.module.kernel_names(),
+            std::vector<std::string>{"my_kernel"});
+}
+
+TEST(Parser, BarrierAndDoubleFlagsPropagate) {
+  auto result = compile(R"(
+double square(double x) { return x * x; }
+void sync_helper_free(void) { }
+__kernel void with_barrier(__global float* a) {
+  __local float s[4];
+  s[get_local_id(0)] = a[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  a[get_global_id(0)] = s[0];
+}
+__kernel void with_double(__global double* a) {
+  a[0] = square(a[0]);
+}
+)");
+  EXPECT_TRUE(result.module.find("with_barrier")->uses_barrier);
+  EXPECT_FALSE(result.module.find("with_barrier")->uses_double);
+  EXPECT_TRUE(result.module.find("with_double")->uses_double);
+  EXPECT_FALSE(result.module.find("with_double")->uses_barrier);
+  // Local memory accounted.
+  EXPECT_EQ(result.module.find("with_barrier")->local_bytes, 16u);
+}
+
+TEST(Parser, DisassemblyIsStable) {
+  auto result = compile("__kernel void k(__global int* o) { o[0] = 1 + 2; }");
+  const std::string text = disassemble(*result.module.find("k"));
+  EXPECT_NE(text.find("kernel k"), std::string::npos);
+  EXPECT_NE(text.find("push.i"), std::string::npos);
+  EXPECT_NE(text.find("store.i32"), std::string::npos);
+  EXPECT_NE(text.find("ret.void"), std::string::npos);
+}
+
+TEST(Parser, MultipleDeclaratorsPerStatement) {
+  auto result = compile(R"(
+__kernel void k(__global int* o) {
+  int a = 1, b = 2, c;
+  c = a + b;
+  o[0] = c;
+}
+)");
+  EXPECT_NE(result.module.find("k"), nullptr);
+}
+
+TEST(Parser, ForWithoutInitCondStep) {
+  auto result = compile(R"(
+__kernel void k(__global int* o) {
+  int i = 0;
+  for (;;) {
+    i++;
+    if (i == 3) break;
+  }
+  o[0] = i;
+}
+)");
+  EXPECT_NE(result.module.find("k"), nullptr);
+}
+
+}  // namespace

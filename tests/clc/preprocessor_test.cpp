@@ -1,0 +1,106 @@
+// The clc mini-preprocessor: object-like #define, #undef, #pragma, and
+// rejection of what it does not support.
+
+#include <gtest/gtest.h>
+
+#include "clc/compile.hpp"
+#include "clc/lexer.hpp"
+#include "clc/preprocessor.hpp"
+#include "exec_helper.hpp"
+
+using namespace hplrepro::clc;
+
+namespace {
+
+TEST(Preprocessor, ObjectLikeDefine) {
+  const char* src = R"(
+#define ANSWER 42
+__kernel void k(__global int* out) { out[0] = ANSWER; }
+)";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::int32_t>(src), 42);
+}
+
+TEST(Preprocessor, DefineWithExpressionBody) {
+  const char* src = R"(
+#define TILE 16
+#define TILE_SQ (TILE * TILE)
+__kernel void k(__global int* out) { out[0] = TILE_SQ + TILE; }
+)";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::int32_t>(src), 272);
+}
+
+TEST(Preprocessor, NestedDefinesExpand) {
+  const char* src = R"(
+#define A B
+#define B C
+#define C 7
+__kernel void k(__global int* out) { out[0] = A; }
+)";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::int32_t>(src), 7);
+}
+
+TEST(Preprocessor, UndefRemovesMacro) {
+  DiagnosticSink diags;
+  auto result = preprocess("#define X 1\n#undef X\nint f(void) { return 0; }\n",
+                           diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(result.macros.empty());
+}
+
+TEST(Preprocessor, PragmaIgnored) {
+  const char* src = R"(
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+__kernel void k(__global double* out) { out[0] = 1.5; }
+)";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<double>(src), 1.5);
+}
+
+TEST(Preprocessor, LineNumbersPreservedAcrossDirectives) {
+  // The directive occupies line 2; the error is on line 3.
+  try {
+    compile("\n#define GOOD 1\n__kernel void k(__global int* o) { o[0] = bad; }\n");
+    FAIL() << "expected error";
+  } catch (const CompileError& e) {
+    EXPECT_NE(e.build_log().find("3:"), std::string::npos) << e.build_log();
+  }
+}
+
+TEST(Preprocessor, FunctionLikeMacroRejected) {
+  DiagnosticSink diags;
+  preprocess("#define SQR(x) ((x)*(x))\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.log().find("function-like"), std::string::npos);
+}
+
+TEST(Preprocessor, UnknownDirectiveRejected) {
+  DiagnosticSink diags;
+  preprocess("#include <foo.h>\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.log().find("unsupported preprocessor directive"),
+            std::string::npos);
+}
+
+TEST(Preprocessor, RecursiveDefineDiagnosed) {
+  DiagnosticSink diags;
+  auto pre = preprocess("#define A B\n#define B A\n", diags);
+  ASSERT_FALSE(diags.has_errors());
+  Lexer lexer("A", diags);
+  auto tokens = expand_macros(lexer.lex_all(), pre.macros, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.log().find("did not terminate"), std::string::npos);
+}
+
+TEST(Preprocessor, MacroInsideStringOfKernelNotExpanded) {
+  // clc has no string literals in expressions, but macro names embedded in
+  // identifiers must not expand: TILEx is not TILE.
+  const char* src = R"(
+#define TILE 16
+__kernel void k(__global int* out) {
+  int TILEx = 3;
+  out[0] = TILEx + TILE;
+}
+)";
+  EXPECT_EQ(clc_test::eval_scalar_kernel<std::int32_t>(src), 19);
+}
+
+}  // namespace

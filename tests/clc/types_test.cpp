@@ -1,0 +1,102 @@
+// The clc type system: sizes, ranks, promotions and the usual arithmetic
+// conversions (the rules behind every typed opcode the codegen picks).
+
+#include <gtest/gtest.h>
+
+#include "clc/types.hpp"
+
+using namespace hplrepro::clc;
+
+namespace {
+
+TEST(Types, ScalarSizes) {
+  EXPECT_EQ(scalar_size(Scalar::Bool), 1u);
+  EXPECT_EQ(scalar_size(Scalar::Char), 1u);
+  EXPECT_EQ(scalar_size(Scalar::UChar), 1u);
+  EXPECT_EQ(scalar_size(Scalar::Short), 2u);
+  EXPECT_EQ(scalar_size(Scalar::UShort), 2u);
+  EXPECT_EQ(scalar_size(Scalar::Int), 4u);
+  EXPECT_EQ(scalar_size(Scalar::UInt), 4u);
+  EXPECT_EQ(scalar_size(Scalar::Long), 8u);
+  EXPECT_EQ(scalar_size(Scalar::ULong), 8u);
+  EXPECT_EQ(scalar_size(Scalar::Float), 4u);
+  EXPECT_EQ(scalar_size(Scalar::Double), 8u);
+  EXPECT_EQ(scalar_size(Scalar::Void), 0u);
+}
+
+TEST(Types, Classification) {
+  EXPECT_TRUE(is_integer(Scalar::Bool));
+  EXPECT_TRUE(is_integer(Scalar::ULong));
+  EXPECT_FALSE(is_integer(Scalar::Float));
+  EXPECT_TRUE(is_signed_integer(Scalar::Char));
+  EXPECT_FALSE(is_signed_integer(Scalar::UChar));
+  EXPECT_TRUE(is_unsigned_integer(Scalar::UInt));
+  EXPECT_FALSE(is_unsigned_integer(Scalar::Bool));  // bool is neither
+  EXPECT_TRUE(is_floating(Scalar::Double));
+  EXPECT_FALSE(is_floating(Scalar::Long));
+}
+
+TEST(Types, IntegerPromotion) {
+  EXPECT_EQ(promote(Scalar::Bool), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::Char), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::UChar), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::Short), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::UShort), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::Int), Scalar::Int);
+  EXPECT_EQ(promote(Scalar::UInt), Scalar::UInt);
+  EXPECT_EQ(promote(Scalar::Float), Scalar::Float);
+}
+
+TEST(Types, UsualArithmeticConversions) {
+  // Floating dominates.
+  EXPECT_EQ(arithmetic_result(Scalar::Int, Scalar::Double), Scalar::Double);
+  EXPECT_EQ(arithmetic_result(Scalar::Float, Scalar::Double), Scalar::Double);
+  EXPECT_EQ(arithmetic_result(Scalar::ULong, Scalar::Float), Scalar::Float);
+  // Same signedness: higher rank wins.
+  EXPECT_EQ(arithmetic_result(Scalar::Int, Scalar::Long), Scalar::Long);
+  EXPECT_EQ(arithmetic_result(Scalar::UInt, Scalar::ULong), Scalar::ULong);
+  // Mixed signedness, equal rank: unsigned wins.
+  EXPECT_EQ(arithmetic_result(Scalar::Int, Scalar::UInt), Scalar::UInt);
+  EXPECT_EQ(arithmetic_result(Scalar::Long, Scalar::ULong), Scalar::ULong);
+  // Mixed signedness, signed has higher rank: signed wins (can represent).
+  EXPECT_EQ(arithmetic_result(Scalar::UInt, Scalar::Long), Scalar::Long);
+  // Narrow operands promote first.
+  EXPECT_EQ(arithmetic_result(Scalar::Char, Scalar::UChar), Scalar::Int);
+  EXPECT_EQ(arithmetic_result(Scalar::Short, Scalar::Short), Scalar::Int);
+}
+
+TEST(Types, TypeToString) {
+  EXPECT_EQ(Type::scalar_type(Scalar::Float).to_string(), "float");
+  EXPECT_EQ(Type::pointer_to(Scalar::Int, AddressSpace::Global).to_string(),
+            "__global int*");
+  EXPECT_EQ(Type::pointer_to(Scalar::Double, AddressSpace::Local,
+                             /*is_const=*/true)
+                .to_string(),
+            "__local const double*");
+  EXPECT_EQ(
+      Type::pointer_to(Scalar::Float, AddressSpace::Constant).to_string(),
+      "__constant float*");
+}
+
+TEST(Types, Equality) {
+  const Type a = Type::pointer_to(Scalar::Float, AddressSpace::Global);
+  Type b = a;
+  EXPECT_EQ(a, b);
+  b.const_qualified = true;
+  EXPECT_NE(a, b);
+  // Non-pointers ignore space/const in comparison.
+  Type s1 = Type::scalar_type(Scalar::Int);
+  Type s2 = Type::scalar_type(Scalar::Int);
+  s2.space = AddressSpace::Local;
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Types, VoidPredicates) {
+  EXPECT_TRUE(Type::void_type().is_void());
+  EXPECT_FALSE(Type::void_type().is_arithmetic());
+  EXPECT_TRUE(Type::scalar_type(Scalar::Int).is_arithmetic());
+  EXPECT_FALSE(
+      Type::pointer_to(Scalar::Int, AddressSpace::Global).is_arithmetic());
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// The C-style OpenCL host API layer: happy path end to end, plus the
+// error-code behaviour real OpenCL programs rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clsim/cl_api.hpp"
+#include "clsim/runtime.hpp"
+
+namespace {
+
+TEST(ClApi, PlatformAndDeviceDiscovery) {
+  cl_uint num_platforms = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &num_platforms), CL_SUCCESS);
+  ASSERT_EQ(num_platforms, 1u);
+
+  cl_platform_id platform;
+  ASSERT_EQ(clGetPlatformIDs(1, &platform, nullptr), CL_SUCCESS);
+
+  cl_uint num_gpus = 0;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 0, nullptr,
+                           &num_gpus),
+            CL_SUCCESS);
+  EXPECT_EQ(num_gpus, 2u);  // Tesla + Quadro
+
+  cl_uint num_cpus = 0;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_CPU, 0, nullptr,
+                           &num_cpus),
+            CL_SUCCESS);
+  EXPECT_EQ(num_cpus, 1u);
+
+  cl_device_id gpu;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &gpu, nullptr),
+            CL_SUCCESS);
+  char name[128];
+  ASSERT_EQ(clGetDeviceInfo(gpu, CL_DEVICE_NAME, sizeof(name), name, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(name).find("Tesla"), std::string::npos);
+}
+
+TEST(ClApi, EndToEndVectorAdd) {
+  const char* src = R"(
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c) {
+  size_t i = get_global_id(0);
+  c[i] = a[i] + b[i];
+}
+)";
+  cl_int err;
+  cl_platform_id platform;
+  ASSERT_EQ(clGetPlatformIDs(1, &platform, nullptr), CL_SUCCESS);
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+            CL_SUCCESS);
+
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  constexpr std::size_t n = 256;
+  std::vector<float> a(n, 2.0f), b(n, 3.0f), c(n, 0.0f);
+
+  cl_mem a_buf = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                n * 4, a.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem b_buf = clCreateBuffer(context, CL_MEM_READ_ONLY, n * 4, nullptr,
+                                &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem c_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY, n * 4, nullptr,
+                                &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  ASSERT_EQ(clEnqueueWriteBuffer(queue, b_buf, CL_TRUE, 0, n * 4, b.data(), 0,
+                                 nullptr, nullptr),
+            CL_SUCCESS);
+
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+
+  cl_kernel kernel = clCreateKernel(program, "vadd", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &a_buf), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(cl_mem), &b_buf), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 2, sizeof(cl_mem), &c_buf), CL_SUCCESS);
+
+  const std::size_t global = n;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue), CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, c_buf, CL_TRUE, 0, n * 4, c.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(c[i], 5.0f) << i;
+
+  EXPECT_EQ(clReleaseKernel(kernel), CL_SUCCESS);
+  EXPECT_EQ(clReleaseProgram(program), CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(a_buf), CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(b_buf), CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(c_buf), CL_SUCCESS);
+  EXPECT_EQ(clReleaseCommandQueue(queue), CL_SUCCESS);
+  EXPECT_EQ(clReleaseContext(context), CL_SUCCESS);
+}
+
+TEST(ClApi, BuildFailureReturnsCodeAndLog) {
+  const char* bad_src = "__kernel void k(__global int* o) { o[0] = nope; }";
+  cl_int err;
+  cl_platform_id platform;
+  clGetPlatformIDs(1, &platform, nullptr);
+  cl_device_id device;
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &bad_src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  EXPECT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_BUILD_PROGRAM_FAILURE);
+
+  char log[4096] = {0};
+  EXPECT_EQ(clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                                  sizeof(log), log, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(log).find("undeclared identifier"),
+            std::string::npos);
+
+  // Kernel creation from an unbuilt program must fail.
+  cl_kernel kernel = clCreateKernel(program, "k", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, CL_INVALID_PROGRAM_EXECUTABLE);
+
+  clReleaseProgram(program);
+  clReleaseContext(context);
+}
+
+TEST(ClApi, ErrorCodesOnMisuse) {
+  EXPECT_EQ(clGetPlatformIDs(0, nullptr, nullptr), CL_INVALID_VALUE);
+  EXPECT_EQ(clFinish(nullptr), CL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(clReleaseMemObject(nullptr), CL_INVALID_MEM_OBJECT);
+
+  cl_int err;
+  cl_platform_id platform;
+  clGetPlatformIDs(1, &platform, nullptr);
+  cl_device_id device;
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+
+  // Zero-sized buffer.
+  cl_mem bad = clCreateBuffer(context, CL_MEM_READ_WRITE, 0, nullptr, &err);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_EQ(err, CL_INVALID_BUFFER_SIZE);
+
+  // Kernel with a wrong name.
+  const char* src = "__kernel void real(__global int* o) { o[0] = 1; }";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &src, nullptr, &err);
+  clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr);
+  cl_kernel kernel = clCreateKernel(program, "fake", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, CL_INVALID_KERNEL_NAME);
+
+  clReleaseProgram(program);
+  clReleaseContext(context);
+}
+
+TEST(ClApi, RetainReleaseCounting) {
+  cl_int err;
+  cl_platform_id platform;
+  clGetPlatformIDs(1, &platform, nullptr);
+  cl_device_id device;
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  cl_mem mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  EXPECT_EQ(clRetainMemObject(mem), CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);  // refcount 2 -> 1
+  // The handle must still be usable after the first release.
+  std::int32_t value = 99;
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+  EXPECT_EQ(clEnqueueWriteBuffer(queue, mem, CL_TRUE, 0, 4, &value, 0,
+                                 nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);  // now destroyed
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// CoalescingTracker unit tests: the transaction counts that feed the GPU
+// timing model must follow the Fermi segment rules the tracker implements.
+
+#include <gtest/gtest.h>
+
+#include "clsim/coalescing.hpp"
+
+using hplrepro::clsim::CoalescingTracker;
+
+namespace {
+
+TEST(Coalescing, FullyCoalescedWarpUsesMinimalSegments) {
+  CoalescingTracker tracker(32, 32);
+  // 32 lanes touch consecutive floats: 128 bytes = 4 segments of 32 B.
+  for (std::uint64_t lane = 0; lane < 32; ++lane) {
+    tracker.global_access(/*pc=*/1, lane, /*buffer=*/0, lane * 4, 4, false);
+  }
+  EXPECT_EQ(tracker.finish(), 4u);
+}
+
+TEST(Coalescing, StridedWarpPaysOneSegmentPerLane) {
+  CoalescingTracker tracker(32, 32);
+  // Stride of 128 bytes: every lane lands in its own segment.
+  for (std::uint64_t lane = 0; lane < 32; ++lane) {
+    tracker.global_access(1, lane, 0, lane * 128, 4, false);
+  }
+  EXPECT_EQ(tracker.finish(), 32u);
+}
+
+TEST(Coalescing, SameAddressBroadcastIsOneSegment) {
+  CoalescingTracker tracker(32, 32);
+  for (std::uint64_t lane = 0; lane < 32; ++lane) {
+    tracker.global_access(1, lane, 0, 4096, 4, false);
+  }
+  EXPECT_EQ(tracker.finish(), 1u);
+}
+
+TEST(Coalescing, SeparateWarpsCountSeparately) {
+  CoalescingTracker tracker(32, 32);
+  // Two warps, each coalesced: 4 + 4 segments.
+  for (std::uint64_t item = 0; item < 64; ++item) {
+    tracker.global_access(1, item, 0, item * 4, 4, false);
+  }
+  EXPECT_EQ(tracker.finish(), 8u);
+}
+
+TEST(Coalescing, DistinctInstructionsTrackIndependently) {
+  CoalescingTracker tracker(32, 32);
+  for (std::uint64_t lane = 0; lane < 32; ++lane) {
+    tracker.global_access(1, lane, 0, lane * 4, 4, false);       // coalesced
+    tracker.global_access(2, lane, 0, lane * 256, 4, false);     // scattered
+  }
+  EXPECT_EQ(tracker.finish(), 4u + 32u);
+}
+
+TEST(Coalescing, DifferentBuffersNeverMerge) {
+  CoalescingTracker tracker(32, 32);
+  for (std::uint64_t lane = 0; lane < 32; ++lane) {
+    tracker.global_access(1, lane, /*buffer=*/lane % 2, 0, 4, false);
+  }
+  // Same offset but two buffers: 2 segments.
+  EXPECT_EQ(tracker.finish(), 2u);
+}
+
+TEST(Coalescing, AccessSpanningSegmentsCountsBoth) {
+  CoalescingTracker tracker(32, 32);
+  // An 8-byte access at offset 28 crosses the 32-byte boundary.
+  tracker.global_access(1, 0, 0, 28, 8, false);
+  EXPECT_EQ(tracker.finish(), 2u);
+}
+
+TEST(Coalescing, WarpSizeOneCountsEveryAccess) {
+  CoalescingTracker tracker(1, 32);
+  for (std::uint64_t item = 0; item < 8; ++item) {
+    tracker.global_access(1, item, 0, item * 4, 4, false);
+  }
+  // Each item forms its own warp: 8 transactions even though consecutive.
+  EXPECT_EQ(tracker.finish(), 8u);
+}
+
+TEST(Coalescing, ResetClearsState) {
+  CoalescingTracker tracker(32, 32);
+  tracker.global_access(1, 0, 0, 0, 4, false);
+  tracker.reset();
+  EXPECT_EQ(tracker.finish(), 0u);
+}
+
+TEST(Coalescing, FinishIsIdempotent) {
+  CoalescingTracker tracker(32, 32);
+  tracker.global_access(1, 0, 0, 0, 4, false);
+  EXPECT_EQ(tracker.finish(), 1u);
+  EXPECT_EQ(tracker.finish(), 0u);
+}
+
+}  // namespace

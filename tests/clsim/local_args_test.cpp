@@ -1,0 +1,171 @@
+// Dynamically sized __local kernel arguments — OpenCL's
+// clSetKernelArg(kernel, index, bytes, NULL) — through both the C++ and
+// the C API layers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clsim/cl_api.hpp"
+#include "clsim/runtime.hpp"
+
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+// SHOC-style reduction whose scratchpad size is an argument, not a
+// compile-time constant.
+const char* kDynLocalSource = R"CLC(
+__kernel void group_sum(__global const float* in, __global float* out,
+                        __local float* scratch) {
+  size_t lid = get_local_id(0);
+  size_t lsz = get_local_size(0);
+  scratch[lid] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (uint s = (uint)lsz >> 1; s > 0u; s >>= 1) {
+    if (lid < s) {
+      scratch[lid] += scratch[lid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    out[get_group_id(0)] = scratch[0];
+  }
+}
+)CLC";
+
+TEST(DynamicLocalArgs, GroupReductionThroughCxxApi) {
+  auto device = *clsim::Platform::get().device_by_name("Tesla");
+  clsim::Context context(device);
+  clsim::CommandQueue queue(context);
+
+  constexpr std::size_t n = 256, local = 32, groups = n / local;
+  std::vector<float> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = 1.0f + float(i % 4);
+
+  clsim::Buffer in_buf(context, n * 4), out_buf(context, groups * 4);
+  queue.enqueue_write_buffer(in_buf, in.data(), n * 4);
+
+  clsim::Program program(context, kDynLocalSource);
+  program.build();
+  clsim::Kernel kernel(program, "group_sum");
+  kernel.set_arg(0, in_buf);
+  kernel.set_arg(1, out_buf);
+  kernel.set_arg_local(2, local * sizeof(float));
+
+  queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n),
+                               clsim::NDRange(local));
+  std::vector<float> out(groups);
+  queue.enqueue_read_buffer(out_buf, out.data(), groups * 4);
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    float expected = 0;
+    for (std::size_t i = g * local; i < (g + 1) * local; ++i) {
+      expected += in[i];
+    }
+    ASSERT_EQ(out[g], expected) << g;
+  }
+}
+
+TEST(DynamicLocalArgs, ThroughTheCApiWithNullValue) {
+  cl_int err;
+  cl_platform_id platform;
+  clGetPlatformIDs(1, &platform, nullptr);
+  cl_device_id device;
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+
+  constexpr std::size_t n = 64, local = 16, groups = n / local;
+  std::vector<float> in(n, 2.0f), out(groups, 0.0f);
+  cl_mem in_buf = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                 n * 4, in.data(), &err);
+  cl_mem out_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY, groups * 4,
+                                  nullptr, &err);
+
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &kDynLocalSource, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "group_sum", &err);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &in_buf), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(cl_mem), &out_buf), CL_SUCCESS);
+  // The OpenCL idiom under test: NULL value, nonzero size.
+  ASSERT_EQ(clSetKernelArg(kernel, 2, local * sizeof(float), nullptr),
+            CL_SUCCESS);
+
+  const std::size_t global = n, wg = local;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, &wg,
+                                   0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, out_buf, CL_TRUE, 0, groups * 4,
+                                out.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (const float v : out) EXPECT_EQ(v, 2.0f * local);
+
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseMemObject(in_buf);
+  clReleaseMemObject(out_buf);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
+TEST(DynamicLocalArgs, CoexistsWithStaticLocalArrays) {
+  // A kernel with both a static __local array and a dynamic __local arg:
+  // the allocations must not overlap.
+  const char* src = R"CLC(
+__kernel void both(__global float* out, __local float* dyn) {
+  __local float fixed[8];
+  size_t lid = get_local_id(0);
+  fixed[lid] = 10.0f + (float)lid;
+  dyn[lid] = 100.0f + (float)lid;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = fixed[lid] + dyn[lid];
+}
+)CLC";
+  auto device = *clsim::Platform::get().device_by_name("Tesla");
+  clsim::Context context(device);
+  clsim::CommandQueue queue(context);
+  clsim::Buffer out_buf(context, 8 * 4);
+  clsim::Program program(context, src);
+  program.build();
+  clsim::Kernel kernel(program, "both");
+  kernel.set_arg(0, out_buf);
+  kernel.set_arg_local(1, 8 * sizeof(float));
+  queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(8), clsim::NDRange(8));
+  std::vector<float> out(8);
+  queue.enqueue_read_buffer(out_buf, out.data(), 32);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(out[i], 110.0f + 2.0f * i) << i;
+  }
+}
+
+TEST(DynamicLocalArgs, ErrorsAreDiagnosed) {
+  const char* src = "__kernel void k(__global float* o) { o[0] = 1.0f; }";
+  auto device = *clsim::Platform::get().device_by_name("Tesla");
+  clsim::Context context(device);
+  clsim::Program program(context, src);
+  program.build();
+  clsim::Kernel kernel(program, "k");
+  // Parameter 0 is a __global pointer, not __local.
+  EXPECT_THROW(kernel.set_arg_local(0, 64), clsim::RuntimeError);
+  EXPECT_THROW(kernel.set_arg_local(5, 64), clsim::RuntimeError);
+
+  // Oversized dynamic allocation must be rejected at launch (48 KB limit).
+  const char* src2 =
+      "__kernel void k(__global float* o, __local float* s) {"
+      " s[0] = 1.0f; o[0] = s[0]; }";
+  clsim::Program program2(context, src2);
+  program2.build();
+  clsim::Kernel kernel2(program2, "k");
+  clsim::Buffer out(context, 64);
+  clsim::CommandQueue queue(context);
+  kernel2.set_arg(0, out);
+  kernel2.set_arg_local(1, 1 << 20);
+  EXPECT_THROW(queue.enqueue_ndrange_kernel(kernel2, clsim::NDRange(1)),
+               hplrepro::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Timing model unit tests: the roofline behaviour that drives every
+// paper figure — compute scaling with cores, bandwidth bounds, double and
+// transcendental penalties, transfer costs.
+
+#include <gtest/gtest.h>
+
+#include "clsim/device.hpp"
+#include "clsim/timing.hpp"
+
+using namespace hplrepro::clsim;
+using hplrepro::clc::ExecStats;
+
+namespace {
+
+ExecStats compute_bound_stats() {
+  ExecStats s;
+  s.int_ops = 1'000'000'000;
+  return s;
+}
+
+TEST(Timing, ComputeScalesWithCores) {
+  DeviceSpec one = tesla_c2050();
+  one.compute_units = 1;
+  DeviceSpec many = tesla_c2050();
+  many.compute_units = 448;
+
+  const auto stats = compute_bound_stats();
+  const double t1 = simulate_kernel_time(stats, one).compute_s;
+  const double t448 = simulate_kernel_time(stats, many).compute_s;
+  EXPECT_NEAR(t1 / t448, 448.0, 1e-6);
+}
+
+TEST(Timing, MemoryBoundKernelIsBandwidthLimited) {
+  ExecStats s;
+  s.global_load_bytes = 1'000'000'000;
+  s.global_transactions = 1'000'000'000 / 32;
+
+  const DeviceSpec tesla = tesla_c2050();  // 144 GB/s
+  const auto t = simulate_kernel_time(s, tesla);
+  EXPECT_NEAR(t.global_mem_s, 1e9 / 144e9, 1e-12);
+  EXPECT_GT(t.global_mem_s, t.compute_s);
+}
+
+TEST(Timing, UncoalescedTrafficCostsMore) {
+  ExecStats coalesced;
+  coalesced.global_load_bytes = 1 << 20;
+  coalesced.global_transactions = (1 << 20) / 32;
+
+  ExecStats scattered = coalesced;
+  scattered.global_transactions = (1 << 20) / 4;  // one 32B segment per 4B
+
+  const DeviceSpec tesla = tesla_c2050();
+  EXPECT_GT(simulate_kernel_time(scattered, tesla).global_mem_s,
+            simulate_kernel_time(coalesced, tesla).global_mem_s * 7);
+}
+
+TEST(Timing, CpuIgnoresCoalescingUsesRawBytes) {
+  ExecStats s;
+  s.global_load_bytes = 800'000'000;
+  s.global_transactions = 1;  // would be absurdly cheap if it were used
+
+  const DeviceSpec cpu = xeon_host();  // 8 GB/s, models_coalescing = false
+  EXPECT_NEAR(simulate_kernel_time(s, cpu).global_mem_s, 0.1, 1e-9);
+}
+
+TEST(Timing, DoublePrecisionPenaltyOnGpu) {
+  ExecStats floats;
+  floats.float_ops = 1'000'000;
+  ExecStats doubles;
+  doubles.double_ops = 1'000'000;
+
+  const DeviceSpec tesla = tesla_c2050();  // double_rate = 0.5
+  EXPECT_NEAR(simulate_kernel_time(doubles, tesla).compute_s /
+                  simulate_kernel_time(floats, tesla).compute_s,
+              2.0, 1e-9);
+}
+
+TEST(Timing, TranscendentalsAreExpensive) {
+  ExecStats adds;
+  adds.float_ops = 1'000'000;
+  ExecStats specials;
+  specials.special_ops = 1'000'000;
+
+  const DeviceSpec cpu = xeon_host();
+  EXPECT_NEAR(simulate_kernel_time(specials, cpu).compute_s /
+                  simulate_kernel_time(adds, cpu).compute_s,
+              cpu.special_op_cycles, 1e-6);
+}
+
+TEST(Timing, LaunchOverheadFloorsSmallKernels) {
+  ExecStats tiny;
+  tiny.int_ops = 10;
+  const DeviceSpec tesla = tesla_c2050();
+  const auto t = simulate_kernel_time(tiny, tesla);
+  EXPECT_GE(t.total_s, tesla.launch_overhead_us * 1e-6);
+}
+
+TEST(Timing, BarrierCostScalesWithCount) {
+  ExecStats a;
+  a.barriers_executed = 1'000'000;
+  ExecStats b;
+  b.barriers_executed = 2'000'000;
+  const DeviceSpec tesla = tesla_c2050();
+  EXPECT_NEAR(simulate_kernel_time(b, tesla).barrier_s /
+                  simulate_kernel_time(a, tesla).barrier_s,
+              2.0, 1e-9);
+}
+
+TEST(Timing, TransferHasLatencyAndBandwidthTerms) {
+  const DeviceSpec tesla = tesla_c2050();
+  const double small = simulate_transfer_time(1, tesla);
+  const double large = simulate_transfer_time(1 << 30, tesla);
+  EXPECT_NEAR(small, tesla.transfer_latency_us * 1e-6, 1e-9);
+  EXPECT_NEAR(large,
+              tesla.transfer_latency_us * 1e-6 +
+                  static_cast<double>(1 << 30) /
+                      (tesla.transfer_bandwidth_gbs * 1e9),
+              1e-9);
+}
+
+TEST(Timing, EpStyleRatioLandsNearPaperBand) {
+  // A synthetic EP-like op mix: mostly double arithmetic plus some
+  // transcendentals. The Tesla/Xeon ratio must land in the paper's
+  // couple-hundred-x band (Fig. 6/7 report 257x for class C).
+  ExecStats s;
+  s.control_ops = 11'000'000;
+  s.int_ops = 400'000;
+  s.double_ops = 3'500'000;
+  s.special_ops = 100'000;
+
+  const double gpu = simulate_kernel_time(s, tesla_c2050()).total_s;
+  const double cpu = simulate_kernel_time(s, xeon_host()).total_s;
+  const double ratio = cpu / gpu;
+  EXPECT_GT(ratio, 100.0);
+  EXPECT_LT(ratio, 500.0);
+}
+
+TEST(Timing, QuadroRejectsNothingButIsSlower) {
+  ExecStats s;
+  s.float_ops = 100'000'000;
+  const double tesla = simulate_kernel_time(s, tesla_c2050()).total_s;
+  const double quadro = simulate_kernel_time(s, quadro_fx380()).total_s;
+  // 448*1.15 GHz vs 16*0.7 GHz: ~46x slower.
+  EXPECT_GT(quadro / tesla, 20.0);
+  EXPECT_FALSE(quadro_fx380().supports_double);
+}
+
+}  // namespace

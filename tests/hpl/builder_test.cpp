@@ -1,0 +1,163 @@
+// KernelBuilder unit tests: statement routing (body vs for_ headers),
+// block-stack discipline, parameter access tracking, and capture-scope
+// exclusivity — exercised directly, below the Array/eval layers.
+
+#include <gtest/gtest.h>
+
+#include "hpl/builder.hpp"
+#include "hpl/codegen.hpp"
+
+using namespace HPL;
+using namespace HPL::detail;
+
+namespace {
+
+TEST(Builder, StatementsAccumulateInOrder) {
+  KernelBuilder builder;
+  builder.emit_statement("a = 1;");
+  builder.emit_statement("b = 2;");
+  EXPECT_EQ(builder.body(), "  a = 1;\n  b = 2;\n");
+}
+
+TEST(Builder, ForHeaderRouting) {
+  KernelBuilder builder;
+  builder.for_init_section();
+  builder.emit_statement("i = 0;");     // routed into the init slot
+  builder.for_cond_section(Expr("i < 10"));
+  builder.emit_statement("i++;");       // routed into the update slot
+  builder.for_body_section();
+  builder.emit_statement("work();");
+  builder.end_for();
+  EXPECT_EQ(builder.body(),
+            "  for (i = 0; i < 10; i++) {\n    work();\n  }\n");
+}
+
+TEST(Builder, ForHeaderWithMultipleInitParts) {
+  KernelBuilder builder;
+  builder.for_init_section();
+  builder.emit_statement("i = 0;");
+  builder.emit_statement("j = 9;");
+  builder.for_cond_section(Expr("i < j"));
+  builder.emit_statement("i++;");
+  builder.emit_statement("j--;");
+  builder.for_body_section();
+  builder.end_for();
+  EXPECT_EQ(builder.body(), "  for (i = 0, j = 9; i < j; i++, j--) {\n  }\n");
+}
+
+TEST(Builder, NestedBlocksIndent) {
+  KernelBuilder builder;
+  builder.begin_if(Expr("x"));
+  builder.begin_while(Expr("y"));
+  builder.emit_statement("z();");
+  builder.end_while();
+  builder.end_if();
+  EXPECT_EQ(builder.body(),
+            "  if (x) {\n    while (y) {\n      z();\n    }\n  }\n");
+  builder.check_balanced();
+}
+
+TEST(Builder, ElseRequiresIf) {
+  KernelBuilder builder;
+  EXPECT_THROW(builder.begin_else(), hplrepro::Error);
+  builder.begin_while(Expr("1"));
+  EXPECT_THROW(builder.begin_else(), hplrepro::Error);
+  EXPECT_THROW(builder.end_if(), hplrepro::Error);
+  builder.end_while();
+}
+
+TEST(Builder, MismatchedEndsDiagnosed) {
+  KernelBuilder builder;
+  builder.begin_if(Expr("1"));
+  EXPECT_THROW(builder.end_for(), hplrepro::Error);
+  EXPECT_THROW(builder.end_while(), hplrepro::Error);
+  builder.end_if();
+  EXPECT_THROW(builder.end_if(), hplrepro::Error);
+}
+
+TEST(Builder, UnbalancedDetectedAtEnd) {
+  KernelBuilder builder;
+  builder.begin_if(Expr("1"));
+  EXPECT_THROW(builder.check_balanced(), hplrepro::Error);
+  builder.end_if();
+  EXPECT_NO_THROW(builder.check_balanced());
+}
+
+TEST(Builder, NestedForHeaderRejected) {
+  KernelBuilder builder;
+  builder.for_init_section();
+  EXPECT_THROW(builder.for_init_section(), hplrepro::Error);
+}
+
+TEST(Builder, ParamAccessTracking) {
+  KernelBuilder builder;
+  builder.add_param("float", 1, Global);
+  builder.add_param("float", 1, Global);
+  builder.add_param("float", 0, Global);
+  builder.note_read(0);
+  builder.note_write(1);
+  builder.note_read(1);
+  builder.note_read(99);  // out of range: ignored, not fatal
+
+  const auto& params = builder.params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].name, "p0");
+  EXPECT_TRUE(params[0].access.read);
+  EXPECT_FALSE(params[0].access.written);
+  EXPECT_TRUE(params[1].access.written);
+  EXPECT_TRUE(params[1].access.read);
+  EXPECT_FALSE(params[2].access.read);
+}
+
+TEST(Builder, PredefinedDeduplicated) {
+  KernelBuilder builder;
+  EXPECT_EQ(builder.use_predefined("idx", "get_global_id(0)"), "idx");
+  EXPECT_EQ(builder.use_predefined("idx", "get_global_id(0)"), "idx");
+  EXPECT_EQ(builder.use_predefined("lidx", "get_local_id(0)"), "lidx");
+  EXPECT_EQ(builder.predefined().size(), 2u);
+}
+
+TEST(Builder, CaptureScopeIsExclusive) {
+  KernelBuilder outer;
+  CaptureScope scope(outer);
+  EXPECT_EQ(KernelBuilder::current(), &outer);
+  KernelBuilder inner;
+  EXPECT_THROW(CaptureScope nested(inner), hplrepro::Error);
+}
+
+TEST(Builder, NoCurrentBuilderOutsideScope) {
+  EXPECT_EQ(KernelBuilder::current(), nullptr);
+  {
+    KernelBuilder builder;
+    CaptureScope scope(builder);
+    EXPECT_EQ(KernelBuilder::current(), &builder);
+  }
+  EXPECT_EQ(KernelBuilder::current(), nullptr);
+}
+
+TEST(Builder, DeclareHelpers) {
+  KernelBuilder builder;
+  const std::string s1 = builder.declare_scalar("int", nullptr);
+  const Expr init(42);
+  const std::string s2 = builder.declare_scalar("float", &init);
+  const std::string a1 = builder.declare_array("float", {4, 4}, Local);
+  EXPECT_EQ(s1, "v0");
+  EXPECT_EQ(s2, "v1");
+  EXPECT_EQ(a1, "v2");
+  EXPECT_EQ(builder.body(),
+            "  int v0;\n  float v1 = 42;\n  __local float v2[16];\n");
+}
+
+TEST(Builder, GeneratedSignatureConstness) {
+  KernelBuilder builder;
+  builder.add_param("float", 1, Global);
+  builder.add_param("float", 1, Global);
+  builder.note_read(0);
+  builder.note_write(1);
+  const std::string src =
+      generate_kernel_source("k", builder.params(), builder.body());
+  EXPECT_NE(src.find("__global const float* p0"), std::string::npos) << src;
+  EXPECT_NE(src.find("__global float* p1"), std::string::npos) << src;
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// HPL coherence and transfer minimisation (paper §V-B / §VI: HPL analyzes
+// kernels "to decide which data transfers between memories will be
+// needed"). The profile counters expose exactly what moved.
+
+#include <gtest/gtest.h>
+
+#include "hpl/HPL.h"
+
+using namespace HPL;
+
+namespace {
+
+void writer(Array<float, 1> out) { out[idx] = 1.0f; }
+void reader(Array<float, 1> in, Array<float, 1> out) { out[idx] = in[idx]; }
+void incr(Array<float, 1> data) { data[idx] = data[idx] + 1.0f; }
+
+class CoherenceTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset_profile(); }
+};
+
+TEST_F(CoherenceTest, WriteOnlyArgumentIsNotUploaded) {
+  Array<float, 1> out(1024);
+  const auto before = profile();
+  eval(writer)(out);
+  const auto after = profile();
+  // `out` is only written by the kernel: nothing must travel host->device.
+  EXPECT_EQ(after.bytes_to_device - before.bytes_to_device, 0u);
+  EXPECT_EQ(out(0), 1.0f);  // read-back happens lazily on host access
+}
+
+TEST_F(CoherenceTest, ReadArgumentUploadedExactlyOnce) {
+  Array<float, 1> in(1024), out(1024);
+  for (std::size_t i = 0; i < 1024; ++i) in(i) = 2.0f;
+
+  const auto before = profile();
+  eval(reader)(in, out);
+  eval(reader)(in, out);
+  eval(reader)(in, out);
+  const auto after = profile();
+  // `in` changed on the host once; three launches need exactly one upload.
+  EXPECT_EQ(after.bytes_to_device - before.bytes_to_device,
+            1024 * sizeof(float));
+  EXPECT_EQ(out(5), 2.0f);
+}
+
+TEST_F(CoherenceTest, DeviceResidentDataNeverRetransfers) {
+  Array<float, 1> data(256);
+  for (std::size_t i = 0; i < 256; ++i) data(i) = 0.0f;
+
+  eval(incr)(data);  // upload once (read+write kernel)
+  const auto mid = profile();
+  for (int i = 0; i < 10; ++i) eval(incr)(data);
+  const auto after = profile();
+  EXPECT_EQ(after.bytes_to_device - mid.bytes_to_device, 0u);
+  EXPECT_EQ(after.bytes_to_host - mid.bytes_to_host, 0u);
+
+  EXPECT_EQ(data(0), 11.0f);  // one read-back, on this host access
+  const auto final_profile = profile();
+  EXPECT_EQ(final_profile.bytes_to_host - after.bytes_to_host,
+            256 * sizeof(float));
+}
+
+TEST_F(CoherenceTest, HostWriteInvalidatesDeviceCopy) {
+  Array<float, 1> data(64);
+  for (std::size_t i = 0; i < 64; ++i) data(i) = 0.0f;
+
+  eval(incr)(data);       // device now has 1.0
+  data(0) = 100.0f;       // host access syncs back AND invalidates device
+  const auto before = profile();
+  eval(incr)(data);       // must re-upload the modified host copy
+  const auto after = profile();
+  EXPECT_EQ(after.bytes_to_device - before.bytes_to_device,
+            64 * sizeof(float));
+  EXPECT_EQ(data(0), 101.0f);
+  EXPECT_EQ(data(1), 2.0f);
+}
+
+TEST_F(CoherenceTest, GetDoesNotInvalidateDeviceCopy) {
+  Array<float, 1> data(64);
+  eval(writer)(data);
+  EXPECT_EQ(data.get(3), 1.0f);  // read-only host view
+
+  const auto before = profile();
+  eval(incr)(data);  // device copy still valid: no upload
+  const auto after = profile();
+  EXPECT_EQ(after.bytes_to_device - before.bytes_to_device, 0u);
+  EXPECT_EQ(data.get(3), 2.0f);
+}
+
+TEST_F(CoherenceTest, TwoDevicesInvalidateEachOther) {
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+
+  Array<float, 1> data(128);
+  for (std::size_t i = 0; i < 128; ++i) data(i) = 0.0f;
+
+  eval(incr).device(tesla)(data);   // tesla copy = 1
+  eval(incr).device(quadro)(data);  // must sync through host, quadro = 2
+  eval(incr).device(tesla)(data);   // back to tesla = 3
+  EXPECT_EQ(data(0), 3.0f);
+}
+
+TEST_F(CoherenceTest, WrappedHostStorageIsRespected) {
+  // Paper: Array(n, ptr) wraps caller-owned memory.
+  float raw[16];
+  for (float& v : raw) v = 5.0f;
+  Array<float, 1> data(16, raw);
+  eval(incr)(data);
+  EXPECT_EQ(data(2), 6.0f);
+  // The result landed in the caller's storage.
+  EXPECT_EQ(raw[2], 6.0f);
+}
+
+TEST_F(CoherenceTest, KernelBinaryReusedAcrossInvocations) {
+  purge_kernel_cache();
+  reset_profile();
+  Array<float, 1> data(32);
+  eval(incr)(data);
+  eval(incr)(data);
+  eval(incr)(data);
+  const auto prof = profile();
+  EXPECT_EQ(prof.kernels_built, 1u);   // capture + build happened once
+  EXPECT_EQ(prof.kernel_launches, 3u);
+}
+
+TEST_F(CoherenceTest, SeparateDevicesBuildSeparateBinaries) {
+  purge_kernel_cache();
+  reset_profile();
+  Array<float, 1> data(32);
+  eval(incr).device(*Device::by_name("Tesla"))(data);
+  eval(incr).device(*Device::by_name("Quadro"))(data);
+  eval(incr).device(*Device::by_name("Tesla"))(data);
+  const auto prof = profile();
+  EXPECT_EQ(prof.kernels_built, 2u);  // one binary per device, then cached
+}
+
+}  // namespace

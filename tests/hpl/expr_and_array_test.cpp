@@ -1,0 +1,176 @@
+// Expr capture and Array host-side semantics: the code strings every
+// operator produces, host () indexing for ranks 1-3, data(), wrapped
+// storage, and scalar host arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "hpl/HPL.h"
+
+using namespace HPL;
+
+namespace {
+
+// --- Expr operator coverage ------------------------------------------------------
+
+TEST(Expr, ArithmeticCode) {
+  const Expr a("a"), b("b");
+  EXPECT_EQ((a + b).code(), "(a + b)");
+  EXPECT_EQ((a - b).code(), "(a - b)");
+  EXPECT_EQ((a * b).code(), "(a * b)");
+  EXPECT_EQ((a / b).code(), "(a / b)");
+  EXPECT_EQ((a % b).code(), "(a % b)");
+  EXPECT_EQ((-a).code(), "(-a)");
+  EXPECT_EQ((+a).code(), "a");
+}
+
+TEST(Expr, ComparisonAndLogicalCode) {
+  const Expr a("a"), b("b");
+  EXPECT_EQ((a < b).code(), "(a < b)");
+  EXPECT_EQ((a <= b).code(), "(a <= b)");
+  EXPECT_EQ((a > b).code(), "(a > b)");
+  EXPECT_EQ((a >= b).code(), "(a >= b)");
+  EXPECT_EQ((a == b).code(), "(a == b)");
+  EXPECT_EQ((a != b).code(), "(a != b)");
+  EXPECT_EQ((a && b).code(), "(a && b)");
+  EXPECT_EQ((a || b).code(), "(a || b)");
+  EXPECT_EQ((!a).code(), "(!a)");
+}
+
+TEST(Expr, BitwiseCode) {
+  const Expr a("a"), b("b");
+  EXPECT_EQ((a & b).code(), "(a & b)");
+  EXPECT_EQ((a | b).code(), "(a | b)");
+  EXPECT_EQ((a ^ b).code(), "(a ^ b)");
+  EXPECT_EQ((a << b).code(), "(a << b)");
+  EXPECT_EQ((a >> b).code(), "(a >> b)");
+  EXPECT_EQ((~a).code(), "(~a)");
+}
+
+TEST(Expr, LiteralFormatting) {
+  EXPECT_EQ(Expr(42).code(), "42");
+  EXPECT_EQ(Expr(7u).code(), "7u");
+  EXPECT_EQ(Expr(-3).code(), "-3");
+  EXPECT_EQ(Expr(1.5).code(), "1.5");
+  EXPECT_EQ(Expr(2.0f).code(), "2.0f");
+  // Doubles that need full precision round-trip.
+  const Expr pi(3.141592653589793);
+  EXPECT_EQ(std::strtod(pi.code().c_str(), nullptr), 3.141592653589793);
+}
+
+TEST(Expr, CastAndMathComposition) {
+  const Expr x("x");
+  EXPECT_EQ(cast<std::int32_t>(x).code(), "((int)x)");
+  EXPECT_EQ(cast<double>(x).code(), "((double)x)");
+  EXPECT_EQ(sqrt(x).code(), "sqrt(x)");
+  EXPECT_EQ(fmax(x, Expr(0)).code(), "fmax(x, 0)");
+  EXPECT_EQ(clamp(x, Expr(0), Expr(1)).code(), "clamp(x, 0, 1)");
+  EXPECT_EQ(mad(x, x, x).code(), "mad(x, x, x)");
+}
+
+TEST(Expr, PrecedenceIsSafeByParenthesisation) {
+  const Expr a("a"), b("b"), c("c");
+  // (a+b)*c: the naive string "a + b * c" would be wrong.
+  EXPECT_EQ(((a + b) * c).code(), "((a + b) * c)");
+}
+
+// --- Array host semantics -----------------------------------------------------
+
+TEST(ArrayHost, TwoAndThreeDimensionalIndexing) {
+  Array<int, 2> m(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      m(i, j) = i * 10 + j;
+    }
+  }
+  EXPECT_EQ(m(2, 3), 23);
+  EXPECT_EQ(m.size(0), 3u);
+  EXPECT_EQ(m.size(1), 4u);
+  EXPECT_EQ(m.length(), 12u);
+  // Row-major: data()[i*4+j].
+  EXPECT_EQ(m.data()[2 * 4 + 3], 23);
+
+  Array<float, 3> t(2, 3, 4);
+  t(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.data()[(1 * 3 + 2) * 4 + 3], 9.0f);
+  EXPECT_EQ(t.length(), 24u);
+}
+
+TEST(ArrayHost, ReferenceSemanticsOnCopy) {
+  Array<int, 1> a(4);
+  Array<int, 1> b = a;  // shares the impl, like the paper's arrays
+  a(0) = 7;
+  EXPECT_EQ(b(0), 7);
+}
+
+TEST(ArrayHost, ScalarHostArithmetic) {
+  Int i;
+  i = 5;
+  i += 3;
+  i -= 1;
+  i *= 2;
+  i /= 7;
+  EXPECT_EQ(i.value(), 2);
+  i++;
+  ++i;
+  i--;
+  EXPECT_EQ(i.value(), 3);
+
+  Double d(2.5);
+  EXPECT_EQ(d.value(), 2.5);
+  Double e = d;  // shares state
+  d = 4.0;
+  EXPECT_EQ(e.value(), 4.0);
+}
+
+TEST(ArrayHost, AllScalarAliasesExist) {
+  Int a(1);
+  Uint b(2u);
+  Long c(3);
+  Ulong d(4u);
+  Float e(5.0f);
+  Double f(6.0);
+  Char g(7);
+  Uchar h(8);
+  Short i(9);
+  Ushort j(10);
+  EXPECT_EQ(a.value() + static_cast<int>(b.value()), 3);
+  EXPECT_EQ(c.value() + static_cast<long>(d.value()), 7);
+  EXPECT_EQ(e.value() + static_cast<float>(f.value()), 11.0f);
+  EXPECT_EQ(g.value() + h.value(), 15);
+  EXPECT_EQ(i.value() + j.value(), 19);
+}
+
+void double_it(Array<float, 1> v) { v[idx] = v[idx] * 2.0f; }
+
+TEST(ArrayHost, DataPointerSeesKernelResults) {
+  Array<float, 1> v(8);
+  float* p = v.data();
+  for (int i = 0; i < 8; ++i) p[i] = float(i);
+  eval(double_it)(v);
+  const float* q = v.data();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(q[i], 2.0f * i);
+}
+
+// --- Paper Figure 10(b): the naive transpose comparison with EPGPU -----------
+
+void naive_transpose(Array<float, 2> dest, Array<float, 2> src) {
+  dest[idx][idy] = src[idy][idx];
+}
+
+TEST(ArrayHost, PaperFigure10NaiveTranspose) {
+  constexpr std::size_t h = 32, w = 16;
+  Array<float, 2> src(h, w), dst(w, h);
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      src(r, c) = float(r * 100 + c);
+    }
+  }
+  eval(naive_transpose).global(w, h)(dst, src);
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      ASSERT_EQ(dst(c, r), src(r, c));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Cross-validation of the five paper benchmarks: for each one, the HPL
+// version and the OpenCL-style version must both reproduce the serial C++
+// oracle (exactly for integer results, within FP-reassociation tolerance
+// for float reductions).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchsuite/ep.hpp"
+#include "benchsuite/floyd.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/spmv.hpp"
+#include "benchsuite/transpose.hpp"
+
+namespace bs = hplrepro::benchsuite;
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+clsim::Device tesla() {
+  return *clsim::Platform::get().device_by_name("Tesla");
+}
+HPL::Device hpl_tesla() { return *HPL::Device::by_name("Tesla"); }
+
+TEST(BenchmarkCorrectness, EpMatchesSerial) {
+  bs::EpConfig config;
+  config.pairs = 1 << 12;
+  config.chunk = 32;
+  config.local_size = 32;
+
+  const bs::EpResult serial = bs::ep_serial(config);
+  const bs::EpRun opencl = bs::ep_opencl(config, tesla());
+  const bs::EpRun hpl = bs::ep_hpl(config, hpl_tesla());
+
+  EXPECT_EQ(serial.accepted, opencl.result.accepted);
+  EXPECT_EQ(serial.accepted, hpl.result.accepted);
+  for (std::size_t l = 0; l < 10; ++l) {
+    EXPECT_EQ(serial.q[l], opencl.result.q[l]) << "annulus " << l;
+    EXPECT_EQ(serial.q[l], hpl.result.q[l]) << "annulus " << l;
+  }
+  EXPECT_NEAR(serial.sx, opencl.result.sx, 1e-9 * std::fabs(serial.sx) + 1e-9);
+  EXPECT_NEAR(serial.sx, hpl.result.sx, 1e-9 * std::fabs(serial.sx) + 1e-9);
+  EXPECT_NEAR(serial.sy, opencl.result.sy, 1e-9 * std::fabs(serial.sy) + 1e-9);
+  EXPECT_NEAR(serial.sy, hpl.result.sy, 1e-9 * std::fabs(serial.sy) + 1e-9);
+}
+
+TEST(BenchmarkCorrectness, FloydMatchesSerial) {
+  bs::FloydConfig config;
+  config.nodes = 64;
+
+  const std::vector<float> serial = bs::floyd_serial(config);
+  const bs::FloydRun opencl = bs::floyd_opencl(config, tesla());
+  const bs::FloydRun hpl = bs::floyd_hpl(config, hpl_tesla());
+
+  ASSERT_EQ(serial.size(), opencl.distances.size());
+  ASSERT_EQ(serial.size(), hpl.distances.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FLOAT_EQ(serial[i], opencl.distances[i]) << "index " << i;
+    ASSERT_FLOAT_EQ(serial[i], hpl.distances[i]) << "index " << i;
+  }
+}
+
+TEST(BenchmarkCorrectness, TransposeMatchesSerial) {
+  bs::TransposeConfig config;
+  config.rows = 128;
+  config.cols = 64;
+
+  const std::vector<float> serial = bs::transpose_serial(config);
+  const bs::TransposeRun opencl = bs::transpose_opencl(config, tesla());
+  const bs::TransposeRun hpl = bs::transpose_hpl(config, hpl_tesla());
+
+  ASSERT_EQ(serial.size(), opencl.output.size());
+  ASSERT_EQ(serial.size(), hpl.output.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FLOAT_EQ(serial[i], opencl.output[i]) << "index " << i;
+    ASSERT_FLOAT_EQ(serial[i], hpl.output[i]) << "index " << i;
+  }
+}
+
+TEST(BenchmarkCorrectness, SpmvMatchesSerial) {
+  bs::SpmvConfig config;
+  config.rows = 256;
+  config.density = 0.05;
+
+  const std::vector<float> serial = bs::spmv_serial(config);
+  const bs::SpmvRun opencl = bs::spmv_opencl(config, tesla());
+  const bs::SpmvRun hpl = bs::spmv_hpl(config, hpl_tesla());
+
+  ASSERT_EQ(serial.size(), opencl.output.size());
+  ASSERT_EQ(serial.size(), hpl.output.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const float tol = 1e-4f + 1e-4f * std::fabs(serial[i]);
+    ASSERT_NEAR(serial[i], opencl.output[i], tol) << "row " << i;
+    ASSERT_NEAR(serial[i], hpl.output[i], tol) << "row " << i;
+  }
+}
+
+TEST(BenchmarkCorrectness, ReductionMatchesSerial) {
+  bs::ReductionConfig config;
+  config.elements = 1 << 16;
+  config.groups = 16;
+  config.local_size = 64;
+
+  const double serial = bs::reduction_serial(config);
+  const bs::ReductionRun opencl = bs::reduction_opencl(config, tesla());
+  const bs::ReductionRun hpl = bs::reduction_hpl(config, hpl_tesla());
+
+  const double tol = 0.05 + 1e-4 * std::fabs(serial);
+  EXPECT_NEAR(serial, opencl.sum, tol);
+  EXPECT_NEAR(serial, hpl.sum, tol);
+}
+
+TEST(BenchmarkCorrectness, TimingsArePopulated) {
+  bs::ReductionConfig config;
+  config.elements = 1 << 14;
+  config.groups = 8;
+  config.local_size = 32;
+
+  const bs::ReductionRun opencl = bs::reduction_opencl(config, tesla());
+  const bs::ReductionRun hpl = bs::reduction_hpl(config, hpl_tesla());
+
+  EXPECT_GT(opencl.timings.kernel_sim_seconds, 0);
+  EXPECT_GT(opencl.timings.transfer_sim_seconds, 0);
+  EXPECT_GT(hpl.timings.kernel_sim_seconds, 0);
+  EXPECT_GE(hpl.timings.host_seconds, 0);
+}
+
+}  // namespace

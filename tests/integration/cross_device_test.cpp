@@ -1,0 +1,120 @@
+// Portability property (paper §V-C): every benchmark produces identical
+// results on every simulated device, parameterised over the device list —
+// the VM is the same, only the timing model differs, which is exactly the
+// paper's "same code, any OpenCL device" claim in simulation form.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchsuite/ep.hpp"
+#include "benchsuite/floyd.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/spmv.hpp"
+#include "benchsuite/transpose.hpp"
+
+namespace bs = hplrepro::benchsuite;
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+struct DevicePair {
+  std::string name;
+};
+
+class CrossDevice : public ::testing::TestWithParam<std::string> {
+protected:
+  clsim::Device ocl_device() {
+    return *clsim::Platform::get().device_by_name(GetParam());
+  }
+  HPL::Device hpl_device() { return *HPL::Device::by_name(GetParam()); }
+};
+
+TEST_P(CrossDevice, FloydIdenticalEverywhere) {
+  bs::FloydConfig config;
+  config.nodes = 48;
+  config.tile = 16;
+  const auto serial = bs::floyd_serial(config);
+  const auto ocl = bs::floyd_opencl(config, ocl_device());
+  const auto hpl = bs::floyd_hpl(config, hpl_device());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FLOAT_EQ(serial[i], ocl.distances[i]) << i;
+    ASSERT_FLOAT_EQ(serial[i], hpl.distances[i]) << i;
+  }
+}
+
+TEST_P(CrossDevice, SpmvIdenticalEverywhere) {
+  bs::SpmvConfig config;
+  config.rows = 128;
+  config.density = 0.05;
+  const auto serial = bs::spmv_serial(config);
+  const auto ocl = bs::spmv_opencl(config, ocl_device());
+  const auto hpl = bs::spmv_hpl(config, hpl_device());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const float tol = 1e-4f + 1e-4f * std::fabs(serial[i]);
+    ASSERT_NEAR(serial[i], ocl.output[i], tol) << i;
+    ASSERT_NEAR(serial[i], hpl.output[i], tol) << i;
+  }
+}
+
+TEST_P(CrossDevice, TransposeIdenticalEverywhere) {
+  bs::TransposeConfig config;
+  config.rows = 64;
+  config.cols = 32;
+  const auto serial = bs::transpose_serial(config);
+  const auto ocl = bs::transpose_opencl(config, ocl_device());
+  const auto hpl = bs::transpose_hpl(config, hpl_device());
+  EXPECT_EQ(serial, ocl.output);
+  EXPECT_EQ(serial, hpl.output);
+}
+
+TEST_P(CrossDevice, ReductionIdenticalEverywhere) {
+  bs::ReductionConfig config;
+  config.elements = 1 << 14;
+  config.groups = 8;
+  config.local_size = 64;
+  const double serial = bs::reduction_serial(config);
+  const auto ocl = bs::reduction_opencl(config, ocl_device());
+  const auto hpl = bs::reduction_hpl(config, hpl_device());
+  EXPECT_NEAR(serial, ocl.sum, 0.05);
+  EXPECT_NEAR(serial, hpl.sum, 0.05);
+  // The two device versions perform the identical float-op sequence, so
+  // they must agree bit for bit with each other.
+  EXPECT_EQ(ocl.sum, hpl.sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, CrossDevice,
+                         ::testing::Values("Tesla", "Quadro", "Xeon"));
+
+// --- Simulated-performance sanity ------------------------------------------------
+
+TEST(CrossDevicePerf, DeviceOrderingHolds) {
+  // Modeled kernel time must order Tesla < Quadro < Xeon for a parallel
+  // compute-heavy workload — the premise of the paper's Figs. 7 and 9.
+  bs::FloydConfig config;
+  config.nodes = 64;
+  const double tesla =
+      bs::floyd_opencl(config, *clsim::Platform::get().device_by_name("Tesla"))
+          .timings.kernel_sim_seconds;
+  const double quadro =
+      bs::floyd_opencl(config,
+                       *clsim::Platform::get().device_by_name("Quadro"))
+          .timings.kernel_sim_seconds;
+  const double xeon =
+      bs::floyd_opencl(config, *clsim::Platform::get().device_by_name("Xeon"))
+          .timings.kernel_sim_seconds;
+  EXPECT_LT(tesla, quadro);
+  EXPECT_LT(quadro, xeon);
+}
+
+TEST(CrossDevicePerf, EpClassesScaleGeometrically) {
+  // ep_class sizes grow W < A < B < C (paper Fig. 6's sweep).
+  const auto w = bs::ep_class('W'), a = bs::ep_class('A'),
+             b = bs::ep_class('B'), c = bs::ep_class('C');
+  EXPECT_LT(w.pairs, a.pairs);
+  EXPECT_LT(a.pairs, b.pairs);
+  EXPECT_LT(b.pairs, c.pairs);
+  EXPECT_THROW(bs::ep_class('Z'), hplrepro::InvalidArgument);
+}
+
+}  // namespace

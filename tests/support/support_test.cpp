@@ -1,0 +1,164 @@
+// Support layer units: strings, table printing, PRNGs, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace hplrepro;
+
+namespace {
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, DoubleLiteralRoundTrips) {
+  for (const double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300,
+                         0x1.0p-46, 1220703125.0}) {
+    const std::string lit = double_literal(v);
+    EXPECT_EQ(std::strtod(lit.c_str(), nullptr), v) << lit;
+    // Must read as a floating literal for OpenCL C.
+    EXPECT_NE(lit.find_first_of(".eE"), std::string::npos) << lit;
+  }
+}
+
+TEST(Strings, FloatLiteralRoundTripsWithSuffix) {
+  for (const float v : {0.0f, 2.5f, -1e20f, 3.14159f, 1.175494e-38f}) {
+    const std::string lit = float_literal(v);
+    ASSERT_EQ(lit.back(), 'f') << lit;
+    const std::string body = lit.substr(0, lit.size() - 1);
+    EXPECT_EQ(static_cast<float>(std::strtod(body.c_str(), nullptr)), v)
+        << lit;
+  }
+}
+
+// --- Table ----------------------------------------------------------------------
+
+TEST(Table, AlignsAndValidatesArity) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+// --- PRNG -----------------------------------------------------------------------
+
+TEST(Prng, SplitMixIsDeterministicAndSpread) {
+  SplitMix64 a(7), b(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = a.next_u64();
+    EXPECT_EQ(v, b.next_u64());
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in 1000 draws
+  SplitMix64 c(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = c.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, NasLcgMatchesSpecification) {
+  // x_{k+1} = 5^13 * x_k mod 2^46 — check the first step by direct modular
+  // arithmetic with 128-bit integers.
+  NasLcg lcg(NasLcg::kDefaultSeed);
+  lcg.randlc();
+  using u128 = unsigned __int128;
+  const u128 a = 1220703125;
+  const u128 x0 = 271828183;
+  const u128 mod = u128{1} << 46;
+  const auto expected = static_cast<double>((a * x0) % mod);
+  EXPECT_EQ(lcg.state(), expected);
+}
+
+TEST(Prng, SkipAheadMatchesSequentialStepping) {
+  // Property: skip_ahead(seed, k) == k sequential randlc steps.
+  for (const std::uint64_t k : {0ull, 1ull, 2ull, 17ull, 100ull, 12345ull}) {
+    NasLcg sequential(NasLcg::kDefaultSeed);
+    for (std::uint64_t i = 0; i < k; ++i) sequential.randlc();
+    EXPECT_EQ(NasLcg::skip_ahead(NasLcg::kDefaultSeed, k),
+              sequential.state())
+        << "k=" << k;
+  }
+}
+
+// --- ThreadPool ------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10007);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedCoversRangeExactly) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunked(1000, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    ASSERT_EQ(sum.load(), 4950);
+  }
+}
+
+}  // namespace
