@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kernel_cache"
+  "../bench/ablation_kernel_cache.pdb"
+  "CMakeFiles/ablation_kernel_cache.dir/ablation_kernel_cache.cpp.o"
+  "CMakeFiles/ablation_kernel_cache.dir/ablation_kernel_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

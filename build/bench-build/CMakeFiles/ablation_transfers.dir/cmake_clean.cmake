@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transfers"
+  "../bench/ablation_transfers.pdb"
+  "CMakeFiles/ablation_transfers.dir/ablation_transfers.cpp.o"
+  "CMakeFiles/ablation_transfers.dir/ablation_transfers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

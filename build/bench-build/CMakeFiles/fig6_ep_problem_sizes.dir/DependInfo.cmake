@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_ep_problem_sizes.cpp" "bench-build/CMakeFiles/fig6_ep_problem_sizes.dir/fig6_ep_problem_sizes.cpp.o" "gcc" "bench-build/CMakeFiles/fig6_ep_problem_sizes.dir/fig6_ep_problem_sizes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsuite/CMakeFiles/hpl_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpl/CMakeFiles/hpl_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/hpl_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/hpl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ep_problem_sizes"
+  "../bench/fig6_ep_problem_sizes.pdb"
+  "CMakeFiles/fig6_ep_problem_sizes.dir/fig6_ep_problem_sizes.cpp.o"
+  "CMakeFiles/fig6_ep_problem_sizes.dir/fig6_ep_problem_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ep_problem_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_speedups"
+  "../bench/fig7_speedups.pdb"
+  "CMakeFiles/fig7_speedups.dir/fig7_speedups.cpp.o"
+  "CMakeFiles/fig7_speedups.dir/fig7_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_slowdown"
+  "../bench/fig8_slowdown.pdb"
+  "CMakeFiles/fig8_slowdown.dir/fig8_slowdown.cpp.o"
+  "CMakeFiles/fig8_slowdown.dir/fig8_slowdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_portability"
+  "../bench/fig9_portability.pdb"
+  "CMakeFiles/fig9_portability.dir/fig9_portability.cpp.o"
+  "CMakeFiles/fig9_portability.dir/fig9_portability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

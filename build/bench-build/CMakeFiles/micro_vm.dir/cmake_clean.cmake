@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_vm"
+  "../bench/micro_vm.pdb"
+  "CMakeFiles/micro_vm.dir/micro_vm.cpp.o"
+  "CMakeFiles/micro_vm.dir/micro_vm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

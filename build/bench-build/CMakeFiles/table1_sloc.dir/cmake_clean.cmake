@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sloc"
+  "../bench/table1_sloc.pdb"
+  "CMakeFiles/table1_sloc.dir/table1_sloc.cpp.o"
+  "CMakeFiles/table1_sloc.dir/table1_sloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

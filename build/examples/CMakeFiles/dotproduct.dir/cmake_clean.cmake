@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotproduct.dir/dotproduct.cpp.o"
+  "CMakeFiles/dotproduct.dir/dotproduct.cpp.o.d"
+  "dotproduct"
+  "dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floyd_warshall.dir/floyd_warshall.cpp.o"
+  "CMakeFiles/floyd_warshall.dir/floyd_warshall.cpp.o.d"
+  "floyd_warshall"
+  "floyd_warshall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floyd_warshall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for floyd_warshall.
+# This may be replaced when dependencies are built.

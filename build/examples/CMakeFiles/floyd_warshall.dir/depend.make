@@ -1,0 +1,2 @@
+# Empty dependencies file for floyd_warshall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_blas.dir/patterns_blas.cpp.o"
+  "CMakeFiles/patterns_blas.dir/patterns_blas.cpp.o.d"
+  "patterns_blas"
+  "patterns_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

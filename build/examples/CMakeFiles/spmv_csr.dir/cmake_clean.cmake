@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_csr.dir/spmv_csr.cpp.o"
+  "CMakeFiles/spmv_csr.dir/spmv_csr.cpp.o.d"
+  "spmv_csr"
+  "spmv_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsuite/ep_hpl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_hpl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_hpl.cpp.o.d"
+  "/root/repo/src/benchsuite/ep_opencl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_opencl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_opencl.cpp.o.d"
+  "/root/repo/src/benchsuite/ep_serial.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_serial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/ep_serial.cpp.o.d"
+  "/root/repo/src/benchsuite/floyd_hpl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_hpl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_hpl.cpp.o.d"
+  "/root/repo/src/benchsuite/floyd_opencl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_opencl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_opencl.cpp.o.d"
+  "/root/repo/src/benchsuite/floyd_serial.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_serial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/floyd_serial.cpp.o.d"
+  "/root/repo/src/benchsuite/reduction_hpl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_hpl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_hpl.cpp.o.d"
+  "/root/repo/src/benchsuite/reduction_opencl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_opencl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_opencl.cpp.o.d"
+  "/root/repo/src/benchsuite/reduction_serial.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_serial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/reduction_serial.cpp.o.d"
+  "/root/repo/src/benchsuite/sloc.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/sloc.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/sloc.cpp.o.d"
+  "/root/repo/src/benchsuite/spmv_hpl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_hpl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_hpl.cpp.o.d"
+  "/root/repo/src/benchsuite/spmv_opencl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_opencl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_opencl.cpp.o.d"
+  "/root/repo/src/benchsuite/spmv_serial.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_serial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/spmv_serial.cpp.o.d"
+  "/root/repo/src/benchsuite/transpose_hpl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_hpl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_hpl.cpp.o.d"
+  "/root/repo/src/benchsuite/transpose_opencl.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_opencl.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_opencl.cpp.o.d"
+  "/root/repo/src/benchsuite/transpose_serial.cpp" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_serial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/hpl_benchsuite.dir/transpose_serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpl/CMakeFiles/hpl_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/hpl_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/hpl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clc/builtins.cpp" "src/clc/CMakeFiles/hpl_clc.dir/builtins.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/builtins.cpp.o.d"
+  "/root/repo/src/clc/bytecode.cpp" "src/clc/CMakeFiles/hpl_clc.dir/bytecode.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/bytecode.cpp.o.d"
+  "/root/repo/src/clc/codegen.cpp" "src/clc/CMakeFiles/hpl_clc.dir/codegen.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/codegen.cpp.o.d"
+  "/root/repo/src/clc/compile.cpp" "src/clc/CMakeFiles/hpl_clc.dir/compile.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/compile.cpp.o.d"
+  "/root/repo/src/clc/diagnostics.cpp" "src/clc/CMakeFiles/hpl_clc.dir/diagnostics.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/clc/lexer.cpp" "src/clc/CMakeFiles/hpl_clc.dir/lexer.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/lexer.cpp.o.d"
+  "/root/repo/src/clc/parser.cpp" "src/clc/CMakeFiles/hpl_clc.dir/parser.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/parser.cpp.o.d"
+  "/root/repo/src/clc/preprocessor.cpp" "src/clc/CMakeFiles/hpl_clc.dir/preprocessor.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/clc/sema.cpp" "src/clc/CMakeFiles/hpl_clc.dir/sema.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/sema.cpp.o.d"
+  "/root/repo/src/clc/types.cpp" "src/clc/CMakeFiles/hpl_clc.dir/types.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/types.cpp.o.d"
+  "/root/repo/src/clc/vm.cpp" "src/clc/CMakeFiles/hpl_clc.dir/vm.cpp.o" "gcc" "src/clc/CMakeFiles/hpl_clc.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

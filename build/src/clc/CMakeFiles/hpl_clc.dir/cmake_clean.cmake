@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_clc.dir/builtins.cpp.o"
+  "CMakeFiles/hpl_clc.dir/builtins.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/bytecode.cpp.o"
+  "CMakeFiles/hpl_clc.dir/bytecode.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/codegen.cpp.o"
+  "CMakeFiles/hpl_clc.dir/codegen.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/compile.cpp.o"
+  "CMakeFiles/hpl_clc.dir/compile.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/diagnostics.cpp.o"
+  "CMakeFiles/hpl_clc.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/lexer.cpp.o"
+  "CMakeFiles/hpl_clc.dir/lexer.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/parser.cpp.o"
+  "CMakeFiles/hpl_clc.dir/parser.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/preprocessor.cpp.o"
+  "CMakeFiles/hpl_clc.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/sema.cpp.o"
+  "CMakeFiles/hpl_clc.dir/sema.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/types.cpp.o"
+  "CMakeFiles/hpl_clc.dir/types.cpp.o.d"
+  "CMakeFiles/hpl_clc.dir/vm.cpp.o"
+  "CMakeFiles/hpl_clc.dir/vm.cpp.o.d"
+  "libhpl_clc.a"
+  "libhpl_clc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clsim/cl_api.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/cl_api.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/cl_api.cpp.o.d"
+  "/root/repo/src/clsim/coalescing.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/coalescing.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/coalescing.cpp.o.d"
+  "/root/repo/src/clsim/device.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/device.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/device.cpp.o.d"
+  "/root/repo/src/clsim/executor.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/executor.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/executor.cpp.o.d"
+  "/root/repo/src/clsim/runtime.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/runtime.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/runtime.cpp.o.d"
+  "/root/repo/src/clsim/timing.cpp" "src/clsim/CMakeFiles/hpl_clsim.dir/timing.cpp.o" "gcc" "src/clsim/CMakeFiles/hpl_clsim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clc/CMakeFiles/hpl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

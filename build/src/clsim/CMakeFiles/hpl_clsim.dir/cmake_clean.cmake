@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_clsim.dir/cl_api.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/cl_api.cpp.o.d"
+  "CMakeFiles/hpl_clsim.dir/coalescing.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/coalescing.cpp.o.d"
+  "CMakeFiles/hpl_clsim.dir/device.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/device.cpp.o.d"
+  "CMakeFiles/hpl_clsim.dir/executor.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/executor.cpp.o.d"
+  "CMakeFiles/hpl_clsim.dir/runtime.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/runtime.cpp.o.d"
+  "CMakeFiles/hpl_clsim.dir/timing.cpp.o"
+  "CMakeFiles/hpl_clsim.dir/timing.cpp.o.d"
+  "libhpl_clsim.a"
+  "libhpl_clsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

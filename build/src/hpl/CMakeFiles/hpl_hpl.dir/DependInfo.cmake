@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpl/array.cpp" "src/hpl/CMakeFiles/hpl_hpl.dir/array.cpp.o" "gcc" "src/hpl/CMakeFiles/hpl_hpl.dir/array.cpp.o.d"
+  "/root/repo/src/hpl/builder.cpp" "src/hpl/CMakeFiles/hpl_hpl.dir/builder.cpp.o" "gcc" "src/hpl/CMakeFiles/hpl_hpl.dir/builder.cpp.o.d"
+  "/root/repo/src/hpl/codegen.cpp" "src/hpl/CMakeFiles/hpl_hpl.dir/codegen.cpp.o" "gcc" "src/hpl/CMakeFiles/hpl_hpl.dir/codegen.cpp.o.d"
+  "/root/repo/src/hpl/keywords.cpp" "src/hpl/CMakeFiles/hpl_hpl.dir/keywords.cpp.o" "gcc" "src/hpl/CMakeFiles/hpl_hpl.dir/keywords.cpp.o.d"
+  "/root/repo/src/hpl/runtime.cpp" "src/hpl/CMakeFiles/hpl_hpl.dir/runtime.cpp.o" "gcc" "src/hpl/CMakeFiles/hpl_hpl.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clsim/CMakeFiles/hpl_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/hpl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

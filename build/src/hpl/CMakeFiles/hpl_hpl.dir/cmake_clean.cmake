@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_hpl.dir/array.cpp.o"
+  "CMakeFiles/hpl_hpl.dir/array.cpp.o.d"
+  "CMakeFiles/hpl_hpl.dir/builder.cpp.o"
+  "CMakeFiles/hpl_hpl.dir/builder.cpp.o.d"
+  "CMakeFiles/hpl_hpl.dir/codegen.cpp.o"
+  "CMakeFiles/hpl_hpl.dir/codegen.cpp.o.d"
+  "CMakeFiles/hpl_hpl.dir/keywords.cpp.o"
+  "CMakeFiles/hpl_hpl.dir/keywords.cpp.o.d"
+  "CMakeFiles/hpl_hpl.dir/runtime.cpp.o"
+  "CMakeFiles/hpl_hpl.dir/runtime.cpp.o.d"
+  "libhpl_hpl.a"
+  "libhpl_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_support.dir/strings.cpp.o"
+  "CMakeFiles/hpl_support.dir/strings.cpp.o.d"
+  "CMakeFiles/hpl_support.dir/table.cpp.o"
+  "CMakeFiles/hpl_support.dir/table.cpp.o.d"
+  "CMakeFiles/hpl_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpl_support.dir/thread_pool.cpp.o.d"
+  "libhpl_support.a"
+  "libhpl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

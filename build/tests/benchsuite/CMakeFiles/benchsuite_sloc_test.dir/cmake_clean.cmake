@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchsuite_sloc_test.dir/sloc_test.cpp.o"
+  "CMakeFiles/benchsuite_sloc_test.dir/sloc_test.cpp.o.d"
+  "benchsuite_sloc_test"
+  "benchsuite_sloc_test.pdb"
+  "benchsuite_sloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchsuite_sloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for benchsuite_sloc_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_arith_property_test.dir/arith_property_test.cpp.o"
+  "CMakeFiles/clc_arith_property_test.dir/arith_property_test.cpp.o.d"
+  "clc_arith_property_test"
+  "clc_arith_property_test.pdb"
+  "clc_arith_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_arith_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_builtins_exec_test.dir/builtins_exec_test.cpp.o"
+  "CMakeFiles/clc_builtins_exec_test.dir/builtins_exec_test.cpp.o.d"
+  "clc_builtins_exec_test"
+  "clc_builtins_exec_test.pdb"
+  "clc_builtins_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_builtins_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

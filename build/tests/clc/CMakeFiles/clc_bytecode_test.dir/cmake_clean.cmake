@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_bytecode_test.dir/bytecode_test.cpp.o"
+  "CMakeFiles/clc_bytecode_test.dir/bytecode_test.cpp.o.d"
+  "clc_bytecode_test"
+  "clc_bytecode_test.pdb"
+  "clc_bytecode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_conversion_property_test.dir/conversion_property_test.cpp.o"
+  "CMakeFiles/clc_conversion_property_test.dir/conversion_property_test.cpp.o.d"
+  "clc_conversion_property_test"
+  "clc_conversion_property_test.pdb"
+  "clc_conversion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_conversion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

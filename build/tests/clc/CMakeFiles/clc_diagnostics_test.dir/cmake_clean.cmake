@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_diagnostics_test.dir/diagnostics_test.cpp.o"
+  "CMakeFiles/clc_diagnostics_test.dir/diagnostics_test.cpp.o.d"
+  "clc_diagnostics_test"
+  "clc_diagnostics_test.pdb"
+  "clc_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_lexer_parser_test.dir/lexer_parser_test.cpp.o"
+  "CMakeFiles/clc_lexer_parser_test.dir/lexer_parser_test.cpp.o.d"
+  "clc_lexer_parser_test"
+  "clc_lexer_parser_test.pdb"
+  "clc_lexer_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_lexer_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

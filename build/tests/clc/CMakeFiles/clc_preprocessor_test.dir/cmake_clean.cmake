@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_preprocessor_test.dir/preprocessor_test.cpp.o"
+  "CMakeFiles/clc_preprocessor_test.dir/preprocessor_test.cpp.o.d"
+  "clc_preprocessor_test"
+  "clc_preprocessor_test.pdb"
+  "clc_preprocessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_preprocessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

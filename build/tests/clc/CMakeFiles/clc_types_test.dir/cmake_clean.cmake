@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_types_test.dir/types_test.cpp.o"
+  "CMakeFiles/clc_types_test.dir/types_test.cpp.o.d"
+  "clc_types_test"
+  "clc_types_test.pdb"
+  "clc_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

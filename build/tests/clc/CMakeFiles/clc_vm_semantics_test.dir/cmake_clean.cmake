@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_vm_semantics_test.dir/vm_semantics_test.cpp.o"
+  "CMakeFiles/clc_vm_semantics_test.dir/vm_semantics_test.cpp.o.d"
+  "clc_vm_semantics_test"
+  "clc_vm_semantics_test.pdb"
+  "clc_vm_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_vm_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

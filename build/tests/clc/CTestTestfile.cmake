@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/clc
+# Build directory: /root/repo/build/tests/clc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/clc/clc_vm_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_diagnostics_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_preprocessor_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_arith_property_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_lexer_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_builtins_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_conversion_property_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_types_test[1]_include.cmake")
+include("/root/repo/build/tests/clc/clc_bytecode_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_cl_api_test.dir/cl_api_test.cpp.o"
+  "CMakeFiles/clsim_cl_api_test.dir/cl_api_test.cpp.o.d"
+  "clsim_cl_api_test"
+  "clsim_cl_api_test.pdb"
+  "clsim_cl_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_cl_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_coalescing_test.dir/coalescing_test.cpp.o"
+  "CMakeFiles/clsim_coalescing_test.dir/coalescing_test.cpp.o.d"
+  "clsim_coalescing_test"
+  "clsim_coalescing_test.pdb"
+  "clsim_coalescing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_coalescing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

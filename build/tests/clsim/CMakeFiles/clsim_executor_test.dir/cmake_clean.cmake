@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_executor_test.dir/executor_test.cpp.o"
+  "CMakeFiles/clsim_executor_test.dir/executor_test.cpp.o.d"
+  "clsim_executor_test"
+  "clsim_executor_test.pdb"
+  "clsim_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

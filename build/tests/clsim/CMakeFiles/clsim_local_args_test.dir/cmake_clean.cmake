@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_local_args_test.dir/local_args_test.cpp.o"
+  "CMakeFiles/clsim_local_args_test.dir/local_args_test.cpp.o.d"
+  "clsim_local_args_test"
+  "clsim_local_args_test.pdb"
+  "clsim_local_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_local_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

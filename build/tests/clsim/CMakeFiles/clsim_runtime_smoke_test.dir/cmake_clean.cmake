@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_runtime_smoke_test.dir/runtime_smoke_test.cpp.o"
+  "CMakeFiles/clsim_runtime_smoke_test.dir/runtime_smoke_test.cpp.o.d"
+  "clsim_runtime_smoke_test"
+  "clsim_runtime_smoke_test.pdb"
+  "clsim_runtime_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_runtime_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

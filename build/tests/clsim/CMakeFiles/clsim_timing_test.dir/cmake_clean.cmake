@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsim_timing_test.dir/timing_test.cpp.o"
+  "CMakeFiles/clsim_timing_test.dir/timing_test.cpp.o.d"
+  "clsim_timing_test"
+  "clsim_timing_test.pdb"
+  "clsim_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsim_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

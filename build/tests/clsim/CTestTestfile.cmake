@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/clsim
+# Build directory: /root/repo/build/tests/clsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/clsim/clsim_runtime_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/clsim/clsim_coalescing_test[1]_include.cmake")
+include("/root/repo/build/tests/clsim/clsim_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/clsim/clsim_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/clsim/clsim_cl_api_test[1]_include.cmake")
+include("/root/repo/build/tests/clsim/clsim_local_args_test[1]_include.cmake")

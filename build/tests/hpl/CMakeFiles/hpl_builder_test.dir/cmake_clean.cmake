@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_builder_test.dir/builder_test.cpp.o"
+  "CMakeFiles/hpl_builder_test.dir/builder_test.cpp.o.d"
+  "hpl_builder_test"
+  "hpl_builder_test.pdb"
+  "hpl_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_codegen_test.dir/codegen_test.cpp.o"
+  "CMakeFiles/hpl_codegen_test.dir/codegen_test.cpp.o.d"
+  "hpl_codegen_test"
+  "hpl_codegen_test.pdb"
+  "hpl_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

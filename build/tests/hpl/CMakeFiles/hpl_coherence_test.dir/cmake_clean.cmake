@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_coherence_test.dir/coherence_test.cpp.o"
+  "CMakeFiles/hpl_coherence_test.dir/coherence_test.cpp.o.d"
+  "hpl_coherence_test"
+  "hpl_coherence_test.pdb"
+  "hpl_coherence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

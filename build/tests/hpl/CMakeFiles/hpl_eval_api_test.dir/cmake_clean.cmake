@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_eval_api_test.dir/eval_api_test.cpp.o"
+  "CMakeFiles/hpl_eval_api_test.dir/eval_api_test.cpp.o.d"
+  "hpl_eval_api_test"
+  "hpl_eval_api_test.pdb"
+  "hpl_eval_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_eval_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_expr_and_array_test.dir/expr_and_array_test.cpp.o"
+  "CMakeFiles/hpl_expr_and_array_test.dir/expr_and_array_test.cpp.o.d"
+  "hpl_expr_and_array_test"
+  "hpl_expr_and_array_test.pdb"
+  "hpl_expr_and_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_expr_and_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_paper_examples_test.dir/paper_examples_test.cpp.o"
+  "CMakeFiles/hpl_paper_examples_test.dir/paper_examples_test.cpp.o.d"
+  "hpl_paper_examples_test"
+  "hpl_paper_examples_test.pdb"
+  "hpl_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_patterns_test.dir/patterns_test.cpp.o"
+  "CMakeFiles/hpl_patterns_test.dir/patterns_test.cpp.o.d"
+  "hpl_patterns_test"
+  "hpl_patterns_test.pdb"
+  "hpl_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

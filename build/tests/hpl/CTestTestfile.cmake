@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hpl
+# Build directory: /root/repo/build/tests/hpl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hpl/hpl_paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_eval_api_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_expr_and_array_test[1]_include.cmake")
+include("/root/repo/build/tests/hpl/hpl_builder_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_benchmark_correctness_test.dir/benchmark_correctness_test.cpp.o"
+  "CMakeFiles/integration_benchmark_correctness_test.dir/benchmark_correctness_test.cpp.o.d"
+  "integration_benchmark_correctness_test"
+  "integration_benchmark_correctness_test.pdb"
+  "integration_benchmark_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_benchmark_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
