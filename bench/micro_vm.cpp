@@ -2,12 +2,20 @@
 // time, VM interpretation throughput, HPL capture/codegen cost, and warm
 // eval dispatch overhead. These quantify the fixed costs that appear in
 // the paper-figure measurements.
+//
+// Before the benchmarks run, main() prints a JSON table comparing O0 and
+// O2 builds of every benchsuite kernel: dynamic op counts, global memory
+// traffic and simulated time — the optimizer's scorecard.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "benchsuite/kernel_corpus.hpp"
 #include "clsim/runtime.hpp"
 #include "hpl/HPL.h"
 
+namespace bs = hplrepro::benchsuite;
 namespace clsim = hplrepro::clsim;
 
 namespace {
@@ -104,6 +112,47 @@ __kernel void sync_heavy(__global float* data) {
 }
 BENCHMARK(BM_BarrierGroupScheduling);
 
+void print_opt_pipeline_table() {
+  const clsim::Device device =
+      *clsim::Platform::get().device_by_name("Tesla");
+  std::printf("{\n  \"optimizer_pipeline\": [\n");
+  const auto& names = bs::corpus_kernel_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const bs::CorpusRun o0 = bs::run_corpus_kernel(names[i], device, "-O0");
+    const bs::CorpusRun o2 = bs::run_corpus_kernel(names[i], device, "-O2");
+    const auto gbytes = [](const bs::CorpusRun& r) {
+      return r.stats.global_load_bytes + r.stats.global_store_bytes;
+    };
+    std::printf(
+        "    {\"kernel\": \"%s\",\n"
+        "     \"o0\": {\"dynamic_ops\": %llu, \"global_bytes\": %llu, "
+        "\"sim_seconds\": %.9f, \"static_instrs\": %zu},\n"
+        "     \"o2\": {\"dynamic_ops\": %llu, \"global_bytes\": %llu, "
+        "\"sim_seconds\": %.9f, \"static_instrs\": %zu, "
+        "\"fused_ops\": %llu},\n"
+        "     \"dynamic_op_reduction\": %.4f}%s\n",
+        names[i].c_str(),
+        static_cast<unsigned long long>(o0.stats.total_ops()),
+        static_cast<unsigned long long>(gbytes(o0)), o0.kernel_sim_seconds,
+        o0.static_instrs,
+        static_cast<unsigned long long>(o2.stats.total_ops()),
+        static_cast<unsigned long long>(gbytes(o2)), o2.kernel_sim_seconds,
+        o2.static_instrs,
+        static_cast<unsigned long long>(o2.stats.fused_ops),
+        1.0 - static_cast<double>(o2.stats.total_ops()) /
+                  static_cast<double>(o0.stats.total_ops()),
+        i + 1 < names.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_opt_pipeline_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

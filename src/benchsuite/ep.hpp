@@ -47,6 +47,10 @@ struct EpRun {
 /// Serial C++ reference (correctness oracle).
 EpResult ep_serial(const EpConfig& config);
 
+/// The OpenCL C source of the ep_kernel kernel (shared with the
+/// optimizer differential harness and the O0-vs-O2 microbench).
+const char* ep_kernel_source();
+
 /// OpenCL-style implementation against the clsim host API.
 EpRun ep_opencl(const EpConfig& config, const clsim::Device& device);
 

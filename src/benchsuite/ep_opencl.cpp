@@ -82,6 +82,8 @@ void check(cl_int err, const char* what) {
 
 }  // namespace
 
+const char* ep_kernel_source() { return kEpKernelSource; }
+
 EpRun ep_opencl(const EpConfig& config, const clsim::Device& device) {
   const std::size_t items = config.items();
   cl_int err;

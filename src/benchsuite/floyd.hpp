@@ -32,6 +32,10 @@ struct FloydRun {
   Timings timings;
 };
 
+/// The OpenCL C source of the floyd_pass kernel (shared with the
+/// optimizer differential harness and the O0-vs-O2 microbench).
+const char* floyd_kernel_source();
+
 FloydRun floyd_opencl(const FloydConfig& config, const clsim::Device& device);
 FloydRun floyd_hpl(const FloydConfig& config, HPL::Device device);
 

@@ -33,6 +33,8 @@ void check(cl_int err, const char* what) {
 
 }  // namespace
 
+const char* floyd_kernel_source() { return kFloydKernelSource; }
+
 FloydRun floyd_opencl(const FloydConfig& config,
                       const clsim::Device& device) {
   const std::size_t n = config.nodes;

@@ -1,0 +1,51 @@
+#ifndef HPLREPRO_BENCHSUITE_KERNEL_CORPUS_HPP
+#define HPLREPRO_BENCHSUITE_KERNEL_CORPUS_HPP
+
+/// \file kernel_corpus.hpp
+/// Runs each benchsuite kernel at an arbitrary clBuildProgram options
+/// string and reports everything a differential harness needs: the raw
+/// output buffers, the dynamic execution statistics summed over every
+/// launch, and the simulated kernel time. tests/clc/optimizer_diff_test.cpp
+/// uses this to prove O0 and O2 builds bit-identical, and bench/micro_vm
+/// uses it for the O0-vs-O2 table.
+///
+/// Problem sizes are fixed small (test-speed) but use the same input
+/// generators and launch geometry as the real benchmark hosts.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clc/stats.hpp"
+#include "clsim/runtime.hpp"
+
+namespace hplrepro::benchsuite {
+
+/// One O0-or-O2 execution of a corpus kernel.
+struct CorpusRun {
+  std::string name;
+  /// Raw bytes of each output buffer, in a fixed per-kernel order.
+  std::vector<std::vector<std::byte>> outputs;
+  /// Dynamic VM statistics summed over all launches.
+  clc::ExecStats stats;
+  /// Simulated kernel seconds summed over all launches.
+  double kernel_sim_seconds = 0;
+  /// Static instruction count of the built module (all functions).
+  std::size_t static_instrs = 0;
+  /// What the optimizer reported for this build.
+  clc::OptReport opt_report;
+};
+
+/// The corpus members: "ep", "floyd", "reduction", "spmv", "transpose".
+const std::vector<std::string>& corpus_kernel_names();
+
+/// Builds and runs corpus kernel `name` on `device` with the given
+/// clBuildProgram-style options ("" = driver default, "-cl-opt-disable"
+/// = unoptimized). Throws InvalidArgument for an unknown name.
+CorpusRun run_corpus_kernel(const std::string& name,
+                            const clsim::Device& device,
+                            const std::string& build_options);
+
+}  // namespace hplrepro::benchsuite
+
+#endif  // HPLREPRO_BENCHSUITE_KERNEL_CORPUS_HPP

@@ -33,6 +33,10 @@ struct ReductionRun {
   Timings timings;
 };
 
+/// The OpenCL C source of the reduce_sum kernel (shared with the
+/// optimizer differential harness and the O0-vs-O2 microbench).
+const char* reduction_kernel_source();
+
 ReductionRun reduction_opencl(const ReductionConfig& config,
                               const clsim::Device& device);
 ReductionRun reduction_hpl(const ReductionConfig& config, HPL::Device device);

@@ -49,6 +49,8 @@ void check(cl_int err, const char* what) {
 
 }  // namespace
 
+const char* reduction_kernel_source() { return kReductionKernelSource; }
+
 ReductionRun reduction_opencl(const ReductionConfig& config,
                               const clsim::Device& device) {
   const std::vector<float> input = reduction_make_input(config);

@@ -40,6 +40,10 @@ struct SpmvRun {
   Timings timings;
 };
 
+/// The OpenCL C source of the spmv_csr kernel (shared with the
+/// optimizer differential harness and the O0-vs-O2 microbench).
+const char* spmv_kernel_source();
+
 SpmvRun spmv_opencl(const SpmvConfig& config, const clsim::Device& device);
 SpmvRun spmv_hpl(const SpmvConfig& config, HPL::Device device);
 

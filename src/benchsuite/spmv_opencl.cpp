@@ -53,6 +53,8 @@ void check(cl_int err, const char* what) {
 
 }  // namespace
 
+const char* spmv_kernel_source() { return kSpmvKernelSource; }
+
 SpmvRun spmv_opencl(const SpmvConfig& config, const clsim::Device& device) {
   const CsrProblem problem = spmv_make_problem(config);
   const std::size_t n = config.rows;

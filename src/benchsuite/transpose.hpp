@@ -34,6 +34,10 @@ struct TransposeRun {
   Timings timings;
 };
 
+/// The OpenCL C source of the transpose_tiled kernel (shared with the
+/// optimizer differential harness and the O0-vs-O2 microbench).
+const char* transpose_kernel_source();
+
 TransposeRun transpose_opencl(const TransposeConfig& config,
                               const clsim::Device& device);
 TransposeRun transpose_hpl(const TransposeConfig& config, HPL::Device device);

@@ -44,6 +44,8 @@ void check(cl_int err, const char* what) {
 
 }  // namespace
 
+const char* transpose_kernel_source() { return kTransposeKernelSource; }
+
 TransposeRun transpose_opencl(const TransposeConfig& config,
                               const clsim::Device& device) {
   const std::size_t rows = config.rows, cols = config.cols;

@@ -108,6 +108,24 @@ const char* op_name(Op op) {
     case Op::BarrierOp: return "barrier";
     case Op::BuiltinOp: return "builtin";
     case Op::WorkItemFn: return "workitem";
+    case Op::LIdxI8: return "lidx.i8";
+    case Op::LIdxU8: return "lidx.u8";
+    case Op::LIdxI16: return "lidx.i16";
+    case Op::LIdxU16: return "lidx.u16";
+    case Op::LIdxI32: return "lidx.i32";
+    case Op::LIdxU32: return "lidx.u32";
+    case Op::LIdxI64: return "lidx.i64";
+    case Op::LIdxF32: return "lidx.f32";
+    case Op::LIdxF64: return "lidx.f64";
+    case Op::SIdxI8: return "sidx.i8";
+    case Op::SIdxI16: return "sidx.i16";
+    case Op::SIdxI32: return "sidx.i32";
+    case Op::SIdxI64: return "sidx.i64";
+    case Op::SIdxF32: return "sidx.f32";
+    case Op::SIdxF64: return "sidx.f64";
+    case Op::MadI: return "mad.i";
+    case Op::MadF: return "mad.f";
+    case Op::MadD: return "mad.d";
   }
   return "?";
 }
@@ -139,6 +157,24 @@ std::string disassemble(const CompiledFunction& fn) {
       case Op::Call:
       case Op::BuiltinOp:
       case Op::WorkItemFn:
+      case Op::LIdxI8:
+      case Op::LIdxU8:
+      case Op::LIdxI16:
+      case Op::LIdxU16:
+      case Op::LIdxI32:
+      case Op::LIdxU32:
+      case Op::LIdxI64:
+      case Op::LIdxF32:
+      case Op::LIdxF64:
+      case Op::SIdxI8:
+      case Op::SIdxI16:
+      case Op::SIdxI32:
+      case Op::SIdxI64:
+      case Op::SIdxF32:
+      case Op::SIdxF64:
+      case Op::MadI:
+      case Op::MadF:
+      case Op::MadD:
         oss << ' ' << in.a;
         break;
       default:

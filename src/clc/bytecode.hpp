@@ -120,7 +120,23 @@ enum class Op : std::uint8_t {
   BarrierOp,  // imm: fence flags; suspends until group sync
   BuiltinOp,  // a: builtin id; imm: operand scalar class (0 int, 1 f32, 2 f64)
   WorkItemFn, // a: builtin id; pops dimension, pushes size_t value
+  // Superinstructions, emitted only by the optimizer (see optimizer.hpp).
+  // Fused index+load: a = element size; pops index then pointer, pushes
+  // the value at ptr + index*size. One dynamic op instead of two.
+  LIdxI8, LIdxU8, LIdxI16, LIdxU16, LIdxI32, LIdxU32, LIdxI64,
+  LIdxF32, LIdxF64,
+  // Fused index+store: a = element size; pops value, index, pointer.
+  SIdxI8, SIdxI16, SIdxI32, SIdxI64, SIdxF32, SIdxF64,
+  // Fused multiply-add. Computes the product and then the sum as two
+  // separate roundings (no FMA contraction), so results stay bit-identical
+  // with the unfused MUL/ADD pair. a encodes the operand order:
+  //   a = 0: pops z, y, x -> (x*y) + z   (from MUL; push; ADD)
+  //   a = 1: pops y, x, z -> z + (x*y)   (from MUL; ADD)
+  MadI, MadF, MadD,
 };
+
+/// Total number of opcodes (for dispatch/classification tables).
+inline constexpr int kOpCount = static_cast<int>(Op::MadD) + 1;
 
 const char* op_name(Op op);
 

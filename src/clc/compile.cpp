@@ -8,7 +8,37 @@
 
 namespace hplrepro::clc {
 
-CompileResult compile(std::string_view source) {
+bool parse_build_options(std::string_view options, CompileOptions& out,
+                         std::string& error) {
+  std::size_t pos = 0;
+  while (pos < options.size()) {
+    while (pos < options.size() &&
+           (options[pos] == ' ' || options[pos] == '\t')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < options.size() && options[end] != ' ' &&
+           options[end] != '\t') {
+      ++end;
+    }
+    if (end == pos) break;
+    const std::string_view tok = options.substr(pos, end - pos);
+    pos = end;
+    if (tok == "-cl-opt-disable" || tok == "-O0") {
+      out.opt_level = OptLevel::O0;
+    } else if (tok == "-O1" || tok == "-O2" || tok == "-O3") {
+      out.opt_level = OptLevel::O2;
+    } else if (tok == "-cl-mad-enable" || tok == "-w") {
+      // accepted, no effect (mad fusion is bit-exact and on at O2)
+    } else {
+      error = "unrecognized build option '" + std::string(tok) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+CompileResult compile(std::string_view source, const CompileOptions& options) {
   DiagnosticSink diags;
 
   PreprocessResult preprocessed = preprocess(source, diags);
@@ -31,6 +61,7 @@ CompileResult compile(std::string_view source) {
 
   CompileResult result;
   result.module = generate_bytecode(unit);
+  result.opt_report = optimize_module(result.module, options.opt_level);
   result.build_log = diags.log();
   return result;
 }

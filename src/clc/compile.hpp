@@ -9,17 +9,33 @@
 
 #include "clc/bytecode.hpp"
 #include "clc/diagnostics.hpp"
+#include "clc/optimizer.hpp"
 
 namespace hplrepro::clc {
+
+/// Compilation knobs, settable through OpenCL-style build options.
+struct CompileOptions {
+  OptLevel opt_level = OptLevel::O2;  // real drivers optimize by default
+};
+
+/// Parses a clBuildProgram-style options string ("-cl-opt-disable -w ...").
+/// Recognised: -cl-opt-disable / -O0 (disable the optimizer), -O1/-O2/-O3
+/// (enable it; all map to the full pipeline), -cl-mad-enable (accepted; mad
+/// fusion is bit-exact here so it is always on at O2), -w (ignored).
+/// Returns false and sets `error` on the first unrecognised option.
+bool parse_build_options(std::string_view options, CompileOptions& out,
+                         std::string& error);
 
 struct CompileResult {
   Module module;
   std::string build_log;  // warnings (and errors when not throwing)
+  OptReport opt_report;   // what the optimizer did (level O0: nothing)
 };
 
-/// Compiles OpenCL C source to bytecode.
+/// Compiles OpenCL C source to bytecode and optimizes it per `options`.
 /// \throws CompileError (with the build log) if the source has errors.
-CompileResult compile(std::string_view source);
+CompileResult compile(std::string_view source,
+                      const CompileOptions& options = {});
 
 }  // namespace hplrepro::clc
 

@@ -1,0 +1,66 @@
+#ifndef HPLREPRO_CLC_OPTIMIZER_HPP
+#define HPLREPRO_CLC_OPTIMIZER_HPP
+
+/// \file optimizer.hpp
+/// Bytecode optimization pipeline, run between codegen and the VM.
+///
+/// Passes (iterated to a fixpoint, then fused):
+///  * constant folding + propagation — evaluates operations whose operands
+///    are compile-time constants with the VM's exact semantics (fold.hpp)
+///    and propagates constants through slots within a basic block;
+///  * algebraic simplification — x+0, x*1, x&-1, x<<0, float-safe x*1.0f /
+///    x-0.0f, strength reduction x*2^k -> x<<k (and unsigned /,% by 2^k);
+///  * dead-code elimination — unreachable blocks, jumps to the next
+///    instruction, constant branches, cancelled push/pop chains;
+///  * dead-store elimination — stores to slots never loaded anywhere in the
+///    function become pops (and usually cancel away entirely);
+///  * peephole fusion — PtrAdd+Load -> LIdx, PtrAdd+Store -> SIdx,
+///    Mul+Add -> Mad superinstructions (bit-identical, two roundings).
+///
+/// Every transformation is semantics-preserving down to the bit level; the
+/// O0-vs-O2 differential harness in tests/clc/optimizer_diff_test.cpp holds
+/// the pipeline to that standard.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clc/bytecode.hpp"
+
+namespace hplrepro::clc {
+
+/// Optimization level. O0 leaves the bytecode exactly as codegen emitted
+/// it; O2 runs the full pipeline. (OpenCL build options map -cl-opt-disable
+/// and -O0 to O0; the default is O2, like a real driver.)
+enum class OptLevel : std::uint8_t { O0, O2 };
+
+/// Per-function before/after counters.
+struct FunctionOptStats {
+  std::string name;
+  bool is_kernel = false;
+  std::size_t instrs_before = 0;
+  std::size_t instrs_after = 0;
+  std::uint64_t constants_folded = 0;
+  std::uint64_t algebraic_simplified = 0;
+  std::uint64_t dead_removed = 0;
+  std::uint64_t instrs_fused = 0;
+};
+
+/// What the optimizer did to a module; clsim keeps this per program so
+/// callers can inspect static reductions (the VM's ExecStats show the
+/// dynamic ones).
+struct OptReport {
+  OptLevel level = OptLevel::O0;
+  std::vector<FunctionOptStats> functions;
+
+  /// Human-readable per-function summary (build-log style).
+  std::string summary() const;
+};
+
+/// Optimizes every function of the module in place. At O0 this is a no-op
+/// that still returns a (trivial) report.
+OptReport optimize_module(Module& module, OptLevel level);
+
+}  // namespace hplrepro::clc
+
+#endif  // HPLREPRO_CLC_OPTIMIZER_HPP

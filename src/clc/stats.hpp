@@ -16,6 +16,10 @@ struct ExecStats {
   std::uint64_t float_ops = 0;
   std::uint64_t double_ops = 0;
   std::uint64_t special_ops = 0;  // transcendental builtins
+  // Optimizer superinstructions executed (LIdx*/SIdx*/Mad*). Each one also
+  // counts once in its op class above; this tracks how much of the dynamic
+  // stream ran fused (each fused op replaces at least two unfused ops).
+  std::uint64_t fused_ops = 0;
 
   // Memory traffic.
   std::uint64_t global_load_bytes = 0;
@@ -41,6 +45,7 @@ struct ExecStats {
     float_ops += o.float_ops;
     double_ops += o.double_ops;
     special_ops += o.special_ops;
+    fused_ops += o.fused_ops;
     global_load_bytes += o.global_load_bytes;
     global_store_bytes += o.global_store_bytes;
     global_accesses += o.global_accesses;

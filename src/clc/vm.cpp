@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "clc/builtins.hpp"
+#include "clc/fold.hpp"
 
 namespace hplrepro::clc {
 
@@ -27,10 +28,20 @@ OpClass op_class_of(Op op) {
     case Op::EqD: case Op::NeD: case Op::LtD: case Op::LeD: case Op::GtD:
     case Op::GeD:
       return OpClass::DoubleAlu;
+    case Op::MadI:
+      return OpClass::IntAlu;
+    case Op::MadF:
+      return OpClass::FloatAlu;
+    case Op::MadD:
+      return OpClass::DoubleAlu;
     case Op::LoadI8: case Op::LoadU8: case Op::LoadI16: case Op::LoadU16:
     case Op::LoadI32: case Op::LoadU32: case Op::LoadI64: case Op::LoadF32:
     case Op::LoadF64: case Op::StoreI8: case Op::StoreI16: case Op::StoreI32:
     case Op::StoreI64: case Op::StoreF32: case Op::StoreF64:
+    case Op::LIdxI8: case Op::LIdxU8: case Op::LIdxI16: case Op::LIdxU16:
+    case Op::LIdxI32: case Op::LIdxU32: case Op::LIdxI64: case Op::LIdxF32:
+    case Op::LIdxF64: case Op::SIdxI8: case Op::SIdxI16: case Op::SIdxI32:
+    case Op::SIdxI64: case Op::SIdxF32: case Op::SIdxF64:
       return OpClass::GlobalMem;  // refined at run time by address space
     default:
       return OpClass::Control;
@@ -41,25 +52,15 @@ struct OpClassTable {
   OpClass cls[256];
   OpClassTable() {
     for (int i = 0; i < 256; ++i) cls[i] = OpClass::Control;
-    for (int i = 0; i <= static_cast<int>(Op::WorkItemFn); ++i) {
+    for (int i = 0; i < kOpCount; ++i) {
       cls[i] = op_class_of(static_cast<Op>(i));
     }
   }
 };
 const OpClassTable kOpClass;
 
-std::int64_t checked_trunc_i64(double v) {
-  if (std::isnan(v)) return 0;
-  if (v >= 9.2233720368547758e18) return INT64_MAX;
-  if (v <= -9.2233720368547758e18) return INT64_MIN;
-  return static_cast<std::int64_t>(v);
-}
-
-std::uint64_t checked_trunc_u64(double v) {
-  if (std::isnan(v) || v <= 0) return 0;
-  if (v >= 1.8446744073709552e19) return UINT64_MAX;
-  return static_cast<std::uint64_t>(v);
-}
+// checked_trunc_i64 / checked_trunc_u64 live in fold.hpp so the optimizer
+// folds float->int conversions with exactly the VM's semantics.
 
 double apply_math_builtin_d(Builtin id, const double* a) {
   switch (id) {
@@ -579,6 +580,109 @@ RunStatus WorkItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
             break;
           }
         }
+        break;
+      }
+
+#define HPLREPRO_LIDX_CASE(OPNAME, CTYPE, FIELD, EXT)                       \
+  case Op::OPNAME: {                                                        \
+    const std::int64_t index = pop().i64;                                   \
+    const std::uint64_t ptr = pointer_add(pop().u64, index * instr.a);      \
+    note_access(ptr, sizeof(CTYPE), false, pc_key);                         \
+    CTYPE raw;                                                              \
+    std::memcpy(&raw, resolve(ptr, sizeof(CTYPE)), sizeof(CTYPE));          \
+    Value v;                                                                \
+    v.FIELD = EXT(raw);                                                     \
+    push(v);                                                                \
+    ++stats.fused_ops;                                                      \
+    break;                                                                  \
+  }
+      HPLREPRO_LIDX_CASE(LIdxI8, std::int8_t, i64, static_cast<std::int64_t>)
+      HPLREPRO_LIDX_CASE(LIdxU8, std::uint8_t, u64,
+                         static_cast<std::uint64_t>)
+      HPLREPRO_LIDX_CASE(LIdxI16, std::int16_t, i64,
+                         static_cast<std::int64_t>)
+      HPLREPRO_LIDX_CASE(LIdxU16, std::uint16_t, u64,
+                         static_cast<std::uint64_t>)
+      HPLREPRO_LIDX_CASE(LIdxI32, std::int32_t, i64,
+                         static_cast<std::int64_t>)
+      HPLREPRO_LIDX_CASE(LIdxU32, std::uint32_t, u64,
+                         static_cast<std::uint64_t>)
+      HPLREPRO_LIDX_CASE(LIdxI64, std::int64_t, i64,
+                         static_cast<std::int64_t>)
+      HPLREPRO_LIDX_CASE(LIdxF32, float, f32, )
+      HPLREPRO_LIDX_CASE(LIdxF64, double, f64, )
+#undef HPLREPRO_LIDX_CASE
+
+#define HPLREPRO_SIDX_CASE(OPNAME, CTYPE, FIELD)                            \
+  case Op::OPNAME: {                                                        \
+    const Value v = pop();                                                  \
+    const std::int64_t index = pop().i64;                                   \
+    const std::uint64_t ptr = pointer_add(pop().u64, index * instr.a);      \
+    note_access(ptr, sizeof(CTYPE), true, pc_key);                          \
+    const CTYPE raw = static_cast<CTYPE>(v.FIELD);                          \
+    std::memcpy(resolve(ptr, sizeof(CTYPE)), &raw, sizeof(CTYPE));          \
+    ++stats.fused_ops;                                                      \
+    break;                                                                  \
+  }
+      HPLREPRO_SIDX_CASE(SIdxI8, std::int8_t, i64)
+      HPLREPRO_SIDX_CASE(SIdxI16, std::int16_t, i64)
+      HPLREPRO_SIDX_CASE(SIdxI32, std::int32_t, i64)
+      HPLREPRO_SIDX_CASE(SIdxI64, std::int64_t, i64)
+      HPLREPRO_SIDX_CASE(SIdxF32, float, f32)
+      HPLREPRO_SIDX_CASE(SIdxF64, double, f64)
+#undef HPLREPRO_SIDX_CASE
+
+      // Fused multiply-add: product then sum, two roundings, exactly the
+      // unfused pair (see bytecode.hpp for the operand-order encoding).
+      case Op::MadI: {
+        if (instr.a == 0) {
+          const Value z = pop();
+          const Value y = pop();
+          Value& x = top();
+          x.i64 = x.i64 * y.i64 + z.i64;
+        } else {
+          const Value y = pop();
+          const Value x = pop();
+          Value& z = top();
+          z.i64 = z.i64 + x.i64 * y.i64;
+        }
+        ++stats.fused_ops;
+        break;
+      }
+      case Op::MadF: {
+        // Product and sum as separate statements: must round twice, like
+        // the unfused MulF; AddF pair (no FMA contraction).
+        if (instr.a == 0) {
+          const Value z = pop();
+          const Value y = pop();
+          Value& x = top();
+          const float t = x.f32 * y.f32;
+          x.f32 = t + z.f32;
+        } else {
+          const Value y = pop();
+          const Value x = pop();
+          Value& z = top();
+          const float t = x.f32 * y.f32;
+          z.f32 = z.f32 + t;
+        }
+        ++stats.fused_ops;
+        break;
+      }
+      case Op::MadD: {
+        if (instr.a == 0) {
+          const Value z = pop();
+          const Value y = pop();
+          Value& x = top();
+          const double t = x.f64 * y.f64;
+          x.f64 = t + z.f64;
+        } else {
+          const Value y = pop();
+          const Value x = pop();
+          Value& z = top();
+          const double t = x.f64 * y.f64;
+          z.f64 = z.f64 + t;
+        }
+        ++stats.fused_ops;
         break;
       }
     }

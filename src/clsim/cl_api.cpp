@@ -246,11 +246,16 @@ cl_int clBuildProgram(cl_program program, cl_uint /*num_devices*/,
                       const char* options, void* /*pfn_notify*/,
                       void* /*user_data*/) {
   if (program == nullptr) return CL_INVALID_PROGRAM;
-  if (options != nullptr && options[0] != '\0') {
-    return CL_INVALID_BUILD_OPTIONS;  // build options are not supported
+  const std::string opts = options != nullptr ? options : "";
+  {
+    hplrepro::clc::CompileOptions parsed;
+    std::string error;
+    if (!hplrepro::clc::parse_build_options(opts, parsed, error)) {
+      return CL_INVALID_BUILD_OPTIONS;
+    }
   }
   try {
-    program->program->build();
+    program->program->build(opts);
   } catch (const clsim::RuntimeError&) {
     return CL_BUILD_PROGRAM_FAILURE;
   }

@@ -63,6 +63,7 @@ DeviceSpec xeon_host() {
   d.global_bandwidth_gbs = 8.0;  // single-thread effective stream bandwidth
   d.local_bandwidth_gbs = 40.0;  // __local degenerates to L1-resident data
   d.models_coalescing = false;   // caches hide access granularity
+  d.hides_memory_latency = false;  // one core: no threads to overlap with
   d.warp_size = 1;
   d.segment_bytes = 64;
   d.global_mem_bytes = 12ull << 30;

@@ -35,6 +35,10 @@ struct DeviceSpec {
   double global_bandwidth_gbs = 100.0;
   double local_bandwidth_gbs = 1000.0;   // on-chip scratchpad
   bool models_coalescing = true;         // GPUs: pay per 32 B segment
+  // GPUs keep thousands of work-items in flight, so memory traffic
+  // overlaps with compute (roofline max). A single CPU core has no such
+  // thread-level latency hiding: compute and memory time add up.
+  bool hides_memory_latency = true;
   unsigned warp_size = 32;
   unsigned segment_bytes = 32;
   std::uint64_t global_mem_bytes = 1ull << 30;

@@ -75,10 +75,18 @@ void Buffer::fill_zero() {
 Program::Program(Context& context, std::string source)
     : device_(context.device()), source_(std::move(source)) {}
 
-void Program::build() {
+void Program::build(const std::string& options) {
+  clc::CompileOptions copts;
+  std::string opt_error;
+  if (!clc::parse_build_options(options, copts, opt_error)) {
+    build_log_ = opt_error;
+    throw RuntimeError("program build failed: " + opt_error);
+  }
+  build_options_ = options;
   try {
-    clc::CompileResult result = clc::compile(source_);
+    clc::CompileResult result = clc::compile(source_, copts);
     build_log_ = result.build_log;
+    opt_report_ = std::move(result.opt_report);
     module_ = std::move(result.module);
   } catch (const clc::CompileError& e) {
     build_log_ = e.build_log();

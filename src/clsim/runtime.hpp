@@ -141,12 +141,18 @@ class Program {
 public:
   Program(Context& context, std::string source);
 
-  /// Compiles the source. Throws RuntimeError on failure; the build log is
-  /// available either way, as with clBuildProgram.
-  void build();
+  /// Compiles the source with clBuildProgram-style `options` (e.g.
+  /// "-cl-opt-disable"; empty means the default, optimizing build).
+  /// Throws RuntimeError on failure — including unrecognised options; the
+  /// build log is available either way, as with clBuildProgram.
+  void build(const std::string& options = "");
   bool built() const { return module_.has_value(); }
   const std::string& build_log() const { return build_log_; }
   const std::string& source() const { return source_; }
+  const std::string& build_options() const { return build_options_; }
+
+  /// What the optimizer did during the last successful build.
+  const clc::OptReport& opt_report() const { return opt_report_; }
 
   const clc::Module& module() const;
   const Device& device() const { return device_; }
@@ -154,8 +160,10 @@ public:
 private:
   Device device_;
   std::string source_;
+  std::string build_options_;
   std::optional<clc::Module> module_;
   std::string build_log_;
+  clc::OptReport opt_report_;
 };
 
 /// A kernel handle plus its bound arguments (clSetKernelArg analogue).

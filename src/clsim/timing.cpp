@@ -42,8 +42,14 @@ TimingBreakdown simulate_kernel_time(const clc::ExecStats& stats,
 
   t.launch_s = d.launch_overhead_us * 1e-6;
 
-  t.total_s = std::max({t.compute_s, t.global_mem_s, t.local_mem_s}) +
-              t.barrier_s + t.launch_s;
+  // Devices with enough threads in flight overlap memory traffic with
+  // compute (classic roofline); a device without that latency hiding (a
+  // single CPU core) pays for them back to back.
+  const double busy_s =
+      d.hides_memory_latency
+          ? std::max({t.compute_s, t.global_mem_s, t.local_mem_s})
+          : t.compute_s + t.global_mem_s + t.local_mem_s;
+  t.total_s = busy_s + t.barrier_s + t.launch_s;
   return t;
 }
 

@@ -5,6 +5,7 @@
 namespace HPL {
 
 namespace clsim = hplrepro::clsim;
+namespace clc = hplrepro::clc;
 
 // --- Device handle -------------------------------------------------------------
 
@@ -62,6 +63,14 @@ ProfileSnapshot profile() { return detail::Runtime::get().prof(); }
 void reset_profile() { detail::Runtime::get().prof() = ProfileSnapshot{}; }
 void purge_kernel_cache() { detail::Runtime::get().clear_kernel_cache(); }
 
+void set_kernel_build_options(const std::string& options) {
+  detail::Runtime::get().set_build_options(options);
+}
+
+const std::string& kernel_build_options() {
+  return detail::Runtime::get().build_options();
+}
+
 namespace detail {
 
 // --- Runtime -------------------------------------------------------------------
@@ -108,6 +117,17 @@ CachedKernel& Runtime::insert_kernel(const void* fn, CachedKernel kernel) {
 
 void Runtime::clear_kernel_cache() { kernel_cache_.clear(); }
 
+void Runtime::set_build_options(std::string options) {
+  clc::CompileOptions parsed;
+  std::string error;
+  if (!clc::parse_build_options(options, parsed, error)) {
+    throw hplrepro::InvalidArgument("HPL: " + error);
+  }
+  build_options_ = std::move(options);
+  // Cached binaries were built with the old options; force rebuilds.
+  clear_kernel_cache();
+}
+
 BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
   const auto* key = &dev.device.spec();
   auto it = cached.built.find(key);
@@ -116,7 +136,7 @@ BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
   BuiltKernel built;
   built.program =
       std::make_unique<clsim::Program>(*dev.context, cached.source);
-  built.program->build();
+  built.program->build(build_options_);
   built.kernel =
       std::make_unique<clsim::Kernel>(*built.program, cached.name);
   ++prof_.kernels_built;

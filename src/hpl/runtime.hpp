@@ -85,6 +85,16 @@ void reset_profile();
 /// the benchmark harness to measure cold first-invocation behaviour.
 void purge_kernel_cache();
 
+/// Sets the clBuildProgram-style options used for every subsequent kernel
+/// build (e.g. "-cl-opt-disable" to run generated kernels unoptimized).
+/// Purges the kernel cache so already-built kernels are rebuilt with the
+/// new options. Throws InvalidArgument on an unrecognised option.
+void set_kernel_build_options(const std::string& options);
+
+/// The options set by set_kernel_build_options (default: "", which builds
+/// at the driver default, -O2).
+const std::string& kernel_build_options();
+
 namespace detail {
 
 /// Per-device runtime state.
@@ -144,11 +154,16 @@ public:
 
   void clear_kernel_cache();
 
+  /// Build options applied by build_for (see HPL::set_kernel_build_options).
+  void set_build_options(std::string options);
+  const std::string& build_options() const { return build_options_; }
+
 private:
   Runtime();
   std::vector<DeviceEntry> devices_;
   std::map<const void*, CachedKernel> kernel_cache_;
   ProfileSnapshot prof_;
+  std::string build_options_;
   int next_kernel_id_ = 0;
 };
 

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "clc/compile.hpp"
 #include "exec_helper.hpp"
+#include "support/prng.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -184,5 +186,70 @@ std::vector<FloatCase> float_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FloatBinaryOp,
                          ::testing::ValuesIn(float_cases()));
+
+// --- Random constant-expression folding ------------------------------------------
+
+// PRNG-driven property: a random expression built entirely from integer
+// constants must evaluate to the same value with the optimizer on and off
+// (the O0 VM is the oracle), and at O2 the whole tree must fold away to a
+// constant push — division by zero, overflow and oversized shifts
+// included, because the folder mirrors the VM's semantics exactly.
+
+std::string random_const_expr(hplrepro::SplitMix64& rng, int depth) {
+  static const char* kOps[] = {"+", "-", "*", "/", "%",
+                               "&", "|", "^", "<<", ">>"};
+  if (depth == 0 || rng.next_u64() % 4 == 0) {
+    static const std::int64_t kSpecials[] = {
+        0, 1, -1, 2, -2, 255, -128, 65536, (1ll << 31) - 1, -(1ll << 31),
+        (1ll << 62)};
+    std::int64_t v;
+    if (rng.next_u64() % 2 == 0) {
+      v = kSpecials[rng.next_u64() % (sizeof(kSpecials) / sizeof(*kSpecials))];
+    } else {
+      v = static_cast<std::int64_t>(rng.next_u64() % 2000001) - 1000000;
+    }
+    return "(" + std::to_string(v) + "L)";
+  }
+  const char* op = kOps[rng.next_u64() % (sizeof(kOps) / sizeof(*kOps))];
+  const std::string lhs = random_const_expr(rng, depth - 1);
+  // Keep shift amounts in a VM-defined but occasionally oversized range to
+  // exercise the &63 masking path too.
+  const std::string rhs =
+      (op[0] == '<' || op[0] == '>') && op[1] == op[0]
+          ? "(" + std::to_string(rng.next_u64() % 80) + "L)"
+          : random_const_expr(rng, depth - 1);
+  return "(" + lhs + " " + op + " " + rhs + ")";
+}
+
+std::size_t kernel_code_size(const std::string& source,
+                             hplrepro::clc::OptLevel level) {
+  hplrepro::clc::CompileOptions options;
+  options.opt_level = level;
+  const auto result = hplrepro::clc::compile(source, options);
+  return result.module.find("k")->code.size();
+}
+
+TEST(ConstExprFoldProperty, RandomExpressionsFoldToTheO0Value) {
+  hplrepro::SplitMix64 rng(0xF01DAB1Eull);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int depth = 2 + static_cast<int>(rng.next_u64() % 3);
+    const std::string src = "__kernel void k(__global long* out) {\n  out[0] = " +
+                            random_const_expr(rng, depth) + ";\n}\n";
+
+    const auto o0 = clc_test::eval_scalar_kernel<std::int64_t>(
+        src, "-cl-opt-disable");
+    const auto o2 = clc_test::eval_scalar_kernel<std::int64_t>(src, "-O2");
+    EXPECT_EQ(o0, o2) << "iteration " << iter << "\n" << src;
+
+    const std::size_t o0_size =
+        kernel_code_size(src, hplrepro::clc::OptLevel::O0);
+    const std::size_t o2_size =
+        kernel_code_size(src, hplrepro::clc::OptLevel::O2);
+    EXPECT_LT(o2_size, o0_size) << "iteration " << iter << "\n" << src;
+    // Fully constant tree: whatever its size at O0, the optimized kernel
+    // is just "push constant, store through the out pointer, return".
+    EXPECT_LE(o2_size, 8u) << "iteration " << iter << "\n" << src;
+  }
+}
 
 }  // namespace

@@ -25,14 +25,15 @@ template <typename T>
 std::vector<T> run_kernel_1buf(const std::string& source,
                                const std::string& kernel_name,
                                std::vector<T> data, std::size_t global,
-                               std::optional<std::size_t> local = {}) {
+                               std::optional<std::size_t> local = {},
+                               const std::string& build_options = "") {
   clsim::Context context(test_device());
   clsim::CommandQueue queue(context);
   clsim::Buffer buffer(context, data.size() * sizeof(T));
   queue.enqueue_write_buffer(buffer, data.data(), data.size() * sizeof(T));
 
   clsim::Program program(context, source);
-  program.build();
+  program.build(build_options);
   clsim::Kernel kernel(program, kernel_name);
   kernel.set_arg(0, buffer);
 
@@ -48,9 +49,10 @@ std::vector<T> run_kernel_1buf(const std::string& source,
 /// "k" writing one result of type T to out[0], runs it with one work-item,
 /// and returns the value. Used by expression-semantics tests.
 template <typename T>
-T eval_scalar_kernel(const std::string& source) {
+T eval_scalar_kernel(const std::string& source,
+                     const std::string& build_options = "") {
   std::vector<T> out(1, T{});
-  out = run_kernel_1buf<T>(source, "k", std::move(out), 1);
+  out = run_kernel_1buf<T>(source, "k", std::move(out), 1, {}, build_options);
   return out[0];
 }
 

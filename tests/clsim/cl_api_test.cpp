@@ -143,6 +143,35 @@ TEST(ClApi, BuildFailureReturnsCodeAndLog) {
   clReleaseContext(context);
 }
 
+TEST(ClApi, BuildOptionsAcceptedAndValidated) {
+  const char* src = "__kernel void k(__global int* o) { o[0] = 2 * 21; }";
+  cl_int err;
+  cl_platform_id platform;
+  clGetPlatformIDs(1, &platform, nullptr);
+  cl_device_id device;
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  // Unknown options are rejected up front, before any compilation.
+  EXPECT_EQ(clBuildProgram(program, 1, &device, "-fbogus", nullptr, nullptr),
+            CL_INVALID_BUILD_OPTIONS);
+
+  // Real driver options select the optimization level.
+  EXPECT_EQ(clBuildProgram(program, 1, &device, "-cl-opt-disable", nullptr,
+                           nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(program, 1, &device, "-cl-mad-enable -O2",
+                           nullptr, nullptr),
+            CL_SUCCESS);
+
+  clReleaseProgram(program);
+  clReleaseContext(context);
+}
+
 TEST(ClApi, ErrorCodesOnMisuse) {
   EXPECT_EQ(clGetPlatformIDs(0, nullptr, nullptr), CL_INVALID_VALUE);
   EXPECT_EQ(clFinish(nullptr), CL_INVALID_COMMAND_QUEUE);
