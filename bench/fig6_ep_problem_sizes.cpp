@@ -37,7 +37,8 @@ void warm_up_process() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hplrepro::bench::JsonReporter reporter(argc, argv, "fig6_ep_problem_sizes");
   warm_up_process();
   print_header("Figure 6: EP speedup over CPU for problem sizes W, A, B, C",
                "paper Fig. 6; paper HPL-vs-OpenCL gaps: W 20.5%, A 5.7%, "
@@ -77,6 +78,15 @@ int main() {
                    fmt(t_cpu), fmt(t_ocl), fmt(t_hpl), fmt_x(t_cpu / t_ocl),
                    fmt_x(t_cpu / t_hpl),
                    fmt_pct((t_hpl / t_ocl - 1.0) * 100.0), paper_gap[i]});
+    reporter.add_row(
+        "EP class " + std::string(1, classes[i]),
+        {{"pairs", static_cast<double>(config.pairs)},
+         {"cpu_seconds", t_cpu},
+         {"opencl_seconds", t_ocl},
+         {"hpl_seconds", t_hpl},
+         {"opencl_speedup", t_cpu / t_ocl},
+         {"hpl_speedup", t_cpu / t_hpl},
+         {"hpl_vs_opencl_pct", (t_hpl / t_ocl - 1.0) * 100.0}});
   }
   table.print(std::cout);
 

@@ -44,7 +44,8 @@ void warm_up_process() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hplrepro::bench::JsonReporter reporter(argc, argv, "fig7_speedups");
   warm_up_process();
   print_header("Figure 7: speedup over serial CPU, all benchmarks",
                "paper Fig. 7; paper values range from 5.4x (spmv) to 257x "
@@ -124,6 +125,13 @@ int main() {
     table.add_row({row.name, fmt(row.cpu_seconds), fmt(row.opencl_seconds),
                    fmt(row.hpl_seconds), fmt_x(su_ocl), fmt_x(su_hpl),
                    fmt_pct(slowdown), row.paper_note});
+    reporter.add_row(row.name,
+                     {{"cpu_seconds", row.cpu_seconds},
+                      {"opencl_seconds", row.opencl_seconds},
+                      {"hpl_seconds", row.hpl_seconds},
+                      {"opencl_speedup", su_ocl},
+                      {"hpl_speedup", su_hpl},
+                      {"hpl_slowdown_pct", slowdown}});
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: EP >> Floyd > transpose/reduction > spmv; "

@@ -45,7 +45,8 @@ void warm_up_process() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hplrepro::bench::JsonReporter reporter(argc, argv, "fig8_slowdown");
   warm_up_process();
   print_header("Figure 8: slowdown of HPL vs OpenCL per benchmark (Tesla)",
                "paper Fig. 8; paper slowdowns are typically below 4%");
@@ -111,6 +112,14 @@ int main() {
     table.add_row({row.name, fmt(row.opencl.modeled_no_transfer()),
                    fmt(row.hpl.modeled_no_transfer()), fmt_pct(no_t),
                    fmt_pct(with_t), row.paper_note});
+    reporter.add_row(
+        row.name,
+        {{"opencl_seconds", row.opencl.modeled_no_transfer()},
+         {"hpl_seconds", row.hpl.modeled_no_transfer()},
+         {"opencl_seconds_with_transfers", row.opencl.modeled_total()},
+         {"hpl_seconds_with_transfers", row.hpl.modeled_total()},
+         {"hpl_slowdown_pct", no_t},
+         {"hpl_slowdown_with_transfers_pct", with_t}});
   }
   table.print(std::cout);
 

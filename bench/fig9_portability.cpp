@@ -40,7 +40,8 @@ void warm_up_process() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hplrepro::bench::JsonReporter reporter(argc, argv, "fig9_portability");
   warm_up_process();
   print_header(
       "Figure 9: HPL overhead vs OpenCL on the Tesla C2050 and Quadro FX380",
@@ -64,6 +65,8 @@ int main() {
     const double quadro = slowdown_pct(
         bs::floyd_hpl(quadro_cfg, hpl_quadro()).timings,
         bs::floyd_opencl(quadro_cfg, quadro_device()).timings);
+    reporter.add_row("Floyd", {{"tesla_overhead_pct", tesla},
+                                {"quadro_overhead_pct", quadro}});
     table.add_row({"Floyd", fmt_pct(tesla), fmt_pct(quadro), "<2.5%"});
   }
   {
@@ -80,6 +83,8 @@ int main() {
     const double quadro = slowdown_pct(
         bs::transpose_hpl(quadro_cfg, hpl_quadro()).timings,
         bs::transpose_opencl(quadro_cfg, quadro_device()).timings);
+    reporter.add_row("Transpose", {{"tesla_overhead_pct", tesla},
+                                {"quadro_overhead_pct", quadro}});
     table.add_row({"Transpose", fmt_pct(tesla), fmt_pct(quadro), "<3.5%"});
   }
   {
@@ -96,6 +101,8 @@ int main() {
     const double quadro = slowdown_pct(
         bs::spmv_hpl(quadro_cfg, hpl_quadro()).timings,
         bs::spmv_opencl(quadro_cfg, quadro_device()).timings);
+    reporter.add_row("Spmv", {{"tesla_overhead_pct", tesla},
+                                {"quadro_overhead_pct", quadro}});
     table.add_row({"Spmv", fmt_pct(tesla), fmt_pct(quadro), "<2%"});
   }
   {
@@ -112,6 +119,8 @@ int main() {
     const double quadro = slowdown_pct(
         bs::reduction_hpl(quadro_cfg, hpl_quadro()).timings,
         bs::reduction_opencl(quadro_cfg, quadro_device()).timings);
+    reporter.add_row("Reduction", {{"tesla_overhead_pct", tesla},
+                                {"quadro_overhead_pct", quadro}});
     table.add_row({"Reduction", fmt_pct(tesla), fmt_pct(quadro), "<1.5%"});
   }
   table.print(std::cout);

@@ -5,6 +5,7 @@
 #include "clsim/coalescing.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace hplrepro::clsim {
 
@@ -182,6 +183,7 @@ LaunchResult execute_ndrange(const clc::Module& module,
                              hplrepro::ThreadPool& pool,
                              std::uint64_t extra_local_bytes) {
   hplrepro::Stopwatch wall;
+  trace::Span span(kernel.name.c_str(), "vm");
 
   if (global.dims != local.dims) {
     throw InvalidArgument("global and local ranges must have equal rank");
@@ -232,6 +234,11 @@ LaunchResult execute_ndrange(const clc::Module& module,
   result.stats = total_stats;
   result.timing = simulate_kernel_time(total_stats, device);
   result.wall_seconds = wall.seconds();
+  span.arg("device", device.name)
+      .arg("groups", total_stats.groups)
+      .arg("items", total_stats.items)
+      .arg("ops", total_stats.total_ops())
+      .arg("sim_ms", result.timing.total_s * 1e3);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace hplrepro::clsim {
 
@@ -203,6 +204,30 @@ void Kernel::set_arg(unsigned index, std::uint64_t value) {
 
 CommandQueue::CommandQueue(Context& context) : device_(context.device()) {}
 
+void CommandQueue::finish_command(Event& event, const std::string& label,
+                                  const char* cat) {
+  // The queue is in order and the simulator synchronous, so a command is
+  // queued, submitted and started the instant the device clock allows.
+  event.queued_s_ = sim_seconds_;
+  event.submit_s_ = sim_seconds_;
+  event.start_s_ = sim_seconds_;
+  event.end_s_ = sim_seconds_ + event.sim_seconds_;
+  sim_seconds_ = event.end_s_;
+  wall_seconds_ += event.wall_seconds_;
+
+  if (trace::enabled()) {
+    trace::EventRecord record;
+    record.name = label;
+    record.cat = cat;
+    record.track = "sim:" + device_.name();
+    record.simulated = true;
+    record.ts_us = event.start_s_ * 1e6;
+    record.dur_us = event.sim_seconds_ * 1e6;
+    record.args.num("sim_ms", event.sim_seconds_ * 1e3);
+    trace::record(std::move(record));
+  }
+}
+
 Event CommandQueue::enqueue_write_buffer(Buffer& buffer, const void* src,
                                          std::size_t bytes,
                                          std::size_t offset) {
@@ -214,8 +239,8 @@ Event CommandQueue::enqueue_write_buffer(Buffer& buffer, const void* src,
   Event event;
   event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
   event.wall_seconds_ = wall.seconds();
-  sim_seconds_ += event.sim_seconds_;
-  wall_seconds_ += event.wall_seconds_;
+  finish_command(event, "write_buffer " + std::to_string(bytes) + "B",
+                 "transfer");
   return event;
 }
 
@@ -230,8 +255,8 @@ Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, void* dst,
   Event event;
   event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
   event.wall_seconds_ = wall.seconds();
-  sim_seconds_ += event.sim_seconds_;
-  wall_seconds_ += event.wall_seconds_;
+  finish_command(event, "read_buffer " + std::to_string(bytes) + "B",
+                 "transfer");
   return event;
 }
 
@@ -287,9 +312,8 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
   event.wall_seconds_ = launch.wall_seconds;
   event.stats_ = launch.stats;
   event.timing_ = launch.timing;
-  sim_seconds_ += event.sim_seconds_;
   sim_kernel_seconds_ += event.sim_seconds_;
-  wall_seconds_ += event.wall_seconds_;
+  finish_command(event, kernel.name(), "kernel");
   return event;
 }
 

@@ -209,7 +209,12 @@ private:
   std::vector<ArgSlot> args_;
 };
 
-/// Profiling information for one enqueued command.
+/// Profiling information for one enqueued command, including its position
+/// on the queue's simulated timeline (the analogue of the four
+/// CL_PROFILING_COMMAND_* timestamps under CL_QUEUE_PROFILING_ENABLE).
+/// Timestamps are simulated seconds since the queue's creation and obey
+/// queued() <= submitted() <= started() <= ended(), with
+/// ended() - started() == sim_seconds().
 class Event {
 public:
   double sim_seconds() const { return sim_seconds_; }
@@ -217,10 +222,19 @@ public:
   const TimingBreakdown& timing() const { return timing_; }
   double wall_seconds() const { return wall_seconds_; }
 
+  double queued() const { return queued_s_; }
+  double submitted() const { return submit_s_; }
+  double started() const { return start_s_; }
+  double ended() const { return end_s_; }
+
 private:
   friend class CommandQueue;
   double sim_seconds_ = 0;
   double wall_seconds_ = 0;
+  double queued_s_ = 0;
+  double submit_s_ = 0;
+  double start_s_ = 0;
+  double end_s_ = 0;
   clc::ExecStats stats_;
   TimingBreakdown timing_;
 };
@@ -260,6 +274,12 @@ public:
   }
 
 private:
+  /// Stamps the four timeline marks on `event` for a command of simulated
+  /// duration `event.sim_seconds_`, advances the queue's simulated clock,
+  /// and (when tracing) records the command on this device's sim track.
+  void finish_command(Event& event, const std::string& label,
+                      const char* cat);
+
   Device device_;
   double sim_seconds_ = 0;
   double sim_kernel_seconds_ = 0;

@@ -32,6 +32,18 @@ struct TimingBreakdown {
   double barrier_s = 0;
   double launch_s = 0;
   double total_s = 0;
+
+  /// Componentwise accumulation (the profiler registry aggregates the
+  /// breakdowns of every launch of a kernel).
+  TimingBreakdown& operator+=(const TimingBreakdown& o) {
+    compute_s += o.compute_s;
+    global_mem_s += o.global_mem_s;
+    local_mem_s += o.local_mem_s;
+    barrier_s += o.barrier_s;
+    launch_s += o.launch_s;
+    total_s += o.total_s;
+    return *this;
+  }
 };
 
 /// Simulated execution time of one kernel launch.

@@ -26,6 +26,7 @@
 #include "hpl/keywords.hpp"  // IWYU pragma: export
 #include "hpl/patterns.hpp"  // IWYU pragma: export
 #include "hpl/runtime.hpp"   // IWYU pragma: export
+#include "hpl/trace.hpp"     // IWYU pragma: export
 #include "hpl/types.hpp"     // IWYU pragma: export
 
 #endif  // HPLREPRO_HPL_HPL_H

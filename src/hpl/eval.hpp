@@ -25,7 +25,9 @@
 #include "hpl/array.hpp"
 #include "hpl/codegen.hpp"
 #include "hpl/runtime.hpp"
+#include "hpl/trace.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace HPL {
 namespace detail {
@@ -133,6 +135,7 @@ private:
     if (cached == nullptr) {
       detail::KernelBuilder builder;
       {
+        hplrepro::trace::Span span("capture", "hpl");
         detail::CaptureScope scope(builder);
         // Braced initialisation evaluates left to right, so parameter
         // indices are assigned positionally.
@@ -144,21 +147,33 @@ private:
       CachedKernel fresh;
       fresh.name = rt.next_kernel_name();
       fresh.params = builder.params();
-      fresh.source = detail::generate_kernel_source(
-          fresh.name, fresh.params, builder.body(), builder.predefined());
+      {
+        hplrepro::trace::Span span("codegen", "hpl");
+        fresh.source = detail::generate_kernel_source(
+            fresh.name, fresh.params, builder.body(), builder.predefined());
+        span.arg("kernel", fresh.name)
+            .arg("source_bytes",
+                 static_cast<std::uint64_t>(fresh.source.size()));
+      }
       cached = &rt.insert_kernel(key, std::move(fresh));
     }
 
     // --- Build for the target device (cached per device) ---
     detail::DeviceEntry& dev = rt.entry(device_);
+    const std::uint64_t misses_before = rt.prof().kernel_cache_misses;
     detail::BuiltKernel& built = rt.build_for(*cached, dev);
+    const bool cache_hit = rt.prof().kernel_cache_misses == misses_before;
 
     // --- Bind arguments; minimal transfers ---
     std::vector<detail::BoundArray> arrays;
     std::optional<clsim::NDRange> default_global;
-    (bind_arg<Params>(static_cast<unsigned>(Is), actuals, *cached, dev,
-                      *built.kernel, arrays, default_global),
-     ...);
+    {
+      hplrepro::trace::Span span("marshal", "hpl");
+      span.arg("kernel", cached->name);
+      (bind_arg<Params>(static_cast<unsigned>(Is), actuals, *cached, dev,
+                        *built.kernel, arrays, default_global),
+       ...);
+    }
 
     // Hidden dimension-size arguments (rank >= 2), in parameter order.
     unsigned hidden = static_cast<unsigned>(kNumParams);
@@ -184,13 +199,42 @@ private:
     }
 
     // --- Launch ---
-    clsim::Event event =
-        dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range, local_);
+    clsim::Event event;
+    {
+      hplrepro::trace::Span span("launch", "hpl");
+      event = dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range,
+                                                local_);
+      if (span.active()) {
+        // Attach the launch's ExecStats, TimingBreakdown and OptReport so
+        // the trace carries the full per-launch picture.
+        const auto& stats = event.stats();
+        const auto& timing = event.timing();
+        span.arg("kernel", cached->name)
+            .arg("device", dev.device.name())
+            .arg("cache_hit", static_cast<std::uint64_t>(cache_hit))
+            .arg("items", stats.items)
+            .arg("groups", stats.groups)
+            .arg("ops", stats.total_ops())
+            .arg("fused_ops", stats.fused_ops)
+            .arg("global_bytes",
+                 stats.global_load_bytes + stats.global_store_bytes)
+            .arg("sim_ms", event.sim_seconds() * 1e3)
+            .arg("compute_ms", timing.compute_s * 1e3)
+            .arg("gmem_ms", timing.global_mem_s * 1e3)
+            .arg("lmem_ms", timing.local_mem_s * 1e3)
+            .arg("barrier_ms", timing.barrier_s * 1e3)
+            .arg("launch_overhead_ms", timing.launch_s * 1e3)
+            .arg("opt_report", built.program->opt_report().summary());
+      }
+    }
     sim_wall = event.wall_seconds();
 
     for (const auto& bound : arrays) {
       if (bound.written) rt.mark_device_written(*bound.impl, dev);
     }
+
+    detail::profiler_record_launch(cached->name, dev.device.name(),
+                                   cache_hit, event);
 
     ProfileSnapshot& prof = rt.prof();
     prof.kernel_sim_seconds += event.sim_seconds();

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "hpl/trace.hpp"
+#include "support/trace.hpp"
+
 namespace HPL {
 
 namespace clsim = hplrepro::clsim;
@@ -60,7 +63,12 @@ Device Device::cpu_device() {
 }
 
 ProfileSnapshot profile() { return detail::Runtime::get().prof(); }
-void reset_profile() { detail::Runtime::get().prof() = ProfileSnapshot{}; }
+void reset_profile() {
+  detail::Runtime::get().prof() = ProfileSnapshot{};
+  // Keep the per-kernel registry in step with the counters so
+  // profiler_report sums always reconcile with the snapshot.
+  detail::profiler_reset();
+}
 void purge_kernel_cache() { detail::Runtime::get().clear_kernel_cache(); }
 
 void set_kernel_build_options(const std::string& options) {
@@ -131,8 +139,14 @@ void Runtime::set_build_options(std::string options) {
 BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
   const auto* key = &dev.device.spec();
   auto it = cached.built.find(key);
-  if (it != cached.built.end()) return it->second;
+  if (it != cached.built.end()) {
+    ++prof_.kernel_cache_hits;
+    return it->second;
+  }
+  ++prof_.kernel_cache_misses;
 
+  hplrepro::trace::Span span("build", "hpl");
+  span.arg("kernel", cached.name).arg("device", dev.device.name());
   BuiltKernel built;
   built.program =
       std::make_unique<clsim::Program>(*dev.context, cached.source);
@@ -140,6 +154,7 @@ BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
   built.kernel =
       std::make_unique<clsim::Kernel>(*built.program, cached.name);
   ++prof_.kernels_built;
+  profiler_record_build(cached.name, dev.device.name());
   return cached.built[key] = std::move(built);
 }
 
@@ -167,11 +182,17 @@ void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
   ArrayImpl::DeviceCopy& copy = device_copy(impl, dev);
   if (copy.valid) return;
   if (!impl.host_valid) sync_to_host(impl);
+  hplrepro::trace::Span span("transfer:h2d", "hpl");
   clsim::Event event = dev.queue->enqueue_write_buffer(
       *copy.buffer, impl.host_ptr, impl.bytes());
+  span.arg("bytes", static_cast<std::uint64_t>(impl.bytes()))
+      .arg("device", dev.device.name())
+      .arg("sim_ms", event.sim_seconds() * 1e3);
   prof_.transfer_sim_seconds += event.sim_seconds();
   prof_.sim_wall_seconds += event.wall_seconds();
   prof_.bytes_to_device += impl.bytes();
+  profiler_record_transfer(dev.device.name(), /*to_device=*/true,
+                           impl.bytes(), event.sim_seconds());
   copy.valid = true;
 }
 
@@ -188,11 +209,17 @@ void Runtime::sync_to_host(ArrayImpl& impl) {
     DeviceEntry& dev = entry_at(i);
     auto it = impl.copies.find(&dev.device.spec());
     if (it != impl.copies.end() && it->second.valid) {
+      hplrepro::trace::Span span("transfer:d2h", "hpl");
       clsim::Event event = dev.queue->enqueue_read_buffer(
           *it->second.buffer, impl.host_ptr, impl.bytes());
+      span.arg("bytes", static_cast<std::uint64_t>(impl.bytes()))
+          .arg("device", dev.device.name())
+          .arg("sim_ms", event.sim_seconds() * 1e3);
       prof_.transfer_sim_seconds += event.sim_seconds();
       prof_.sim_wall_seconds += event.wall_seconds();
       prof_.bytes_to_host += impl.bytes();
+      profiler_record_transfer(dev.device.name(), /*to_device=*/false,
+                               impl.bytes(), event.sim_seconds());
       impl.host_valid = true;
       return;
     }

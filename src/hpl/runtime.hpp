@@ -62,6 +62,11 @@ struct ProfileSnapshot {
   double transfer_sim_seconds = 0;   // simulated host<->device transfers
   std::uint64_t kernel_launches = 0;
   std::uint64_t kernels_built = 0;   // capture+codegen+build events
+  /// Launches whose kernel was already captured AND built for the target
+  /// device (no capture, codegen or compiler work). hits + misses ==
+  /// kernel_launches.
+  std::uint64_t kernel_cache_hits = 0;
+  std::uint64_t kernel_cache_misses = 0;
   std::uint64_t bytes_to_device = 0;
   std::uint64_t bytes_to_host = 0;
   /// Host wall-clock consumed *simulating* device work (an artifact of the

@@ -1,0 +1,192 @@
+#include "hpl/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "hpl/runtime.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/trace.hpp"
+
+namespace HPL {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::pair<std::string, std::string>, KernelProfile> kernels;
+  std::map<std::string, TransferProfile> transfers;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+std::string fmt_ms(double seconds) {
+  return hplrepro::format_double(seconds * 1e3, 4);
+}
+
+std::string fmt_pct(double fraction) {
+  return hplrepro::format_double(fraction * 100.0, 3) + "%";
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  if (bytes >= 10ull * 1024 * 1024) {
+    return hplrepro::format_double(
+               static_cast<double>(bytes) / (1024.0 * 1024.0), 3) +
+           " MiB";
+  }
+  if (bytes >= 10ull * 1024) {
+    return hplrepro::format_double(static_cast<double>(bytes) / 1024.0, 3) +
+           " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace
+
+std::vector<KernelProfile> kernel_profiles() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<KernelProfile> out;
+  out.reserve(reg.kernels.size());
+  for (const auto& [key, profile] : reg.kernels) out.push_back(profile);
+  return out;  // map order == sorted by (kernel, device)
+}
+
+std::vector<TransferProfile> transfer_profiles() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<TransferProfile> out;
+  out.reserve(reg.transfers.size());
+  for (const auto& [key, profile] : reg.transfers) out.push_back(profile);
+  return out;
+}
+
+std::string profiler_report() {
+  const ProfileSnapshot snap = profile();
+  const std::vector<KernelProfile> kernels = kernel_profiles();
+  const std::vector<TransferProfile> transfers = transfer_profiles();
+
+  std::ostringstream os;
+  os << "=== HPL profiler report ===\n\n";
+
+  // Fig. 7-style decomposition: where did the modeled time go?
+  {
+    const double total = snap.total_seconds();
+    auto share = [&](double part) {
+      return total > 0 ? fmt_pct(part / total) : "-";
+    };
+    hplrepro::Table table({"phase", "time (ms)", "share"});
+    table.add_row({"host (capture+codegen+build+marshal)",
+                   fmt_ms(snap.host_seconds), share(snap.host_seconds)});
+    table.add_row({"device kernels (simulated)",
+                   fmt_ms(snap.kernel_sim_seconds),
+                   share(snap.kernel_sim_seconds)});
+    table.add_row({"transfers (simulated)",
+                   fmt_ms(snap.transfer_sim_seconds),
+                   share(snap.transfer_sim_seconds)});
+    table.add_row({"total", fmt_ms(total), total > 0 ? "100%" : "-"});
+    table.print(os);
+  }
+
+  os << "\nLaunches: " << snap.kernel_launches
+     << "  cache hits: " << snap.kernel_cache_hits
+     << "  misses: " << snap.kernel_cache_misses
+     << "  builds: " << snap.kernels_built << "\n";
+
+  if (!kernels.empty()) {
+    os << "\nPer kernel, per device (simulated ms by timing component):\n";
+    hplrepro::Table table({"kernel", "device", "launches", "hits", "builds",
+                           "compute", "gmem", "lmem", "barrier", "launch",
+                           "total", "traffic", "fused"});
+    for (const auto& k : kernels) {
+      table.add_row({k.kernel, k.device, std::to_string(k.launches),
+                     std::to_string(k.cache_hits), std::to_string(k.builds),
+                     fmt_ms(k.sim.compute_s), fmt_ms(k.sim.global_mem_s),
+                     fmt_ms(k.sim.local_mem_s), fmt_ms(k.sim.barrier_s),
+                     fmt_ms(k.sim.launch_s), fmt_ms(k.sim.total_s),
+                     fmt_bytes(k.global_bytes), fmt_pct(k.fused_ratio())});
+    }
+    table.print(os);
+  }
+
+  if (!transfers.empty()) {
+    os << "\nCoherence transfers per device:\n";
+    hplrepro::Table table({"device", "h->d", "h->d bytes", "d->h",
+                           "d->h bytes", "sim (ms)"});
+    for (const auto& t : transfers) {
+      table.add_row({t.device, std::to_string(t.to_device_count),
+                     fmt_bytes(t.to_device_bytes),
+                     std::to_string(t.to_host_count),
+                     fmt_bytes(t.to_host_bytes), fmt_ms(t.sim_seconds)});
+    }
+    table.print(os);
+  }
+
+  return os.str();
+}
+
+void trace_to(const std::string& path) { hplrepro::trace::trace_to(path); }
+
+namespace detail {
+
+void profiler_record_launch(const std::string& kernel,
+                            const std::string& device, bool cache_hit,
+                            const hplrepro::clsim::Event& event) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  KernelProfile& p = reg.kernels[{kernel, device}];
+  if (p.launches == 0) {
+    p.kernel = kernel;
+    p.device = device;
+  }
+  p.launches += 1;
+  if (cache_hit) p.cache_hits += 1;
+  p.sim += event.timing();
+  p.ops += event.stats().total_ops();
+  p.fused_ops += event.stats().fused_ops;
+  p.global_bytes +=
+      event.stats().global_load_bytes + event.stats().global_store_bytes;
+}
+
+void profiler_record_build(const std::string& kernel,
+                           const std::string& device) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  KernelProfile& p = reg.kernels[{kernel, device}];
+  if (p.builds == 0 && p.launches == 0) {
+    p.kernel = kernel;
+    p.device = device;
+  }
+  p.builds += 1;
+}
+
+void profiler_record_transfer(const std::string& device, bool to_device,
+                              std::uint64_t bytes, double sim_seconds) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  TransferProfile& t = reg.transfers[device];
+  if (t.to_device_count == 0 && t.to_host_count == 0) t.device = device;
+  if (to_device) {
+    t.to_device_count += 1;
+    t.to_device_bytes += bytes;
+  } else {
+    t.to_host_count += 1;
+    t.to_host_bytes += bytes;
+  }
+  t.sim_seconds += sim_seconds;
+}
+
+void profiler_reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.kernels.clear();
+  reg.transfers.clear();
+}
+
+}  // namespace detail
+}  // namespace HPL

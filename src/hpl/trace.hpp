@@ -1,0 +1,93 @@
+#ifndef HPLREPRO_HPL_TRACE_HPP
+#define HPLREPRO_HPL_TRACE_HPP
+
+/// \file trace.hpp
+/// HPL-facing observability (paper §V context: show *where* eval's time
+/// goes). Two pieces:
+///
+///   * a per-kernel / per-device profile registry, always on, fed by every
+///     eval: launch counts, cache hits, builds, simulated time split by
+///     timing-model component, kernel memory traffic, fused-op ratio —
+///     plus per-device transfer totals;
+///   * `profiler_report()`, a human-readable decomposition (host vs kernel
+///     vs transfer, then per kernel per device) rendered with
+///     support/table.
+///
+/// Span-level tracing (Chrome trace JSON) lives in support/trace.hpp;
+/// `HPL::trace_to(path)` is the library-level switch, equivalent to
+/// running with HPL_TRACE=<path>.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+#include "clsim/timing.hpp"
+
+namespace HPL {
+
+/// Aggregated statistics for one kernel on one device.
+struct KernelProfile {
+  std::string kernel;  // generated kernel name (hpl_kernel_N)
+  std::string device;  // device name
+  std::uint64_t launches = 0;
+  std::uint64_t cache_hits = 0;  // launches served fully from the cache
+  std::uint64_t builds = 0;      // capture/codegen/build events
+  hplrepro::clsim::TimingBreakdown sim;  // summed over launches
+  std::uint64_t ops = 0;
+  std::uint64_t fused_ops = 0;
+  std::uint64_t global_bytes = 0;  // kernel global loads + stores
+
+  double fused_ratio() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(fused_ops) /
+                          static_cast<double>(ops);
+  }
+};
+
+/// Aggregated host<->device transfer statistics for one device.
+struct TransferProfile {
+  std::string device;
+  std::uint64_t to_device_bytes = 0;
+  std::uint64_t to_host_bytes = 0;
+  std::uint64_t to_device_count = 0;
+  std::uint64_t to_host_count = 0;
+  double sim_seconds = 0;
+};
+
+/// Snapshot of the registry (kernel rows sorted by kernel then device).
+std::vector<KernelProfile> kernel_profiles();
+std::vector<TransferProfile> transfer_profiles();
+
+/// Renders the Fig. 7-style decomposition: totals (host / kernel /
+/// transfer with shares), then the per-kernel and per-device tables.
+std::string profiler_report();
+
+/// Enables span tracing and writes Chrome trace JSON to `path` at process
+/// exit (same as running with HPL_TRACE=<path>). Open the file in
+/// chrome://tracing or https://ui.perfetto.dev.
+void trace_to(const std::string& path);
+
+namespace detail {
+
+/// Called by eval for every launch.
+void profiler_record_launch(const std::string& kernel,
+                            const std::string& device, bool cache_hit,
+                            const hplrepro::clsim::Event& event);
+
+/// Called when a kernel is (re)built for a device.
+void profiler_record_build(const std::string& kernel,
+                           const std::string& device);
+
+/// Called for every coherence transfer.
+void profiler_record_transfer(const std::string& device, bool to_device,
+                              std::uint64_t bytes, double sim_seconds);
+
+/// Clears the registry (reset_profile does this so report sums always
+/// match the ProfileSnapshot counters).
+void profiler_reset();
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_TRACE_HPP

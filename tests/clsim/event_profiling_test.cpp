@@ -1,0 +1,116 @@
+// Event profiling semantics (the analogue of CL_QUEUE_PROFILING_ENABLE):
+// every command carries queued/submitted/started/ended marks on the
+// queue's simulated timeline. Invariants under test:
+//   * queued <= submitted <= started <= ended (monotone within a command);
+//   * ended - started == sim_seconds == TimingBreakdown total (kernels)
+//     or simulate_transfer_time (transfers);
+//   * an in-order queue never starts a command before the previous one
+//     ended, and the queue clock accumulates every command.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clsim/runtime.hpp"
+#include "clsim/timing.hpp"
+
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+const char* kScaleSource = R"(
+__kernel void scale(__global float* data, float a) {
+  size_t i = get_global_id(0);
+  data[i] = a * data[i];
+}
+)";
+
+void expect_monotone(const clsim::Event& e) {
+  EXPECT_LE(e.queued(), e.submitted());
+  EXPECT_LE(e.submitted(), e.started());
+  EXPECT_LE(e.started(), e.ended());
+}
+
+TEST(EventProfiling, TransferTimestampsMatchTransferModel) {
+  clsim::Device device = clsim::Platform::get().default_accelerator();
+  clsim::Context context(device);
+  clsim::CommandQueue queue(context);
+
+  constexpr std::size_t n = 4096;
+  std::vector<float> host(n, 1.0f);
+  clsim::Buffer buffer(context, n * sizeof(float));
+
+  const clsim::Event write =
+      queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float));
+  expect_monotone(write);
+  const double expected =
+      clsim::simulate_transfer_time(n * sizeof(float), device.spec());
+  EXPECT_DOUBLE_EQ(write.ended() - write.started(), expected);
+  EXPECT_DOUBLE_EQ(write.sim_seconds(), expected);
+
+  const clsim::Event read =
+      queue.enqueue_read_buffer(buffer, host.data(), n * sizeof(float));
+  expect_monotone(read);
+  EXPECT_DOUBLE_EQ(read.ended() - read.started(), expected);
+  // In-order queue: the read cannot start before the write ended.
+  EXPECT_GE(read.queued(), write.ended());
+}
+
+TEST(EventProfiling, KernelEndMinusStartEqualsTimingTotal) {
+  clsim::Device device = clsim::Platform::get().default_accelerator();
+  clsim::Context context(device);
+  clsim::CommandQueue queue(context);
+
+  constexpr std::size_t n = 1024;
+  std::vector<float> host(n, 3.0f);
+  clsim::Buffer buffer(context, n * sizeof(float));
+  queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float));
+
+  clsim::Program program(context, kScaleSource);
+  program.build();
+  clsim::Kernel kernel(program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 2.0f);
+
+  const clsim::Event event =
+      queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n));
+  expect_monotone(event);
+  EXPECT_DOUBLE_EQ(event.ended() - event.started(), event.timing().total_s);
+  EXPECT_DOUBLE_EQ(event.sim_seconds(), event.timing().total_s);
+  EXPECT_GT(event.sim_seconds(), 0.0);
+}
+
+TEST(EventProfiling, CommandsTileTheQueueTimeline) {
+  clsim::Device device = clsim::Platform::get().default_accelerator();
+  clsim::Context context(device);
+  clsim::CommandQueue queue(context);
+
+  constexpr std::size_t n = 512;
+  std::vector<float> host(n, 1.0f);
+  clsim::Buffer buffer(context, n * sizeof(float));
+
+  clsim::Program program(context, kScaleSource);
+  program.build();
+  clsim::Kernel kernel(program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 2.0f);
+
+  std::vector<clsim::Event> events;
+  events.push_back(
+      queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float)));
+  events.push_back(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n)));
+  events.push_back(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n)));
+  events.push_back(
+      queue.enqueue_read_buffer(buffer, host.data(), n * sizeof(float)));
+
+  // Back-to-back commands on an in-order queue: each starts exactly when
+  // its predecessor ended, and the final end is the queue's total clock.
+  EXPECT_DOUBLE_EQ(events.front().queued(), 0.0);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    expect_monotone(events[i]);
+    EXPECT_DOUBLE_EQ(events[i].started(), events[i - 1].ended());
+  }
+  EXPECT_DOUBLE_EQ(events.back().ended(), queue.simulated_seconds());
+}
+
+}  // namespace

@@ -42,6 +42,10 @@ TEST_F(CoherenceTest, ReadArgumentUploadedExactlyOnce) {
   EXPECT_EQ(after.bytes_to_device - before.bytes_to_device,
             1024 * sizeof(float));
   EXPECT_EQ(out(5), 2.0f);
+  // Repeat launches are kernel-cache hits; at most the first is a miss.
+  EXPECT_GE(after.kernel_cache_hits - before.kernel_cache_hits, 2u);
+  EXPECT_EQ(after.kernel_cache_hits + after.kernel_cache_misses,
+            after.kernel_launches);
 }
 
 TEST_F(CoherenceTest, DeviceResidentDataNeverRetransfers) {

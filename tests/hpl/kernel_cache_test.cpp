@@ -1,0 +1,106 @@
+// Kernel-cache observability (paper §V-B: repeat invocations skip capture,
+// codegen and compilation). The ProfileSnapshot hit/miss counters make the
+// cache's behaviour directly assertable.
+
+#include <gtest/gtest.h>
+
+#include "hpl/HPL.h"
+
+using namespace HPL;
+
+namespace {
+
+void saxpy(Array<float, 1> y, Array<float, 1> x, Float a) {
+  y[idx] = a * x[idx] + y[idx];
+}
+
+void scale(Array<float, 1> data, Float a) { data[idx] = a * data[idx]; }
+
+class KernelCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    purge_kernel_cache();
+    reset_profile();
+  }
+};
+
+TEST_F(KernelCacheTest, ColdEvalIsAMissWarmEvalIsAHit) {
+  Array<float, 1> x(128), y(128);
+  eval(saxpy)(y, x, 2.0f);
+  auto snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 1u);
+  EXPECT_EQ(snap.kernel_cache_hits, 0u);
+  EXPECT_EQ(snap.kernels_built, 1u);
+
+  eval(saxpy)(y, x, 2.0f);
+  eval(saxpy)(y, x, 2.0f);
+  snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 1u);
+  EXPECT_EQ(snap.kernel_cache_hits, 2u);
+  EXPECT_EQ(snap.kernels_built, 1u);
+}
+
+TEST_F(KernelCacheTest, HitsPlusMissesEqualsLaunches) {
+  Array<float, 1> x(64), y(64);
+  eval(saxpy)(y, x, 1.0f);
+  eval(scale)(x, 3.0f);
+  eval(saxpy)(y, x, 1.0f);
+  eval(scale)(x, 3.0f);
+  eval(scale)(x, 3.0f);
+  const auto snap = profile();
+  EXPECT_EQ(snap.kernel_launches, 5u);
+  EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses,
+            snap.kernel_launches);
+  EXPECT_EQ(snap.kernel_cache_misses, 2u);  // one per distinct kernel
+  EXPECT_EQ(snap.kernel_cache_hits, 3u);
+}
+
+TEST_F(KernelCacheTest, SecondDeviceIsAMissPerDevice) {
+  const auto devices = Device::all();
+  Array<float, 1> data(64);
+  eval(scale).device(devices.front())(data, 2.0f);
+  const auto mid = profile();
+  EXPECT_EQ(mid.kernel_cache_misses, 1u);
+
+  // A device the kernel was not built for yet: the cached source is
+  // reused (no recapture) but the build is a cache miss.
+  eval(scale).device(devices.back())(data, 2.0f);
+  auto snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 2u);
+  EXPECT_EQ(snap.kernels_built, 2u);
+
+  // Both devices warm now.
+  eval(scale).device(devices.front())(data, 2.0f);
+  eval(scale).device(devices.back())(data, 2.0f);
+  snap = profile();
+  EXPECT_EQ(snap.kernel_cache_hits, 2u);
+  EXPECT_EQ(snap.kernels_built, 2u);
+}
+
+TEST_F(KernelCacheTest, PurgeForcesAMiss) {
+  Array<float, 1> data(64);
+  eval(scale)(data, 2.0f);
+  eval(scale)(data, 2.0f);
+  purge_kernel_cache();
+  eval(scale)(data, 2.0f);
+  const auto snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 2u);
+  EXPECT_EQ(snap.kernel_cache_hits, 1u);
+  EXPECT_EQ(snap.kernels_built, 2u);
+}
+
+TEST_F(KernelCacheTest, ProfilerRegistryTracksLaunchesAndHits) {
+  Array<float, 1> data(64);
+  eval(scale)(data, 2.0f);
+  eval(scale)(data, 2.0f);
+  eval(scale)(data, 2.0f);
+
+  const auto kernels = kernel_profiles();
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].launches, 3u);
+  EXPECT_EQ(kernels[0].cache_hits, 2u);
+  EXPECT_EQ(kernels[0].builds, 1u);
+  EXPECT_GT(kernels[0].sim.total_s, 0.0);
+}
+
+}  // namespace

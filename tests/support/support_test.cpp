@@ -1,17 +1,22 @@
-// Support layer units: strings, table printing, PRNGs, thread pool.
+// Support layer units: strings, table printing, PRNGs, thread pool, trace
+// collector.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <sstream>
 
 #include "support/error.hpp"
 #include "support/prng.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 using namespace hplrepro;
 
@@ -159,6 +164,103 @@ TEST(ThreadPool, ReusableAcrossManyInvocations) {
     });
     ASSERT_EQ(sum.load(), 4950);
   }
+}
+
+// --- trace collector -----------------------------------------------------------
+
+class TraceCollector : public ::testing::Test {
+protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+};
+
+TEST_F(TraceCollector, SpansAreNoopsWhenDisabled) {
+  {
+    trace::Span span("stage", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("k", std::uint64_t{1});
+  }
+  EXPECT_EQ(trace::event_count(), 0u);
+}
+
+TEST_F(TraceCollector, SpanRecordsNameCategoryAndArgs) {
+  trace::set_enabled(true);
+  {
+    trace::Span span("stage", "test");
+    EXPECT_TRUE(span.active());
+    span.arg("count", std::uint64_t{7}).arg("label", "a \"quoted\" one");
+  }
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "stage");
+  EXPECT_EQ(events[0].cat, "test");
+  EXPECT_FALSE(events[0].simulated);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.kv.size(), 2u);
+  EXPECT_EQ(events[0].args.kv[0].second, "7");
+  EXPECT_EQ(events[0].args.kv[1].second, "\"a \\\"quoted\\\" one\"");
+}
+
+TEST_F(TraceCollector, RecordHonoursSimulatedClockTimestamps) {
+  trace::set_enabled(true);
+  trace::EventRecord ev;
+  ev.name = "kernel";
+  ev.cat = "sim";
+  ev.track = "sim:TestDev";
+  ev.simulated = true;
+  ev.ts_us = 125.0;
+  ev.dur_us = 50.0;
+  trace::record(std::move(ev));
+
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].simulated);
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 125.0);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 50.0);
+}
+
+TEST_F(TraceCollector, ExporterEscapesAndSeparatesTracks) {
+  trace::set_enabled(true);
+  {
+    trace::Span span("host \"stage\"\n", "test");
+  }
+  trace::EventRecord ev;
+  ev.name = "dev cmd";
+  ev.track = "sim:Dev";
+  ev.simulated = true;
+  ev.ts_us = 1;
+  ev.dur_us = 2;
+  trace::record(std::move(ev));
+
+  const std::string path = "support_trace_out.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(trace::write_chrome_trace(path));
+  std::ifstream is(path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(text.find("host \\\"stage\\\"\\n"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);  // host track
+  EXPECT_NE(text.find("\"pid\":2"), std::string::npos);  // sim track
+  EXPECT_NE(text.find("sim:Dev"), std::string::npos);
+}
+
+TEST_F(TraceCollector, ThreadedRecordingIsSafe) {
+  trace::set_enabled(true);
+  ThreadPool pool(4);
+  pool.parallel_for(200, [&](std::size_t i) {
+    trace::Span span("worker", "test");
+    span.arg("i", static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(trace::event_count(), 200u);
 }
 
 }  // namespace
