@@ -3,14 +3,22 @@
 // eval dispatch overhead. These quantify the fixed costs that appear in
 // the paper-figure measurements.
 //
-// Before the benchmarks run, main() prints a JSON table comparing O0 and
-// O2 builds of every benchsuite kernel: dynamic op counts, global memory
-// traffic and simulated time — the optimizer's scorecard.
+// Before the benchmarks run, main() prints two JSON tables:
+//  - the optimizer scorecard (O0 vs O2 dynamic ops / traffic / sim time);
+//  - the interpreter scorecard (O2 stack vs O2 threaded-register host
+//    wall-clock per corpus kernel, with the geometric-mean speedup).
+// With `--json <path>` the interpreter comparison is also written as an
+// hplrepro-bench-v1 results file (BENCH_vm.json in CI).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "benchsuite/kernel_corpus.hpp"
 #include "clsim/runtime.hpp"
 #include "hpl/HPL.h"
@@ -35,7 +43,7 @@ void BM_ClcCompileSaxpy(benchmark::State& state) {
 }
 BENCHMARK(BM_ClcCompileSaxpy);
 
-void BM_VmSaxpyThroughput(benchmark::State& state) {
+void vm_saxpy_throughput(benchmark::State& state, const char* build_options) {
   const auto n = static_cast<std::size_t>(state.range(0));
   clsim::Context context(*clsim::Platform::get().device_by_name("Tesla"));
   clsim::CommandQueue queue(context);
@@ -43,7 +51,7 @@ void BM_VmSaxpyThroughput(benchmark::State& state) {
   x.fill_zero();
   y.fill_zero();
   clsim::Program program(context, kSaxpySource);
-  program.build();
+  program.build(build_options);
   clsim::Kernel kernel(program, "saxpy");
   kernel.set_arg(0, y);
   kernel.set_arg(1, x);
@@ -55,7 +63,16 @@ void BM_VmSaxpyThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
-BENCHMARK(BM_VmSaxpyThroughput)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VmSaxpyThroughputThreaded(benchmark::State& state) {
+  vm_saxpy_throughput(state, "-cl-interp=threaded");
+}
+BENCHMARK(BM_VmSaxpyThroughputThreaded)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VmSaxpyThroughputStack(benchmark::State& state) {
+  vm_saxpy_throughput(state, "-cl-interp=stack");
+}
+BENCHMARK(BM_VmSaxpyThroughputStack)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
 void hpl_saxpy(HPL::Array<float, 1> y, HPL::Array<float, 1> x,
                HPL::Float a) {
@@ -81,7 +98,8 @@ void BM_HplWarmEvalDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_HplWarmEvalDispatch);
 
-void BM_BarrierGroupScheduling(benchmark::State& state) {
+void barrier_group_scheduling(benchmark::State& state,
+                              const char* build_options) {
   // A barrier kernel forces the phase-based scheduler: measures the cost
   // of suspending/resuming every work-item of a group.
   const char* src = R"CLC(
@@ -101,7 +119,7 @@ __kernel void sync_heavy(__global float* data) {
   clsim::Buffer data(context, n * 4);
   data.fill_zero();
   clsim::Program program(context, src);
-  program.build();
+  program.build(build_options);
   clsim::Kernel kernel(program, "sync_heavy");
   kernel.set_arg(0, data);
   for (auto _ : state) {
@@ -110,7 +128,16 @@ __kernel void sync_heavy(__global float* data) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
-BENCHMARK(BM_BarrierGroupScheduling);
+
+void BM_BarrierGroupSchedulingThreaded(benchmark::State& state) {
+  barrier_group_scheduling(state, "-cl-interp=threaded");
+}
+BENCHMARK(BM_BarrierGroupSchedulingThreaded);
+
+void BM_BarrierGroupSchedulingStack(benchmark::State& state) {
+  barrier_group_scheduling(state, "-cl-interp=stack");
+}
+BENCHMARK(BM_BarrierGroupSchedulingStack);
 
 void print_opt_pipeline_table() {
   const clsim::Device device =
@@ -146,12 +173,72 @@ void print_opt_pipeline_table() {
   std::printf("  ]\n}\n");
 }
 
+// Compares the two interpreters at O2 on every corpus kernel: host
+// wall-clock inside the VM (best of kRepeats to shed scheduler noise),
+// with a cross-check that both produced bit-identical outputs and
+// identical dynamic op totals — the lowering contract.
+void print_interp_table(hplrepro::bench::JsonReporter& json) {
+  constexpr int kRepeats = 5;
+  const clsim::Device device =
+      *clsim::Platform::get().device_by_name("Tesla");
+  const auto& names = bs::corpus_kernel_names();
+  std::printf("{\n  \"interpreter\": [\n");
+  double log_sum = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    double stack_wall = 0, threaded_wall = 0;
+    bool identical = true;
+    for (int r = 0; r < kRepeats; ++r) {
+      const bs::CorpusRun s =
+          bs::run_corpus_kernel(names[i], device, "-O2 -cl-interp=stack");
+      const bs::CorpusRun t =
+          bs::run_corpus_kernel(names[i], device, "-O2 -cl-interp=threaded");
+      identical = identical && s.outputs == t.outputs &&
+                  s.stats.total_ops() == t.stats.total_ops();
+      stack_wall = r == 0 ? s.kernel_wall_seconds
+                          : std::min(stack_wall, s.kernel_wall_seconds);
+      threaded_wall = r == 0 ? t.kernel_wall_seconds
+                             : std::min(threaded_wall, t.kernel_wall_seconds);
+    }
+    const double speedup = stack_wall / threaded_wall;
+    log_sum += std::log(speedup);
+    std::printf(
+        "    {\"kernel\": \"%s\", \"stack_wall_s\": %.9f, "
+        "\"threaded_wall_s\": %.9f, \"speedup\": %.3f, "
+        "\"identical\": %s},\n",
+        names[i].c_str(), stack_wall, threaded_wall, speedup,
+        identical ? "true" : "false");
+    json.add_row(names[i], {{"stack_wall_s", stack_wall},
+                            {"threaded_wall_s", threaded_wall},
+                            {"speedup", speedup}});
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(names.size()));
+  std::printf("    {\"kernel\": \"geomean\", \"speedup\": %.3f}\n  ]\n}\n",
+              geomean);
+  json.add_row("geomean", {{"speedup", geomean}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  hplrepro::bench::JsonReporter json(argc, argv, "micro_vm");
   print_opt_pipeline_table();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  print_interp_table(json);
+  // google-benchmark rejects flags it does not know, so hide `--json
+  // <path>` (consumed by JsonReporter above) from it.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -51,6 +51,7 @@ public:
     clsim::Event e = queue_.enqueue_ndrange_kernel(*kernel_, global, local);
     run_.stats += e.stats();
     run_.kernel_sim_seconds += e.sim_seconds();
+    run_.kernel_wall_seconds += e.wall_seconds();
   }
 
   void read_output(const clsim::Buffer& buf) {

@@ -30,6 +30,9 @@ struct CorpusRun {
   clc::ExecStats stats;
   /// Simulated kernel seconds summed over all launches.
   double kernel_sim_seconds = 0;
+  /// Host wall-clock seconds spent inside the VM, summed over all
+  /// launches — what bench/micro_vm compares across interpreters.
+  double kernel_wall_seconds = 0;
   /// Static instruction count of the built module (all functions).
   std::size_t static_instrs = 0;
   /// What the optimizer reported for this build.

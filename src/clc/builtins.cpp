@@ -75,6 +75,27 @@ const BuiltinInfo& builtin_info(Builtin id) {
   return kBuiltins[index];
 }
 
+bool is_transcendental(Builtin id) {
+  switch (id) {
+    case Builtin::Fabs:
+    case Builtin::Fmin:
+    case Builtin::Fmax:
+    case Builtin::Fma:
+    case Builtin::Mad:
+    case Builtin::Floor:
+    case Builtin::Ceil:
+    case Builtin::Trunc:
+    case Builtin::Round:
+    case Builtin::Min:
+    case Builtin::Max:
+    case Builtin::Abs:
+    case Builtin::Clamp:
+      return false;
+    default:
+      return true;
+  }
+}
+
 std::optional<std::uint64_t> predefined_constant(std::string_view name) {
   if (name == "CLK_LOCAL_MEM_FENCE") return kClkLocalMemFence;
   if (name == "CLK_GLOBAL_MEM_FENCE") return kClkGlobalMemFence;

@@ -84,6 +84,11 @@ std::optional<BuiltinInfo> find_builtin(std::string_view name);
 
 const BuiltinInfo& builtin_info(Builtin id);
 
+/// True for the math builtins the timing model counts as special-function
+/// ops (transcendentals); false for the cheap ones (fabs, min/max, mad,
+/// rounding) that count as ordinary ALU ops.
+bool is_transcendental(Builtin id);
+
 /// Named constants predefined by the OpenCL C environment (barrier flags).
 /// Returns the value if `name` is one of them.
 std::optional<std::uint64_t> predefined_constant(std::string_view name);

@@ -174,14 +174,115 @@ struct CompiledFunction {
   bool uses_double = false;       // transitively
 };
 
+// --- Register form ----------------------------------------------------------
+//
+// At build time the optimized stack code of every function is lowered into
+// a register-coded form: a stack-simulation pass maps each operand-stack
+// position to a virtual register (registers 0..num_slots-1 double as the
+// function's slots, so LoadSlot/StoreSlot mostly disappear into register
+// renaming), and control flow becomes explicit basic blocks. The register
+// interpreter (RegItemVM, vm.hpp) executes this form with direct-threaded
+// dispatch and accounts ExecStats once per block entry from the histograms
+// precomputed here — by construction those histograms sum to exactly what
+// the stack interpreter would have counted per instruction.
+
+// X-macro over the register opcodes; keeps the computed-goto label table in
+// vm.cpp in enum order by construction.
+#define HPLREPRO_REG_OPS(X)                                                   \
+  X(Const) X(Mov) X(PrivPtr) X(PtrAdd)                                        \
+  X(LoadI8) X(LoadU8) X(LoadI16) X(LoadU16) X(LoadI32) X(LoadU32)             \
+  X(LoadI64) X(LoadF32) X(LoadF64)                                            \
+  X(StoreI8) X(StoreI16) X(StoreI32) X(StoreI64) X(StoreF32) X(StoreF64)      \
+  X(LIdxI8) X(LIdxU8) X(LIdxI16) X(LIdxU16) X(LIdxI32) X(LIdxU32)             \
+  X(LIdxI64) X(LIdxF32) X(LIdxF64)                                            \
+  X(SIdxI8) X(SIdxI16) X(SIdxI32) X(SIdxI64) X(SIdxF32) X(SIdxF64)            \
+  X(AddI) X(SubI) X(MulI) X(DivI) X(DivU) X(RemI) X(RemU)                     \
+  X(AndI) X(OrI) X(XorI) X(ShlI) X(ShrI) X(ShrU)                              \
+  X(AddF) X(SubF) X(MulF) X(DivF) X(AddD) X(SubD) X(MulD) X(DivD)             \
+  X(EqI) X(NeI) X(LtI) X(LeI) X(GtI) X(GeI) X(LtU) X(LeU) X(GtU) X(GeU)       \
+  X(EqF) X(NeF) X(LtF) X(LeF) X(GtF) X(GeF)                                   \
+  X(EqD) X(NeD) X(LtD) X(LeD) X(GtD) X(GeD)                                   \
+  X(NegI) X(NotI) X(NegF) X(NegD) X(LNot) X(Bool)                             \
+  X(Sext8) X(Sext16) X(Sext32) X(Zext8) X(Zext16) X(Zext32) X(Zext1)          \
+  X(I2F) X(I2D) X(U2F) X(U2D) X(F2I) X(D2I) X(F2U) X(D2U) X(F2D) X(D2F)       \
+  X(MadI) X(MadF) X(MadD)                                                     \
+  X(Br) X(BrIf) X(Call) X(Ret) X(RetVoid)                                     \
+  X(Barrier) X(WorkItem) X(BuiltinFn)
+
+enum class RegOp : std::uint8_t {
+#define HPLREPRO_REG_ENUM(name) name,
+  HPLREPRO_REG_OPS(HPLREPRO_REG_ENUM)
+#undef HPLREPRO_REG_ENUM
+};
+
+inline constexpr int kRegOpCount = static_cast<int>(RegOp::BuiltinFn) + 1;
+
+const char* reg_op_name(RegOp op);
+
+/// One register instruction. Operand conventions:
+///   dst       result register (BrIf: block taken when the condition is
+///             nonzero; SIdx/Store: unused)
+///   a, b, c   source registers (BuiltinFn: a = first of `b` contiguous
+///             args, c = scalar class; Mad: a*b with addend c)
+///   aux       block id (Br, BrIf's zero path, Barrier's resume point),
+///             callee index (Call), builtin id (WorkItem/BuiltinFn),
+///             pc_key (memory ops), operand order (Mad)
+///   imm       64-bit immediate (Const: the Value bits; PtrAdd/LIdx/SIdx:
+///             element size)
+struct RegInstr {
+  RegOp op = RegOp::Const;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t aux = 0;
+  std::int64_t imm = 0;
+};
+static_assert(sizeof(RegInstr) == 24);
+
+/// A basic block of register code plus its precomputed accounting: the
+/// OpClass histogram and fuel cost of the ORIGINAL stack instructions the
+/// block was lowered from. The register interpreter bumps ExecStats and
+/// burns fuel once per block entry; summed over a run this reproduces the
+/// stack interpreter's per-instruction counting exactly.
+struct RegBlock {
+  std::uint32_t start = 0;  // first instruction index in RegFunction::code
+  std::uint32_t fuel = 0;   // stack-instruction count (fuel burned on entry)
+  std::uint32_t control_ops = 0;
+  std::uint32_t int_ops = 0;
+  std::uint32_t float_ops = 0;
+  std::uint32_t double_ops = 0;
+  std::uint32_t special_ops = 0;
+  std::uint32_t fused_ops = 0;
+};
+
+/// Register-coded form of one CompiledFunction. Registers 0..num_params-1
+/// hold the arguments on entry; the remaining registers are zeroed.
+struct RegFunction {
+  std::uint16_t num_regs = 0;
+  std::uint16_t num_params = 0;
+  std::uint64_t private_bytes = 0;
+  std::vector<RegInstr> code;
+  std::vector<RegBlock> blocks;
+};
+
 /// A compiled translation unit plus its entry-point table.
 struct Module {
   std::vector<CompiledFunction> functions;
   std::map<std::string, int> by_name;
 
+  /// Register form of every function, parallel to `functions`. Filled by
+  /// lower_module (-cl-interp=threaded, the default); empty when the module
+  /// runs on the stack interpreter.
+  std::vector<RegFunction> reg_functions;
+
   const CompiledFunction* find(const std::string& name) const {
     auto it = by_name.find(name);
     return it == by_name.end() ? nullptr : &functions[it->second];
+  }
+
+  bool has_reg_form() const {
+    return !functions.empty() && reg_functions.size() == functions.size();
   }
 
   std::vector<std::string> kernel_names() const {
@@ -195,6 +296,22 @@ struct Module {
 
 /// Human-readable disassembly (tests and debugging).
 std::string disassemble(const CompiledFunction& fn);
+
+/// Static OpClass of an opcode (memory ops report GlobalMem; the VM refines
+/// by address space at run time). Shared by the interpreters and the
+/// lowering pass so both accounting schemes agree instruction by
+/// instruction.
+OpClass op_class_of(Op op);
+
+/// Lowers every function of `module` into register form, filling
+/// `module.reg_functions` (parallel to `module.functions`). Returns an
+/// empty string on success. On failure (a function the stack-simulation
+/// pass cannot handle) clears `reg_functions` — the module then runs on
+/// the stack interpreter — and returns a note for the build log.
+std::string lower_module(Module& module);
+
+/// Human-readable disassembly of the register form.
+std::string disassemble_reg(const RegFunction& fn);
 
 }  // namespace hplrepro::clc
 

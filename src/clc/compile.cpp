@@ -30,6 +30,10 @@ bool parse_build_options(std::string_view options, CompileOptions& out,
       out.opt_level = OptLevel::O2;
     } else if (tok == "-cl-mad-enable" || tok == "-w") {
       // accepted, no effect (mad fusion is bit-exact and on at O2)
+    } else if (tok == "-cl-interp=stack") {
+      out.interp = InterpMode::Stack;
+    } else if (tok == "-cl-interp=threaded") {
+      out.interp = InterpMode::Threaded;
     } else {
       error = "unrecognized build option '" + std::string(tok) + "'";
       return false;
@@ -63,6 +67,17 @@ CompileResult compile(std::string_view source, const CompileOptions& options) {
   result.module = generate_bytecode(unit);
   result.opt_report = optimize_module(result.module, options.opt_level);
   result.build_log = diags.log();
+  if (options.interp == InterpMode::Threaded) {
+    // Lower the optimized stack bytecode to the register form executed by
+    // the direct-threaded interpreter. A lowering failure is not a build
+    // error: the module simply stays stack-only and the executor falls
+    // back to the stack interpreter.
+    std::string note = lower_module(result.module);
+    if (!note.empty()) {
+      if (!result.build_log.empty()) result.build_log += '\n';
+      result.build_log += note;
+    }
+  }
   return result;
 }
 

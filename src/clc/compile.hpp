@@ -13,15 +13,22 @@
 
 namespace hplrepro::clc {
 
+/// Which interpreter executes the kernel: the stack bytecode directly, or
+/// the register form lowered from it at build time and run by the
+/// direct-threaded dispatch loop (same results, same stats, faster).
+enum class InterpMode : std::uint8_t { Stack, Threaded };
+
 /// Compilation knobs, settable through OpenCL-style build options.
 struct CompileOptions {
   OptLevel opt_level = OptLevel::O2;  // real drivers optimize by default
+  InterpMode interp = InterpMode::Threaded;
 };
 
 /// Parses a clBuildProgram-style options string ("-cl-opt-disable -w ...").
 /// Recognised: -cl-opt-disable / -O0 (disable the optimizer), -O1/-O2/-O3
 /// (enable it; all map to the full pipeline), -cl-mad-enable (accepted; mad
-/// fusion is bit-exact here so it is always on at O2), -w (ignored).
+/// fusion is bit-exact here so it is always on at O2), -w (ignored),
+/// -cl-interp=stack|threaded (pick the interpreter; default threaded).
 /// Returns false and sets `error` on the first unrecognised option.
 bool parse_build_options(std::string_view options, CompileOptions& out,
                          std::string& error);

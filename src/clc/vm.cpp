@@ -11,43 +11,9 @@ namespace hplrepro::clc {
 
 namespace {
 
-OpClass op_class_of(Op op) {
-  switch (op) {
-    case Op::AddI: case Op::SubI: case Op::MulI: case Op::DivI: case Op::DivU:
-    case Op::RemI: case Op::RemU: case Op::NegI: case Op::AndI: case Op::OrI:
-    case Op::XorI: case Op::ShlI: case Op::ShrI: case Op::ShrU: case Op::NotI:
-    case Op::EqI: case Op::NeI: case Op::LtI: case Op::LeI: case Op::GtI:
-    case Op::GeI: case Op::LtU: case Op::LeU: case Op::GtU: case Op::GeU:
-    case Op::PtrAdd:
-      return OpClass::IntAlu;
-    case Op::AddF: case Op::SubF: case Op::MulF: case Op::DivF: case Op::NegF:
-    case Op::EqF: case Op::NeF: case Op::LtF: case Op::LeF: case Op::GtF:
-    case Op::GeF:
-      return OpClass::FloatAlu;
-    case Op::AddD: case Op::SubD: case Op::MulD: case Op::DivD: case Op::NegD:
-    case Op::EqD: case Op::NeD: case Op::LtD: case Op::LeD: case Op::GtD:
-    case Op::GeD:
-      return OpClass::DoubleAlu;
-    case Op::MadI:
-      return OpClass::IntAlu;
-    case Op::MadF:
-      return OpClass::FloatAlu;
-    case Op::MadD:
-      return OpClass::DoubleAlu;
-    case Op::LoadI8: case Op::LoadU8: case Op::LoadI16: case Op::LoadU16:
-    case Op::LoadI32: case Op::LoadU32: case Op::LoadI64: case Op::LoadF32:
-    case Op::LoadF64: case Op::StoreI8: case Op::StoreI16: case Op::StoreI32:
-    case Op::StoreI64: case Op::StoreF32: case Op::StoreF64:
-    case Op::LIdxI8: case Op::LIdxU8: case Op::LIdxI16: case Op::LIdxU16:
-    case Op::LIdxI32: case Op::LIdxU32: case Op::LIdxI64: case Op::LIdxF32:
-    case Op::LIdxF64: case Op::SIdxI8: case Op::SIdxI16: case Op::SIdxI32:
-    case Op::SIdxI64: case Op::SIdxF32: case Op::SIdxF64:
-      return OpClass::GlobalMem;  // refined at run time by address space
-    default:
-      return OpClass::Control;
-  }
-}
-
+// op_class_of is shared with the lowering pass (bytecode.cpp) so the
+// block-level accounting of the register interpreter matches this loop's
+// per-instruction counting exactly.
 struct OpClassTable {
   OpClass cls[256];
   OpClassTable() {
@@ -134,26 +100,7 @@ float apply_math_builtin_f(Builtin id, const float* a) {
   }
 }
 
-bool is_transcendental(Builtin id) {
-  switch (id) {
-    case Builtin::Fabs:
-    case Builtin::Fmin:
-    case Builtin::Fmax:
-    case Builtin::Fma:
-    case Builtin::Mad:
-    case Builtin::Floor:
-    case Builtin::Ceil:
-    case Builtin::Trunc:
-    case Builtin::Round:
-    case Builtin::Min:
-    case Builtin::Max:
-    case Builtin::Abs:
-    case Builtin::Clamp:
-      return false;
-    default:
-      return true;
-  }
-}
+// is_transcendental lives in builtins.cpp (shared with the lowering pass).
 
 }  // namespace
 
@@ -689,6 +636,514 @@ RunStatus WorkItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
   }
 
   return RunStatus::Done;
+}
+
+// --- Register interpreter ---------------------------------------------------
+
+// Direct-threaded dispatch (labels as values) under GCC/Clang; define
+// HPLREPRO_VM_FORCE_SWITCH for the portable switch loop. The semantic
+// oracle is the stack interpreter above, selected per build with
+// -cl-interp=stack.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(HPLREPRO_VM_FORCE_SWITCH)
+#define HPLREPRO_VM_COMPUTED_GOTO 1
+#else
+#define HPLREPRO_VM_COMPUTED_GOTO 0
+#endif
+
+void RegItemVM::reset(const Module& module, const CompiledFunction& kernel,
+                      std::span<const Value> args) {
+  if (!module.has_reg_form()) {
+    throw InternalError("RegItemVM::reset: module has no register form");
+  }
+  if (args.size() != kernel.params.size()) {
+    throw InternalError("RegItemVM::reset: argument count mismatch");
+  }
+  module_ = &module;
+  const auto index =
+      static_cast<std::size_t>(&kernel - module.functions.data());
+  const RegFunction& fn = module.reg_functions[index];
+  frames_.clear();
+  frames_.push_back(Frame{&fn, 0, kNoRet, 0, 0});
+  regs_.assign(fn.num_regs, Value{});
+  for (std::size_t i = 0; i < args.size(); ++i) regs_[i] = args[i];
+  private_arena_.assign(fn.private_bytes, std::byte{0});
+  barrier_flags_ = 0;
+  pending_block_ = 0;
+}
+
+RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
+                         const WorkItemInfo& item, ExecStats& stats,
+                         MemTracker* tracker) {
+  std::uint64_t fuel = fuel_;
+  Frame* fr = &frames_.back();
+  const RegFunction* fn = fr->fn;
+  const RegInstr* code = fn->code.data();
+  Value* R = regs_.data() + fr->base;
+  std::uint32_t pc = 0;
+  const RegInstr* in = nullptr;
+
+  auto trap = [](const char* what) -> void { throw TrapError(what); };
+
+  // Identical to the stack interpreter's resolve/note_access, so both
+  // paths produce the same traps and the same memory accounting.
+  auto resolve = [&](std::uint64_t ptr, std::size_t size) -> std::byte* {
+    const std::uint64_t offset = pointer_offset(ptr);
+    switch (pointer_space(ptr)) {
+      case PtrSpace::Global:
+      case PtrSpace::Constant: {
+        const std::uint64_t buffer = pointer_buffer(ptr);
+        if (buffer >= mem.buffers.size()) trap("bad buffer index");
+        auto span = mem.buffers[buffer];
+        if (offset + size > span.size()) trap("global access out of bounds");
+        return span.data() + offset;
+      }
+      case PtrSpace::Local:
+        if (offset + size > mem.local.size()) {
+          trap("local access out of bounds");
+        }
+        return mem.local.data() + offset;
+      case PtrSpace::Private:
+        if (offset + size > private_arena_.size()) {
+          trap("private access out of bounds");
+        }
+        return private_arena_.data() + offset;
+    }
+    trap("bad pointer space");
+    return nullptr;
+  };
+
+  auto note_access = [&](std::uint64_t ptr, std::uint32_t size, bool store,
+                         std::uint32_t pc_key) {
+    switch (pointer_space(ptr)) {
+      case PtrSpace::Global:
+      case PtrSpace::Constant:
+        if (store) {
+          stats.global_store_bytes += size;
+        } else {
+          stats.global_load_bytes += size;
+        }
+        ++stats.global_accesses;
+        if (tracker) {
+          tracker->global_access(pc_key, item.linear_in_group,
+                                 pointer_buffer(ptr), pointer_offset(ptr),
+                                 size, store);
+        }
+        break;
+      case PtrSpace::Local:
+        stats.local_bytes += size;
+        ++stats.local_accesses;
+        break;
+      case PtrSpace::Private:
+        stats.private_bytes += size;
+        break;
+    }
+  };
+
+  // Block-level accounting: one histogram bump and one fuel burn per block
+  // entry, precomputed at lowering time. Summed over a run this equals the
+  // stack interpreter's per-instruction counting exactly.
+  auto enter_block = [&](std::uint32_t b) {
+    const RegBlock& blk = fn->blocks[b];
+    stats.control_ops += blk.control_ops;
+    stats.int_ops += blk.int_ops;
+    stats.float_ops += blk.float_ops;
+    stats.double_ops += blk.double_ops;
+    stats.special_ops += blk.special_ops;
+    stats.fused_ops += blk.fused_ops;
+    if (fuel < blk.fuel) {
+      trap("instruction budget exhausted (infinite loop?)");
+    }
+    fuel -= blk.fuel;
+    pc = blk.start;
+  };
+
+  // Kernel entry accounts block 0; resumption after a barrier accounts the
+  // barrier's resume block.
+  enter_block(pending_block_);
+
+#if HPLREPRO_VM_COMPUTED_GOTO
+  static const void* const kLabels[] = {
+#define HPLREPRO_VM_LABEL(name) &&L_##name,
+      HPLREPRO_REG_OPS(HPLREPRO_VM_LABEL)
+#undef HPLREPRO_VM_LABEL
+  };
+#define VM_CASE(name) L_##name:
+#define VM_NEXT                                   \
+  in = code + pc;                                 \
+  ++pc;                                           \
+  goto* kLabels[static_cast<int>(in->op)];
+  VM_NEXT
+#else
+#define VM_CASE(name) case RegOp::name:
+#define VM_NEXT break;
+  for (;;) {
+    in = code + pc;
+    ++pc;
+    switch (in->op) {
+#endif
+
+  VM_CASE(Const) { R[in->dst].i64 = in->imm; }
+  VM_NEXT
+
+  VM_CASE(Mov) { R[in->dst] = R[in->a]; }
+  VM_NEXT
+
+  VM_CASE(PrivPtr) {
+    R[in->dst].u64 =
+        make_pointer(PtrSpace::Private, 0,
+                     fr->priv_base + static_cast<std::uint64_t>(in->imm));
+  }
+  VM_NEXT
+
+  VM_CASE(PtrAdd) {
+    R[in->dst].u64 = pointer_add(R[in->a].u64, R[in->b].i64 * in->imm);
+  }
+  VM_NEXT
+
+#define HPLREPRO_RLOAD(NAME, CTYPE, FIELD, EXT)                             \
+  VM_CASE(NAME) {                                                           \
+    const std::uint64_t ptr = R[in->a].u64;                                 \
+    note_access(ptr, sizeof(CTYPE), false,                                  \
+                static_cast<std::uint32_t>(in->aux));                       \
+    CTYPE raw;                                                              \
+    std::memcpy(&raw, resolve(ptr, sizeof(CTYPE)), sizeof(CTYPE));          \
+    R[in->dst].FIELD = EXT(raw);                                            \
+  }                                                                         \
+  VM_NEXT
+  HPLREPRO_RLOAD(LoadI8, std::int8_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLOAD(LoadU8, std::uint8_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLOAD(LoadI16, std::int16_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLOAD(LoadU16, std::uint16_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLOAD(LoadI32, std::int32_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLOAD(LoadU32, std::uint32_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLOAD(LoadI64, std::int64_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLOAD(LoadF32, float, f32, )
+  HPLREPRO_RLOAD(LoadF64, double, f64, )
+#undef HPLREPRO_RLOAD
+
+#define HPLREPRO_RSTORE(NAME, CTYPE, FIELD)                                 \
+  VM_CASE(NAME) {                                                           \
+    const std::uint64_t ptr = R[in->a].u64;                                 \
+    note_access(ptr, sizeof(CTYPE), true,                                   \
+                static_cast<std::uint32_t>(in->aux));                       \
+    const CTYPE raw = static_cast<CTYPE>(R[in->b].FIELD);                   \
+    std::memcpy(resolve(ptr, sizeof(CTYPE)), &raw, sizeof(CTYPE));          \
+  }                                                                         \
+  VM_NEXT
+  HPLREPRO_RSTORE(StoreI8, std::int8_t, i64)
+  HPLREPRO_RSTORE(StoreI16, std::int16_t, i64)
+  HPLREPRO_RSTORE(StoreI32, std::int32_t, i64)
+  HPLREPRO_RSTORE(StoreI64, std::int64_t, i64)
+  HPLREPRO_RSTORE(StoreF32, float, f32)
+  HPLREPRO_RSTORE(StoreF64, double, f64)
+#undef HPLREPRO_RSTORE
+
+#define HPLREPRO_RLIDX(NAME, CTYPE, FIELD, EXT)                             \
+  VM_CASE(NAME) {                                                           \
+    const std::uint64_t ptr =                                               \
+        pointer_add(R[in->a].u64, R[in->b].i64 * in->imm);                  \
+    note_access(ptr, sizeof(CTYPE), false,                                  \
+                static_cast<std::uint32_t>(in->aux));                       \
+    CTYPE raw;                                                              \
+    std::memcpy(&raw, resolve(ptr, sizeof(CTYPE)), sizeof(CTYPE));          \
+    R[in->dst].FIELD = EXT(raw);                                            \
+  }                                                                         \
+  VM_NEXT
+  HPLREPRO_RLIDX(LIdxI8, std::int8_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLIDX(LIdxU8, std::uint8_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLIDX(LIdxI16, std::int16_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLIDX(LIdxU16, std::uint16_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLIDX(LIdxI32, std::int32_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLIDX(LIdxU32, std::uint32_t, u64, static_cast<std::uint64_t>)
+  HPLREPRO_RLIDX(LIdxI64, std::int64_t, i64, static_cast<std::int64_t>)
+  HPLREPRO_RLIDX(LIdxF32, float, f32, )
+  HPLREPRO_RLIDX(LIdxF64, double, f64, )
+#undef HPLREPRO_RLIDX
+
+#define HPLREPRO_RSIDX(NAME, CTYPE, FIELD)                                  \
+  VM_CASE(NAME) {                                                           \
+    const std::uint64_t ptr =                                               \
+        pointer_add(R[in->a].u64, R[in->b].i64 * in->imm);                  \
+    note_access(ptr, sizeof(CTYPE), true,                                   \
+                static_cast<std::uint32_t>(in->aux));                       \
+    const CTYPE raw = static_cast<CTYPE>(R[in->c].FIELD);                   \
+    std::memcpy(resolve(ptr, sizeof(CTYPE)), &raw, sizeof(CTYPE));          \
+  }                                                                         \
+  VM_NEXT
+  HPLREPRO_RSIDX(SIdxI8, std::int8_t, i64)
+  HPLREPRO_RSIDX(SIdxI16, std::int16_t, i64)
+  HPLREPRO_RSIDX(SIdxI32, std::int32_t, i64)
+  HPLREPRO_RSIDX(SIdxI64, std::int64_t, i64)
+  HPLREPRO_RSIDX(SIdxF32, float, f32)
+  HPLREPRO_RSIDX(SIdxF64, double, f64)
+#undef HPLREPRO_RSIDX
+
+#define HPLREPRO_RBIN(NAME, FIELD, EXPR)                                    \
+  VM_CASE(NAME) {                                                           \
+    const Value a = R[in->a];                                               \
+    const Value b = R[in->b];                                               \
+    R[in->dst].FIELD = (EXPR);                                              \
+  }                                                                         \
+  VM_NEXT
+  HPLREPRO_RBIN(AddI, i64, a.i64 + b.i64)
+  HPLREPRO_RBIN(SubI, i64, a.i64 - b.i64)
+  HPLREPRO_RBIN(MulI, i64, a.i64 * b.i64)
+  HPLREPRO_RBIN(DivI, i64, b.i64 == 0 ? 0 : (a.i64 == INT64_MIN && b.i64 == -1 ? a.i64 : a.i64 / b.i64))
+  HPLREPRO_RBIN(DivU, u64, b.u64 == 0 ? 0 : a.u64 / b.u64)
+  HPLREPRO_RBIN(RemI, i64, b.i64 == 0 ? 0 : (a.i64 == INT64_MIN && b.i64 == -1 ? 0 : a.i64 % b.i64))
+  HPLREPRO_RBIN(RemU, u64, b.u64 == 0 ? 0 : a.u64 % b.u64)
+  HPLREPRO_RBIN(AndI, u64, a.u64 & b.u64)
+  HPLREPRO_RBIN(OrI, u64, a.u64 | b.u64)
+  HPLREPRO_RBIN(XorI, u64, a.u64 ^ b.u64)
+  HPLREPRO_RBIN(ShlI, u64, a.u64 << (b.u64 & 63))
+  HPLREPRO_RBIN(ShrI, i64, a.i64 >> (b.u64 & 63))
+  HPLREPRO_RBIN(ShrU, u64, a.u64 >> (b.u64 & 63))
+  HPLREPRO_RBIN(AddF, f32, a.f32 + b.f32)
+  HPLREPRO_RBIN(SubF, f32, a.f32 - b.f32)
+  HPLREPRO_RBIN(MulF, f32, a.f32 * b.f32)
+  HPLREPRO_RBIN(DivF, f32, a.f32 / b.f32)
+  HPLREPRO_RBIN(AddD, f64, a.f64 + b.f64)
+  HPLREPRO_RBIN(SubD, f64, a.f64 - b.f64)
+  HPLREPRO_RBIN(MulD, f64, a.f64 * b.f64)
+  HPLREPRO_RBIN(DivD, f64, a.f64 / b.f64)
+  HPLREPRO_RBIN(EqI, i64, a.i64 == b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(NeI, i64, a.i64 != b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(LtI, i64, a.i64 < b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(LeI, i64, a.i64 <= b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(GtI, i64, a.i64 > b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(GeI, i64, a.i64 >= b.i64 ? 1 : 0)
+  HPLREPRO_RBIN(LtU, i64, a.u64 < b.u64 ? 1 : 0)
+  HPLREPRO_RBIN(LeU, i64, a.u64 <= b.u64 ? 1 : 0)
+  HPLREPRO_RBIN(GtU, i64, a.u64 > b.u64 ? 1 : 0)
+  HPLREPRO_RBIN(GeU, i64, a.u64 >= b.u64 ? 1 : 0)
+  HPLREPRO_RBIN(EqF, i64, a.f32 == b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(NeF, i64, a.f32 != b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(LtF, i64, a.f32 < b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(LeF, i64, a.f32 <= b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(GtF, i64, a.f32 > b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(GeF, i64, a.f32 >= b.f32 ? 1 : 0)
+  HPLREPRO_RBIN(EqD, i64, a.f64 == b.f64 ? 1 : 0)
+  HPLREPRO_RBIN(NeD, i64, a.f64 != b.f64 ? 1 : 0)
+  HPLREPRO_RBIN(LtD, i64, a.f64 < b.f64 ? 1 : 0)
+  HPLREPRO_RBIN(LeD, i64, a.f64 <= b.f64 ? 1 : 0)
+  HPLREPRO_RBIN(GtD, i64, a.f64 > b.f64 ? 1 : 0)
+  HPLREPRO_RBIN(GeD, i64, a.f64 >= b.f64 ? 1 : 0)
+#undef HPLREPRO_RBIN
+
+#define HPLREPRO_RUN1(NAME, STMT)                                           \
+  VM_CASE(NAME) { STMT; }                                                   \
+  VM_NEXT
+  HPLREPRO_RUN1(NegI, R[in->dst].i64 = -R[in->a].i64)
+  HPLREPRO_RUN1(NotI, R[in->dst].u64 = ~R[in->a].u64)
+  HPLREPRO_RUN1(NegF, R[in->dst].f32 = -R[in->a].f32)
+  HPLREPRO_RUN1(NegD, R[in->dst].f64 = -R[in->a].f64)
+  HPLREPRO_RUN1(LNot, R[in->dst].i64 = R[in->a].i64 == 0 ? 1 : 0)
+  HPLREPRO_RUN1(Bool, R[in->dst].i64 = R[in->a].i64 != 0 ? 1 : 0)
+  HPLREPRO_RUN1(Sext8,
+                R[in->dst].i64 = static_cast<std::int8_t>(R[in->a].i64))
+  HPLREPRO_RUN1(Sext16,
+                R[in->dst].i64 = static_cast<std::int16_t>(R[in->a].i64))
+  HPLREPRO_RUN1(Sext32,
+                R[in->dst].i64 = static_cast<std::int32_t>(R[in->a].i64))
+  HPLREPRO_RUN1(Zext8, R[in->dst].u64 = R[in->a].u64 & 0xFFull)
+  HPLREPRO_RUN1(Zext16, R[in->dst].u64 = R[in->a].u64 & 0xFFFFull)
+  HPLREPRO_RUN1(Zext32, R[in->dst].u64 = R[in->a].u64 & 0xFFFFFFFFull)
+  HPLREPRO_RUN1(Zext1, R[in->dst].u64 = R[in->a].u64 & 1ull)
+  HPLREPRO_RUN1(I2F, R[in->dst].f32 = static_cast<float>(R[in->a].i64))
+  HPLREPRO_RUN1(I2D, R[in->dst].f64 = static_cast<double>(R[in->a].i64))
+  HPLREPRO_RUN1(U2F, R[in->dst].f32 = static_cast<float>(R[in->a].u64))
+  HPLREPRO_RUN1(U2D, R[in->dst].f64 = static_cast<double>(R[in->a].u64))
+  HPLREPRO_RUN1(F2I, R[in->dst].i64 = checked_trunc_i64(R[in->a].f32))
+  HPLREPRO_RUN1(D2I, R[in->dst].i64 = checked_trunc_i64(R[in->a].f64))
+  HPLREPRO_RUN1(F2U, R[in->dst].u64 = checked_trunc_u64(R[in->a].f32))
+  HPLREPRO_RUN1(D2U, R[in->dst].u64 = checked_trunc_u64(R[in->a].f64))
+  HPLREPRO_RUN1(F2D, R[in->dst].f64 = static_cast<double>(R[in->a].f32))
+  HPLREPRO_RUN1(D2F, R[in->dst].f32 = static_cast<float>(R[in->a].f64))
+#undef HPLREPRO_RUN1
+
+  VM_CASE(MadI) {
+    // Integer add commutes, so the operand-order bit is irrelevant here.
+    R[in->dst].i64 = R[in->a].i64 * R[in->b].i64 + R[in->c].i64;
+  }
+  VM_NEXT
+
+  VM_CASE(MadF) {
+    // Two roundings, addend order per the encoding — bit-identical with
+    // the stack interpreter's MadF.
+    const float t = R[in->a].f32 * R[in->b].f32;
+    const float z = R[in->c].f32;
+    R[in->dst].f32 = in->aux == 0 ? t + z : z + t;
+  }
+  VM_NEXT
+
+  VM_CASE(MadD) {
+    const double t = R[in->a].f64 * R[in->b].f64;
+    const double z = R[in->c].f64;
+    R[in->dst].f64 = in->aux == 0 ? t + z : z + t;
+  }
+  VM_NEXT
+
+  VM_CASE(Br) { enter_block(static_cast<std::uint32_t>(in->aux)); }
+  VM_NEXT
+
+  VM_CASE(BrIf) {
+    enter_block(R[in->a].i64 != 0 ? in->dst
+                                  : static_cast<std::uint32_t>(in->aux));
+  }
+  VM_NEXT
+
+  VM_CASE(Call) {
+    if (frames_.size() >= 64) trap("call stack overflow");
+    const RegFunction& callee =
+        module_->reg_functions[static_cast<std::size_t>(in->aux)];
+    fr->pc = pc;
+    Frame next;
+    next.fn = &callee;
+    next.ret_reg = in->b ? static_cast<std::uint32_t>(fr->base + in->dst)
+                         : kNoRet;
+    next.base = regs_.size();
+    next.priv_base = fr->priv_base + fn->private_bytes;
+    const std::size_t abase = fr->base + in->a;
+    // resize value-initializes the new registers (callee locals are zero,
+    // like the stack interpreter's fresh slots).
+    regs_.resize(next.base + callee.num_regs);
+    for (std::size_t i = 0; i < callee.num_params; ++i) {
+      regs_[next.base + i] = regs_[abase + i];
+    }
+    if (private_arena_.size() < next.priv_base + callee.private_bytes) {
+      private_arena_.resize(next.priv_base + callee.private_bytes);
+    }
+    frames_.push_back(next);
+    fr = &frames_.back();
+    fn = &callee;
+    code = fn->code.data();
+    R = regs_.data() + fr->base;
+    enter_block(0);
+  }
+  VM_NEXT
+
+  VM_CASE(Ret) {
+    const Value result = R[in->a];
+    const std::uint32_t rr = fr->ret_reg;
+    regs_.resize(fr->base);
+    frames_.pop_back();
+    if (frames_.empty()) return RunStatus::Done;
+    fr = &frames_.back();
+    fn = fr->fn;
+    code = fn->code.data();
+    R = regs_.data() + fr->base;
+    pc = fr->pc;
+    if (rr != kNoRet) regs_[rr] = result;
+  }
+  VM_NEXT
+
+  VM_CASE(RetVoid) {
+    regs_.resize(fr->base);
+    frames_.pop_back();
+    if (frames_.empty()) return RunStatus::Done;
+    fr = &frames_.back();
+    fn = fr->fn;
+    code = fn->code.data();
+    R = regs_.data() + fr->base;
+    pc = fr->pc;
+  }
+  VM_NEXT
+
+  VM_CASE(Barrier) {
+    barrier_flags_ = R[in->a].u64;
+    ++stats.barriers_executed;
+    // Suspend: the register file (regs_/frames_) is the saved state; the
+    // resume block is accounted on the next run() call.
+    pending_block_ = static_cast<std::uint32_t>(in->aux);
+    return RunStatus::Barrier;
+  }
+
+  VM_CASE(WorkItem) {
+    const auto id = static_cast<Builtin>(in->aux);
+    const std::uint64_t dim = R[in->a].u64;
+    const std::size_t d = dim < 3 ? static_cast<std::size_t>(dim) : 0;
+    std::uint64_t v = 0;
+    switch (id) {
+      case Builtin::GetWorkDim:
+        v = static_cast<std::uint64_t>(launch.work_dim);
+        break;
+      case Builtin::GetGlobalId: v = item.global_id[d]; break;
+      case Builtin::GetLocalId: v = item.local_id[d]; break;
+      case Builtin::GetGroupId: v = item.group_id[d]; break;
+      case Builtin::GetGlobalSize: v = launch.global_size[d]; break;
+      case Builtin::GetLocalSize: v = launch.local_size[d]; break;
+      case Builtin::GetNumGroups: v = launch.num_groups[d]; break;
+      default:
+        trap("bad work-item function");
+    }
+    R[in->dst].u64 = v;
+  }
+  VM_NEXT
+
+  VM_CASE(BuiltinFn) {
+    const auto id = static_cast<Builtin>(in->aux);
+    const int arity = in->b;
+    const Value* args = &R[in->a];
+    switch (in->c) {
+      case 1: {  // f32
+        float a[3] = {0, 0, 0};
+        for (int i = 0; i < arity; ++i) a[i] = args[i].f32;
+        R[in->dst].f32 = apply_math_builtin_f(id, a);
+        break;
+      }
+      case 2: {  // f64
+        double a[3] = {0, 0, 0};
+        for (int i = 0; i < arity; ++i) a[i] = args[i].f64;
+        R[in->dst].f64 = apply_math_builtin_d(id, a);
+        break;
+      }
+      case 0: {  // signed integer
+        std::int64_t a[3] = {0, 0, 0};
+        for (int i = 0; i < arity; ++i) a[i] = args[i].i64;
+        std::int64_t v = 0;
+        switch (id) {
+          case Builtin::Min: v = a[0] < a[1] ? a[0] : a[1]; break;
+          case Builtin::Max: v = a[0] > a[1] ? a[0] : a[1]; break;
+          case Builtin::Abs: v = a[0] < 0 ? -a[0] : a[0]; break;
+          case Builtin::Clamp:
+            v = a[0] < a[1] ? a[1] : (a[0] > a[2] ? a[2] : a[0]);
+            break;
+          default:
+            trap("bad integer builtin");
+        }
+        R[in->dst].i64 = v;
+        break;
+      }
+      default: {  // unsigned integer
+        std::uint64_t a[3] = {0, 0, 0};
+        for (int i = 0; i < arity; ++i) a[i] = args[i].u64;
+        std::uint64_t v = 0;
+        switch (id) {
+          case Builtin::Min: v = a[0] < a[1] ? a[0] : a[1]; break;
+          case Builtin::Max: v = a[0] > a[1] ? a[0] : a[1]; break;
+          case Builtin::Abs: v = a[0]; break;
+          case Builtin::Clamp:
+            v = a[0] < a[1] ? a[1] : (a[0] > a[2] ? a[2] : a[0]);
+            break;
+          default:
+            trap("bad unsigned builtin");
+        }
+        R[in->dst].u64 = v;
+        break;
+      }
+    }
+  }
+  VM_NEXT
+
+#if !HPLREPRO_VM_COMPUTED_GOTO
+      default:
+        throw InternalError("RegItemVM: bad opcode");
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
 }
 
 }  // namespace hplrepro::clc

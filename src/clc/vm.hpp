@@ -99,6 +99,46 @@ private:
   std::uint64_t fuel_ = 1ull << 62;
 };
 
+/// Executes the register form (Module::reg_functions) produced by
+/// lower_module with a direct-threaded dispatch loop (computed goto under
+/// GCC/Clang; define HPLREPRO_VM_FORCE_SWITCH to get the portable switch
+/// loop). Drop-in equivalent of WorkItemVM: bit-identical results,
+/// identical ExecStats (accounted per basic block from the histograms
+/// precomputed at lowering time), identical trap messages, and the same
+/// barrier suspend/resume protocol — a suspended item is just the saved
+/// register file plus the block cursor to resume at.
+class RegItemVM {
+public:
+  void reset(const Module& module, const CompiledFunction& kernel,
+             std::span<const Value> args);
+
+  RunStatus run(const MemoryEnv& mem, const LaunchInfo& launch,
+                const WorkItemInfo& item, ExecStats& stats,
+                MemTracker* tracker);
+
+  std::uint64_t barrier_flags() const { return barrier_flags_; }
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+private:
+  static constexpr std::uint32_t kNoRet = 0xFFFFFFFFu;
+
+  struct Frame {
+    const RegFunction* fn = nullptr;
+    std::uint32_t pc = 0;        // saved across calls; live in run()'s locals
+    std::uint32_t ret_reg = kNoRet;  // absolute index into regs_, or kNoRet
+    std::size_t base = 0;        // this frame's register window in regs_
+    std::size_t priv_base = 0;
+  };
+
+  const Module* module_ = nullptr;
+  std::vector<Value> regs_;
+  std::vector<Frame> frames_;
+  std::vector<std::byte> private_arena_;
+  std::uint64_t barrier_flags_ = 0;
+  std::uint64_t fuel_ = 1ull << 62;
+  std::uint32_t pending_block_ = 0;  // block to account+enter on next run()
+};
+
 }  // namespace hplrepro::clc
 
 #endif  // HPLREPRO_CLC_VM_HPP

@@ -1,6 +1,8 @@
 #include "clsim/executor.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <type_traits>
 
 #include "clsim/coalescing.hpp"
 #include "support/error.hpp"
@@ -12,16 +14,25 @@ namespace hplrepro::clsim {
 using clc::ExecStats;
 using clc::LaunchInfo;
 using clc::MemoryEnv;
+using clc::RegItemVM;
 using clc::RunStatus;
 using clc::WorkItemInfo;
 using clc::WorkItemVM;
 
 namespace {
-std::uint64_t g_work_item_fuel = 1ull << 33;  // ~8.6e9 ops per item
+// Tests adjust the budget while benchmark launches may be in flight on pool
+// threads; atomic (relaxed — it is a plain tuning knob, not a
+// synchronisation point) keeps that race benign. Each launch snapshots the
+// value once and hands it to its group runners.
+std::atomic<std::uint64_t> g_work_item_fuel{1ull << 33};  // ~8.6e9 ops/item
 }
 
-void set_work_item_fuel(std::uint64_t fuel) { g_work_item_fuel = fuel; }
-std::uint64_t work_item_fuel() { return g_work_item_fuel; }
+void set_work_item_fuel(std::uint64_t fuel) {
+  g_work_item_fuel.store(fuel, std::memory_order_relaxed);
+}
+std::uint64_t work_item_fuel() {
+  return g_work_item_fuel.load(std::memory_order_relaxed);
+}
 
 NDRange choose_local_range(const NDRange& global, std::size_t max_group) {
   NDRange local;
@@ -49,14 +60,17 @@ struct GroupGrid {
 };
 
 /// Runs all work-items of one work-group to completion, honouring
-/// barriers. Reuses the caller's VM pool and local arena.
+/// barriers. Reuses the caller's VM pool, local arena and phase-tracking
+/// scratch across groups. `VM` is WorkItemVM (stack form) or RegItemVM
+/// (register form); both expose the same reset/run/set_fuel protocol.
+template <class VM>
 class GroupRunner {
 public:
   GroupRunner(const clc::Module& module, const clc::CompiledFunction& kernel,
               std::span<const clc::Value> args,
               std::span<std::span<std::byte>> buffers,
               const LaunchInfo& launch, const DeviceSpec& device,
-              std::uint64_t extra_local_bytes)
+              std::uint64_t extra_local_bytes, std::uint64_t fuel)
       : module_(module),
         kernel_(kernel),
         args_(args),
@@ -71,13 +85,19 @@ public:
       vms_.resize(1);
     } else {
       vms_.resize(group_items_);
+      done_.resize(group_items_);
     }
+    for (VM& vm : vms_) vm.set_fuel(fuel);
     items_.resize(group_items_);
   }
 
   void run_group(std::size_t gx, std::size_t gy, std::size_t gz,
                  ExecStats& stats) {
-    std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
+    // Kernels with no __local data have an empty arena; skip the per-group
+    // zeroing entirely instead of touching it group after group.
+    if (!local_arena_.empty()) {
+      std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
+    }
     MemoryEnv mem{buffers_, std::span<std::byte>(local_arena_)};
     clc::MemTracker* tracker = use_tracker_ ? &tracker_ : nullptr;
 
@@ -104,8 +124,7 @@ public:
 
     if (!kernel_.uses_barrier) {
       // Fast path: one VM reused; every item runs to completion.
-      WorkItemVM& vm = vms_[0];
-      vm.set_fuel(work_item_fuel());
+      VM& vm = vms_[0];
       for (std::size_t i = 0; i < group_items_; ++i) {
         vm.reset(module_, kernel_, args_);
         const RunStatus status =
@@ -119,20 +138,19 @@ public:
       // Barrier-capable path: all items live simultaneously; execute in
       // phases delimited by barriers.
       for (std::size_t i = 0; i < group_items_; ++i) {
-        vms_[i].set_fuel(work_item_fuel());
         vms_[i].reset(module_, kernel_, args_);
       }
       std::size_t done_count = 0;
-      std::vector<bool> done(group_items_, false);
+      std::fill(done_.begin(), done_.end(), char{0});
       while (done_count < group_items_) {
         std::size_t finished_this_phase = 0;
         std::size_t at_barrier = 0;
         for (std::size_t i = 0; i < group_items_; ++i) {
-          if (done[i]) continue;
+          if (done_[i]) continue;
           const RunStatus status =
               vms_[i].run(mem, launch_, items_[i], stats, tracker);
           if (status == RunStatus::Done) {
-            done[i] = true;
+            done_[i] = 1;
             ++done_count;
             ++finished_this_phase;
           } else {
@@ -167,8 +185,9 @@ private:
   CoalescingTracker tracker_;
   bool use_tracker_;
   std::vector<std::byte> local_arena_;
-  std::vector<WorkItemVM> vms_;
+  std::vector<VM> vms_;
   std::vector<WorkItemInfo> items_;
+  std::vector<char> done_;  // per-item phase flag, reused across groups
   std::size_t group_items_ = 0;
 };
 
@@ -214,21 +233,33 @@ LaunchResult execute_ndrange(const clc::Module& module,
 
   ExecStats total_stats;
   std::mutex stats_mutex;
+  const std::uint64_t fuel = work_item_fuel();  // one snapshot per launch
 
-  pool.parallel_for_chunked(
-      total_groups, [&](std::size_t begin, std::size_t end) {
-        GroupRunner runner(module, kernel, args, buffers, launch, device,
-                           extra_local_bytes);
-        ExecStats chunk_stats;
-        for (std::size_t g = begin; g < end; ++g) {
-          const std::size_t gx = g % grid.counts[0];
-          const std::size_t gy = (g / grid.counts[0]) % grid.counts[1];
-          const std::size_t gz = g / (grid.counts[0] * grid.counts[1]);
-          runner.run_group(gx, gy, gz, chunk_stats);
-        }
-        std::lock_guard lock(stats_mutex);
-        total_stats += chunk_stats;
-      });
+  auto run_with = [&](auto vm_tag) {
+    using VM = typename decltype(vm_tag)::type;
+    pool.parallel_for_chunked(
+        total_groups, [&](std::size_t begin, std::size_t end) {
+          GroupRunner<VM> runner(module, kernel, args, buffers, launch,
+                                 device, extra_local_bytes, fuel);
+          ExecStats chunk_stats;
+          for (std::size_t g = begin; g < end; ++g) {
+            const std::size_t gx = g % grid.counts[0];
+            const std::size_t gy = (g / grid.counts[0]) % grid.counts[1];
+            const std::size_t gz = g / (grid.counts[0] * grid.counts[1]);
+            runner.run_group(gx, gy, gz, chunk_stats);
+          }
+          std::lock_guard lock(stats_mutex);
+          total_stats += chunk_stats;
+        });
+  };
+  // Modules built with -cl-interp=threaded carry the register form; run it
+  // with the direct-threaded VM. Stack-only modules (or lowering fallback)
+  // use the reference stack interpreter.
+  if (module.has_reg_form()) {
+    run_with(std::type_identity<RegItemVM>{});
+  } else {
+    run_with(std::type_identity<WorkItemVM>{});
+  }
 
   LaunchResult result;
   result.stats = total_stats;

@@ -1,8 +1,12 @@
-// O0-vs-O2 differential harness: every kernel in the corpus must produce
-// bit-identical outputs with the optimizer off and on, and the optimized
-// build must never execute more dynamic operations than the unoptimized
-// one. This is the correctness contract of the whole optimizer pipeline
-// (constant folding, algebraic simplification, DCE, peephole fusion):
+// Three-way differential harness over the interpreter/optimizer matrix:
+//   O0 stack  vs  O2 stack     — the optimizer pipeline contract
+//                                (bit-identical outputs, never more ops);
+//   O2 stack  vs  O2 threaded  — the register-lowering contract
+//                                (bit-identical outputs AND field-by-field
+//                                identical ExecStats: the block-level
+//                                accounting must sum to exactly what the
+//                                stack interpreter counts per instruction).
+// Every kernel in both corpora runs through all three configurations;
 // semantics preservation down to the last bit, with measurable savings.
 
 #include <gtest/gtest.h>
@@ -62,6 +66,28 @@ DiffRun run_diff(const std::string& source, const std::string& kernel_name,
 
   queue.enqueue_read_buffer(buffer, run.words.data(), buffer.size());
   return run;
+}
+
+// The two interpreters must agree on every counter: results equality
+// alone would not catch a lowering pass that mis-sums a block histogram.
+void expect_stats_identical(const clc::ExecStats& a, const clc::ExecStats& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.control_ops, b.control_ops) << label;
+  EXPECT_EQ(a.int_ops, b.int_ops) << label;
+  EXPECT_EQ(a.float_ops, b.float_ops) << label;
+  EXPECT_EQ(a.double_ops, b.double_ops) << label;
+  EXPECT_EQ(a.special_ops, b.special_ops) << label;
+  EXPECT_EQ(a.fused_ops, b.fused_ops) << label;
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes) << label;
+  EXPECT_EQ(a.global_store_bytes, b.global_store_bytes) << label;
+  EXPECT_EQ(a.global_accesses, b.global_accesses) << label;
+  EXPECT_EQ(a.global_transactions, b.global_transactions) << label;
+  EXPECT_EQ(a.local_bytes, b.local_bytes) << label;
+  EXPECT_EQ(a.local_accesses, b.local_accesses) << label;
+  EXPECT_EQ(a.private_bytes, b.private_bytes) << label;
+  EXPECT_EQ(a.barriers_executed, b.barriers_executed) << label;
+  EXPECT_EQ(a.items, b.items) << label;
+  EXPECT_EQ(a.groups, b.groups) << label;
 }
 
 struct CorpusKernel {
@@ -256,9 +282,11 @@ class OptimizerDiffLanguage
 TEST_P(OptimizerDiffLanguage, BitIdenticalAndNoMoreOps) {
   const CorpusKernel& ck = GetParam();
   const DiffRun o0 = run_diff(ck.source, ck.kernel_name, ck.words,
-                              ck.global, ck.local, "-O0");
+                              ck.global, ck.local, "-O0 -cl-interp=stack");
   const DiffRun o2 = run_diff(ck.source, ck.kernel_name, ck.words,
-                              ck.global, ck.local, "-O2");
+                              ck.global, ck.local, "-O2 -cl-interp=stack");
+  const DiffRun reg = run_diff(ck.source, ck.kernel_name, ck.words,
+                               ck.global, ck.local, "-O2 -cl-interp=threaded");
 
   ASSERT_EQ(o0.words.size(), o2.words.size());
   for (std::size_t i = 0; i < o0.words.size(); ++i) {
@@ -266,6 +294,10 @@ TEST_P(OptimizerDiffLanguage, BitIdenticalAndNoMoreOps) {
   }
   EXPECT_LE(o2.stats.total_ops(), o0.stats.total_ops()) << ck.label;
   EXPECT_LE(o2.static_instrs, o0.static_instrs) << ck.label;
+
+  // Register interpreter: same bytecode, same bits, same counters.
+  EXPECT_EQ(o2.words, reg.words) << ck.label;
+  expect_stats_identical(o2.stats, reg.stats, ck.label);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -302,8 +334,18 @@ TEST_P(OptimizerDiffBenchsuite, BitIdenticalAndNoMoreOps) {
   const std::string& name = GetParam();
   const clsim::Device device =
       *clsim::Platform::get().device_by_name("Tesla");
-  const bs::CorpusRun o0 = bs::run_corpus_kernel(name, device, "-O0");
-  const bs::CorpusRun o2 = bs::run_corpus_kernel(name, device, "-O2");
+  const bs::CorpusRun o0 =
+      bs::run_corpus_kernel(name, device, "-O0 -cl-interp=stack");
+  const bs::CorpusRun o2 =
+      bs::run_corpus_kernel(name, device, "-O2 -cl-interp=stack");
+  const bs::CorpusRun reg =
+      bs::run_corpus_kernel(name, device, "-O2 -cl-interp=threaded");
+
+  // The interpreter swap has no float tolerance at all: both execute the
+  // same O2 bytecode, so even EP's transcendental outputs must be
+  // bit-for-bit equal, and every dynamic counter must match.
+  EXPECT_EQ(o2.outputs, reg.outputs) << name;
+  expect_stats_identical(o2.stats, reg.stats, name);
 
   ASSERT_EQ(o0.outputs.size(), o2.outputs.size());
   for (std::size_t b = 0; b < o0.outputs.size(); ++b) {
@@ -407,6 +449,46 @@ TEST(OptimizerDiff, HplRejectsUnknownBuildOptions) {
   EXPECT_THROW(HPL::set_kernel_build_options("-fbogus"),
                hplrepro::InvalidArgument);
   EXPECT_EQ(HPL::kernel_build_options(), "");
+}
+
+// A suspended work-item in the register interpreter is nothing but its
+// saved register file plus the block cursor to resume at. This kernel
+// carries live private state (float, double and integer accumulators) in
+// registers across eight barrier suspensions, exchanging data through
+// __local in between; any register lost or clobbered during a
+// suspend/resume cycle changes the output bits. Stack and threaded runs
+// must agree exactly, and must have actually suspended (barriers > 0).
+TEST(OptimizerDiff, BarrierResumePreservesRegisterFile) {
+  const std::string source = R"CLC(
+__kernel void relay(__global uint* out) {
+  __local float tile[16];
+  size_t lid = get_local_id(0);
+  size_t gid = get_global_id(0);
+  float facc = (float)gid * 0.5f + 1.0f;
+  double dacc = (double)gid * 0.25;
+  uint iacc = (uint)gid * 2654435761u;
+  for (int round = 0; round < 8; round++) {
+    tile[lid] = facc + (float)round;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float neighbor = tile[(lid + 1u) % 16u];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    facc = facc * 1.25f + neighbor;
+    dacc += (double)neighbor * 0.5;
+    iacc = (iacc ^ (uint)round) * 31u + (uint)facc;
+  }
+  out[gid * 3u] = iacc;
+  out[gid * 3u + 1u] = (uint)(facc * 16.0f);
+  out[gid * 3u + 2u] = (uint)(dacc * 256.0);
+}
+)CLC";
+  const DiffRun stack =
+      run_diff(source, "relay", 64 * 3, 64, 16, "-O2 -cl-interp=stack");
+  const DiffRun reg =
+      run_diff(source, "relay", 64 * 3, 64, 16, "-O2 -cl-interp=threaded");
+  EXPECT_EQ(stack.words, reg.words);
+  expect_stats_identical(stack.stats, reg.stats, "relay");
+  // 64 items x 16 barrier executions each (2 per round x 8 rounds).
+  EXPECT_EQ(reg.stats.barriers_executed, 64u * 16u);
 }
 
 // Sanity for the option-string surface the harness depends on.
