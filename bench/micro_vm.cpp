@@ -60,6 +60,7 @@ void vm_saxpy_throughput(benchmark::State& state, const char* build_options) {
   for (auto _ : state) {
     queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n),
                                  clsim::NDRange(64));
+    queue.finish();  // measure VM execution, not async enqueue cost
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
@@ -125,6 +126,7 @@ __kernel void sync_heavy(__global float* data) {
   for (auto _ : state) {
     queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n),
                                  clsim::NDRange(64));
+    queue.finish();  // measure VM execution, not async enqueue cost
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }

@@ -45,11 +45,13 @@ struct Timings {
 /// host_seconds = (wall time of body) - (wall time spent simulating).
 template <typename Body>
 Timings time_opencl_section(clsim::CommandQueue& queue, Body&& body) {
+  queue.finish();
   const double sim0 = queue.simulated_seconds();
   const double simk0 = queue.simulated_kernel_seconds();
   const double wall_sim0 = queue.wall_seconds();
   Stopwatch watch;
   body();
+  queue.finish();  // the queue is asynchronous: wait out in-flight commands
   const double wall = watch.seconds();
   Timings t;
   t.kernel_sim_seconds = queue.simulated_kernel_seconds() - simk0;

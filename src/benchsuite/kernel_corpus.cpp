@@ -49,12 +49,14 @@ public:
 
   void launch(const clsim::NDRange& global, const clsim::NDRange& local) {
     clsim::Event e = queue_.enqueue_ndrange_kernel(*kernel_, global, local);
+    e.wait();  // profiling accessors need the completed launch
     run_.stats += e.stats();
     run_.kernel_sim_seconds += e.sim_seconds();
     run_.kernel_wall_seconds += e.wall_seconds();
   }
 
   void read_output(const clsim::Buffer& buf) {
+    queue_.finish();  // raw() bypasses the queue; quiesce it first
     std::vector<std::byte> bytes(buf.size());
     std::memcpy(bytes.data(), buf.raw(), bytes.size());
     run_.outputs.push_back(std::move(bytes));

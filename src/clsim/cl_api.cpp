@@ -47,6 +47,11 @@ struct _cl_kernel {
   int refs = 1;
 };
 
+struct _cl_event {
+  clsim::Event event;  // shared handle onto the command's state
+  int refs = 1;
+};
+
 namespace {
 
 _cl_platform_id g_platform;
@@ -76,6 +81,33 @@ cl_int release(Handle handle, cl_int bad_code) {
 cl_int set_error(cl_int* errcode_ret, cl_int code) {
   if (errcode_ret != nullptr) *errcode_ret = code;
   return code;
+}
+
+/// Converts a (num_events, wait_list) pair into clsim events. Returns
+/// false when the pair is malformed (CL_INVALID_EVENT_WAIT_LIST).
+bool collect_wait_list(cl_uint num_events, const cl_event* wait_list,
+                       std::vector<clsim::Event>& out) {
+  if ((num_events == 0) != (wait_list == nullptr)) return false;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    if (wait_list[i] == nullptr) return false;
+    out.push_back(wait_list[i]->event);
+  }
+  return true;
+}
+
+/// Completes an enqueue: optionally blocks, optionally returns a handle.
+cl_int finish_enqueue(clsim::Event ev, cl_bool blocking, cl_event* event_out) {
+  if (blocking == CL_TRUE) {
+    try {
+      ev.wait();
+    } catch (const hplrepro::Error&) {
+      return CL_OUT_OF_RESOURCES;  // deferred execution error
+    }
+  }
+  if (event_out != nullptr) {
+    *event_out = new _cl_event{std::move(ev), 1};
+  }
+  return CL_SUCCESS;
 }
 
 bool kernel_param_is_float(cl_kernel kernel, cl_uint index) {
@@ -387,35 +419,46 @@ cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index,
 // --- Command execution --------------------------------------------------------------
 
 cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
-                            cl_bool /*blocking_write*/, std::size_t offset,
+                            cl_bool blocking_write, std::size_t offset,
                             std::size_t size, const void* ptr,
-                            cl_uint /*num_events*/, const void* /*wait*/,
-                            void* /*event*/) {
+                            cl_uint num_events, const cl_event* wait_list,
+                            cl_event* event) {
   if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
   if (ptr == nullptr) return CL_INVALID_VALUE;
+  std::vector<clsim::Event> deps;
+  if (!collect_wait_list(num_events, wait_list, deps)) {
+    return CL_INVALID_EVENT_WAIT_LIST;
+  }
+  clsim::Event ev;
   try {
-    queue->queue->enqueue_write_buffer(*buffer->buffer, ptr, size, offset);
+    ev = queue->queue->enqueue_write_buffer(*buffer->buffer, ptr, size,
+                                            offset, std::move(deps));
   } catch (const clsim::RuntimeError&) {
     return CL_INVALID_VALUE;
   }
-  return CL_SUCCESS;
+  return finish_enqueue(std::move(ev), blocking_write, event);
 }
 
 cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
-                           cl_bool /*blocking_read*/, std::size_t offset,
-                           std::size_t size, void* ptr,
-                           cl_uint /*num_events*/, const void* /*wait*/,
-                           void* /*event*/) {
+                           cl_bool blocking_read, std::size_t offset,
+                           std::size_t size, void* ptr, cl_uint num_events,
+                           const cl_event* wait_list, cl_event* event) {
   if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
   if (ptr == nullptr) return CL_INVALID_VALUE;
+  std::vector<clsim::Event> deps;
+  if (!collect_wait_list(num_events, wait_list, deps)) {
+    return CL_INVALID_EVENT_WAIT_LIST;
+  }
+  clsim::Event ev;
   try {
-    queue->queue->enqueue_read_buffer(*buffer->buffer, ptr, size, offset);
+    ev = queue->queue->enqueue_read_buffer(*buffer->buffer, ptr, size,
+                                           offset, std::move(deps));
   } catch (const clsim::RuntimeError&) {
     return CL_INVALID_VALUE;
   }
-  return CL_SUCCESS;
+  return finish_enqueue(std::move(ev), blocking_read, event);
 }
 
 cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
@@ -423,8 +466,8 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
                               const std::size_t* global_work_offset,
                               const std::size_t* global_work_size,
                               const std::size_t* local_work_size,
-                              cl_uint /*num_events*/, const void* /*wait*/,
-                              void* /*event*/) {
+                              cl_uint num_events, const cl_event* wait_list,
+                              cl_event* event) {
   if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (kernel == nullptr) return CL_INVALID_KERNEL;
   if (work_dim < 1 || work_dim > 3) return CL_INVALID_WORK_DIMENSION;
@@ -442,17 +485,67 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
     for (cl_uint d = 0; d < work_dim; ++d) l.sizes[d] = local_work_size[d];
     local = l;
   }
+  std::vector<clsim::Event> deps;
+  if (!collect_wait_list(num_events, wait_list, deps)) {
+    return CL_INVALID_EVENT_WAIT_LIST;
+  }
+  clsim::Event ev;
   try {
-    queue->queue->enqueue_ndrange_kernel(*kernel->kernel, global, local);
+    ev = queue->queue->enqueue_ndrange_kernel(*kernel->kernel, global, local,
+                                              std::move(deps));
   } catch (const hplrepro::Error&) {
     return CL_INVALID_WORK_GROUP_SIZE;
+  }
+  return finish_enqueue(std::move(ev), CL_FALSE, event);
+}
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {
+  if (num_events == 0 || event_list == nullptr) return CL_INVALID_VALUE;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    if (event_list[i] == nullptr) return CL_INVALID_EVENT;
+  }
+  cl_int status = CL_SUCCESS;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    try {
+      event_list[i]->event.wait();
+    } catch (const hplrepro::Error&) {
+      status = CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+    }
+  }
+  return status;
+}
+
+cl_int clGetEventInfo(cl_event event, cl_event_info param_name,
+                      std::size_t param_value_size, void* param_value,
+                      std::size_t* param_value_size_ret) {
+  if (event == nullptr) return CL_INVALID_EVENT;
+  if (param_name != CL_EVENT_COMMAND_EXECUTION_STATUS) {
+    return CL_INVALID_VALUE;
+  }
+  cl_int status = CL_QUEUED;
+  switch (event->event.status()) {
+    case clsim::Event::Status::Queued: status = CL_QUEUED; break;
+    case clsim::Event::Status::Submitted: status = CL_SUBMITTED; break;
+    case clsim::Event::Status::Running: status = CL_RUNNING; break;
+    case clsim::Event::Status::Complete: status = CL_COMPLETE; break;
+  }
+  if (param_value != nullptr) {
+    if (param_value_size < sizeof(cl_int)) return CL_INVALID_VALUE;
+    std::memcpy(param_value, &status, sizeof(cl_int));
+  }
+  if (param_value_size_ret != nullptr) {
+    *param_value_size_ret = sizeof(cl_int);
   }
   return CL_SUCCESS;
 }
 
 cl_int clFinish(cl_command_queue queue) {
   if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  queue->queue->finish();
+  try {
+    queue->queue->finish();
+  } catch (const hplrepro::Error&) {
+    return CL_OUT_OF_RESOURCES;  // a queued command failed to execute
+  }
   return CL_SUCCESS;
 }
 
@@ -466,6 +559,14 @@ cl_int clRetainMemObject(cl_mem mem) {
 
 cl_int clReleaseMemObject(cl_mem mem) {
   return release(mem, CL_INVALID_MEM_OBJECT);
+}
+cl_int clRetainEvent(cl_event event) {
+  if (event == nullptr) return CL_INVALID_EVENT;
+  ++event->refs;
+  return CL_SUCCESS;
+}
+cl_int clReleaseEvent(cl_event event) {
+  return release(event, CL_INVALID_EVENT);
 }
 cl_int clReleaseKernel(cl_kernel kernel) {
   return release(kernel, CL_INVALID_KERNEL);

@@ -30,6 +30,7 @@ using cl_device_type = cl_bitfield;
 using cl_mem_flags = cl_bitfield;
 using cl_program_build_info = cl_uint;
 using cl_device_info = cl_uint;
+using cl_event_info = cl_uint;
 
 // --- Opaque handles -----------------------------------------------------------
 
@@ -40,6 +41,7 @@ struct _cl_command_queue;
 struct _cl_mem;
 struct _cl_program;
 struct _cl_kernel;
+struct _cl_event;
 
 using cl_platform_id = _cl_platform_id*;
 using cl_device_id = _cl_device_id*;
@@ -48,11 +50,14 @@ using cl_command_queue = _cl_command_queue*;
 using cl_mem = _cl_mem*;
 using cl_program = _cl_program*;
 using cl_kernel = _cl_kernel*;
+using cl_event = _cl_event*;
 
 // --- Error codes ----------------------------------------------------------------
 
 inline constexpr cl_int CL_SUCCESS = 0;
 inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_OUT_OF_RESOURCES = -5;
+inline constexpr cl_int CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST = -14;
 inline constexpr cl_int CL_BUILD_PROGRAM_FAILURE = -11;
 inline constexpr cl_int CL_INVALID_VALUE = -30;
 inline constexpr cl_int CL_INVALID_DEVICE = -33;
@@ -71,6 +76,8 @@ inline constexpr cl_int CL_INVALID_ARG_SIZE = -51;
 inline constexpr cl_int CL_INVALID_KERNEL_ARGS = -52;
 inline constexpr cl_int CL_INVALID_WORK_DIMENSION = -53;
 inline constexpr cl_int CL_INVALID_WORK_GROUP_SIZE = -54;
+inline constexpr cl_int CL_INVALID_EVENT_WAIT_LIST = -57;
+inline constexpr cl_int CL_INVALID_EVENT = -58;
 inline constexpr cl_int CL_INVALID_BUFFER_SIZE = -61;
 
 // --- Enumerations ---------------------------------------------------------------
@@ -89,6 +96,14 @@ inline constexpr cl_bool CL_TRUE = 1;
 
 inline constexpr cl_program_build_info CL_PROGRAM_BUILD_LOG = 0x1183;
 inline constexpr cl_device_info CL_DEVICE_NAME = 0x102B;
+inline constexpr cl_event_info CL_EVENT_COMMAND_EXECUTION_STATUS = 0x11D3;
+
+// Command execution status (clGetEventInfo); ordered as in CL/cl.h, where
+// a status numerically <= CL_COMPLETE means the command has finished.
+inline constexpr cl_int CL_COMPLETE = 0x0;
+inline constexpr cl_int CL_RUNNING = 0x1;
+inline constexpr cl_int CL_SUBMITTED = 0x2;
+inline constexpr cl_int CL_QUEUED = 0x3;
 
 // --- Platform / device ------------------------------------------------------------
 
@@ -145,31 +160,46 @@ cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index,
 
 // --- Command execution ------------------------------------------------------------------------
 
+/// Commands are enqueued asynchronously, as in real OpenCL: the enqueue
+/// returns once the command is queued, and completion is observed through
+/// the blocking_{read,write} flags, the returned event, clWaitForEvents,
+/// or clFinish.
 cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
                             cl_bool blocking_write, std::size_t offset,
                             std::size_t size, const void* ptr,
-                            cl_uint num_events, const void* wait_list,
-                            void* event);
+                            cl_uint num_events, const cl_event* wait_list,
+                            cl_event* event);
 
 cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
                            cl_bool blocking_read, std::size_t offset,
                            std::size_t size, void* ptr, cl_uint num_events,
-                           const void* wait_list, void* event);
+                           const cl_event* wait_list, cl_event* event);
 
 cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
                               cl_uint work_dim,
                               const std::size_t* global_work_offset,
                               const std::size_t* global_work_size,
                               const std::size_t* local_work_size,
-                              cl_uint num_events, const void* wait_list,
-                              void* event);
+                              cl_uint num_events, const cl_event* wait_list,
+                              cl_event* event);
 
+/// Blocks until every listed event's command has completed.
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+
+/// Only CL_EVENT_COMMAND_EXECUTION_STATUS is supported.
+cl_int clGetEventInfo(cl_event event, cl_event_info param_name,
+                      std::size_t param_value_size, void* param_value,
+                      std::size_t* param_value_size_ret);
+
+/// Blocks until every command enqueued on `queue` has completed.
 cl_int clFinish(cl_command_queue queue);
 
 // --- Reference counting ---------------------------------------------------------------------------
 
 cl_int clRetainMemObject(cl_mem mem);
 cl_int clReleaseMemObject(cl_mem mem);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);
 cl_int clReleaseKernel(cl_kernel kernel);
 cl_int clReleaseProgram(cl_program program);
 cl_int clReleaseCommandQueue(cl_command_queue queue);

@@ -193,6 +193,29 @@ private:
 
 }  // namespace
 
+void validate_launch(const clc::CompiledFunction& kernel,
+                     const NDRange& global, const NDRange& local,
+                     const DeviceSpec& device,
+                     std::uint64_t extra_local_bytes) {
+  if (global.dims != local.dims) {
+    throw InvalidArgument("global and local ranges must have equal rank");
+  }
+  for (int d = 0; d < 3; ++d) {
+    if (local.sizes[d] == 0 || global.sizes[d] % local.sizes[d] != 0) {
+      throw InvalidArgument(
+          "local size must evenly divide global size in every dimension");
+    }
+  }
+  if (kernel.uses_double && !device.supports_double) {
+    throw InvalidArgument("device '" + device.name +
+                          "' does not support double precision");
+  }
+  if (kernel.local_bytes + extra_local_bytes > device.local_mem_bytes) {
+    throw InvalidArgument("kernel needs more __local memory than device '" +
+                          device.name + "' provides");
+  }
+}
+
 LaunchResult execute_ndrange(const clc::Module& module,
                              const clc::CompiledFunction& kernel,
                              std::span<const clc::Value> args,
@@ -204,29 +227,15 @@ LaunchResult execute_ndrange(const clc::Module& module,
   hplrepro::Stopwatch wall;
   trace::Span span(kernel.name.c_str(), "vm");
 
-  if (global.dims != local.dims) {
-    throw InvalidArgument("global and local ranges must have equal rank");
-  }
+  validate_launch(kernel, global, local, device, extra_local_bytes);
   LaunchInfo launch;
   launch.work_dim = global.dims;
   GroupGrid grid{};
   for (int d = 0; d < 3; ++d) {
     launch.global_size[d] = global.sizes[d];
     launch.local_size[d] = local.sizes[d];
-    if (local.sizes[d] == 0 || global.sizes[d] % local.sizes[d] != 0) {
-      throw InvalidArgument(
-          "local size must evenly divide global size in every dimension");
-    }
     launch.num_groups[d] = global.sizes[d] / local.sizes[d];
     grid.counts[d] = launch.num_groups[d];
-  }
-  if (kernel.uses_double && !device.supports_double) {
-    throw InvalidArgument("device '" + device.name +
-                          "' does not support double precision");
-  }
-  if (kernel.local_bytes + extra_local_bytes > device.local_mem_bytes) {
-    throw InvalidArgument("kernel needs more __local memory than device '" +
-                          device.name + "' provides");
   }
 
   const std::size_t total_groups = grid.total();

@@ -50,6 +50,15 @@ struct LaunchResult {
   double wall_seconds = 0;  // host wall-clock spent simulating
 };
 
+/// Validates launch geometry and device-capability constraints, throwing
+/// InvalidArgument exactly as execute_ndrange would. The command queue
+/// calls this at enqueue time so geometry errors surface synchronously
+/// even though execution is deferred to the queue's worker thread.
+void validate_launch(const clc::CompiledFunction& kernel,
+                     const NDRange& global, const NDRange& local,
+                     const DeviceSpec& device,
+                     std::uint64_t extra_local_bytes = 0);
+
 /// Executes `kernel` over the given ranges. `args` must hold one Value per
 /// kernel parameter (scalars, or pointers encoded with buffer-table
 /// indices — including Local-space pointers into the per-group arena for

@@ -1,11 +1,44 @@
 #include "clsim/runtime.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
 namespace hplrepro::clsim {
+
+// --- Async mode --------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_async_mode{-1};  // -1: unread, 0: sync, 1: async
+
+int read_async_mode_from_env() {
+  const char* sync = std::getenv("HPL_SYNC");
+  const bool synchronous =
+      sync != nullptr && sync[0] != '\0' && !(sync[0] == '0' && sync[1] == '\0');
+  return synchronous ? 0 : 1;
+}
+
+}  // namespace
+
+bool async_enabled() {
+  int mode = g_async_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    mode = read_async_mode_from_env();
+    int expected = -1;
+    g_async_mode.compare_exchange_strong(expected, mode,
+                                         std::memory_order_acq_rel);
+  }
+  return mode == 1;
+}
+
+void set_async_enabled(bool on) {
+  g_async_mode.store(on ? 1 : 0, std::memory_order_release);
+}
 
 // --- Platform ----------------------------------------------------------------
 
@@ -88,7 +121,7 @@ void Program::build(const std::string& options) {
     clc::CompileResult result = clc::compile(source_, copts);
     build_log_ = result.build_log;
     opt_report_ = std::move(result.opt_report);
-    module_ = std::move(result.module);
+    module_ = std::make_shared<const clc::Module>(std::move(result.module));
   } catch (const clc::CompileError& e) {
     build_log_ = e.build_log();
     throw RuntimeError("program build failed:\n" + build_log_);
@@ -100,10 +133,15 @@ const clc::Module& Program::module() const {
   return *module_;
 }
 
+std::shared_ptr<const clc::Module> Program::module_ptr() const {
+  if (!module_) throw RuntimeError("program has not been built");
+  return module_;
+}
+
 // --- Kernel ------------------------------------------------------------------
 
 Kernel::Kernel(Program& program, const std::string& name)
-    : module_(&program.module()) {
+    : module_(program.module_ptr()) {
   fn_ = module_->find(name);
   if (fn_ == nullptr || !fn_->is_kernel) {
     throw RuntimeError("no kernel named '" + name + "' in program");
@@ -200,73 +238,284 @@ void Kernel::set_arg(unsigned index, std::uint64_t value) {
   set_scalar(index, 0, static_cast<std::int64_t>(value), false);
 }
 
+// --- Event -------------------------------------------------------------------
+
+Event::Event() : state_(std::make_shared<State>()) {}
+
+Event::Status Event::status() const {
+  std::lock_guard lock(state_->mu);
+  return state_->status;
+}
+
+void Event::wait() const {
+  State& st = *state_;
+  std::unique_lock lock(st.mu);
+  st.cv.wait(lock, [&] { return st.status == Status::Complete; });
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+void Event::on_complete(std::function<void(const Event&)> fn) {
+  State& st = *state_;
+  {
+    std::lock_guard lock(st.mu);
+    if (st.status != Status::Complete) {
+      st.callbacks.push_back(std::move(fn));
+      return;
+    }
+    if (st.error) return;  // failed commands never fire callbacks
+  }
+  fn(*this);
+}
+
+double Event::sim_seconds() const {
+  wait();
+  return state_->sim_seconds;
+}
+
+const clc::ExecStats& Event::stats() const {
+  wait();
+  return state_->stats;
+}
+
+const TimingBreakdown& Event::timing() const {
+  wait();
+  return state_->timing;
+}
+
+double Event::wall_seconds() const {
+  wait();
+  return state_->wall_seconds;
+}
+
+double Event::queued() const {
+  wait();
+  return state_->queued_s;
+}
+
+double Event::submitted() const {
+  wait();
+  return state_->submit_s;
+}
+
+double Event::started() const {
+  wait();
+  return state_->start_s;
+}
+
+double Event::ended() const {
+  wait();
+  return state_->end_s;
+}
+
+double Event::host_started_us() const {
+  wait();
+  return state_->host_start_us;
+}
+
+double Event::host_ended_us() const {
+  wait();
+  return state_->host_end_us;
+}
+
 // --- CommandQueue -------------------------------------------------------------
 
 CommandQueue::CommandQueue(Context& context) : device_(context.device()) {}
 
-void CommandQueue::finish_command(Event& event, const std::string& label,
-                                  const char* cat) {
-  // The queue is in order and the simulator synchronous, so a command is
-  // queued, submitted and started the instant the device clock allows.
-  event.queued_s_ = sim_seconds_;
-  event.submit_s_ = sim_seconds_;
-  event.start_s_ = sim_seconds_;
-  event.end_s_ = sim_seconds_ + event.sim_seconds_;
-  sim_seconds_ = event.end_s_;
-  wall_seconds_ += event.wall_seconds_;
+CommandQueue::~CommandQueue() = default;  // worker_ dtor drains and joins
 
-  if (trace::enabled()) {
+Event CommandQueue::submit(Command cmd) {
+  cmd.state = std::make_shared<Event::State>();
+  cmd.state->status = Event::Status::Queued;
+  if (trace::enabled()) cmd.enqueue_us = trace::now_us();
+  Event event(cmd.state);
+  auto shared = std::make_shared<Command>(std::move(cmd));
+  worker_.post([this, shared] { execute(*shared); });
+  // Synchronous mode (HPL_SYNC=1): identical code path — the worker still
+  // executes the command — but the enqueue does not return until it is
+  // done, and deferred errors surface here instead of at the next sync.
+  if (!async_enabled()) finish();
+  return event;
+}
+
+void CommandQueue::execute(Command& cmd) {
+  Event::State& st = *cmd.state;
+  {
+    std::lock_guard lock(st.mu);
+    st.status = Event::Status::Submitted;
+  }
+
+  std::exception_ptr error;
+  try {
+    // In-order queue semantics: this command may not run until everything
+    // it waits on has completed. Wait-list errors propagate.
+    for (const Event& dep : cmd.wait_list) dep.wait();
+    {
+      std::lock_guard lock(st.mu);
+      st.status = Event::Status::Running;
+    }
+    st.host_start_us = trace::now_us();
+    cmd.run(st);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  st.host_end_us = trace::now_us();
+
+  {
+    std::lock_guard lock(mutex_);
+    if (error && !first_error_) first_error_ = error;
+    // Simulated timestamps are assigned at drain time: the in-order queue
+    // admits a command the instant its predecessor ends, so queued ==
+    // submitted == started on the simulated clock and commands tile the
+    // timeline deterministically.
+    st.queued_s = sim_seconds_;
+    st.submit_s = sim_seconds_;
+    st.start_s = sim_seconds_;
+    st.end_s = st.start_s + st.sim_seconds;
+    sim_seconds_ = st.end_s;
+    wall_seconds_ += st.wall_seconds;
+    if (cmd.is_kernel) sim_kernel_seconds_ += st.sim_seconds;
+  }
+
+  if (trace::enabled() && !error) {
+    // Device track (simulated clock): the command's execution window, with
+    // the full queued/submitted/started/ended phase stamps as args.
     trace::EventRecord record;
-    record.name = label;
-    record.cat = cat;
+    record.name = cmd.label;
+    record.cat = cmd.cat;
     record.track = "sim:" + device_.name();
     record.simulated = true;
-    record.ts_us = event.start_s_ * 1e6;
-    record.dur_us = event.sim_seconds_ * 1e6;
-    record.args.num("sim_ms", event.sim_seconds_ * 1e3);
+    record.ts_us = st.start_s * 1e6;
+    record.dur_us = st.sim_seconds * 1e6;
+    record.args.num("sim_ms", st.sim_seconds * 1e3)
+        .num("queued_s", st.queued_s)
+        .num("submitted_s", st.submit_s)
+        .num("started_s", st.start_s)
+        .num("ended_s", st.end_s);
     trace::record(std::move(record));
+
+    // Queue track (host clock): time the command spent pending before the
+    // worker picked it up, then its real execution window — this is where
+    // cross-queue overlap is visible.
+    trace::EventRecord pending;
+    pending.name = cmd.label;
+    pending.cat = cmd.cat;
+    pending.track = "queue:" + device_.name();
+    pending.ts_us = cmd.enqueue_us;
+    pending.dur_us = st.host_start_us - cmd.enqueue_us;
+    pending.args.str("phase", "queued");
+    trace::record(std::move(pending));
+
+    trace::EventRecord running;
+    running.name = cmd.label;
+    running.cat = cmd.cat;
+    running.track = "queue:" + device_.name();
+    running.ts_us = st.host_start_us;
+    running.dur_us = st.host_end_us - st.host_start_us;
+    running.args.str("phase", "running");
+    trace::record(std::move(running));
   }
+
+  // Publish completion, then fire callbacks outside the state lock (they
+  // may read the event's profiling accessors).
+  std::vector<std::function<void(const Event&)>> callbacks;
+  {
+    std::lock_guard lock(st.mu);
+    st.error = error;
+    st.status = Event::Status::Complete;
+    callbacks = std::move(st.callbacks);
+    st.callbacks.clear();
+  }
+  st.cv.notify_all();
+  if (!error) {
+    const Event event(cmd.state);
+    for (const auto& fn : callbacks) fn(event);
+  }
+}
+
+void CommandQueue::finish() {
+  worker_.drain();
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+double CommandQueue::simulated_seconds() const {
+  std::lock_guard lock(mutex_);
+  return sim_seconds_;
+}
+
+double CommandQueue::simulated_kernel_seconds() const {
+  std::lock_guard lock(mutex_);
+  return sim_kernel_seconds_;
+}
+
+double CommandQueue::wall_seconds() const {
+  std::lock_guard lock(mutex_);
+  return wall_seconds_;
+}
+
+void CommandQueue::reset_timers() {
+  finish();
+  std::lock_guard lock(mutex_);
+  sim_seconds_ = 0;
+  sim_kernel_seconds_ = 0;
+  wall_seconds_ = 0;
 }
 
 Event CommandQueue::enqueue_write_buffer(Buffer& buffer, const void* src,
                                          std::size_t bytes,
-                                         std::size_t offset) {
+                                         std::size_t offset,
+                                         std::vector<Event> wait_list) {
   if (offset + bytes > buffer.size()) {
     throw RuntimeError("write_buffer out of range");
   }
-  hplrepro::Stopwatch wall;
-  std::memcpy(buffer.raw() + offset, src, bytes);
-  Event event;
-  event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
-  event.wall_seconds_ = wall.seconds();
-  finish_command(event, "write_buffer " + std::to_string(bytes) + "B",
-                 "transfer");
-  return event;
+  Command cmd;
+  cmd.label = "write_buffer " + std::to_string(bytes) + "B";
+  cmd.cat = "transfer";
+  cmd.wait_list = std::move(wait_list);
+  cmd.run = [storage = buffer.storage_, src, bytes, offset,
+             spec = &device_.spec()](Event::State& st) {
+    hplrepro::Stopwatch wall;
+    std::memcpy(storage->data.get() + offset, src, bytes);
+    st.sim_seconds = simulate_transfer_time(bytes, *spec);
+    st.wall_seconds = wall.seconds();
+  };
+  return submit(std::move(cmd));
 }
 
 Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, void* dst,
                                         std::size_t bytes,
-                                        std::size_t offset) {
+                                        std::size_t offset,
+                                        std::vector<Event> wait_list) {
   if (offset + bytes > buffer.size()) {
     throw RuntimeError("read_buffer out of range");
   }
-  hplrepro::Stopwatch wall;
-  std::memcpy(dst, buffer.raw() + offset, bytes);
-  Event event;
-  event.sim_seconds_ = simulate_transfer_time(bytes, device_.spec());
-  event.wall_seconds_ = wall.seconds();
-  finish_command(event, "read_buffer " + std::to_string(bytes) + "B",
-                 "transfer");
-  return event;
+  Command cmd;
+  cmd.label = "read_buffer " + std::to_string(bytes) + "B";
+  cmd.cat = "transfer";
+  cmd.wait_list = std::move(wait_list);
+  cmd.run = [storage = buffer.storage_, dst, bytes, offset,
+             spec = &device_.spec()](Event::State& st) {
+    hplrepro::Stopwatch wall;
+    std::memcpy(dst, storage->data.get() + offset, bytes);
+    st.sim_seconds = simulate_transfer_time(bytes, *spec);
+    st.wall_seconds = wall.seconds();
+  };
+  return submit(std::move(cmd));
 }
 
 Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
                                            const NDRange& global,
-                                           std::optional<NDRange> local) {
-  // Assemble the argument vector and buffer table.
+                                           std::optional<NDRange> local,
+                                           std::vector<Event> wait_list) {
+  // Assemble the argument vector and buffer table. This snapshots the
+  // kernel's arguments (retaining buffer storage) so the caller may rebind
+  // them for the next launch while this one is still pending.
   std::vector<clc::Value> args(kernel.args_.size());
   std::vector<std::shared_ptr<Buffer::Storage>> retained;
-  std::vector<std::span<std::byte>> buffers;
 
   // Dynamically sized __local arguments are carved out of every group's
   // arena just past the kernel's statically declared __local arrays.
@@ -287,12 +536,11 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
                              ? clc::PtrSpace::Constant
                              : clc::PtrSpace::Global;
       retained.push_back(*storage);
-      buffers.emplace_back((*storage)->data.get(), (*storage)->size);
-      args[i].u64 = clc::make_pointer(space, buffers.size() - 1, 0);
-    } else if (const auto* local = std::get_if<Kernel::LocalAlloc>(&slot)) {
+      args[i].u64 = clc::make_pointer(space, retained.size() - 1, 0);
+    } else if (const auto* local_arg = std::get_if<Kernel::LocalAlloc>(&slot)) {
       local_top = (local_top + 7) & ~std::uint64_t{7};  // 8-byte align
       args[i].u64 = clc::make_pointer(clc::PtrSpace::Local, 0, local_top);
-      local_top += local->bytes;
+      local_top += local_arg->bytes;
       extra_local_bytes = local_top - kernel.fn_->local_bytes;
     } else {
       args[i] = std::get<clc::Value>(slot);
@@ -302,19 +550,35 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
   const NDRange local_range =
       local.has_value() ? *local : choose_local_range(global);
 
-  LaunchResult launch = execute_ndrange(
-      *kernel.module_, *kernel.fn_, args,
-      std::span<std::span<std::byte>>(buffers), global, local_range,
-      device_.spec(), Platform::get().pool(), extra_local_bytes);
+  // Launch-geometry and device-capability errors surface synchronously at
+  // enqueue, as clEnqueueNDRangeKernel's error codes do; only execution
+  // itself (and its traps) is deferred to the worker.
+  validate_launch(*kernel.fn_, global, local_range, device_.spec(),
+                  extra_local_bytes);
 
-  Event event;
-  event.sim_seconds_ = launch.timing.total_s;
-  event.wall_seconds_ = launch.wall_seconds;
-  event.stats_ = launch.stats;
-  event.timing_ = launch.timing;
-  sim_kernel_seconds_ += event.sim_seconds_;
-  finish_command(event, kernel.name(), "kernel");
-  return event;
+  Command cmd;
+  cmd.label = kernel.name();
+  cmd.cat = "kernel";
+  cmd.is_kernel = true;
+  cmd.wait_list = std::move(wait_list);
+  cmd.run = [module = kernel.module_, fn = kernel.fn_,
+             args = std::move(args), retained = std::move(retained), global,
+             local_range, spec = &device_.spec(),
+             extra_local_bytes](Event::State& st) {
+    std::vector<std::span<std::byte>> buffers;
+    buffers.reserve(retained.size());
+    for (const auto& storage : retained) {
+      buffers.emplace_back(storage->data.get(), storage->size);
+    }
+    LaunchResult launch = execute_ndrange(
+        *module, *fn, args, std::span<std::span<std::byte>>(buffers), global,
+        local_range, *spec, Platform::get().pool(), extra_local_bytes);
+    st.sim_seconds = launch.timing.total_s;
+    st.wall_seconds = launch.wall_seconds;
+    st.stats = launch.stats;
+    st.timing = launch.timing;
+  };
+  return submit(std::move(cmd));
 }
 
 }  // namespace hplrepro::clsim

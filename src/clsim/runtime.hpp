@@ -8,12 +8,26 @@
 /// against this API with kernel source strings, exactly as a hand-written
 /// OpenCL program would be (minus the C error-code plumbing).
 ///
-/// Execution is synchronous; "device time" is simulated by the timing
-/// model and accumulated per queue, while Events expose per-command
-/// profiling information (the analogue of CL_QUEUE_PROFILING_ENABLE).
+/// Execution is asynchronous, as on a real OpenCL device: each queue owns
+/// a dedicated worker thread that drains its commands in order, so
+/// enqueue_* returns immediately and finish()/Event::wait() genuinely
+/// block. "Device time" is simulated by the timing model and accumulated
+/// per queue at drain time (the simulated timeline is therefore
+/// deterministic regardless of host scheduling), while Events expose
+/// per-command profiling information (the analogue of
+/// CL_QUEUE_PROFILING_ENABLE). Setting HPL_SYNC=1 in the environment — or
+/// calling set_async_enabled(false) — makes every enqueue wait for its
+/// command before returning, which is useful for debugging; commands take
+/// the same code path either way, so results and simulated timestamps are
+/// bit-identical between the two modes.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -34,6 +48,16 @@ public:
   explicit RuntimeError(const std::string& what)
       : Error("clsim: " + what) {}
 };
+
+/// Whether enqueued commands execute asynchronously on the queue's worker
+/// thread (the default) or every enqueue waits for its command to complete
+/// before returning. The first query reads HPL_SYNC from the environment
+/// (HPL_SYNC=1 selects synchronous mode, the debugging escape hatch).
+bool async_enabled();
+
+/// Overrides the HPL_SYNC-derived default (tests and benchmarks compare
+/// the two modes within one process).
+void set_async_enabled(bool on);
 
 class Context;
 class Buffer;
@@ -146,7 +170,7 @@ public:
   /// Throws RuntimeError on failure — including unrecognised options; the
   /// build log is available either way, as with clBuildProgram.
   void build(const std::string& options = "");
-  bool built() const { return module_.has_value(); }
+  bool built() const { return module_ != nullptr; }
   const std::string& build_log() const { return build_log_; }
   const std::string& source() const { return source_; }
   const std::string& build_options() const { return build_options_; }
@@ -155,13 +179,17 @@ public:
   const clc::OptReport& opt_report() const { return opt_report_; }
 
   const clc::Module& module() const;
+  /// Shared ownership of the built module. Kernels (and the commands
+  /// enqueued from them) retain it, so a pending launch stays valid even
+  /// if the Program is destroyed before the queue drains.
+  std::shared_ptr<const clc::Module> module_ptr() const;
   const Device& device() const { return device_; }
 
 private:
   Device device_;
   std::string source_;
   std::string build_options_;
-  std::optional<clc::Module> module_;
+  std::shared_ptr<const clc::Module> module_;
   std::string build_log_;
   clc::OptReport opt_report_;
 };
@@ -204,86 +232,173 @@ private:
   void set_scalar(unsigned index, double as_double, std::int64_t as_int,
                   bool from_float);
 
-  const clc::Module* module_;
+  std::shared_ptr<const clc::Module> module_;  // keeps fn_ alive
   const clc::CompiledFunction* fn_;
   std::vector<ArgSlot> args_;
 };
 
-/// Profiling information for one enqueued command, including its position
-/// on the queue's simulated timeline (the analogue of the four
-/// CL_PROFILING_COMMAND_* timestamps under CL_QUEUE_PROFILING_ENABLE).
-/// Timestamps are simulated seconds since the queue's creation and obey
+/// A shared, thread-safe handle to one enqueued command (the analogue of
+/// cl_event). Events progress through the OpenCL status lifecycle
+/// Queued -> Submitted -> Running -> Complete; wait() blocks until
+/// Complete and rethrows any execution error (e.g. a VM trap).
+///
+/// Profiling accessors expose the command's position on the queue's
+/// simulated timeline (the analogue of the four CL_PROFILING_COMMAND_*
+/// timestamps under CL_QUEUE_PROFILING_ENABLE). Timestamps are simulated
+/// seconds since the queue's creation and obey
 /// queued() <= submitted() <= started() <= ended(), with
-/// ended() - started() == sim_seconds().
+/// ended() - started() == sim_seconds(). Profiling data exists only once
+/// the command completes, so every profiling accessor wait()s first.
+///
+/// Copies share state; a default-constructed Event is a complete no-op
+/// command with zeroed profiling data.
 class Event {
 public:
-  double sim_seconds() const { return sim_seconds_; }
-  const clc::ExecStats& stats() const { return stats_; }
-  const TimingBreakdown& timing() const { return timing_; }
-  double wall_seconds() const { return wall_seconds_; }
+  enum class Status { Queued, Submitted, Running, Complete };
 
-  double queued() const { return queued_s_; }
-  double submitted() const { return submit_s_; }
-  double started() const { return start_s_; }
-  double ended() const { return end_s_; }
+  Event();
+
+  /// Current lifecycle status (non-blocking).
+  Status status() const;
+  bool complete() const { return status() == Status::Complete; }
+
+  /// Blocks until the command completes. Rethrows the command's execution
+  /// error, if any (enqueue-time validation errors still throw from
+  /// enqueue_* itself).
+  void wait() const;
+
+  /// Registers `fn` to run when the command completes (on the queue worker
+  /// thread), or immediately on this thread if it already has. Callbacks
+  /// are not invoked for commands that failed.
+  void on_complete(std::function<void(const Event&)> fn);
+
+  // Profiling accessors; each waits for completion first.
+  double sim_seconds() const;
+  const clc::ExecStats& stats() const;
+  const TimingBreakdown& timing() const;
+  double wall_seconds() const;
+
+  double queued() const;
+  double submitted() const;
+  double started() const;
+  double ended() const;
+
+  /// Host wall-clock window (trace-epoch microseconds) during which the
+  /// command actually executed on its queue worker. Used to observe real
+  /// overlap between queues; waits for completion first.
+  double host_started_us() const;
+  double host_ended_us() const;
 
 private:
   friend class CommandQueue;
-  double sim_seconds_ = 0;
-  double wall_seconds_ = 0;
-  double queued_s_ = 0;
-  double submit_s_ = 0;
-  double start_s_ = 0;
-  double end_s_ = 0;
-  clc::ExecStats stats_;
-  TimingBreakdown timing_;
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    Status status = Status::Complete;
+    std::exception_ptr error;
+    std::vector<std::function<void(const Event&)>> callbacks;
+    // Profiling payload: written by the queue worker before status flips
+    // to Complete, immutable afterwards.
+    double sim_seconds = 0;
+    double wall_seconds = 0;
+    double queued_s = 0;
+    double submit_s = 0;
+    double start_s = 0;
+    double end_s = 0;
+    double host_start_us = 0;
+    double host_end_us = 0;
+    clc::ExecStats stats;
+    TimingBreakdown timing;
+  };
+  explicit Event(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
 };
 
-/// An in-order command queue. Commands execute synchronously (the
-/// simulator has no async pipeline) and accumulate simulated device time.
+/// An in-order command queue backed by a dedicated worker thread: every
+/// enqueue_* validates its arguments, appends a command and returns
+/// immediately with an Event; the worker drains commands strictly in
+/// enqueue order (waiting out each command's wait-list first), executes
+/// them, and stamps their simulated timestamps at drain time — so the
+/// simulated per-device timeline is deterministic no matter how host
+/// threads interleave. finish() genuinely blocks until the queue is empty.
+///
+/// Errors raised during deferred execution (VM traps) are stored on the
+/// Event and rethrown by Event::wait(); finish() rethrows the first such
+/// error of the queue. Argument and launch-geometry validation happens at
+/// enqueue time and throws synchronously.
 class CommandQueue {
 public:
   explicit CommandQueue(Context& context);
+  /// Drains outstanding commands, then joins the worker. Pending errors
+  /// are swallowed (call finish() first to observe them).
+  ~CommandQueue();
+
+  CommandQueue(const CommandQueue&) = delete;
+  CommandQueue& operator=(const CommandQueue&) = delete;
 
   const Device& device() const { return device_; }
 
   Event enqueue_write_buffer(Buffer& buffer, const void* src,
-                             std::size_t bytes, std::size_t offset = 0);
+                             std::size_t bytes, std::size_t offset = 0,
+                             std::vector<Event> wait_list = {});
   Event enqueue_read_buffer(const Buffer& buffer, void* dst,
-                            std::size_t bytes, std::size_t offset = 0);
+                            std::size_t bytes, std::size_t offset = 0,
+                            std::vector<Event> wait_list = {});
 
   /// Launches a kernel over `global` work-items. Passing no `local` lets
-  /// the runtime pick one (OpenCL's NULL local size).
+  /// the runtime pick one (OpenCL's NULL local size). Arguments are
+  /// snapshotted at enqueue time, so the kernel object may be re-armed for
+  /// the next launch immediately.
   Event enqueue_ndrange_kernel(Kernel& kernel, const NDRange& global,
-                               std::optional<NDRange> local = std::nullopt);
+                               std::optional<NDRange> local = std::nullopt,
+                               std::vector<Event> wait_list = {});
 
-  /// Blocks until all enqueued work completes (no-op; synchronous).
-  void finish() {}
+  /// Blocks until all enqueued commands (and their completion callbacks)
+  /// have finished, then rethrows the first deferred execution error, if
+  /// any (clearing it).
+  void finish();
 
-  /// Total simulated device seconds accumulated by this queue.
-  double simulated_seconds() const { return sim_seconds_; }
+  /// Total simulated device seconds accumulated by this queue. Reflects
+  /// completed commands only; call finish() first for a quiescent value.
+  double simulated_seconds() const;
   /// Sum over kernel launches only (excluding transfers).
-  double simulated_kernel_seconds() const { return sim_kernel_seconds_; }
-  /// Host wall-clock spent inside this queue (simulation cost).
-  double wall_seconds() const { return wall_seconds_; }
+  double simulated_kernel_seconds() const;
+  /// Host wall-clock spent executing this queue's commands (simulation
+  /// cost).
+  double wall_seconds() const;
 
-  void reset_timers() {
-    sim_seconds_ = 0;
-    sim_kernel_seconds_ = 0;
-    wall_seconds_ = 0;
-  }
+  /// finish()es, then zeroes the simulated clock and wall counters.
+  void reset_timers();
 
 private:
-  /// Stamps the four timeline marks on `event` for a command of simulated
-  /// duration `event.sim_seconds_`, advances the queue's simulated clock,
-  /// and (when tracing) records the command on this device's sim track.
-  void finish_command(Event& event, const std::string& label,
-                      const char* cat);
+  struct Command {
+    /// Executes the command, filling the profiling payload (sim_seconds,
+    /// wall_seconds, stats, timing) of `state`.
+    std::function<void(Event::State&)> run;
+    std::shared_ptr<Event::State> state;
+    std::vector<Event> wait_list;
+    std::string label;
+    const char* cat = "";
+    bool is_kernel = false;
+    double enqueue_us = 0;  // host trace clock at enqueue (tracing only)
+  };
+
+  /// Posts `cmd` to the worker; in synchronous mode also finish()es.
+  Event submit(Command cmd);
+  /// Worker-side: waits the wait-list, runs the command, stamps simulated
+  /// timestamps, records trace events and publishes completion.
+  void execute(Command& cmd);
 
   Device device_;
+  mutable std::mutex mutex_;  // guards timers and first_error_
   double sim_seconds_ = 0;
   double sim_kernel_seconds_ = 0;
   double wall_seconds_ = 0;
+  std::exception_ptr first_error_;
+  // Declared last so it stops (draining any queued commands that touch
+  // the members above) before they are destroyed.
+  hplrepro::SerialWorker worker_;
 };
 
 }  // namespace hplrepro::clsim

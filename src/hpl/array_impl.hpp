@@ -34,12 +34,26 @@ struct ArrayImpl {
   void* host_ptr = nullptr;
   bool host_valid = true;
 
+  // --- Lazy synchronization (async command pipeline) ---
+  // Commands that touch `host_ptr` run on queue worker threads, so host
+  // access must be ordered against them:
+  //  * `host_ready` is the in-flight (or completed) d2h read that makes the
+  //    host copy current; host reads wait on it.
+  //  * `host_readers` are in-flight h2d uploads still reading `host_ptr`;
+  //    host writes — and any later d2h — must wait them out.
+  // A default Event is already complete, so the quiescent state waits on
+  // nothing.
+  hplrepro::clsim::Event host_ready;
+  std::vector<hplrepro::clsim::Event> host_readers;
+
   // --- Device copies (key: identity of the clsim device spec) ---
   struct DeviceCopy {
     std::shared_ptr<hplrepro::clsim::Buffer> buffer;
     bool valid = false;
   };
   std::unordered_map<const hplrepro::clsim::DeviceSpec*, DeviceCopy> copies;
+
+  ~ArrayImpl();  // waits out in-flight commands that touch host_ptr
 
   // --- Capture roles ---
   int param_index = -1;        // >=0 while acting as a formal parameter

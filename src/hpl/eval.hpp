@@ -127,7 +127,6 @@ private:
 
     Runtime& rt = Runtime::get();
     hplrepro::Stopwatch host_watch;
-    double sim_wall = 0;
 
     // --- Capture + code generation (first invocation only) ---
     const void* key = reinterpret_cast<const void*>(fn_);
@@ -160,9 +159,8 @@ private:
 
     // --- Build for the target device (cached per device) ---
     detail::DeviceEntry& dev = rt.entry(device_);
-    const std::uint64_t misses_before = rt.prof().kernel_cache_misses;
-    detail::BuiltKernel& built = rt.build_for(*cached, dev);
-    const bool cache_hit = rt.prof().kernel_cache_misses == misses_before;
+    bool cache_hit = false;
+    detail::BuiltKernel& built = rt.build_for(*cached, dev, &cache_hit);
 
     // --- Bind arguments; minimal transfers ---
     std::vector<detail::BoundArray> arrays;
@@ -198,51 +196,48 @@ private:
           "first argument");
     }
 
-    // --- Launch ---
+    // --- Launch (non-blocking: the queue worker runs the kernel) ---
     clsim::Event event;
     {
       hplrepro::trace::Span span("launch", "hpl");
       event = dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range,
                                                 local_);
       if (span.active()) {
-        // Attach the launch's ExecStats, TimingBreakdown and OptReport so
-        // the trace carries the full per-launch picture.
-        const auto& stats = event.stats();
-        const auto& timing = event.timing();
+        // Only enqueue-time facts here: reading ExecStats/TimingBreakdown
+        // would block on the launch. The clsim device track carries the
+        // full per-launch picture (with queued/submitted/started/ended).
         span.arg("kernel", cached->name)
             .arg("device", dev.device.name())
             .arg("cache_hit", static_cast<std::uint64_t>(cache_hit))
-            .arg("items", stats.items)
-            .arg("groups", stats.groups)
-            .arg("ops", stats.total_ops())
-            .arg("fused_ops", stats.fused_ops)
-            .arg("global_bytes",
-                 stats.global_load_bytes + stats.global_store_bytes)
-            .arg("sim_ms", event.sim_seconds() * 1e3)
-            .arg("compute_ms", timing.compute_s * 1e3)
-            .arg("gmem_ms", timing.global_mem_s * 1e3)
-            .arg("lmem_ms", timing.local_mem_s * 1e3)
-            .arg("barrier_ms", timing.barrier_s * 1e3)
-            .arg("launch_overhead_ms", timing.launch_s * 1e3)
             .arg("opt_report", built.program->opt_report().summary());
       }
     }
-    sim_wall = event.wall_seconds();
 
     for (const auto& bound : arrays) {
       if (bound.written) rt.mark_device_written(*bound.impl, dev);
     }
 
-    detail::profiler_record_launch(cached->name, dev.device.name(),
-                                   cache_hit, event);
+    // Completion-side accounting, run on the queue worker (or inline in
+    // sync mode): simulated seconds and the per-kernel profiler registry.
+    event.on_complete([&rt, name = cached->name,
+                       dev_name = dev.device.name(),
+                       cache_hit](const clsim::Event& e) {
+      rt.with_prof([&](ProfileSnapshot& p) {
+        p.kernel_sim_seconds += e.sim_seconds();
+        p.sim_wall_seconds += e.wall_seconds();
+      });
+      detail::profiler_record_launch(name, dev_name, cache_hit, e);
+    });
 
-    ProfileSnapshot& prof = rt.prof();
-    prof.kernel_sim_seconds += event.sim_seconds();
-    prof.kernel_launches += 1;
-    prof.sim_wall_seconds += sim_wall;
-    // Host overhead = wall time in eval minus the time spent *simulating*
-    // the device (which stands in for the kernel's execution itself).
-    prof.host_seconds += host_watch.seconds() - sim_wall;
+    // In sync mode the simulator consumed host wall-clock inside this call;
+    // subtract it so host_seconds keeps meaning "eval overhead". In async
+    // mode the simulation runs on the worker and costs this thread nothing.
+    const double sim_wall =
+        clsim::async_enabled() ? 0.0 : event.wall_seconds();
+    rt.with_prof([&](ProfileSnapshot& p) {
+      p.kernel_launches += 1;
+      p.host_seconds += host_watch.seconds() - sim_wall;
+    });
   }
 
   /// Binds actual argument `actual` to parameter `i`.

@@ -62,9 +62,9 @@ Device Device::cpu_device() {
   return Device(0);
 }
 
-ProfileSnapshot profile() { return detail::Runtime::get().prof(); }
+ProfileSnapshot profile() { return detail::Runtime::get().profile_snapshot(); }
 void reset_profile() {
-  detail::Runtime::get().prof() = ProfileSnapshot{};
+  detail::Runtime::get().reset_profile_counters();
   // Keep the per-kernel registry in step with the counters so
   // profiler_report sums always reconcile with the snapshot.
   detail::profiler_reset();
@@ -123,7 +123,12 @@ CachedKernel& Runtime::insert_kernel(const void* fn, CachedKernel kernel) {
   return kernel_cache_[fn] = std::move(kernel);
 }
 
-void Runtime::clear_kernel_cache() { kernel_cache_.clear(); }
+void Runtime::clear_kernel_cache() {
+  // In-flight launches retain what they captured, but quiescing first keeps
+  // "purge then measure cold behaviour" deterministic.
+  finish_all();
+  kernel_cache_.clear();
+}
 
 void Runtime::set_build_options(std::string options) {
   clc::CompileOptions parsed;
@@ -136,14 +141,33 @@ void Runtime::set_build_options(std::string options) {
   clear_kernel_cache();
 }
 
-BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
+void Runtime::finish_all() {
+  for (auto& dev : devices_) dev.queue->finish();
+}
+
+ProfileSnapshot Runtime::profile_snapshot() {
+  // Quiesce so every pending on_complete counter update has landed.
+  finish_all();
+  std::lock_guard<std::mutex> lock(prof_mutex_);
+  return prof_;
+}
+
+void Runtime::reset_profile_counters() {
+  finish_all();
+  std::lock_guard<std::mutex> lock(prof_mutex_);
+  prof_ = ProfileSnapshot{};
+}
+
+BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev,
+                                bool* cache_hit) {
   const auto* key = &dev.device.spec();
   auto it = cached.built.find(key);
+  if (cache_hit != nullptr) *cache_hit = it != cached.built.end();
   if (it != cached.built.end()) {
-    ++prof_.kernel_cache_hits;
+    with_prof([](ProfileSnapshot& p) { ++p.kernel_cache_hits; });
     return it->second;
   }
-  ++prof_.kernel_cache_misses;
+  with_prof([](ProfileSnapshot& p) { ++p.kernel_cache_misses; });
 
   hplrepro::trace::Span span("build", "hpl");
   span.arg("kernel", cached.name).arg("device", dev.device.name());
@@ -153,7 +177,7 @@ BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev) {
   built.program->build(build_options_);
   built.kernel =
       std::make_unique<clsim::Kernel>(*built.program, cached.name);
-  ++prof_.kernels_built;
+  with_prof([](ProfileSnapshot& p) { ++p.kernels_built; });
   profiler_record_build(cached.name, dev.device.name());
   return cached.built[key] = std::move(built);
 }
@@ -181,18 +205,29 @@ ArrayImpl::DeviceCopy& Runtime::device_copy(ArrayImpl& impl,
 void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
   ArrayImpl::DeviceCopy& copy = device_copy(impl, dev);
   if (copy.valid) return;
-  if (!impl.host_valid) sync_to_host(impl);
+  // If the current bits live on another device, chain d2h -> h2d through
+  // events instead of blocking the host: the upload's wait-list carries the
+  // dependency, so the host thread keeps going.
+  if (!impl.host_valid) make_host_current_async(impl);
   hplrepro::trace::Span span("transfer:h2d", "hpl");
+  const std::size_t nbytes = impl.bytes();
+  std::vector<clsim::Event> deps;
+  if (!impl.host_ready.complete()) deps.push_back(impl.host_ready);
   clsim::Event event = dev.queue->enqueue_write_buffer(
-      *copy.buffer, impl.host_ptr, impl.bytes());
-  span.arg("bytes", static_cast<std::uint64_t>(impl.bytes()))
-      .arg("device", dev.device.name())
-      .arg("sim_ms", event.sim_seconds() * 1e3);
-  prof_.transfer_sim_seconds += event.sim_seconds();
-  prof_.sim_wall_seconds += event.wall_seconds();
-  prof_.bytes_to_device += impl.bytes();
-  profiler_record_transfer(dev.device.name(), /*to_device=*/true,
-                           impl.bytes(), event.sim_seconds());
+      *copy.buffer, impl.host_ptr, nbytes, /*offset=*/0, std::move(deps));
+  span.arg("bytes", static_cast<std::uint64_t>(nbytes))
+      .arg("device", dev.device.name());
+  event.on_complete(
+      [this, nbytes, name = dev.device.name()](const clsim::Event& e) {
+        with_prof([&](ProfileSnapshot& p) {
+          p.transfer_sim_seconds += e.sim_seconds();
+          p.sim_wall_seconds += e.wall_seconds();
+          p.bytes_to_device += nbytes;
+        });
+        profiler_record_transfer(name, /*to_device=*/true, nbytes,
+                                 e.sim_seconds());
+      });
+  impl.host_readers.push_back(event);  // upload reads host_ptr in flight
   copy.valid = true;
 }
 
@@ -202,7 +237,7 @@ void Runtime::mark_device_written(ArrayImpl& impl, DeviceEntry& dev) {
   impl.host_valid = false;
 }
 
-void Runtime::sync_to_host(ArrayImpl& impl) {
+void Runtime::make_host_current_async(ArrayImpl& impl) {
   if (impl.host_valid) return;
   // Find any valid device copy and read it back through its owning queue.
   for (int i = 0; i < device_count(); ++i) {
@@ -210,16 +245,28 @@ void Runtime::sync_to_host(ArrayImpl& impl) {
     auto it = impl.copies.find(&dev.device.spec());
     if (it != impl.copies.end() && it->second.valid) {
       hplrepro::trace::Span span("transfer:d2h", "hpl");
+      const std::size_t nbytes = impl.bytes();
+      // The read writes host_ptr: wait out uploads still reading it, and
+      // any earlier read still filling it.
+      std::vector<clsim::Event> deps = impl.host_readers;
+      if (!impl.host_ready.complete()) deps.push_back(impl.host_ready);
       clsim::Event event = dev.queue->enqueue_read_buffer(
-          *it->second.buffer, impl.host_ptr, impl.bytes());
-      span.arg("bytes", static_cast<std::uint64_t>(impl.bytes()))
-          .arg("device", dev.device.name())
-          .arg("sim_ms", event.sim_seconds() * 1e3);
-      prof_.transfer_sim_seconds += event.sim_seconds();
-      prof_.sim_wall_seconds += event.wall_seconds();
-      prof_.bytes_to_host += impl.bytes();
-      profiler_record_transfer(dev.device.name(), /*to_device=*/false,
-                               impl.bytes(), event.sim_seconds());
+          *it->second.buffer, impl.host_ptr, nbytes, /*offset=*/0,
+          std::move(deps));
+      span.arg("bytes", static_cast<std::uint64_t>(nbytes))
+          .arg("device", dev.device.name());
+      event.on_complete(
+          [this, nbytes, name = dev.device.name()](const clsim::Event& e) {
+            with_prof([&](ProfileSnapshot& p) {
+              p.transfer_sim_seconds += e.sim_seconds();
+              p.sim_wall_seconds += e.wall_seconds();
+              p.bytes_to_host += nbytes;
+            });
+            profiler_record_transfer(name, /*to_device=*/false, nbytes,
+                                     e.sim_seconds());
+          });
+      impl.host_ready = event;
+      impl.host_readers.clear();
       impl.host_valid = true;
       return;
     }
@@ -229,7 +276,30 @@ void Runtime::sync_to_host(ArrayImpl& impl) {
   impl.host_valid = true;
 }
 
+void Runtime::sync_to_host(ArrayImpl& impl) {
+  make_host_current_async(impl);
+  // The lazy synchronization point: the host blocks only here, when it
+  // actually dereferences the data (or is about to overwrite it).
+  impl.host_ready.wait();
+}
+
 // --- ArrayImpl helpers ------------------------------------------------------------
+
+ArrayImpl::~ArrayImpl() {
+  // Commands in flight may still dereference host_ptr (which can be
+  // caller-owned, or about to be freed with this object). Wait them out;
+  // deferred execution errors have nowhere to go from a destructor.
+  for (auto& e : host_readers) {
+    try {
+      e.wait();
+    } catch (...) {
+    }
+  }
+  try {
+    host_ready.wait();
+  } catch (...) {
+  }
+}
 
 ArrayImplPtr make_array_impl(const char* type_name, std::size_t elem_size,
                              std::vector<std::size_t> dims, MemFlag flag) {
@@ -260,6 +330,10 @@ void sync_to_host(ArrayImpl& impl) { Runtime::get().sync_to_host(impl); }
 
 void prepare_host_write(ArrayImpl& impl) {
   Runtime::get().sync_to_host(impl);
+  // The host is about to scribble on host_ptr: in-flight uploads still
+  // reading it must finish first.
+  for (auto& e : impl.host_readers) e.wait();
+  impl.host_readers.clear();
   for (auto& [key, copy] : impl.copies) copy.valid = false;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -138,21 +139,47 @@ public:
   CachedKernel* find_kernel(const void* fn);
   CachedKernel& insert_kernel(const void* fn, CachedKernel kernel);
 
-  /// Ensures `cached` is built for `dev` and returns the binary.
-  BuiltKernel& build_for(CachedKernel& cached, DeviceEntry& dev);
+  /// Ensures `cached` is built for `dev` and returns the binary. When
+  /// `cache_hit` is non-null it is set to whether the binary was already
+  /// built (no capture/codegen/compiler work happened).
+  BuiltKernel& build_for(CachedKernel& cached, DeviceEntry& dev,
+                         bool* cache_hit = nullptr);
 
   /// Ensures the array has a buffer on `dev` sized to its current dims.
   ArrayImpl::DeviceCopy& device_copy(ArrayImpl& impl, DeviceEntry& dev);
 
-  /// Makes the device copy valid (uploading from host if needed).
+  /// Makes the device copy valid (uploading from host if needed). The
+  /// upload is enqueued asynchronously; ordering against other commands
+  /// touching the array is carried by event wait-lists.
   void ensure_on_device(ArrayImpl& impl, DeviceEntry& dev);
 
   /// Marks the device copy as the only valid one (kernel wrote it).
   void mark_device_written(ArrayImpl& impl, DeviceEntry& dev);
 
+  /// Enqueues the d2h read that makes the host copy current (if one is
+  /// needed) without blocking; `impl.host_ready` tracks its completion.
+  void make_host_current_async(ArrayImpl& impl);
+
+  /// make_host_current_async + blocks until the host copy is readable.
   void sync_to_host(ArrayImpl& impl);
 
-  ProfileSnapshot& prof() { return prof_; }
+  /// Runs `fn(prof)` with the profile counters under their lock. Counters
+  /// are updated both from host threads (launch/build bookkeeping) and
+  /// from queue workers (simulated seconds, via Event::on_complete).
+  template <typename F>
+  void with_prof(F&& fn) {
+    std::lock_guard<std::mutex> lock(prof_mutex_);
+    fn(prof_);
+  }
+
+  /// Quiesces every queue (so all in-flight counter updates land) and
+  /// returns a consistent copy of the counters.
+  ProfileSnapshot profile_snapshot();
+  void reset_profile_counters();
+
+  /// Blocks until every enqueued command on every device has completed;
+  /// rethrows the first deferred execution error, if any.
+  void finish_all();
 
   /// Generates a fresh kernel name.
   std::string next_kernel_name();
@@ -167,6 +194,7 @@ private:
   Runtime();
   std::vector<DeviceEntry> devices_;
   std::map<const void*, CachedKernel> kernel_cache_;
+  std::mutex prof_mutex_;
   ProfileSnapshot prof_;
   std::string build_options_;
   int next_kernel_id_ = 0;

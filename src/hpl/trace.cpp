@@ -21,8 +21,11 @@ struct Registry {
 };
 
 Registry& registry() {
-  static Registry instance;
-  return instance;
+  // Intentionally leaked: queue workers record launches until the Runtime
+  // singleton (and its queues) is torn down at exit, which may happen
+  // after any function-local static here would have been destroyed.
+  static Registry* instance = new Registry();
+  return *instance;
 }
 
 std::string fmt_ms(double seconds) {
@@ -49,6 +52,9 @@ std::string fmt_bytes(std::uint64_t bytes) {
 }  // namespace
 
 std::vector<KernelProfile> kernel_profiles() {
+  // Quiesce the queues: launch records land from on_complete callbacks on
+  // the queue workers, so a snapshot is only consistent once they drain.
+  detail::Runtime::get().finish_all();
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   std::vector<KernelProfile> out;
@@ -58,6 +64,7 @@ std::vector<KernelProfile> kernel_profiles() {
 }
 
 std::vector<TransferProfile> transfer_profiles() {
+  detail::Runtime::get().finish_all();
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   std::vector<TransferProfile> out;

@@ -124,4 +124,54 @@ void ThreadPool::parallel_for(std::size_t count,
   });
 }
 
+// --- SerialWorker ------------------------------------------------------------
+
+SerialWorker::SerialWorker() {
+  // Started in the body, not the init list: every member the loop touches
+  // must be fully constructed before the thread can observe it.
+  thread_ = std::thread([this] { loop(); });
+}
+
+SerialWorker::~SerialWorker() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+}
+
+void SerialWorker::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void SerialWorker::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && !busy_; });
+}
+
+void SerialWorker::loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
 }  // namespace hplrepro

@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -56,6 +57,43 @@ private:
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// A single dedicated thread draining a FIFO task queue.
+///
+/// clsim gives every CommandQueue one SerialWorker: tasks posted to it run
+/// strictly in post order (the OpenCL in-order queue contract) while the
+/// posting thread returns immediately. Heavy per-task parallelism still
+/// comes from the shared ThreadPool — the worker only serialises command
+/// dispatch, it does not execute work-groups itself.
+class SerialWorker {
+public:
+  SerialWorker();
+  /// Drains every task already posted, then joins the thread.
+  ~SerialWorker();
+
+  SerialWorker(const SerialWorker&) = delete;
+  SerialWorker& operator=(const SerialWorker&) = delete;
+
+  /// Appends `task` to the queue and returns without waiting. Tasks must
+  /// not throw; wrap fallible work and capture the error out-of-band.
+  void post(std::function<void()> task);
+
+  /// Blocks until every task posted before this call has finished.
+  void drain();
+
+private:
+  void loop();
+
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // worker wakeups
+  std::condition_variable idle_cv_;  // drain() wakeups
+  bool stopping_ = false;
+  bool busy_ = false;
+  // Last member: the worker must start after, and die before, all state
+  // it touches.
+  std::thread thread_;
 };
 
 }  // namespace hplrepro

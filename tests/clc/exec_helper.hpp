@@ -42,6 +42,7 @@ std::vector<T> run_kernel_1buf(const std::string& source,
   queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(global), local_range);
 
   queue.enqueue_read_buffer(buffer, data.data(), data.size() * sizeof(T));
+  queue.finish();  // the queue is asynchronous; block before reading `data`
   return data;
 }
 

@@ -62,9 +62,11 @@ DiffRun run_diff(const std::string& source, const std::string& kernel_name,
   if (local != 0) local_range = clsim::NDRange(local);
   clsim::Event e = queue.enqueue_ndrange_kernel(
       kernel, clsim::NDRange(global), local_range);
+  e.wait();  // stats() exists only once the launch completes
   run.stats = e.stats();
 
   queue.enqueue_read_buffer(buffer, run.words.data(), buffer.size());
+  queue.finish();
   return run;
 }
 

@@ -1,0 +1,260 @@
+// The asynchronous command pipeline: enqueue_* returns immediately with an
+// Event, a dedicated worker drains each queue in order, and the host only
+// blocks in wait()/finish(). Invariants under test:
+//   * enqueue is non-blocking (an in-flight command is observably not
+//     Complete after enqueue returns);
+//   * the Event status lifecycle ends at Complete, and the simulated
+//     timeline still tiles exactly as in synchronous mode;
+//   * finish() genuinely blocks until results are visible to the host;
+//   * wait-lists order commands across queues;
+//   * queues on different devices execute concurrently (overlapping host
+//     wall-clock windows);
+//   * HPL_SYNC-style synchronous mode produces bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+const char* kScaleSource = R"(
+__kernel void scale(__global float* data, float a) {
+  size_t i = get_global_id(0);
+  data[i] = a * data[i];
+}
+)";
+
+// Enough work items that the worker is still busy when enqueue returns.
+constexpr std::size_t kHeavyItems = 1 << 18;
+
+struct QueueFixture {
+  explicit QueueFixture(const std::string& device_name)
+      : device(*clsim::Platform::get().device_by_name(device_name)),
+        context(device),
+        queue(context),
+        program(context, kScaleSource) {
+    program.build();
+  }
+
+  clsim::Device device;
+  clsim::Context context;
+  clsim::CommandQueue queue;
+  clsim::Program program;
+};
+
+TEST(AsyncQueue, EnqueueReturnsBeforeCompletion) {
+  QueueFixture f("Tesla");
+  std::vector<float> host(kHeavyItems, 1.0f);
+  clsim::Buffer buffer(f.context, host.size() * sizeof(float));
+  clsim::Kernel kernel(f.program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 2.0f);
+
+  // A heavy launch takes many milliseconds on the worker while enqueue
+  // returns in microseconds; retry so scheduler hiccups cannot flake this.
+  bool observed_in_flight = false;
+  for (int attempt = 0; attempt < 5 && !observed_in_flight; ++attempt) {
+    f.queue.enqueue_write_buffer(buffer, host.data(),
+                                 host.size() * sizeof(float));
+    const clsim::Event event =
+        f.queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(kHeavyItems));
+    observed_in_flight = !event.complete();
+    f.queue.finish();
+    EXPECT_EQ(event.status(), clsim::Event::Status::Complete);
+  }
+  EXPECT_TRUE(observed_in_flight);
+}
+
+TEST(AsyncQueue, FinishBlocksUntilResultsAreVisible) {
+  QueueFixture f("Tesla");
+  constexpr std::size_t n = 1024;
+  std::vector<float> host(n, 3.0f);
+  clsim::Buffer buffer(f.context, n * sizeof(float));
+  clsim::Kernel kernel(f.program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 2.0f);
+
+  f.queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float));
+  f.queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n));
+  std::vector<float> out(n, 0.0f);
+  f.queue.enqueue_read_buffer(buffer, out.data(), n * sizeof(float));
+  f.queue.finish();
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 6.0f) << i;
+}
+
+TEST(AsyncQueue, TimelineTilesWithoutIntermediateBlocking) {
+  // Same tiling invariant as EventProfiling.CommandsTileTheQueueTimeline,
+  // but nothing blocks between enqueues: the simulated timeline must be
+  // identical no matter how host and worker interleave, because sim
+  // timestamps are assigned at drain time.
+  QueueFixture f("Tesla");
+  constexpr std::size_t n = 512;
+  std::vector<float> host(n, 1.0f);
+  clsim::Buffer buffer(f.context, n * sizeof(float));
+  clsim::Kernel kernel(f.program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 2.0f);
+
+  std::vector<clsim::Event> events;
+  events.push_back(
+      f.queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float)));
+  events.push_back(f.queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n)));
+  events.push_back(f.queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n)));
+  events.push_back(
+      f.queue.enqueue_read_buffer(buffer, host.data(), n * sizeof(float)));
+  f.queue.finish();
+
+  EXPECT_DOUBLE_EQ(events.front().queued(), 0.0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_LE(events[i].queued(), events[i].submitted());
+    EXPECT_LE(events[i].submitted(), events[i].started());
+    EXPECT_LE(events[i].started(), events[i].ended());
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(events[i].started(), events[i - 1].ended());
+    }
+  }
+  EXPECT_DOUBLE_EQ(events.back().ended(), f.queue.simulated_seconds());
+}
+
+TEST(AsyncQueue, WaitListsOrderCommandsAcrossQueues) {
+  // Producer queue writes and squares; consumer queue reads back, ordered
+  // only by the wait-list (the queues share no worker).
+  QueueFixture f("Tesla");
+  clsim::CommandQueue other(f.context);
+  constexpr std::size_t n = 2048;
+  std::vector<float> host(n, 5.0f);
+  clsim::Buffer buffer(f.context, n * sizeof(float));
+  clsim::Kernel kernel(f.program, "scale");
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, 5.0f);
+
+  const clsim::Event write = f.queue.enqueue_write_buffer(
+      buffer, host.data(), n * sizeof(float));
+  const clsim::Event launch = f.queue.enqueue_ndrange_kernel(
+      kernel, clsim::NDRange(n), std::nullopt, {write});
+  std::vector<float> out(n, 0.0f);
+  const clsim::Event read = other.enqueue_read_buffer(
+      buffer, out.data(), n * sizeof(float), /*offset=*/0, {launch});
+  read.wait();
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 25.0f) << i;
+}
+
+TEST(AsyncQueue, DeferredErrorsSurfaceOnWait) {
+  // An execution error (fuel exhaustion / trap) raised on the worker is
+  // stored on the Event; a later wait() — or finish() — rethrows it once.
+  QueueFixture f("Tesla");
+  const char* divergent = R"(
+__kernel void div_barrier(__global float* x) {
+  if (get_local_id(0) < 2) barrier(CLK_LOCAL_MEM_FENCE);
+  x[get_global_id(0)] = 1.0f;
+}
+)";
+  clsim::Program program(f.context, divergent);
+  program.build();
+  clsim::Kernel kernel(program, "div_barrier");
+  clsim::Buffer buffer(f.context, 8 * sizeof(float));
+  kernel.set_arg(0, buffer);
+
+  const clsim::Event event = f.queue.enqueue_ndrange_kernel(
+      kernel, clsim::NDRange(8), clsim::NDRange(4));
+  EXPECT_THROW(event.wait(), hplrepro::clc::TrapError);
+  // The queue remembers its first deferred error and rethrows it exactly
+  // once from finish(); after that the queue is clean and usable.
+  EXPECT_THROW(f.queue.finish(), hplrepro::clc::TrapError);
+  f.queue.finish();
+}
+
+TEST(AsyncQueue, MultiDeviceQueuesOverlapInWallClock) {
+  // Two devices, two workers: heavy launches issued back to back must
+  // execute concurrently. Retry to absorb scheduler noise.
+  QueueFixture tesla("Tesla");
+  QueueFixture quadro("Quadro");
+  std::vector<float> a(kHeavyItems, 1.0f), b(kHeavyItems, 1.0f);
+  clsim::Buffer buf_a(tesla.context, a.size() * sizeof(float));
+  clsim::Buffer buf_b(quadro.context, b.size() * sizeof(float));
+  clsim::Kernel ka(tesla.program, "scale");
+  ka.set_arg(0, buf_a);
+  ka.set_arg(1, 2.0f);
+  clsim::Kernel kb(quadro.program, "scale");
+  kb.set_arg(0, buf_b);
+  kb.set_arg(1, 3.0f);
+
+  bool overlapped = false;
+  for (int attempt = 0; attempt < 8 && !overlapped; ++attempt) {
+    tesla.queue.enqueue_write_buffer(buf_a, a.data(),
+                                     a.size() * sizeof(float));
+    quadro.queue.enqueue_write_buffer(buf_b, b.data(),
+                                      b.size() * sizeof(float));
+    const clsim::Event ea =
+        tesla.queue.enqueue_ndrange_kernel(ka, clsim::NDRange(kHeavyItems));
+    const clsim::Event eb =
+        quadro.queue.enqueue_ndrange_kernel(kb, clsim::NDRange(kHeavyItems));
+    tesla.queue.finish();
+    quadro.queue.finish();
+    overlapped = std::max(ea.host_started_us(), eb.host_started_us()) <
+                 std::min(ea.host_ended_us(), eb.host_ended_us());
+  }
+  EXPECT_TRUE(overlapped);
+
+  // Each queue owns an independent simulated timeline regardless of how
+  // the real execution interleaved.
+  EXPECT_GT(tesla.queue.simulated_seconds(), 0.0);
+  EXPECT_GT(quadro.queue.simulated_seconds(), 0.0);
+}
+
+TEST(AsyncQueue, SyncModeMatchesAsyncBitForBit) {
+  auto run = [](bool async) {
+    clsim::set_async_enabled(async);
+    QueueFixture f("Quadro");
+    constexpr std::size_t n = 4096;
+    std::vector<float> host(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      host[i] = static_cast<float>(i) * 0.25f;
+    }
+    clsim::Buffer buffer(f.context, n * sizeof(float));
+    clsim::Kernel kernel(f.program, "scale");
+    kernel.set_arg(0, buffer);
+    kernel.set_arg(1, 1.5f);
+
+    f.queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float));
+    for (int rep = 0; rep < 3; ++rep) {
+      f.queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n));
+    }
+    std::vector<float> out(n, 0.0f);
+    f.queue.enqueue_read_buffer(buffer, out.data(), n * sizeof(float));
+    f.queue.finish();
+    return out;
+  };
+
+  const std::vector<float> async_out = run(true);
+  const std::vector<float> sync_out = run(false);
+  clsim::set_async_enabled(true);
+  EXPECT_EQ(async_out, sync_out);
+}
+
+TEST(AsyncQueue, SyncModeCompletesAtEnqueue) {
+  clsim::set_async_enabled(false);
+  QueueFixture f("Tesla");
+  constexpr std::size_t n = 256;
+  std::vector<float> host(n, 2.0f);
+  clsim::Buffer buffer(f.context, n * sizeof(float));
+
+  // In synchronous mode every enqueue drains the queue before returning:
+  // the escape hatch restores the old blocking semantics exactly.
+  const clsim::Event event =
+      f.queue.enqueue_write_buffer(buffer, host.data(), n * sizeof(float));
+  EXPECT_TRUE(event.complete());
+  std::vector<float> out(n, 0.0f);
+  const clsim::Event read =
+      f.queue.enqueue_read_buffer(buffer, out.data(), n * sizeof(float));
+  EXPECT_TRUE(read.complete());
+  EXPECT_EQ(out, host);
+  clsim::set_async_enabled(true);
+}
+
+}  // namespace

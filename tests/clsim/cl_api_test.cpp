@@ -203,6 +203,169 @@ TEST(ClApi, ErrorCodesOnMisuse) {
   clReleaseContext(context);
 }
 
+// Fixture for the event API: one context + queue on the first GPU, plus a
+// built kernel that squares a buffer in place.
+class ClApiEvents : public ::testing::Test {
+protected:
+  void SetUp() override {
+    cl_int err;
+    ASSERT_EQ(clGetPlatformIDs(1, &platform_, nullptr), CL_SUCCESS);
+    ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_,
+                             nullptr),
+              CL_SUCCESS);
+    context_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue_ = clCreateCommandQueue(context_, device_, 0, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    const char* src = R"(
+__kernel void square(__global float* x) {
+  size_t i = get_global_id(0);
+  x[i] = x[i] * x[i];
+}
+)";
+    program_ = clCreateProgramWithSource(context_, 1, &src, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clBuildProgram(program_, 1, &device_, nullptr, nullptr,
+                             nullptr),
+              CL_SUCCESS);
+    kernel_ = clCreateKernel(program_, "square", &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+  }
+
+  void TearDown() override {
+    clReleaseKernel(kernel_);
+    clReleaseProgram(program_);
+    clReleaseCommandQueue(queue_);
+    clReleaseContext(context_);
+  }
+
+  cl_platform_id platform_;
+  cl_device_id device_;
+  cl_context context_;
+  cl_command_queue queue_;
+  cl_program program_;
+  cl_kernel kernel_;
+};
+
+TEST_F(ClApiEvents, WaitListChainsCommandsAndWaitForEventsBlocks) {
+  cl_int err;
+  constexpr std::size_t n = 64;
+  std::vector<float> host(n, 3.0f), out(n, 0.0f);
+  cl_mem buf = clCreateBuffer(context_, CL_MEM_READ_WRITE, n * 4, nullptr,
+                              &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  // Non-blocking write -> kernel (waits on write) -> non-blocking read
+  // (waits on kernel): the host only blocks in clWaitForEvents.
+  cl_event write_ev = nullptr;
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, buf, CL_FALSE, 0, n * 4, host.data(),
+                                 0, nullptr, &write_ev),
+            CL_SUCCESS);
+  ASSERT_NE(write_ev, nullptr);
+
+  ASSERT_EQ(clSetKernelArg(kernel_, 0, sizeof(cl_mem), &buf), CL_SUCCESS);
+  const std::size_t global = n;
+  cl_event kernel_ev = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel_, 1, nullptr, &global,
+                                   nullptr, 1, &write_ev, &kernel_ev),
+            CL_SUCCESS);
+  ASSERT_NE(kernel_ev, nullptr);
+
+  cl_event read_ev = nullptr;
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, buf, CL_FALSE, 0, n * 4, out.data(),
+                                1, &kernel_ev, &read_ev),
+            CL_SUCCESS);
+  ASSERT_NE(read_ev, nullptr);
+
+  ASSERT_EQ(clWaitForEvents(1, &read_ev), CL_SUCCESS);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 9.0f) << i;
+
+  // After the chain completes, every event reports CL_COMPLETE.
+  for (cl_event ev : {write_ev, kernel_ev, read_ev}) {
+    cl_int status = -1;
+    std::size_t size = 0;
+    ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                             sizeof(status), &status, &size),
+              CL_SUCCESS);
+    EXPECT_EQ(status, CL_COMPLETE);
+    EXPECT_EQ(size, sizeof(cl_int));
+  }
+
+  EXPECT_EQ(clReleaseEvent(write_ev), CL_SUCCESS);
+  EXPECT_EQ(clReleaseEvent(kernel_ev), CL_SUCCESS);
+  EXPECT_EQ(clReleaseEvent(read_ev), CL_SUCCESS);
+  clReleaseMemObject(buf);
+}
+
+TEST_F(ClApiEvents, BlockingWriteYieldsCompleteEvent) {
+  cl_int err;
+  std::vector<float> host(16, 1.0f);
+  cl_mem buf = clCreateBuffer(context_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, buf, CL_TRUE, 0, 64, host.data(), 0,
+                                 nullptr, &ev),
+            CL_SUCCESS);
+  ASSERT_NE(ev, nullptr);
+  cl_int status = -1;
+  ASSERT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(status), &status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(status, CL_COMPLETE);  // the call blocked until completion
+
+  EXPECT_EQ(clRetainEvent(ev), CL_SUCCESS);
+  EXPECT_EQ(clReleaseEvent(ev), CL_SUCCESS);  // refcount 2 -> 1
+  // Still usable after the first release.
+  EXPECT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  EXPECT_EQ(clReleaseEvent(ev), CL_SUCCESS);
+  clReleaseMemObject(buf);
+}
+
+TEST_F(ClApiEvents, EventErrorCodes) {
+  EXPECT_EQ(clWaitForEvents(0, nullptr), CL_INVALID_VALUE);
+  cl_event null_ev = nullptr;
+  EXPECT_EQ(clWaitForEvents(1, &null_ev), CL_INVALID_EVENT);
+  EXPECT_EQ(clGetEventInfo(nullptr, CL_EVENT_COMMAND_EXECUTION_STATUS, 4,
+                           nullptr, nullptr),
+            CL_INVALID_EVENT);
+  EXPECT_EQ(clRetainEvent(nullptr), CL_INVALID_EVENT);
+  EXPECT_EQ(clReleaseEvent(nullptr), CL_INVALID_EVENT);
+
+  cl_int err;
+  cl_mem buf = clCreateBuffer(context_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  float data[16] = {0};
+
+  // Malformed wait lists: count without a list, a list without a count,
+  // and a null entry.
+  EXPECT_EQ(clEnqueueWriteBuffer(queue_, buf, CL_TRUE, 0, 64, data, 1,
+                                 nullptr, nullptr),
+            CL_INVALID_EVENT_WAIT_LIST);
+  cl_event ev = nullptr;
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, buf, CL_TRUE, 0, 64, data, 0,
+                                 nullptr, &ev),
+            CL_SUCCESS);
+  EXPECT_EQ(clEnqueueReadBuffer(queue_, buf, CL_TRUE, 0, 64, data, 0, &ev,
+                                nullptr),
+            CL_INVALID_EVENT_WAIT_LIST);
+  cl_event bad_list[2] = {ev, nullptr};
+  EXPECT_EQ(clEnqueueReadBuffer(queue_, buf, CL_TRUE, 0, 64, data, 2,
+                                bad_list, nullptr),
+            CL_INVALID_EVENT_WAIT_LIST);
+
+  // Unsupported param / short buffer on clGetEventInfo.
+  cl_int status = 0;
+  EXPECT_EQ(clGetEventInfo(ev, 0x1234, sizeof(status), &status, nullptr),
+            CL_INVALID_VALUE);
+  EXPECT_EQ(clGetEventInfo(ev, CL_EVENT_COMMAND_EXECUTION_STATUS, 1, &status,
+                           nullptr),
+            CL_INVALID_VALUE);
+
+  clReleaseEvent(ev);
+  clReleaseMemObject(buf);
+}
+
 TEST(ClApi, RetainReleaseCounting) {
   cl_int err;
   cl_platform_id platform;

@@ -50,6 +50,7 @@ __kernel void k(__global int* out) {
                                clsim::NDRange(2, 1, 1));
   std::vector<std::int32_t> out(24);
   queue.enqueue_read_buffer(buffer, out.data(), out.size() * 4);
+  queue.finish();  // the queue is asynchronous; block before reading `out`
   for (std::size_t z = 0; z < 2; ++z) {
     for (std::size_t y = 0; y < 3; ++y) {
       for (std::size_t x = 0; x < 4; ++x) {
@@ -90,9 +91,14 @@ __kernel void k(__global int* o) {
   program.build();
   clsim::Kernel kernel(program, "k");
   kernel.set_arg(0, buffer);
-  EXPECT_THROW(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(8),
-                                            clsim::NDRange(4)),
-               hplrepro::clc::TrapError);
+  // Execution errors surface when the host synchronizes, not at enqueue.
+  EXPECT_THROW(
+      {
+        queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(8),
+                                     clsim::NDRange(4));
+        queue.finish();
+      },
+      hplrepro::clc::TrapError);
 }
 
 TEST(Executor, DoubleKernelRejectedOnQuadro) {
@@ -185,6 +191,7 @@ __kernel void k(__global int* data) {
   queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(8), clsim::NDRange(4));
   std::vector<std::int32_t> out(16);
   queue.enqueue_read_buffer(buffer, out.data(), 64);
+  queue.finish();  // the queue is asynchronous; block before reading `out`
   for (std::size_t gid = 0; gid < 8; ++gid) {
     const std::size_t lid = gid % 4;
     const std::size_t neighbor = gid - lid + ((lid + 1) % 4);

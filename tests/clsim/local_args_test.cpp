@@ -57,6 +57,7 @@ TEST(DynamicLocalArgs, GroupReductionThroughCxxApi) {
                                clsim::NDRange(local));
   std::vector<float> out(groups);
   queue.enqueue_read_buffer(out_buf, out.data(), groups * 4);
+  queue.finish();  // the queue is asynchronous; block before reading `out`
 
   for (std::size_t g = 0; g < groups; ++g) {
     float expected = 0;
@@ -137,6 +138,7 @@ __kernel void both(__global float* out, __local float* dyn) {
   queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(8), clsim::NDRange(8));
   std::vector<float> out(8);
   queue.enqueue_read_buffer(out_buf, out.data(), 32);
+  queue.finish();  // the queue is asynchronous; block before reading `out`
   for (int i = 0; i < 8; ++i) {
     ASSERT_EQ(out[i], 110.0f + 2.0f * i) << i;
   }

@@ -48,6 +48,7 @@ TEST(RuntimeSmoke, SaxpyOnDefaultDevice) {
   clsim::Event event =
       queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n));
   queue.enqueue_read_buffer(by, y.data(), n * sizeof(float));
+  queue.finish();  // the queue is asynchronous; block before reading `y`
 
   for (std::size_t i = 0; i < n; ++i) {
     ASSERT_FLOAT_EQ(y[i], 2.0f * static_cast<float>(i) + 1.0f) << "i=" << i;
@@ -103,6 +104,7 @@ __kernel void dotp(__global const float* v1, __global const float* v2,
 
   queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(n), clsim::NDRange(m));
   queue.enqueue_read_buffer(bp, psums.data(), groups * sizeof(float));
+  queue.finish();  // the queue is asynchronous; block before reading `psums`
 
   for (std::size_t g = 0; g < groups; ++g) {
     ASSERT_FLOAT_EQ(psums[g], 6.0f * m) << "group " << g;

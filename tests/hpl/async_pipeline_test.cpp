@@ -1,0 +1,164 @@
+// The HPL layer over the asynchronous pipeline: eval() enqueues without
+// blocking, host access synchronizes lazily through per-array events, and
+// independent evals on different devices genuinely overlap — while results
+// and profile invariants stay identical to HPL_SYNC=1 mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "clsim/runtime.hpp"
+#include "hpl/HPL.h"
+#include "support/stopwatch.hpp"
+
+using namespace HPL;
+
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+void saxpy(Array<float, 1> y, Array<float, 1> x, Float a) {
+  y[idx] = a * x[idx] + y[idx];
+}
+
+void triple(Array<float, 1> data) { data[idx] = 3.0f * data[idx]; }
+
+class AsyncPipelineTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    clsim::set_async_enabled(true);
+    purge_kernel_cache();
+    reset_profile();
+  }
+  void TearDown() override { clsim::set_async_enabled(true); }
+};
+
+std::vector<float> run_two_device_chain() {
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+  constexpr std::size_t n = 4096;
+  Array<float, 1> a(n), b(n), xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i) = static_cast<float>(i % 17) * 0.5f;
+    b(i) = static_cast<float>(i % 23) * 0.25f;
+    xs(i) = 1.0f + static_cast<float>(i % 5);
+  }
+  // Independent chains on two devices, then a cross-device move: `a` is
+  // computed on the Tesla and then consumed on the Quadro.
+  for (int rep = 0; rep < 4; ++rep) {
+    eval(saxpy).device(tesla)(a, xs, 0.5f);
+    eval(saxpy).device(quadro)(b, xs, 0.25f);
+  }
+  eval(triple).device(quadro)(a);
+
+  std::vector<float> out(2 * n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a(i);
+  for (std::size_t i = 0; i < n; ++i) out[n + i] = b(i);
+  return out;
+}
+
+TEST_F(AsyncPipelineTest, TwoDeviceChainMatchesSyncModeBitForBit) {
+  const std::vector<float> async_out = run_two_device_chain();
+
+  clsim::set_async_enabled(false);
+  purge_kernel_cache();
+  reset_profile();
+  const std::vector<float> sync_out = run_two_device_chain();
+
+  ASSERT_EQ(async_out.size(), sync_out.size());
+  for (std::size_t i = 0; i < async_out.size(); ++i) {
+    ASSERT_EQ(async_out[i], sync_out[i]) << i;
+  }
+}
+
+TEST_F(AsyncPipelineTest, HostAccessSynchronizesLazily) {
+  constexpr std::size_t n = 1 << 16;
+  Array<float, 1> data(n);
+  for (std::size_t i = 0; i < n; ++i) data(i) = 1.0f;
+
+  // Several chained launches; the host does not block between them, and
+  // the read-back only happens (and blocks) at the first element access.
+  for (int rep = 0; rep < 3; ++rep) eval(triple)(data);
+  const auto before = profile();  // quiesces, but moves no data
+  EXPECT_EQ(before.bytes_to_host, 0u);
+  EXPECT_EQ(data(0), 27.0f);  // <- the lazy synchronization point
+  const auto after = profile();
+  EXPECT_EQ(after.bytes_to_host, n * sizeof(float));
+}
+
+TEST_F(AsyncPipelineTest, ProfileCountersStayConsistentAcrossWorkers) {
+  // Launch completions land from two queue workers concurrently; the
+  // snapshot must still satisfy hits + misses == launches and account
+  // every launch's simulated seconds.
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+  constexpr std::size_t n = 2048;
+  Array<float, 1> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a(i) = b(i) = 1.0f;
+
+  constexpr std::uint64_t reps = 12;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    eval(triple).device(tesla)(a);
+    eval(triple).device(quadro)(b);
+  }
+  const auto snap = profile();
+  EXPECT_EQ(snap.kernel_launches, 2 * reps);
+  EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses,
+            snap.kernel_launches);
+  EXPECT_EQ(snap.kernel_cache_misses, 2u);  // one build per device
+  EXPECT_GT(snap.kernel_sim_seconds, 0.0);
+
+  // The registry agrees with the snapshot (it quiesces the same way).
+  std::uint64_t registry_launches = 0;
+  for (const auto& k : kernel_profiles()) registry_launches += k.launches;
+  EXPECT_EQ(registry_launches, snap.kernel_launches);
+}
+
+TEST_F(AsyncPipelineTest, IndependentEvalsOverlapAcrossDevices) {
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+  constexpr std::size_t n = 1 << 18;
+  Array<float, 1> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a(i) = b(i) = 1.0f;
+
+  auto& rt = detail::Runtime::get();
+  auto& tesla_queue = *rt.entry(tesla).queue;
+  auto& quadro_queue = *rt.entry(quadro).queue;
+
+  // Warm caches and upload both arrays so the measured region is
+  // launch-only, with one heavy kernel in flight per device.
+  eval(triple).device(tesla)(a);
+  eval(triple).device(quadro)(b);
+  rt.finish_all();
+
+  // If the two queue workers execute concurrently, the wall-clock they
+  // spend simulating (summed over both queues) exceeds the elapsed host
+  // time for the region. Retried: overlap is a host-scheduler property,
+  // so a single miss is not a failure.
+  int evals_done = 1;
+  bool overlapped = false;
+  for (int attempt = 0; attempt < 8 && !overlapped; ++attempt) {
+    tesla_queue.reset_timers();
+    quadro_queue.reset_timers();
+    hplrepro::Stopwatch elapsed;
+    eval(triple).device(tesla)(a);
+    eval(triple).device(quadro)(b);
+    tesla_queue.finish();
+    quadro_queue.finish();
+    const double wall = elapsed.seconds();
+    ++evals_done;
+    overlapped =
+        tesla_queue.wall_seconds() + quadro_queue.wall_seconds() > wall;
+  }
+  EXPECT_TRUE(overlapped);
+
+  // And the overlap changed nothing about the results.
+  const float expected = std::pow(3.0f, static_cast<float>(evals_done));
+  EXPECT_EQ(a(0), expected);
+  EXPECT_EQ(b(0), expected);
+}
+
+}  // namespace
