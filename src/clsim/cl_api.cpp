@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "clc/vm.hpp"
 #include "clsim/runtime.hpp"
 
 namespace clsim = hplrepro::clsim;
@@ -96,11 +97,16 @@ bool collect_wait_list(cl_uint num_events, const cl_event* wait_list,
 }
 
 /// Completes an enqueue: optionally blocks, optionally returns a handle.
-cl_int finish_enqueue(clsim::Event ev, cl_bool blocking, cl_event* event_out) {
+cl_int finish_enqueue(clsim::CommandQueue& queue, clsim::Event ev,
+                      cl_bool blocking, cl_event* event_out) {
   if (blocking == CL_TRUE) {
     try {
       ev.wait();
     } catch (const hplrepro::Error&) {
+      // The failure is being reported to the caller right here; consume
+      // the queue's sticky copy so the next clFinish does not report the
+      // same error a second time.
+      queue.consume_error(ev);
       return CL_OUT_OF_RESOURCES;  // deferred execution error
     }
   }
@@ -436,8 +442,13 @@ cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
                                             offset, std::move(deps));
   } catch (const clsim::RuntimeError&) {
     return CL_INVALID_VALUE;
+  } catch (const hplrepro::Error&) {
+    // Synchronous mode drains the queue inside the enqueue; a deferred
+    // error (e.g. a failed wait-list dependency) surfaces here and gets
+    // the same code the async path reports from blocking waits/clFinish.
+    return CL_OUT_OF_RESOURCES;
   }
-  return finish_enqueue(std::move(ev), blocking_write, event);
+  return finish_enqueue(*queue->queue, std::move(ev), blocking_write, event);
 }
 
 cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
@@ -457,8 +468,10 @@ cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
                                            offset, std::move(deps));
   } catch (const clsim::RuntimeError&) {
     return CL_INVALID_VALUE;
+  } catch (const hplrepro::Error&) {
+    return CL_OUT_OF_RESOURCES;  // deferred error surfaced by sync mode
   }
-  return finish_enqueue(std::move(ev), blocking_read, event);
+  return finish_enqueue(*queue->queue, std::move(ev), blocking_read, event);
 }
 
 cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
@@ -493,10 +506,15 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
   try {
     ev = queue->queue->enqueue_ndrange_kernel(*kernel->kernel, global, local,
                                               std::move(deps));
+  } catch (const hplrepro::clc::TrapError&) {
+    // Deferred execution error surfaced at enqueue by synchronous mode
+    // (HPL_SYNC=1 drains the queue inside the enqueue). Same code as the
+    // async path reports from clFinish/blocking waits.
+    return CL_OUT_OF_RESOURCES;
   } catch (const hplrepro::Error&) {
-    return CL_INVALID_WORK_GROUP_SIZE;
+    return CL_INVALID_WORK_GROUP_SIZE;  // enqueue-time validation failure
   }
-  return finish_enqueue(std::move(ev), CL_FALSE, event);
+  return finish_enqueue(*queue->queue, std::move(ev), CL_FALSE, event);
 }
 
 cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {

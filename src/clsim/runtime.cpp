@@ -267,6 +267,20 @@ void Event::on_complete(std::function<void(const Event&)> fn) {
   fn(*this);
 }
 
+void Event::on_settled(std::function<void(const Event&, bool failed)> fn) {
+  State& st = *state_;
+  bool failed;
+  {
+    std::lock_guard lock(st.mu);
+    if (st.status != Status::Complete) {
+      st.settled_callbacks.push_back(std::move(fn));
+      return;
+    }
+    failed = st.error != nullptr;
+  }
+  fn(*this, failed);
+}
+
 double Event::sim_seconds() const {
   wait();
   return state_->sim_seconds;
@@ -326,7 +340,10 @@ CommandQueue::~CommandQueue() = default;  // worker_ dtor drains and joins
 Event CommandQueue::submit(Command cmd) {
   cmd.state = std::make_shared<Event::State>();
   cmd.state->status = Event::Status::Queued;
-  if (trace::enabled()) cmd.enqueue_us = trace::now_us();
+  // Stamped unconditionally: tracing may be switched on while the command
+  // is still pending, and a zero stamp would make its queued-phase record
+  // span the whole process lifetime.
+  cmd.enqueue_us = trace::now_us();
   Event event(cmd.state);
   auto shared = std::make_shared<Command>(std::move(cmd));
   worker_.post([this, shared] { execute(*shared); });
@@ -418,18 +435,22 @@ void CommandQueue::execute(Command& cmd) {
   // Publish completion, then fire callbacks outside the state lock (they
   // may read the event's profiling accessors).
   std::vector<std::function<void(const Event&)>> callbacks;
+  std::vector<std::function<void(const Event&, bool)>> settled;
   {
     std::lock_guard lock(st.mu);
     st.error = error;
     st.status = Event::Status::Complete;
     callbacks = std::move(st.callbacks);
     st.callbacks.clear();
+    settled = std::move(st.settled_callbacks);
+    st.settled_callbacks.clear();
   }
   st.cv.notify_all();
+  const Event event(cmd.state);
   if (!error) {
-    const Event event(cmd.state);
     for (const auto& fn : callbacks) fn(event);
   }
+  for (const auto& fn : settled) fn(event, error != nullptr);
 }
 
 void CommandQueue::finish() {
@@ -440,6 +461,17 @@ void CommandQueue::finish() {
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
+}
+
+void CommandQueue::consume_error(const Event& event) {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(event.state_->mu);
+    error = event.state_->error;
+  }
+  if (error == nullptr) return;
+  std::lock_guard lock(mutex_);
+  if (first_error_ == error) first_error_ = nullptr;
 }
 
 double CommandQueue::simulated_seconds() const {

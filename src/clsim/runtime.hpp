@@ -272,6 +272,11 @@ public:
   /// are not invoked for commands that failed.
   void on_complete(std::function<void(const Event&)> fn);
 
+  /// Like on_complete, but `fn` also runs for commands that failed, with
+  /// `failed` set. Profiling accessors on a failed event rethrow its
+  /// error, so callbacks must consult `failed` before reading them.
+  void on_settled(std::function<void(const Event&, bool failed)> fn);
+
   // Profiling accessors; each waits for completion first.
   double sim_seconds() const;
   const clc::ExecStats& stats() const;
@@ -297,6 +302,7 @@ private:
     Status status = Status::Complete;
     std::exception_ptr error;
     std::vector<std::function<void(const Event&)>> callbacks;
+    std::vector<std::function<void(const Event&, bool)>> settled_callbacks;
     // Profiling payload: written by the queue worker before status flips
     // to Complete, immutable afterwards.
     double sim_seconds = 0;
@@ -359,6 +365,12 @@ public:
   /// any (clearing it).
   void finish();
 
+  /// Forgets the queue's sticky first-error if it is the one carried by
+  /// `event`, whose wait() already surfaced it to the caller — so finish()
+  /// does not report the same failure a second time. Errors belonging to
+  /// other commands are left in place.
+  void consume_error(const Event& event);
+
   /// Total simulated device seconds accumulated by this queue. Reflects
   /// completed commands only; call finish() first for a quiescent value.
   double simulated_seconds() const;
@@ -381,7 +393,7 @@ private:
     std::string label;
     const char* cat = "";
     bool is_kernel = false;
-    double enqueue_us = 0;  // host trace clock at enqueue (tracing only)
+    double enqueue_us = 0;  // host trace clock at enqueue
   };
 
   /// Posts `cmd` to the worker; in synchronous mode also finish()es.

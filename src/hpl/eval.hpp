@@ -200,8 +200,20 @@ private:
     clsim::Event event;
     {
       hplrepro::trace::Span span("launch", "hpl");
-      event = dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range,
-                                                local_);
+      try {
+        event = dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range,
+                                                  local_);
+      } catch (const hplrepro::clc::TrapError&) {
+        // Synchronous mode (HPL_SYNC=1) surfaces the deferred execution
+        // error at the enqueue; async mode stores it on the event. The
+        // launch still happened, so account it exactly like an async
+        // failed launch — keeping hits + misses == kernel_launches and
+        // profiler_report reconciled with profile() — then rethrow.
+        rt.with_prof([&](ProfileSnapshot& p) { p.kernel_launches += 1; });
+        detail::profiler_record_failed_launch(cached->name,
+                                              dev.device.name(), cache_hit);
+        throw;
+      }
       if (span.active()) {
         // Only enqueue-time facts here: reading ExecStats/TimingBreakdown
         // would block on the launch. The clsim device track carries the
@@ -219,9 +231,16 @@ private:
 
     // Completion-side accounting, run on the queue worker (or inline in
     // sync mode): simulated seconds and the per-kernel profiler registry.
-    event.on_complete([&rt, name = cached->name,
-                       dev_name = dev.device.name(),
-                       cache_hit](const clsim::Event& e) {
+    // Registered via on_settled so a launch that traps still lands in the
+    // registry — keeping profiler_report reconciled with profile() — even
+    // though it has no profiling data to contribute.
+    event.on_settled([&rt, name = cached->name,
+                      dev_name = dev.device.name(),
+                      cache_hit](const clsim::Event& e, bool failed) {
+      if (failed) {
+        detail::profiler_record_failed_launch(name, dev_name, cache_hit);
+        return;
+      }
       rt.with_prof([&](ProfileSnapshot& p) {
         p.kernel_sim_seconds += e.sim_seconds();
         p.sim_wall_seconds += e.wall_seconds();

@@ -92,6 +92,20 @@ Runtime::Runtime() {
   }
 }
 
+Runtime::~Runtime() {
+  // Commands may still be pending at process exit (an eval whose result
+  // was never read). Drain every queue while prof_mutex_/prof_ and the
+  // profiler registry are still alive, so no completion callback runs
+  // during member destruction. Deferred errors have nowhere to go from a
+  // destructor; swallow them.
+  for (auto& dev : devices_) {
+    try {
+      dev.queue->finish();
+    } catch (...) {
+    }
+  }
+}
+
 Runtime& Runtime::get() {
   static Runtime instance;
   return instance;

@@ -165,7 +165,8 @@ public:
 
   /// Runs `fn(prof)` with the profile counters under their lock. Counters
   /// are updated both from host threads (launch/build bookkeeping) and
-  /// from queue workers (simulated seconds, via Event::on_complete).
+  /// from queue workers (simulated seconds, via Event completion
+  /// callbacks).
   template <typename F>
   void with_prof(F&& fn) {
     std::lock_guard<std::mutex> lock(prof_mutex_);
@@ -192,6 +193,11 @@ public:
 
 private:
   Runtime();
+  /// Quiesces every queue before member destruction begins: members are
+  /// destroyed in reverse declaration order, so prof_mutex_/prof_ would die
+  /// before devices_ — whose ~CommandQueue drains in-flight commands whose
+  /// completion callbacks land in with_prof().
+  ~Runtime();
   std::vector<DeviceEntry> devices_;
   std::map<const void*, CachedKernel> kernel_cache_;
   std::mutex prof_mutex_;

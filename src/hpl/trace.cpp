@@ -160,6 +160,20 @@ void profiler_record_launch(const std::string& kernel,
       event.stats().global_load_bytes + event.stats().global_store_bytes;
 }
 
+void profiler_record_failed_launch(const std::string& kernel,
+                                   const std::string& device,
+                                   bool cache_hit) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  KernelProfile& p = reg.kernels[{kernel, device}];
+  if (p.launches == 0) {
+    p.kernel = kernel;
+    p.device = device;
+  }
+  p.launches += 1;
+  if (cache_hit) p.cache_hits += 1;
+}
+
 void profiler_record_build(const std::string& kernel,
                            const std::string& device) {
   Registry& reg = registry();

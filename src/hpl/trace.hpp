@@ -75,6 +75,13 @@ void profiler_record_launch(const std::string& kernel,
                             const std::string& device, bool cache_hit,
                             const hplrepro::clsim::Event& event);
 
+/// Called by eval for launches whose command failed (VM trap). The launch
+/// still counts — keeping registry sums reconciled with the ProfileSnapshot
+/// counters — but contributes no simulated time or kernel statistics
+/// (a failed event's profiling accessors rethrow its error).
+void profiler_record_failed_launch(const std::string& kernel,
+                                   const std::string& device, bool cache_hit);
+
 /// Called when a kernel is (re)built for a device.
 void profiler_record_build(const std::string& kernel,
                            const std::string& device);

@@ -366,6 +366,82 @@ TEST_F(ClApiEvents, EventErrorCodes) {
   clReleaseMemObject(buf);
 }
 
+// Builds a kernel whose execution traps (divergent barrier) on the
+// fixture's context; the trap is only detectable when the command runs.
+class ClApiDeferredErrors : public ClApiEvents {
+protected:
+  void SetUp() override {
+    ClApiEvents::SetUp();
+    cl_int err;
+    const char* src = R"(
+__kernel void div_barrier(__global float* x) {
+  if (get_local_id(0) < 2) barrier(CLK_LOCAL_MEM_FENCE);
+  x[get_global_id(0)] = 1.0f;
+}
+)";
+    trap_program_ = clCreateProgramWithSource(context_, 1, &src, nullptr,
+                                              &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clBuildProgram(trap_program_, 1, &device_, nullptr, nullptr,
+                             nullptr),
+              CL_SUCCESS);
+    trap_kernel_ = clCreateKernel(trap_program_, "div_barrier", &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    buf_ = clCreateBuffer(context_, CL_MEM_READ_WRITE, 8 * sizeof(float),
+                          nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clSetKernelArg(trap_kernel_, 0, sizeof(cl_mem), &buf_),
+              CL_SUCCESS);
+  }
+
+  void TearDown() override {
+    hplrepro::clsim::set_async_enabled(true);
+    clReleaseMemObject(buf_);
+    clReleaseKernel(trap_kernel_);
+    clReleaseProgram(trap_program_);
+    ClApiEvents::TearDown();
+  }
+
+  cl_int enqueue_trap(cl_event* event_out = nullptr) {
+    const std::size_t global = 8, local = 4;
+    return clEnqueueNDRangeKernel(queue_, trap_kernel_, 1, nullptr, &global,
+                                  &local, 0, nullptr, event_out);
+  }
+
+  cl_program trap_program_;
+  cl_kernel trap_kernel_;
+  cl_mem buf_;
+};
+
+TEST_F(ClApiDeferredErrors, SyncAndAsyncModesReportTheSameCode) {
+  // Async: the enqueue succeeds, the failure surfaces at clFinish.
+  hplrepro::clsim::set_async_enabled(true);
+  ASSERT_EQ(enqueue_trap(), CL_SUCCESS);
+  EXPECT_EQ(clFinish(queue_), CL_OUT_OF_RESOURCES);
+  EXPECT_EQ(clFinish(queue_), CL_SUCCESS);  // reported exactly once
+
+  // Sync: the queue drains inside the enqueue, so the same failure must
+  // surface there with the same code — not as a validation error.
+  hplrepro::clsim::set_async_enabled(false);
+  EXPECT_EQ(enqueue_trap(), CL_OUT_OF_RESOURCES);
+  EXPECT_EQ(clFinish(queue_), CL_SUCCESS);  // already consumed at enqueue
+}
+
+TEST_F(ClApiDeferredErrors, BlockingWaitConsumesTheQueueError) {
+  hplrepro::clsim::set_async_enabled(true);
+  cl_event trap_ev = nullptr;
+  ASSERT_EQ(enqueue_trap(&trap_ev), CL_SUCCESS);
+
+  // A blocking read chained on the failed launch reports the failure...
+  float out[8] = {0};
+  EXPECT_EQ(clEnqueueReadBuffer(queue_, buf_, CL_TRUE, 0, sizeof(out), out,
+                                1, &trap_ev, nullptr),
+            CL_OUT_OF_RESOURCES);
+  // ...and clFinish does not report the already-surfaced error again.
+  EXPECT_EQ(clFinish(queue_), CL_SUCCESS);
+  clReleaseEvent(trap_ev);
+}
+
 TEST(ClApi, RetainReleaseCounting) {
   cl_int err;
   cl_platform_id platform;

@@ -26,6 +26,12 @@ void saxpy(Array<float, 1> y, Array<float, 1> x, Float a) {
 
 void triple(Array<float, 1> data) { data[idx] = 3.0f * data[idx]; }
 
+// Traps at execution time: work-items of one group diverge at a barrier.
+void divergent(Array<float, 1> data) {
+  if_(lidx < 2) { barrier(LOCAL); } endif_
+  data[idx] = 1.0f;
+}
+
 class AsyncPipelineTest : public ::testing::Test {
 protected:
   void SetUp() override {
@@ -115,6 +121,45 @@ TEST_F(AsyncPipelineTest, ProfileCountersStayConsistentAcrossWorkers) {
   std::uint64_t registry_launches = 0;
   for (const auto& k : kernel_profiles()) registry_launches += k.launches;
   EXPECT_EQ(registry_launches, snap.kernel_launches);
+}
+
+TEST_F(AsyncPipelineTest, FailedLaunchesKeepProfileReconciled) {
+  // A launch that traps still counts as a launch in both the snapshot and
+  // the per-kernel registry, in both pipeline modes, so
+  // hits + misses == kernel_launches and profiler_report keeps reconciling
+  // with profile() after the failure.
+  auto reconciled_counts = [](std::uint64_t expected_launches) {
+    const auto snap = profile();
+    EXPECT_EQ(snap.kernel_launches, expected_launches);
+    EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses,
+              snap.kernel_launches);
+    std::uint64_t registry_launches = 0;
+    for (const auto& k : kernel_profiles()) registry_launches += k.launches;
+    EXPECT_EQ(registry_launches, snap.kernel_launches);
+  };
+
+  constexpr std::size_t n = 8;
+  {
+    Array<float, 1> ok(n), bad(n);
+    eval(triple)(ok);  // one healthy launch alongside the failing one
+    eval(divergent).global(n).local(4)(bad);
+    // Async mode: eval returned; the trap lands on the worker and is
+    // rethrown (once) by the next quiescing operation.
+    EXPECT_THROW(detail::Runtime::get().finish_all(),
+                 hplrepro::clc::TrapError);
+    reconciled_counts(2);
+  }
+
+  clsim::set_async_enabled(false);
+  purge_kernel_cache();
+  reset_profile();
+  {
+    Array<float, 1> bad(n);
+    // Sync mode: the same trap surfaces from eval itself.
+    EXPECT_THROW(eval(divergent).global(n).local(4)(bad),
+                 hplrepro::clc::TrapError);
+    reconciled_counts(1);
+  }
 }
 
 TEST_F(AsyncPipelineTest, IndependentEvalsOverlapAcrossDevices) {
