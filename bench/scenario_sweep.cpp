@@ -1,0 +1,76 @@
+// Scenario sweep driver: runs the grader matrix (device × sync ×
+// interpreter × opt × size) over every benchsuite workload, runs the
+// grader's sabotage self-test, prints a scoreboard, and with
+// --json <path> writes the "hplrepro-scenario-v1" scorecard.
+//
+//   bench/scenario_sweep                 # full matrix
+//   bench/scenario_sweep --reduced       # small sizes only (ctest/CI)
+//   bench/scenario_sweep --json BENCH_scenario.json
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace scenario = hplrepro::scenario;
+
+int main(int argc, char** argv) {
+  bool reduced = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reduced") {
+      reduced = true;
+    } else if (arg == "--full") {
+      reduced = false;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: scenario_sweep [--reduced|--full] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const scenario::Axes axes =
+      reduced ? scenario::Axes::reduced() : scenario::Axes::full();
+  std::cout << "scenario sweep: " << axes.cell_count() << " cells ("
+            << (reduced ? "reduced" : "full") << " matrix), "
+            << scenario::workload_names().size() << " workloads\n";
+
+  const scenario::SweepReport report = scenario::run_sweep(axes);
+  const bool sabotage_caught = scenario::grader_catches_sabotage();
+
+  for (const auto& cell : report.cells) {
+    if (cell.passed()) continue;
+    for (const auto& grade : cell.grades) {
+      for (const auto& failure : grade.failures) {
+        std::cout << "FAIL " << cell.cell.label() << " " << grade.workload
+                  << ": " << failure << "\n";
+      }
+    }
+  }
+  for (const auto& failure : report.identity_failures) {
+    std::cout << "FAIL identity: " << failure << "\n";
+  }
+
+  std::cout << "graded " << report.graded << " runs: " << report.passed
+            << " passed, " << report.failed << " failed, " << report.skipped
+            << " skipped, " << report.identity_failures.size()
+            << " identity failures\n";
+  std::cout << "self-test (sabotaged boundary policy caught): "
+            << (sabotage_caught ? "yes" : "NO") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "scenario_sweep: cannot open " << json_path
+                << " for writing\n";
+      return 2;
+    }
+    os << scenario::report_json(report, sabotage_caught ? 1 : 0);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  return report.ok() && sabotage_caught ? 0 : 1;
+}

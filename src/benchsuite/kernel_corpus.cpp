@@ -7,6 +7,7 @@
 #include "benchsuite/floyd.hpp"
 #include "benchsuite/reduction.hpp"
 #include "benchsuite/spmv.hpp"
+#include "benchsuite/stencil.hpp"
 #include "benchsuite/transpose.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
@@ -198,11 +199,98 @@ void run_transpose(const clsim::Device& device, const std::string& options,
   h.read_output(out);
 }
 
+// The three stencils share launch geometry (image rounded up to tile
+// multiples) and the runtime edge-policy argument; corpus runs use Clamp.
+std::size_t stencil_round_up(std::size_t n) {
+  const std::size_t tile = StencilConfig::kTile;
+  return (n + tile - 1) / tile * tile;
+}
+
+void run_blur(const clsim::Device& device, const std::string& options,
+              CorpusRun& run) {
+  StencilConfig config;
+  config.width = 48;
+  config.height = 36;
+  const std::vector<float> input = stencil_make_image(config);
+
+  CorpusHarness h(device, blur_kernel_source(), options, "blur3", run);
+  clsim::Buffer out = h.make_buffer(config.pixels() * sizeof(float));
+  clsim::Buffer in =
+      h.make_buffer(input.size() * sizeof(float), input.data());
+  clsim::Buffer weights =
+      h.make_buffer(9 * sizeof(float), blur_weights().data());
+
+  h.kernel().set_arg(0, out);
+  h.kernel().set_arg(1, in);
+  h.kernel().set_arg(2, weights);
+  h.kernel().set_arg(3, static_cast<std::int32_t>(config.width));
+  h.kernel().set_arg(4, static_cast<std::int32_t>(config.height));
+  h.kernel().set_arg(5, static_cast<std::int32_t>(config.edge));
+  h.launch(clsim::NDRange{stencil_round_up(config.width),
+                          stencil_round_up(config.height)},
+           clsim::NDRange{StencilConfig::kTile, StencilConfig::kTile});
+  h.read_output(out);
+}
+
+void run_sobel(const clsim::Device& device, const std::string& options,
+               CorpusRun& run) {
+  StencilConfig config;
+  config.width = 48;
+  config.height = 36;
+  const std::vector<float> input = stencil_make_image(config);
+
+  CorpusHarness h(device, sobel_kernel_source(), options, "sobel", run);
+  clsim::Buffer out = h.make_buffer(config.pixels() * sizeof(float));
+  clsim::Buffer in =
+      h.make_buffer(input.size() * sizeof(float), input.data());
+
+  h.kernel().set_arg(0, out);
+  h.kernel().set_arg(1, in);
+  h.kernel().set_arg(2, static_cast<std::int32_t>(config.width));
+  h.kernel().set_arg(3, static_cast<std::int32_t>(config.height));
+  h.kernel().set_arg(4, static_cast<std::int32_t>(config.edge));
+  h.launch(clsim::NDRange{stencil_round_up(config.width),
+                          stencil_round_up(config.height)},
+           clsim::NDRange{StencilConfig::kTile, StencilConfig::kTile});
+  h.read_output(out);
+}
+
+void run_jacobi(const clsim::Device& device, const std::string& options,
+                CorpusRun& run) {
+  StencilConfig config;
+  config.width = 48;
+  config.height = 36;
+  config.iterations = 3;
+  const std::vector<float> input = stencil_make_image(config);
+
+  CorpusHarness h(device, jacobi_kernel_source(), options, "jacobi_step",
+                  run);
+  clsim::Buffer ping =
+      h.make_buffer(config.pixels() * sizeof(float), input.data());
+  clsim::Buffer pong = h.make_buffer(config.pixels() * sizeof(float));
+  clsim::Buffer* src = &ping;
+  clsim::Buffer* dst = &pong;
+
+  h.kernel().set_arg(2, static_cast<std::int32_t>(config.width));
+  h.kernel().set_arg(3, static_cast<std::int32_t>(config.height));
+  h.kernel().set_arg(4, static_cast<std::int32_t>(config.edge));
+  for (int it = 0; it < config.iterations; ++it) {
+    h.kernel().set_arg(0, *dst);
+    h.kernel().set_arg(1, *src);
+    h.launch(clsim::NDRange{stencil_round_up(config.width),
+                            stencil_round_up(config.height)},
+             clsim::NDRange{StencilConfig::kTile, StencilConfig::kTile});
+    std::swap(src, dst);
+  }
+  h.read_output(*src);
+}
+
 }  // namespace
 
 const std::vector<std::string>& corpus_kernel_names() {
-  static const std::vector<std::string> names = {"ep", "floyd", "reduction",
-                                                 "spmv", "transpose"};
+  static const std::vector<std::string> names = {
+      "ep",   "floyd", "reduction", "spmv",
+      "blur", "sobel", "jacobi",    "transpose"};
   return names;
 }
 
@@ -219,6 +307,12 @@ CorpusRun run_corpus_kernel(const std::string& name,
     run_reduction(device, build_options, run);
   } else if (name == "spmv") {
     run_spmv(device, build_options, run);
+  } else if (name == "blur") {
+    run_blur(device, build_options, run);
+  } else if (name == "sobel") {
+    run_sobel(device, build_options, run);
+  } else if (name == "jacobi") {
+    run_jacobi(device, build_options, run);
   } else if (name == "transpose") {
     run_transpose(device, build_options, run);
   } else {

@@ -39,7 +39,8 @@ struct CorpusRun {
   clc::OptReport opt_report;
 };
 
-/// The corpus members: "ep", "floyd", "reduction", "spmv", "transpose".
+/// The corpus members: "ep", "floyd", "reduction", "spmv", "blur",
+/// "sobel", "jacobi", "transpose".
 const std::vector<std::string>& corpus_kernel_names();
 
 /// Builds and runs corpus kernel `name` on `device` with the given

@@ -109,4 +109,13 @@ const std::vector<BenchmarkSources>& table1_sources() {
   return sources;
 }
 
+const std::vector<BenchmarkSources>& stencil_sources() {
+  static const std::vector<BenchmarkSources> sources = {
+      {"Stencils (blur/sobel/jacobi)",
+       {"src/benchsuite/stencil_opencl.cpp"},
+       {"src/benchsuite/stencil_hpl.cpp"}},
+  };
+  return sources;
+}
+
 }  // namespace hplrepro::benchsuite

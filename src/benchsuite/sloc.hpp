@@ -30,6 +30,11 @@ struct BenchmarkSources {
 /// The five paper benchmarks and the sources of their two variants.
 const std::vector<BenchmarkSources>& table1_sources();
 
+/// The stencil family (blur, sobel, jacobi — ROADMAP item 5). Kept
+/// separate from Table I, which reproduces exactly the paper's five
+/// benchmarks; the stencils share one source file per variant.
+const std::vector<BenchmarkSources>& stencil_sources();
+
 /// Absolute path of a repo-relative file (uses the build-time source dir).
 std::string repo_path(const std::string& relative);
 

@@ -1,0 +1,213 @@
+// HPL implementations of the stencil family. The edge-policy resolver is
+// an ordinary C++ helper that composes DSL statements into whatever kernel
+// is being captured, so all three kernels share one boundary definition —
+// the same shape as sample_edge in the OpenCL sources. The policy itself
+// stays a runtime argument: one cached binary covers zero/clamp/wrap.
+
+#include "benchsuite/stencil.hpp"
+#include "hpl/HPL.h"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+using namespace HPL;
+
+constexpr std::size_t kTile = StencilConfig::kTile;
+
+std::size_t round_up_tiles(std::size_t n) {
+  return (n + kTile - 1) / kTile * kTile;
+}
+
+// Emits the policy resolver into the kernel being captured: leaves the
+// resolved tap img[y][x] in `dest`, using sx/sy as caller-provided scratch.
+void sample_edge(Float& dest, Array<float, 2>& img, Int& sx, Int& sy,
+                 const Expr& x, const Expr& y, Int& width, Int& height,
+                 Int& edge) {
+  sx = x;
+  sy = y;
+  if_(edge == 0 && (sx < 0 || sx >= width || sy < 0 || sy >= height)) {
+    dest = 0.0f;
+  } else_ {
+    if_(edge == 1) {
+      sx = min(max(sx, 0), width - 1);
+      sy = min(max(sy, 0), height - 1);
+    } endif_
+    if_(edge == 2) {
+      sx = ((sx % width) + width) % width;
+      sy = ((sy % height) + height) % height;
+    } endif_
+    dest = img[sy][sx];
+  } endif_
+}
+
+void blur_kernel(Array<float, 2> out, Array<float, 2> in,
+                 Array<float, 1, Constant> weights, Int width, Int height,
+                 Int edge) {
+  Int x, y, sx, sy;
+  Float acc, tap;
+
+  x = idx;
+  y = idy;
+  if_(x < width && y < height) {
+    acc = 0.0f;
+    for (int dy = -1; dy <= 1; ++dy) {    // unrolled at capture time,
+      for (int dx = -1; dx <= 1; ++dx) {  // same tap order as the serial ref
+        sample_edge(tap, in, sx, sy, x + dx, y + dy, width, height, edge);
+        acc += tap * weights[(dy + 1) * 3 + (dx + 1)];
+      }
+    }
+    out[y][x] = acc;
+  } endif_
+}
+
+void sobel_kernel(Array<float, 2> out, Array<float, 2> in, Int width,
+                  Int height, Int edge) {
+  Int x, y, sx, sy;
+  Float n00, n01, n02, n10, n12, n20, n21, n22, gx, gy;
+
+  x = idx;
+  y = idy;
+  if_(x < width && y < height) {
+    sample_edge(n00, in, sx, sy, x - 1, y - 1, width, height, edge);
+    sample_edge(n01, in, sx, sy, x, y - 1, width, height, edge);
+    sample_edge(n02, in, sx, sy, x + 1, y - 1, width, height, edge);
+    sample_edge(n10, in, sx, sy, x - 1, y, width, height, edge);
+    sample_edge(n12, in, sx, sy, x + 1, y, width, height, edge);
+    sample_edge(n20, in, sx, sy, x - 1, y + 1, width, height, edge);
+    sample_edge(n21, in, sx, sy, x, y + 1, width, height, edge);
+    sample_edge(n22, in, sx, sy, x + 1, y + 1, width, height, edge);
+    gx = (n02 - n00) + 2.0f * (n12 - n10) + (n22 - n20);
+    gy = (n20 - n00) + 2.0f * (n21 - n01) + (n22 - n02);
+    out[y][x] = sqrt(gx * gx + gy * gy);
+  } endif_
+}
+
+// One Jacobi sweep with the halo-exchange scheme of the OpenCL version:
+// the group stages a (tile+2)^2 block in __local memory, border items load
+// the halo, and every item reaches the barrier (the write alone is guarded
+// so ragged launches cannot diverge at the barrier).
+void jacobi_kernel(Array<float, 2> out, Array<float, 2> in, Int width,
+                   Int height, Int edge) {
+  Array<float, 2, Local> tile(kTile + 2, kTile + 2);
+  Int x, y, lx, ly, sx, sy;
+  Float v;
+
+  x = idx;
+  y = idy;
+  lx = lidx + 1;
+  ly = lidy + 1;
+
+  sample_edge(v, in, sx, sy, x, y, width, height, edge);
+  tile[ly][lx] = v;
+  if_(lx == 1) {
+    sample_edge(v, in, sx, sy, x - 1, y, width, height, edge);
+    tile[ly][0] = v;
+  } endif_
+  if_(lx == static_cast<int>(kTile)) {
+    sample_edge(v, in, sx, sy, x + 1, y, width, height, edge);
+    tile[ly][kTile + 1] = v;
+  } endif_
+  if_(ly == 1) {
+    sample_edge(v, in, sx, sy, x, y - 1, width, height, edge);
+    tile[0][lx] = v;
+  } endif_
+  if_(ly == static_cast<int>(kTile)) {
+    sample_edge(v, in, sx, sy, x, y + 1, width, height, edge);
+    tile[kTile + 1][lx] = v;
+  } endif_
+  barrier(LOCAL);
+
+  if_(x < width && y < height) {
+    out[y][x] = 0.25f * (((tile[ly][lx - 1] + tile[ly][lx + 1]) +
+                          tile[ly - 1][lx]) +
+                         tile[ly + 1][lx]);
+  } endif_
+}
+
+}  // namespace
+
+StencilRun blur_hpl(const StencilConfig& config, HPL::Device device) {
+  std::vector<float> input = stencil_make_image(config);
+  std::array<float, 9> w9 = blur_weights();
+
+  Array<float, 2> in(config.height, config.width, input.data());
+  Array<float, 2> out(config.height, config.width);
+  Array<float, 1, Constant> weights(9, w9.data());
+
+  const std::int32_t width = static_cast<std::int32_t>(config.width);
+  const std::int32_t height = static_cast<std::int32_t>(config.height);
+  const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+
+  StencilRun run;
+  const float* result = nullptr;
+  run.timings = time_hpl_section([&] {
+    for (int r = 0; r < config.repeats; ++r) {
+      eval(blur_kernel)
+          .global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile)
+          .device(device)(out, in, weights, width, height, edge);
+    }
+    result = out.data();  // syncs the result back to the host
+  });
+  run.output.assign(result, result + config.pixels());
+
+  return run;
+}
+
+StencilRun sobel_hpl(const StencilConfig& config, HPL::Device device) {
+  std::vector<float> input = stencil_make_image(config);
+
+  Array<float, 2> in(config.height, config.width, input.data());
+  Array<float, 2> out(config.height, config.width);
+
+  const std::int32_t width = static_cast<std::int32_t>(config.width);
+  const std::int32_t height = static_cast<std::int32_t>(config.height);
+  const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+
+  StencilRun run;
+  const float* result = nullptr;
+  run.timings = time_hpl_section([&] {
+    for (int r = 0; r < config.repeats; ++r) {
+      eval(sobel_kernel)
+          .global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile)
+          .device(device)(out, in, width, height, edge);
+    }
+    result = out.data();
+  });
+  run.output.assign(result, result + config.pixels());
+
+  return run;
+}
+
+StencilRun jacobi_hpl(const StencilConfig& config, HPL::Device device) {
+  std::vector<float> input = stencil_make_image(config);
+
+  Array<float, 2> ping(config.height, config.width, input.data());
+  Array<float, 2> pong(config.height, config.width);
+  Array<float, 2>* src = &ping;
+  Array<float, 2>* dst = &pong;
+
+  const std::int32_t width = static_cast<std::int32_t>(config.width);
+  const std::int32_t height = static_cast<std::int32_t>(config.height);
+  const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+
+  StencilRun run;
+  const float* result = nullptr;
+  run.timings = time_hpl_section([&] {
+    for (int it = 0; it < config.iterations; ++it) {
+      eval(jacobi_kernel)
+          .global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile)
+          .device(device)(*dst, *src, width, height, edge);
+      std::swap(src, dst);
+    }
+    result = src->data();  // after the swap, src holds the latest sweep
+  });
+  run.output.assign(result, result + config.pixels());
+
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

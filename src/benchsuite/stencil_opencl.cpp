@@ -1,0 +1,374 @@
+// OpenCL implementations of the stencil family in classic hand-written
+// host style: explicit platform/context/queue/buffer/program management
+// with per-call error checks. Every kernel source carries the same
+// sample_edge helper — the boundary policy resolver whose behaviour the
+// serial references define — and guards the ragged border of a global
+// domain rounded up to tile multiples.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchsuite/stencil.hpp"
+#include "clsim/cl_api.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+// Shared boundary resolver, spliced into each program (clc programs are
+// self-contained translation units, exactly like real OpenCL).
+#define HPLREPRO_SAMPLE_EDGE_CLC                                          \
+  "float sample_edge(__global const float* img, int x, int y,\n"          \
+  "                  int w, int h, int edge) {\n"                         \
+  "  if (edge == 0) {\n"                                                  \
+  "    if (x < 0 || x >= w || y < 0 || y >= h) return 0.0f;\n"            \
+  "    return img[y * w + x];\n"                                          \
+  "  }\n"                                                                 \
+  "  if (edge == 1) {\n"                                                  \
+  "    x = min(max(x, 0), w - 1);\n"                                      \
+  "    y = min(max(y, 0), h - 1);\n"                                      \
+  "    return img[y * w + x];\n"                                          \
+  "  }\n"                                                                 \
+  "  x = ((x % w) + w) % w;\n"                                            \
+  "  y = ((y % h) + h) % h;\n"                                            \
+  "  return img[y * w + x];\n"                                            \
+  "}\n"
+
+const char* kBlurKernelSource =
+    HPLREPRO_SAMPLE_EDGE_CLC
+    R"CLC(
+__kernel void blur3(__global float* out, __global const float* in,
+                    __constant float* weights,
+                    int width, int height, int edge) {
+  int x = (int)get_global_id(0);
+  int y = (int)get_global_id(1);
+  if (x >= width || y >= height) return;
+  float acc = 0.0f;
+  for (int dy = -1; dy <= 1; dy++) {
+    for (int dx = -1; dx <= 1; dx++) {
+      acc += sample_edge(in, x + dx, y + dy, width, height, edge) *
+             weights[(dy + 1) * 3 + (dx + 1)];
+    }
+  }
+  out[y * width + x] = acc;
+}
+)CLC";
+
+const char* kSobelKernelSource =
+    HPLREPRO_SAMPLE_EDGE_CLC
+    R"CLC(
+__kernel void sobel(__global float* out, __global const float* in,
+                    int width, int height, int edge) {
+  int x = (int)get_global_id(0);
+  int y = (int)get_global_id(1);
+  if (x >= width || y >= height) return;
+  float n00 = sample_edge(in, x - 1, y - 1, width, height, edge);
+  float n01 = sample_edge(in, x,     y - 1, width, height, edge);
+  float n02 = sample_edge(in, x + 1, y - 1, width, height, edge);
+  float n10 = sample_edge(in, x - 1, y,     width, height, edge);
+  float n12 = sample_edge(in, x + 1, y,     width, height, edge);
+  float n20 = sample_edge(in, x - 1, y + 1, width, height, edge);
+  float n21 = sample_edge(in, x,     y + 1, width, height, edge);
+  float n22 = sample_edge(in, x + 1, y + 1, width, height, edge);
+  float gx = (n02 - n00) + 2.0f * (n12 - n10) + (n22 - n20);
+  float gy = (n20 - n00) + 2.0f * (n21 - n01) + (n22 - n02);
+  out[y * width + x] = sqrt(gx * gx + gy * gy);
+}
+)CLC";
+
+// One Jacobi sweep with the halo-exchange scheme: every work-group stages
+// a (TILE+2)^2 block — centre cells plus a one-cell halo loaded by the
+// group's border items — in __local memory, so each global cell is read
+// once per group instead of up to four times.
+const char* kJacobiKernelSource =
+    HPLREPRO_SAMPLE_EDGE_CLC
+    R"CLC(
+#define TILE 8
+#define TILE_H 10 /* TILE + 2 halo cells */
+
+__kernel void jacobi_step(__global float* out, __global const float* in,
+                          int width, int height, int edge) {
+  __local float tile[100]; /* TILE_H * TILE_H */
+  int x = (int)get_global_id(0);
+  int y = (int)get_global_id(1);
+  int lx = (int)get_local_id(0) + 1;
+  int ly = (int)get_local_id(1) + 1;
+
+  tile[ly * TILE_H + lx] = sample_edge(in, x, y, width, height, edge);
+  if (lx == 1) {
+    tile[ly * TILE_H] = sample_edge(in, x - 1, y, width, height, edge);
+  }
+  if (lx == TILE) {
+    tile[ly * TILE_H + TILE + 1] =
+        sample_edge(in, x + 1, y, width, height, edge);
+  }
+  if (ly == 1) {
+    tile[lx] = sample_edge(in, x, y - 1, width, height, edge);
+  }
+  if (ly == TILE) {
+    tile[(TILE + 1) * TILE_H + lx] =
+        sample_edge(in, x, y + 1, width, height, edge);
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+
+  if (x < width && y < height) {
+    float l = tile[ly * TILE_H + lx - 1];
+    float r = tile[ly * TILE_H + lx + 1];
+    float u = tile[(ly - 1) * TILE_H + lx];
+    float d = tile[(ly + 1) * TILE_H + lx];
+    out[y * width + x] = 0.25f * (((l + r) + u) + d);
+  }
+}
+)CLC";
+
+#undef HPLREPRO_SAMPLE_EDGE_CLC
+
+void check(cl_int err, const char* what) {
+  if (err != CL_SUCCESS) {
+    std::fprintf(stderr, "Stencil OpenCL error %d at %s\n", err, what);
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+std::size_t round_up_tiles(std::size_t n) {
+  const std::size_t tile = StencilConfig::kTile;
+  return (n + tile - 1) / tile * tile;
+}
+
+// The shared host scaffolding: environment setup, program build, the
+// rounded-up 2D launch geometry, timed run, teardown. Each workload
+// supplies its buffers and argument binding through `body`.
+struct StencilEnv {
+  cl_device_id dev;
+  cl_context context;
+  cl_command_queue queue;
+  cl_program program;
+  cl_kernel kernel;
+
+  StencilEnv(const clsim::Device& device, const char* source,
+             const char* kernel_name) {
+    cl_int err;
+    cl_platform_id platform;
+    err = clGetPlatformIDs(1, &platform, nullptr);
+    check(err, "clGetPlatformIDs");
+    dev = clsim::cl_api_device(device);
+    context = clCreateContext(nullptr, 1, &dev, nullptr, nullptr, &err);
+    check(err, "clCreateContext");
+    queue = clCreateCommandQueue(context, dev, 0, &err);
+    check(err, "clCreateCommandQueue");
+    program = clCreateProgramWithSource(context, 1, &source, nullptr, &err);
+    check(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &dev, nullptr, nullptr, nullptr);
+    if (err != CL_SUCCESS) {
+      char log[4096];
+      clGetProgramBuildInfo(program, dev, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                            log, nullptr);
+      std::fprintf(stderr, "Stencil build log:\n%s\n", log);
+      check(err, "clBuildProgram");
+    }
+    kernel = clCreateKernel(program, kernel_name, &err);
+    check(err, "clCreateKernel");
+  }
+
+  ~StencilEnv() {
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+  }
+};
+
+}  // namespace
+
+const char* blur_kernel_source() { return kBlurKernelSource; }
+const char* sobel_kernel_source() { return kSobelKernelSource; }
+const char* jacobi_kernel_source() { return kJacobiKernelSource; }
+
+StencilRun blur_opencl(const StencilConfig& config,
+                       const clsim::Device& device) {
+  const std::size_t bytes = config.pixels() * sizeof(float);
+  const std::vector<float> input = stencil_make_image(config);
+  cl_int err;
+
+  StencilRun run;
+  run.output.resize(config.pixels());
+
+  StencilEnv env(device, kBlurKernelSource, "blur3");
+  cl_mem in_buf =
+      clCreateBuffer(env.context, CL_MEM_READ_ONLY, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(in)");
+  cl_mem out_buf =
+      clCreateBuffer(env.context, CL_MEM_WRITE_ONLY, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(out)");
+  cl_mem w_buf = clCreateBuffer(env.context, CL_MEM_READ_ONLY,
+                                9 * sizeof(float), nullptr, &err);
+  check(err, "clCreateBuffer(weights)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(env.queue), [&] {
+    err = clEnqueueWriteBuffer(env.queue, in_buf, CL_TRUE, 0, bytes,
+                               input.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(in)");
+    err = clEnqueueWriteBuffer(env.queue, w_buf, CL_TRUE, 0,
+                               9 * sizeof(float), blur_weights().data(), 0,
+                               nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(weights)");
+
+    const std::int32_t width = static_cast<std::int32_t>(config.width);
+    const std::int32_t height = static_cast<std::int32_t>(config.height);
+    const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+    err = clSetKernelArg(env.kernel, 0, sizeof(cl_mem), &out_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(env.kernel, 1, sizeof(cl_mem), &in_buf);
+    check(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(env.kernel, 2, sizeof(cl_mem), &w_buf);
+    check(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(env.kernel, 3, sizeof(std::int32_t), &width);
+    check(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(env.kernel, 4, sizeof(std::int32_t), &height);
+    check(err, "clSetKernelArg(4)");
+    err = clSetKernelArg(env.kernel, 5, sizeof(std::int32_t), &edge);
+    check(err, "clSetKernelArg(5)");
+
+    const std::size_t global[2] = {round_up_tiles(config.width),
+                                   round_up_tiles(config.height)};
+    const std::size_t local[2] = {StencilConfig::kTile, StencilConfig::kTile};
+    for (int r = 0; r < config.repeats; ++r) {
+      err = clEnqueueNDRangeKernel(env.queue, env.kernel, 2, nullptr, global,
+                                   local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+    }
+    err = clFinish(env.queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(env.queue, out_buf, CL_TRUE, 0, bytes,
+                              run.output.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(out)");
+  });
+
+  clReleaseMemObject(w_buf);
+  clReleaseMemObject(out_buf);
+  clReleaseMemObject(in_buf);
+  return run;
+}
+
+StencilRun sobel_opencl(const StencilConfig& config,
+                        const clsim::Device& device) {
+  const std::size_t bytes = config.pixels() * sizeof(float);
+  const std::vector<float> input = stencil_make_image(config);
+  cl_int err;
+
+  StencilRun run;
+  run.output.resize(config.pixels());
+
+  StencilEnv env(device, kSobelKernelSource, "sobel");
+  cl_mem in_buf =
+      clCreateBuffer(env.context, CL_MEM_READ_ONLY, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(in)");
+  cl_mem out_buf =
+      clCreateBuffer(env.context, CL_MEM_WRITE_ONLY, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(out)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(env.queue), [&] {
+    err = clEnqueueWriteBuffer(env.queue, in_buf, CL_TRUE, 0, bytes,
+                               input.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(in)");
+
+    const std::int32_t width = static_cast<std::int32_t>(config.width);
+    const std::int32_t height = static_cast<std::int32_t>(config.height);
+    const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+    err = clSetKernelArg(env.kernel, 0, sizeof(cl_mem), &out_buf);
+    check(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(env.kernel, 1, sizeof(cl_mem), &in_buf);
+    check(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(env.kernel, 2, sizeof(std::int32_t), &width);
+    check(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(env.kernel, 3, sizeof(std::int32_t), &height);
+    check(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(env.kernel, 4, sizeof(std::int32_t), &edge);
+    check(err, "clSetKernelArg(4)");
+
+    const std::size_t global[2] = {round_up_tiles(config.width),
+                                   round_up_tiles(config.height)};
+    const std::size_t local[2] = {StencilConfig::kTile, StencilConfig::kTile};
+    for (int r = 0; r < config.repeats; ++r) {
+      err = clEnqueueNDRangeKernel(env.queue, env.kernel, 2, nullptr, global,
+                                   local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+    }
+    err = clFinish(env.queue);
+    check(err, "clFinish");
+
+    err = clEnqueueReadBuffer(env.queue, out_buf, CL_TRUE, 0, bytes,
+                              run.output.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(out)");
+  });
+
+  clReleaseMemObject(out_buf);
+  clReleaseMemObject(in_buf);
+  return run;
+}
+
+StencilRun jacobi_opencl(const StencilConfig& config,
+                         const clsim::Device& device) {
+  const std::size_t bytes = config.pixels() * sizeof(float);
+  const std::vector<float> input = stencil_make_image(config);
+  cl_int err;
+
+  StencilRun run;
+  run.output.resize(config.pixels());
+
+  StencilEnv env(device, kJacobiKernelSource, "jacobi_step");
+  cl_mem ping =
+      clCreateBuffer(env.context, CL_MEM_READ_WRITE, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(ping)");
+  cl_mem pong =
+      clCreateBuffer(env.context, CL_MEM_READ_WRITE, bytes, nullptr, &err);
+  check(err, "clCreateBuffer(pong)");
+
+  run.timings = time_opencl_section(clsim::cl_api_queue(env.queue), [&] {
+    err = clEnqueueWriteBuffer(env.queue, ping, CL_TRUE, 0, bytes,
+                               input.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueWriteBuffer(ping)");
+
+    const std::int32_t width = static_cast<std::int32_t>(config.width);
+    const std::int32_t height = static_cast<std::int32_t>(config.height);
+    const std::int32_t edge = static_cast<std::int32_t>(config.edge);
+    err = clSetKernelArg(env.kernel, 2, sizeof(std::int32_t), &width);
+    check(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(env.kernel, 3, sizeof(std::int32_t), &height);
+    check(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(env.kernel, 4, sizeof(std::int32_t), &edge);
+    check(err, "clSetKernelArg(4)");
+
+    const std::size_t global[2] = {round_up_tiles(config.width),
+                                   round_up_tiles(config.height)};
+    const std::size_t local[2] = {StencilConfig::kTile, StencilConfig::kTile};
+    cl_mem src = ping;
+    cl_mem dst = pong;
+    for (int it = 0; it < config.iterations; ++it) {
+      err = clSetKernelArg(env.kernel, 0, sizeof(cl_mem), &dst);
+      check(err, "clSetKernelArg(0)");
+      err = clSetKernelArg(env.kernel, 1, sizeof(cl_mem), &src);
+      check(err, "clSetKernelArg(1)");
+      err = clEnqueueNDRangeKernel(env.queue, env.kernel, 2, nullptr, global,
+                                   local, 0, nullptr, nullptr);
+      check(err, "clEnqueueNDRangeKernel");
+      cl_mem t = src;
+      src = dst;
+      dst = t;
+    }
+    err = clFinish(env.queue);
+    check(err, "clFinish");
+
+    // After the swap, `src` holds the latest sweep's result.
+    err = clEnqueueReadBuffer(env.queue, src, CL_TRUE, 0, bytes,
+                              run.output.data(), 0, nullptr, nullptr);
+    check(err, "clEnqueueReadBuffer(out)");
+  });
+
+  clReleaseMemObject(pong);
+  clReleaseMemObject(ping);
+  return run;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -1,0 +1,129 @@
+// Serial references for the stencil family. Each loop accumulates in
+// exactly the order the kernels do, so device results match bit-for-bit
+// (up to libm rounding in sobel's sqrt).
+
+#include "benchsuite/stencil.hpp"
+
+#include <cmath>
+
+#include "support/prng.hpp"
+
+namespace hplrepro::benchsuite {
+
+namespace {
+
+/// Resolves one stencil tap against the edge policy — the single source of
+/// truth the kernels replicate (sample_edge in the OpenCL sources, the
+/// if_/else_ chain in the HPL kernels).
+float sample(const std::vector<float>& img, int x, int y, int w, int h,
+             EdgePolicy edge) {
+  switch (edge) {
+    case EdgePolicy::Zero:
+      if (x < 0 || x >= w || y < 0 || y >= h) return 0.0f;
+      break;
+    case EdgePolicy::Clamp:
+      x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+      y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+      break;
+    case EdgePolicy::Wrap:
+      x = ((x % w) + w) % w;
+      y = ((y % h) + h) % h;
+      break;
+  }
+  return img[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + x];
+}
+
+}  // namespace
+
+const char* edge_policy_name(EdgePolicy policy) {
+  switch (policy) {
+    case EdgePolicy::Zero: return "zero";
+    case EdgePolicy::Clamp: return "clamp";
+    case EdgePolicy::Wrap: return "wrap";
+  }
+  return "?";
+}
+
+std::vector<float> stencil_make_image(const StencilConfig& config) {
+  std::vector<float> img(config.pixels());
+  SplitMix64 rng(config.seed);
+  for (auto& v : img) v = rng.next_float();
+  return img;
+}
+
+const std::array<float, 9>& blur_weights() {
+  static const std::array<float, 9> w = {
+      1.0f / 16, 2.0f / 16, 1.0f / 16,  //
+      2.0f / 16, 4.0f / 16, 2.0f / 16,  //
+      1.0f / 16, 2.0f / 16, 1.0f / 16,
+  };
+  return w;
+}
+
+std::vector<float> blur_serial(const StencilConfig& config) {
+  const int w = static_cast<int>(config.width);
+  const int h = static_cast<int>(config.height);
+  const std::vector<float> in = stencil_make_image(config);
+  const std::array<float, 9>& w9 = blur_weights();
+  std::vector<float> out(config.pixels());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          acc += sample(in, x + dx, y + dy, w, h, config.edge) *
+                 w9[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))];
+        }
+      }
+      out[static_cast<std::size_t>(y) * config.width + x] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<float> sobel_serial(const StencilConfig& config) {
+  const int w = static_cast<int>(config.width);
+  const int h = static_cast<int>(config.height);
+  const std::vector<float> in = stencil_make_image(config);
+  std::vector<float> out(config.pixels());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float n[3][3];
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+          n[r][c] = sample(in, x + c - 1, y + r - 1, w, h, config.edge);
+        }
+      }
+      const float gx = (n[0][2] - n[0][0]) + 2.0f * (n[1][2] - n[1][0]) +
+                       (n[2][2] - n[2][0]);
+      const float gy = (n[2][0] - n[0][0]) + 2.0f * (n[2][1] - n[0][1]) +
+                       (n[2][2] - n[0][2]);
+      out[static_cast<std::size_t>(y) * config.width + x] =
+          std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+std::vector<float> jacobi_serial(const StencilConfig& config) {
+  const int w = static_cast<int>(config.width);
+  const int h = static_cast<int>(config.height);
+  std::vector<float> cur = stencil_make_image(config);
+  std::vector<float> next(config.pixels());
+  for (int it = 0; it < config.iterations; ++it) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float l = sample(cur, x - 1, y, w, h, config.edge);
+        const float r = sample(cur, x + 1, y, w, h, config.edge);
+        const float u = sample(cur, x, y - 1, w, h, config.edge);
+        const float d = sample(cur, x, y + 1, w, h, config.edge);
+        next[static_cast<std::size_t>(y) * config.width + x] =
+            0.25f * (((l + r) + u) + d);
+      }
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace hplrepro::benchsuite

@@ -489,7 +489,12 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
 
   clsim::NDRange global;
   global.dims = static_cast<int>(work_dim);
-  for (cl_uint d = 0; d < work_dim; ++d) global.sizes[d] = global_work_size[d];
+  for (cl_uint d = 0; d < work_dim; ++d) {
+    // OpenCL 1.x: a zero-sized dimension is an enqueue error, caught here
+    // before the command reaches the (possibly asynchronous) queue.
+    if (global_work_size[d] == 0) return CL_INVALID_GLOBAL_WORK_SIZE;
+    global.sizes[d] = global_work_size[d];
+  }
 
   std::optional<clsim::NDRange> local;
   if (local_work_size != nullptr) {

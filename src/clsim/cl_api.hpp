@@ -79,6 +79,7 @@ inline constexpr cl_int CL_INVALID_WORK_GROUP_SIZE = -54;
 inline constexpr cl_int CL_INVALID_EVENT_WAIT_LIST = -57;
 inline constexpr cl_int CL_INVALID_EVENT = -58;
 inline constexpr cl_int CL_INVALID_BUFFER_SIZE = -61;
+inline constexpr cl_int CL_INVALID_GLOBAL_WORK_SIZE = -63;
 
 // --- Enumerations ---------------------------------------------------------------
 

@@ -1,0 +1,464 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "clsim/runtime.hpp"
+#include "hpl/runtime.hpp"
+#include "hpl/trace.hpp"
+#include "scenario/workloads.hpp"
+#include "support/error.hpp"
+
+namespace hplrepro::scenario {
+
+namespace {
+
+/// Slack factor of the roofline envelope. Wide on purpose: the envelope
+/// exists to catch order-of-magnitude timing-model regressions, not to
+/// re-derive the model.
+constexpr double kRooflineSlack = 64.0;
+
+const char* device_needle(const std::string& label) {
+  return label == "CPU" ? "Xeon" : label.c_str();
+}
+
+clsim::Device clsim_device(const std::string& label) {
+  auto dev = clsim::Platform::get().device_by_name(device_needle(label));
+  if (!dev) {
+    throw hplrepro::InvalidArgument("unknown scenario device '" + label +
+                                    "'");
+  }
+  return *dev;
+}
+
+HPL::Device hpl_device(const std::string& label) {
+  auto dev = HPL::Device::by_name(device_needle(label));
+  if (!dev) {
+    throw hplrepro::InvalidArgument("unknown scenario device '" + label +
+                                    "'");
+  }
+  return *dev;
+}
+
+std::uint64_t fnv1a(const std::vector<double>& values) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const double v : values) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (bits >> shift) & 0xffu;
+      hash *= 0x100000001b3ull;
+    }
+  }
+  return hash;
+}
+
+std::string fail(const char* rule, const std::string& detail) {
+  return std::string(rule) + ": " + detail;
+}
+
+/// Runs one workload in one cell and applies the per-run grade rules
+/// (correctness, profile reconciliation, perf envelope). Cross-variant
+/// identity is graded by run_sweep over the collected hashes.
+WorkloadGrade grade_one(const Workload& workload, const Cell& cell,
+                        const std::vector<double>& reference) {
+  WorkloadGrade grade;
+  grade.workload = workload.name;
+
+  const clsim::DeviceSpec& spec = clsim_device(cell.device).spec();
+  if (workload.needs_double && !spec.supports_double) {
+    grade.skipped = true;
+    grade.skip_reason = "device has no double support";
+    return grade;
+  }
+
+  // Cell configuration. The explicit purge makes cache accounting
+  // deterministic: the first eval of the run is the one and only miss.
+  clsim::set_async_enabled(cell.async);
+  HPL::set_kernel_build_options(cell.build_options());
+  HPL::purge_kernel_cache();
+  HPL::reset_profile();
+
+  const std::vector<double> got = workload.run(cell.size, hpl_device(cell.device));
+  const HPL::ProfileSnapshot profile = HPL::profile();
+  const std::vector<HPL::KernelProfile> kernels = HPL::kernel_profiles();
+
+  // --- Grade 1: numeric correctness against the serial reference -----------
+  if (got.size() != reference.size()) {
+    grade.failures.push_back(fail(
+        "correctness", "output has " + std::to_string(got.size()) +
+                           " elements, reference has " +
+                           std::to_string(reference.size())));
+  } else {
+    double worst_err = 0, worst_tol = 0;
+    bool correct = true;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const double err = std::fabs(got[i] - reference[i]);
+      const double tol =
+          workload.abs_tol + workload.rel_tol * std::fabs(reference[i]);
+      if (err > worst_err) {
+        worst_err = err;
+        worst_tol = tol;
+      }
+      if (!(err <= tol)) correct = false;  // catches NaN too
+    }
+    grade.max_error = worst_err;
+    grade.tolerance = worst_tol;
+    if (!correct) {
+      std::ostringstream msg;
+      msg << "worst |ref-got| " << worst_err << " exceeds tolerance "
+          << worst_tol;
+      grade.failures.push_back(fail("correctness", msg.str()));
+    }
+  }
+  grade.output_hash = fnv1a(got);
+
+  // --- Grade 2: profile reconciliation --------------------------------------
+  grade.launches = profile.kernel_launches;
+  grade.cache_hits = profile.kernel_cache_hits;
+  grade.cache_misses = profile.kernel_cache_misses;
+  grade.kernel_sim_seconds = profile.kernel_sim_seconds;
+  for (const auto& k : kernels) {
+    grade.launch_sim_seconds += k.sim.launch_s;
+    grade.global_bytes += k.global_bytes;
+    grade.ops += k.ops;
+  }
+
+  const std::uint64_t expected = workload.expected_launches(cell.size);
+  if (grade.launches != expected) {
+    grade.failures.push_back(
+        fail("profile", "expected " + std::to_string(expected) +
+                            " launches, profiled " +
+                            std::to_string(grade.launches)));
+  }
+  if (grade.cache_hits + grade.cache_misses != grade.launches) {
+    grade.failures.push_back(fail(
+        "profile", "cache hits " + std::to_string(grade.cache_hits) +
+                       " + misses " + std::to_string(grade.cache_misses) +
+                       " != launches " + std::to_string(grade.launches)));
+  }
+  if (grade.cache_misses != 1) {
+    grade.failures.push_back(
+        fail("profile", "expected exactly 1 cache miss after a purge, got " +
+                            std::to_string(grade.cache_misses)));
+  }
+  if (grade.ops == 0 || grade.global_bytes == 0) {
+    grade.failures.push_back(
+        fail("profile", "kernel registry recorded no ops or bytes"));
+  }
+
+  // --- Grade 3: perf envelope -----------------------------------------------
+  const double launch_overhead_s = spec.launch_overhead_us * 1e-6;
+  const double expected_launch_s =
+      static_cast<double>(grade.launches) * launch_overhead_s;
+  if (std::fabs(grade.launch_sim_seconds - expected_launch_s) >
+      1e-9 * expected_launch_s + 1e-15) {
+    std::ostringstream msg;
+    msg << "launch overhead " << grade.launch_sim_seconds << " s, expected "
+        << expected_launch_s << " s";
+    grade.failures.push_back(fail("envelope", msg.str()));
+  }
+
+  const double peak_ops =
+      static_cast<double>(spec.compute_units) * spec.clock_ghz * 1e9 *
+      spec.ipc;
+  const double t_comp = workload.flops(cell.size) / peak_ops;
+  const double t_mem =
+      workload.bytes(cell.size) / (spec.global_bandwidth_gbs * 1e9);
+  grade.roofline_lower = std::max(t_comp, t_mem) / kRooflineSlack;
+  grade.roofline_upper = kRooflineSlack * (t_comp + t_mem) +
+                         8.0 * static_cast<double>(grade.launches) *
+                             launch_overhead_s +
+                         1e-3;
+  if (grade.kernel_sim_seconds < grade.roofline_lower ||
+      grade.kernel_sim_seconds > grade.roofline_upper) {
+    std::ostringstream msg;
+    msg << "simulated kernel time " << grade.kernel_sim_seconds
+        << " s outside roofline [" << grade.roofline_lower << ", "
+        << grade.roofline_upper << "]";
+    grade.failures.push_back(fail("envelope", msg.str()));
+  }
+
+  return grade;
+}
+
+/// Saves and restores the process-global runtime configuration the sweep
+/// mutates, so callers (tests, benches) see their own settings again.
+class ConfigGuard {
+public:
+  ConfigGuard()
+      : async_(clsim::async_enabled()),
+        options_(HPL::kernel_build_options()) {}
+  ~ConfigGuard() {
+    clsim::set_async_enabled(async_);
+    HPL::set_kernel_build_options(options_);
+    HPL::purge_kernel_cache();
+    HPL::reset_profile();
+  }
+
+private:
+  bool async_;
+  std::string options_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Axes Axes::full() { return Axes{}; }
+
+Axes Axes::reduced() {
+  Axes axes;
+  axes.sizes = {"small"};
+  return axes;
+}
+
+std::string Cell::label() const {
+  return device + "/" + (async ? "async" : "sync") + "/" + interp + "/" +
+         opt + "/" + size;
+}
+
+std::string Cell::build_options() const {
+  return opt + " -cl-interp=" + interp;
+}
+
+bool CellReport::passed() const {
+  for (const auto& g : grades) {
+    if (!g.skipped && !g.failures.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads()) names.push_back(w.name);
+  return names;
+}
+
+SweepReport run_sweep(const Axes& axes) {
+  ConfigGuard guard;
+  SweepReport report;
+  report.axes = axes;
+
+  // Serial references are variant-independent: compute once per
+  // (workload, size).
+  std::map<std::string, std::vector<double>> references;
+  const auto reference_for = [&](const Workload& w, const std::string& size)
+      -> const std::vector<double>& {
+    const std::string key = w.name + "|" + size;
+    auto it = references.find(key);
+    if (it == references.end()) {
+      it = references.emplace(key, w.reference(size)).first;
+    }
+    return it->second;
+  };
+
+  // Observations for the cross-variant identity grades.
+  struct Observation {
+    std::string cell_label;
+    WorkloadGrade grade;
+  };
+  std::map<std::string, std::vector<Observation>> sync_interp_groups;
+  std::map<std::string, std::vector<Observation>> opt_groups;
+
+  for (const auto& device : axes.devices) {
+    for (const auto& size : axes.sizes) {
+      for (const auto& opt : axes.opts) {
+        for (const auto& interp : axes.interps) {
+          for (const bool async : axes.async_modes) {
+            Cell cell{device, async, interp, opt, size};
+            CellReport cell_report;
+            cell_report.cell = cell;
+            for (const auto& workload : workloads()) {
+              WorkloadGrade grade =
+                  grade_one(workload, cell, reference_for(workload, size));
+              if (grade.skipped) {
+                ++report.skipped;
+              } else {
+                ++report.graded;
+                if (grade.failures.empty()) {
+                  ++report.passed;
+                } else {
+                  ++report.failed;
+                }
+                const std::string run_key =
+                    device + "|" + size + "|" + workload.name;
+                sync_interp_groups[run_key + "|" + opt].push_back(
+                    {cell.label(), grade});
+                opt_groups[run_key].push_back({cell.label(), grade});
+              }
+              cell_report.grades.push_back(std::move(grade));
+            }
+            report.cells.push_back(std::move(cell_report));
+          }
+        }
+      }
+    }
+  }
+
+  // Identity across the sync × interpreter variants of one
+  // (device, opt, size, workload): bit-identical outputs and identical
+  // profiled work. The interpreter and the sync mode are execution
+  // details; nothing observable may depend on them.
+  for (const auto& [key, group] : sync_interp_groups) {
+    const Observation& base = group.front();
+    for (const Observation& other : group) {
+      const auto& a = base.grade;
+      const auto& b = other.grade;
+      if (a.output_hash != b.output_hash) {
+        report.identity_failures.push_back(
+            key + ": output of " + other.cell_label +
+            " differs from " + base.cell_label);
+      }
+      if (std::fabs(a.kernel_sim_seconds - b.kernel_sim_seconds) >
+          1e-12 * std::fabs(a.kernel_sim_seconds)) {
+        report.identity_failures.push_back(
+            key + ": simulated time of " + other.cell_label + " (" +
+            std::to_string(b.kernel_sim_seconds) + ") differs from " +
+            base.cell_label + " (" +
+            std::to_string(a.kernel_sim_seconds) + ")");
+      }
+      if (a.launches != b.launches || a.cache_hits != b.cache_hits ||
+          a.cache_misses != b.cache_misses || a.ops != b.ops ||
+          a.global_bytes != b.global_bytes) {
+        report.identity_failures.push_back(
+            key + ": profiled work of " + other.cell_label +
+            " differs from " + base.cell_label);
+      }
+    }
+  }
+
+  // Identity across -O0/-O2 (and everything else) of one
+  // (device, size, workload): the optimizer contract — outputs stay
+  // bit-identical; only time and op counts may change.
+  for (const auto& [key, group] : opt_groups) {
+    const Observation& base = group.front();
+    for (const Observation& other : group) {
+      if (base.grade.output_hash != other.grade.output_hash) {
+        report.identity_failures.push_back(
+            key + ": output of " + other.cell_label +
+            " differs from " + base.cell_label + " (optimizer contract)");
+      }
+    }
+  }
+
+  return report;
+}
+
+bool grader_catches_sabotage() {
+  ConfigGuard guard;
+  const Workload broken = sabotage_workload();
+  const Cell cell{"Tesla", true, "stack", "-O2", "small"};
+  const WorkloadGrade grade =
+      grade_one(broken, cell, broken.reference(cell.size));
+  if (grade.skipped) return false;
+  // Exactly the correctness rule must fire: the sabotaged kernel is a
+  // perfectly healthy blur as far as profile and envelope are concerned.
+  bool correctness_failed = false;
+  for (const auto& f : grade.failures) {
+    if (f.rfind("correctness", 0) == 0) {
+      correctness_failed = true;
+    } else {
+      return false;  // a non-correctness rule misfired
+    }
+  }
+  return correctness_failed;
+}
+
+std::string report_json(const SweepReport& report, int sabotage_caught) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"hplrepro-scenario-v1\",\n";
+
+  const auto string_list = [&](const std::vector<std::string>& items) {
+    std::ostringstream list;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      list << (i ? ", " : "") << '"' << json_escape(items[i]) << '"';
+    }
+    return list.str();
+  };
+
+  out << "  \"axes\": {\n";
+  out << "    \"devices\": [" << string_list(report.axes.devices) << "],\n";
+  out << "    \"async\": [";
+  for (std::size_t i = 0; i < report.axes.async_modes.size(); ++i) {
+    out << (i ? ", " : "") << (report.axes.async_modes[i] ? "true" : "false");
+  }
+  out << "],\n";
+  out << "    \"interps\": [" << string_list(report.axes.interps) << "],\n";
+  out << "    \"opts\": [" << string_list(report.axes.opts) << "],\n";
+  out << "    \"sizes\": [" << string_list(report.axes.sizes) << "]\n";
+  out << "  },\n";
+
+  out << "  \"cells\": [\n";
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const CellReport& cell = report.cells[c];
+    out << "    {\"cell\": \"" << json_escape(cell.cell.label()) << "\", "
+        << "\"build_options\": \""
+        << json_escape(cell.cell.build_options()) << "\", "
+        << "\"passed\": " << (cell.passed() ? "true" : "false")
+        << ", \"workloads\": [\n";
+    for (std::size_t w = 0; w < cell.grades.size(); ++w) {
+      const WorkloadGrade& g = cell.grades[w];
+      out << "      {\"name\": \"" << json_escape(g.workload) << "\", ";
+      if (g.skipped) {
+        out << "\"status\": \"skip\", \"reason\": \""
+            << json_escape(g.skip_reason) << "\"}";
+      } else {
+        out << "\"status\": \"" << (g.failures.empty() ? "pass" : "fail")
+            << "\", \"max_error\": " << g.max_error
+            << ", \"tolerance\": " << g.tolerance
+            << ", \"output_hash\": \"" << std::hex << g.output_hash
+            << std::dec << "\""
+            << ", \"launches\": " << g.launches
+            << ", \"cache_hits\": " << g.cache_hits
+            << ", \"cache_misses\": " << g.cache_misses
+            << ", \"ops\": " << g.ops
+            << ", \"global_bytes\": " << g.global_bytes
+            << ", \"kernel_sim_seconds\": " << g.kernel_sim_seconds
+            << ", \"launch_sim_seconds\": " << g.launch_sim_seconds
+            << ", \"roofline\": [" << g.roofline_lower << ", "
+            << g.roofline_upper << "]"
+            << ", \"failures\": [" << string_list(g.failures) << "]}";
+      }
+      out << (w + 1 < cell.grades.size() ? ",\n" : "\n");
+    }
+    out << "    ]}" << (c + 1 < report.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+
+  out << "  \"identity_failures\": [" << string_list(report.identity_failures)
+      << "],\n";
+  if (sabotage_caught >= 0) {
+    out << "  \"self_test\": {\"sabotage_caught\": "
+        << (sabotage_caught ? "true" : "false") << "},\n";
+  }
+  out << "  \"summary\": {\"cells\": " << report.cells.size()
+      << ", \"graded\": " << report.graded
+      << ", \"passed\": " << report.passed
+      << ", \"failed\": " << report.failed
+      << ", \"skipped\": " << report.skipped
+      << ", \"identity_failures\": " << report.identity_failures.size()
+      << ", \"ok\": " << (report.ok() ? "true" : "false") << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hplrepro::scenario

@@ -1,0 +1,135 @@
+#ifndef HPLREPRO_SCENARIO_SCENARIO_HPP
+#define HPLREPRO_SCENARIO_SCENARIO_HPP
+
+/// \file scenario.hpp
+/// Grader-style scenario matrix (ROADMAP item 5; cf. the lc3tools grader):
+/// enumerates every configuration the runtime actually exposes —
+///
+///   device {CPU, Tesla, Quadro} × sync {HPL_SYNC=0,1} ×
+///   interpreter {-cl-interp=stack,threaded} × opt {-O0,-O2} × size
+///
+/// — runs every benchsuite workload (the five paper benchmarks plus the
+/// stencil family) through each cell, and grades three things per run:
+///
+///   1. *Correctness*: the HPL result matches the serial reference within
+///      the workload's declared tolerance.
+///   2. *Profile identity*: cache hits + misses == launches, launches ==
+///      the workload's declared count, and — across the sync × interpreter
+///      variants of one (device, opt, size) — bit-identical outputs and
+///      identical simulated time, ops and bytes. Outputs are additionally
+///      bit-identical across -O0/-O2 (the optimizer contract).
+///   3. *Perf envelope*: simulated kernel time within generous roofline
+///      bounds derived from the workload's declared flop/byte counts and
+///      the device spec, and launch overhead exactly launches × spec.
+///
+/// The grader is self-testing: grader_catches_sabotage() runs a blur whose
+/// edge policy deliberately disagrees with its reference and reports
+/// whether the correctness grade catches it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hplrepro::scenario {
+
+/// The matrix axes. `async_modes` uses the HPL_SYNC convention of the
+/// runtime: true = asynchronous pipeline (HPL_SYNC=0), false = forced
+/// synchronous (HPL_SYNC=1).
+struct Axes {
+  std::vector<std::string> devices = {"CPU", "Tesla", "Quadro"};
+  std::vector<bool> async_modes = {true, false};
+  std::vector<std::string> interps = {"stack", "threaded"};
+  std::vector<std::string> opts = {"-O0", "-O2"};
+  std::vector<std::string> sizes = {"small", "large"};
+
+  /// The full matrix: 3 × 2 × 2 × 2 × 2 = 48 cells.
+  static Axes full();
+  /// The reduced matrix for ctest/CI: small sizes only (24 cells).
+  static Axes reduced();
+
+  std::size_t cell_count() const {
+    return devices.size() * async_modes.size() * interps.size() *
+           opts.size() * sizes.size();
+  }
+};
+
+/// One point of the matrix.
+struct Cell {
+  std::string device;
+  bool async = true;
+  std::string interp;
+  std::string opt;
+  std::string size;
+
+  /// "Tesla/async/stack/-O2/small" — stable id used in reports.
+  std::string label() const;
+  /// The clBuildProgram-style options string the cell runs under.
+  std::string build_options() const;
+};
+
+/// The grade of one workload in one cell. An empty `failures` is a pass.
+struct WorkloadGrade {
+  std::string workload;
+  bool skipped = false;       // device lacks a capability (EP w/o doubles)
+  std::string skip_reason;
+
+  // Correctness observations.
+  std::uint64_t output_hash = 0;  // FNV-1a over the normalized output
+  double max_error = 0;           // worst |ref - got|
+  double tolerance = 0;           // hybrid bound at the worst element
+
+  // Profile observations.
+  std::uint64_t launches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t ops = 0;
+  double kernel_sim_seconds = 0;
+  double launch_sim_seconds = 0;
+
+  // Perf envelope actually applied.
+  double roofline_lower = 0;
+  double roofline_upper = 0;
+
+  std::vector<std::string> failures;
+  bool passed() const { return !skipped && failures.empty(); }
+};
+
+struct CellReport {
+  Cell cell;
+  std::vector<WorkloadGrade> grades;
+  bool passed() const;
+};
+
+struct SweepReport {
+  Axes axes;
+  std::vector<CellReport> cells;
+  /// Cross-variant identity violations (sync × interp × opt groups).
+  std::vector<std::string> identity_failures;
+  std::size_t graded = 0;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+
+  bool ok() const { return failed == 0 && identity_failures.empty(); }
+};
+
+/// The workloads the sweep grades, in run order: the five paper benchmarks
+/// plus blur, sobel and jacobi.
+std::vector<std::string> workload_names();
+
+/// Runs the whole matrix. Restores async mode and build options on exit.
+SweepReport run_sweep(const Axes& axes);
+
+/// Self-test: grades a blur whose kernel runs a different boundary policy
+/// than its reference; returns true iff the grader flags the mismatch
+/// (and no legitimate grade rule is what caught it — only correctness).
+bool grader_catches_sabotage();
+
+/// Renders the report as JSON (schema "hplrepro-scenario-v1").
+/// `sabotage_caught` < 0 omits the self-test block, else 0/1.
+std::string report_json(const SweepReport& report, int sabotage_caught = -1);
+
+}  // namespace hplrepro::scenario
+
+#endif  // HPLREPRO_SCENARIO_SCENARIO_HPP

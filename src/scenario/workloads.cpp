@@ -1,0 +1,312 @@
+#include "scenario/workloads.hpp"
+
+#include "benchsuite/ep.hpp"
+#include "benchsuite/floyd.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/spmv.hpp"
+#include "benchsuite/stencil.hpp"
+#include "benchsuite/transpose.hpp"
+#include "support/error.hpp"
+
+namespace hplrepro::scenario {
+
+namespace bs = hplrepro::benchsuite;
+
+namespace {
+
+void require_size(const std::string& size) {
+  if (size != "small" && size != "large") {
+    throw hplrepro::InvalidArgument("unknown scenario size '" + size + "'");
+  }
+}
+
+std::vector<double> widen(const std::vector<float>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+// --- Per-size configs --------------------------------------------------------
+
+bs::EpConfig ep_config(const std::string& size) {
+  require_size(size);
+  bs::EpConfig c;
+  c.pairs = size == "small" ? 1 << 10 : 1 << 12;
+  c.chunk = 32;
+  c.local_size = 32;
+  return c;
+}
+
+bs::FloydConfig floyd_config(const std::string& size) {
+  require_size(size);
+  bs::FloydConfig c;
+  c.nodes = size == "small" ? 32 : 64;
+  c.tile = 16;
+  return c;
+}
+
+bs::TransposeConfig transpose_config(const std::string& size) {
+  require_size(size);
+  bs::TransposeConfig c;
+  c.rows = size == "small" ? 64 : 256;
+  c.cols = size == "small" ? 32 : 128;
+  return c;
+}
+
+bs::SpmvConfig spmv_config(const std::string& size) {
+  require_size(size);
+  bs::SpmvConfig c;
+  c.rows = size == "small" ? 96 : 256;
+  c.density = 0.05;
+  c.threads_per_row = 8;
+  return c;
+}
+
+bs::ReductionConfig reduction_config(const std::string& size) {
+  require_size(size);
+  bs::ReductionConfig c;
+  c.elements = size == "small" ? 1 << 12 : 1 << 16;
+  c.groups = size == "small" ? 8 : 16;
+  c.local_size = 64;
+  return c;
+}
+
+bs::StencilConfig stencil_config(const std::string& size) {
+  require_size(size);
+  bs::StencilConfig c;
+  c.width = size == "small" ? 48 : 160;
+  c.height = size == "small" ? 36 : 120;
+  c.iterations = size == "small" ? 3 : 6;
+  return c;
+}
+
+std::vector<double> ep_flatten(const bs::EpResult& r) {
+  std::vector<double> out;
+  out.reserve(13);
+  out.push_back(static_cast<double>(r.accepted));
+  for (const auto q : r.q) out.push_back(static_cast<double>(q));
+  out.push_back(r.sx);
+  out.push_back(r.sy);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> registry = [] {
+    std::vector<Workload> w;
+
+    {
+      Workload ep;
+      ep.name = "ep";
+      ep.needs_double = true;
+      ep.abs_tol = 1e-9;
+      ep.rel_tol = 1e-9;
+      ep.run = [](const std::string& size, HPL::Device device) {
+        return ep_flatten(bs::ep_hpl(ep_config(size), device).result);
+      };
+      ep.reference = [](const std::string& size) {
+        return ep_flatten(bs::ep_serial(ep_config(size)));
+      };
+      ep.expected_launches = [](const std::string&) { return 1ull; };
+      ep.flops = [](const std::string& size) {
+        // ~60 flops per pair (two LCG steps + acceptance test), with the
+        // transcendental path weighted in.
+        return 60.0 * static_cast<double>(ep_config(size).pairs);
+      };
+      ep.bytes = [](const std::string& size) {
+        const auto c = ep_config(size);
+        return static_cast<double>(c.items()) * (8.0 * 3 + 10 * 4);
+      };
+      w.push_back(std::move(ep));
+    }
+
+    {
+      Workload floyd;
+      floyd.name = "floyd";
+      floyd.abs_tol = 1e-5;
+      floyd.rel_tol = 1e-6;
+      floyd.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::floyd_hpl(floyd_config(size), device).distances);
+      };
+      floyd.reference = [](const std::string& size) {
+        return widen(bs::floyd_serial(floyd_config(size)));
+      };
+      floyd.expected_launches = [](const std::string& size) {
+        return static_cast<std::uint64_t>(floyd_config(size).nodes);
+      };
+      floyd.flops = [](const std::string& size) {
+        const double n = static_cast<double>(floyd_config(size).nodes);
+        return 3.0 * n * n * n;
+      };
+      floyd.bytes = [](const std::string& size) {
+        const double n = static_cast<double>(floyd_config(size).nodes);
+        return 4.0 * n * n * n;  // ~4 accesses x 4 B per pass element... /4
+      };
+      w.push_back(std::move(floyd));
+    }
+
+    {
+      Workload transpose;
+      transpose.name = "transpose";
+      transpose.abs_tol = 0;  // pure data movement: bit-exact
+      transpose.rel_tol = 0;
+      transpose.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::transpose_hpl(transpose_config(size), device).output);
+      };
+      transpose.reference = [](const std::string& size) {
+        return widen(bs::transpose_serial(transpose_config(size)));
+      };
+      transpose.expected_launches = [](const std::string&) { return 1ull; };
+      transpose.flops = [](const std::string& size) {
+        const auto c = transpose_config(size);
+        return static_cast<double>(c.rows * c.cols);
+      };
+      transpose.bytes = [](const std::string& size) {
+        const auto c = transpose_config(size);
+        return 8.0 * static_cast<double>(c.rows * c.cols);
+      };
+      w.push_back(std::move(transpose));
+    }
+
+    {
+      Workload spmv;
+      spmv.name = "spmv";
+      spmv.abs_tol = 1e-4;
+      spmv.rel_tol = 1e-4;
+      spmv.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::spmv_hpl(spmv_config(size), device).output);
+      };
+      spmv.reference = [](const std::string& size) {
+        return widen(bs::spmv_serial(spmv_config(size)));
+      };
+      spmv.expected_launches = [](const std::string&) { return 1ull; };
+      spmv.flops = [](const std::string& size) {
+        const auto c = spmv_config(size);
+        const double nnz =
+            static_cast<double>(c.rows) * static_cast<double>(c.rows) *
+            c.density;
+        return 2.0 * nnz;
+      };
+      spmv.bytes = [](const std::string& size) {
+        const auto c = spmv_config(size);
+        const double nnz =
+            static_cast<double>(c.rows) * static_cast<double>(c.rows) *
+            c.density;
+        return 16.0 * nnz;
+      };
+      w.push_back(std::move(spmv));
+    }
+
+    {
+      Workload reduction;
+      reduction.name = "reduction";
+      reduction.abs_tol = 0.05;
+      reduction.rel_tol = 1e-4;
+      reduction.run = [](const std::string& size, HPL::Device device) {
+        return std::vector<double>{
+            bs::reduction_hpl(reduction_config(size), device).sum};
+      };
+      reduction.reference = [](const std::string& size) {
+        return std::vector<double>{bs::reduction_serial(reduction_config(size))};
+      };
+      reduction.expected_launches = [](const std::string&) { return 1ull; };
+      reduction.flops = [](const std::string& size) {
+        return static_cast<double>(reduction_config(size).elements);
+      };
+      reduction.bytes = [](const std::string& size) {
+        return 4.0 * static_cast<double>(reduction_config(size).elements);
+      };
+      w.push_back(std::move(reduction));
+    }
+
+    {
+      Workload blur;
+      blur.name = "blur";
+      blur.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::blur_hpl(stencil_config(size), device).output);
+      };
+      blur.reference = [](const std::string& size) {
+        return widen(bs::blur_serial(stencil_config(size)));
+      };
+      blur.expected_launches = [](const std::string&) { return 1ull; };
+      blur.flops = [](const std::string& size) {
+        return 30.0 * static_cast<double>(stencil_config(size).pixels());
+      };
+      blur.bytes = [](const std::string& size) {
+        return 40.0 * static_cast<double>(stencil_config(size).pixels());
+      };
+      w.push_back(std::move(blur));
+    }
+
+    {
+      Workload sobel;
+      sobel.name = "sobel";
+      sobel.abs_tol = 1e-5;
+      sobel.rel_tol = 1e-5;
+      sobel.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::sobel_hpl(stencil_config(size), device).output);
+      };
+      sobel.reference = [](const std::string& size) {
+        return widen(bs::sobel_serial(stencil_config(size)));
+      };
+      sobel.expected_launches = [](const std::string&) { return 1ull; };
+      sobel.flops = [](const std::string& size) {
+        return 25.0 * static_cast<double>(stencil_config(size).pixels());
+      };
+      sobel.bytes = [](const std::string& size) {
+        return 36.0 * static_cast<double>(stencil_config(size).pixels());
+      };
+      w.push_back(std::move(sobel));
+    }
+
+    {
+      Workload jacobi;
+      jacobi.name = "jacobi";
+      jacobi.run = [](const std::string& size, HPL::Device device) {
+        return widen(bs::jacobi_hpl(stencil_config(size), device).output);
+      };
+      jacobi.reference = [](const std::string& size) {
+        return widen(bs::jacobi_serial(stencil_config(size)));
+      };
+      jacobi.expected_launches = [](const std::string& size) {
+        return static_cast<std::uint64_t>(stencil_config(size).iterations);
+      };
+      jacobi.flops = [](const std::string& size) {
+        const auto c = stencil_config(size);
+        return 8.0 * static_cast<double>(c.pixels()) * c.iterations;
+      };
+      jacobi.bytes = [](const std::string& size) {
+        const auto c = stencil_config(size);
+        return 12.0 * static_cast<double>(c.pixels()) * c.iterations;
+      };
+      w.push_back(std::move(jacobi));
+    }
+
+    return w;
+  }();
+  return registry;
+}
+
+Workload sabotage_workload() {
+  Workload broken;
+  broken.name = "blur_sabotage";
+  broken.run = [](const std::string& size, HPL::Device device) {
+    bs::StencilConfig c = stencil_config(size);
+    c.edge = bs::EdgePolicy::Wrap;  // the deliberate bug
+    return widen(bs::blur_hpl(c, device).output);
+  };
+  broken.reference = [](const std::string& size) {
+    bs::StencilConfig c = stencil_config(size);
+    c.edge = bs::EdgePolicy::Clamp;  // what the reference expects
+    return widen(bs::blur_serial(c));
+  };
+  broken.expected_launches = [](const std::string&) { return 1ull; };
+  broken.flops = [](const std::string& size) {
+    return 30.0 * static_cast<double>(stencil_config(size).pixels());
+  };
+  broken.bytes = [](const std::string& size) {
+    return 40.0 * static_cast<double>(stencil_config(size).pixels());
+  };
+  return broken;
+}
+
+}  // namespace hplrepro::scenario

@@ -1,0 +1,51 @@
+#ifndef HPLREPRO_SCENARIO_WORKLOADS_HPP
+#define HPLREPRO_SCENARIO_WORKLOADS_HPP
+
+/// \file workloads.hpp
+/// The workload registry behind the scenario grader: one entry per
+/// benchsuite workload, normalizing every result to a vector<double> so
+/// the grader can diff, hash and tolerance-check uniformly. Each entry
+/// also declares the exact launch count and rough flop/byte totals the
+/// perf-envelope grade is derived from.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hpl/runtime.hpp"
+
+namespace hplrepro::scenario {
+
+struct Workload {
+  std::string name;
+  bool needs_double = false;  // skip on devices without fp64 (EP)
+  double abs_tol = 1e-6;
+  double rel_tol = 1e-6;
+
+  /// Runs the HPL variant at `size` on `device`; result normalized to
+  /// doubles (float payloads convert exactly, so hashes stay bit-stable).
+  std::function<std::vector<double>(const std::string& size, HPL::Device)>
+      run;
+  /// Serial reference at `size`, normalized the same way.
+  std::function<std::vector<double>(const std::string& size)> reference;
+  /// Exact kernel launches one run performs.
+  std::function<std::uint64_t(const std::string& size)> expected_launches;
+  /// Rough total simple-op and global-byte counts (roofline inputs; the
+  /// envelope applies a wide slack factor, so order of magnitude is what
+  /// matters).
+  std::function<double(const std::string& size)> flops;
+  std::function<double(const std::string& size)> bytes;
+};
+
+/// The registry, in run order: ep, floyd, transpose, spmv, reduction,
+/// blur, sobel, jacobi.
+const std::vector<Workload>& workloads();
+
+/// A deliberately broken blur: the kernel runs the Wrap policy while the
+/// reference uses Clamp. Used only by the grader's self-test.
+Workload sabotage_workload();
+
+}  // namespace hplrepro::scenario
+
+#endif  // HPLREPRO_SCENARIO_WORKLOADS_HPP

@@ -203,6 +203,123 @@ TEST(ClApi, ErrorCodesOnMisuse) {
   clReleaseContext(context);
 }
 
+TEST(ClApi, KernelArgNegativePaths) {
+  const char* src = R"(
+__kernel void scale(__global float* x, float factor) {
+  size_t i = get_global_id(0);
+  x[i] = factor * x[i];
+}
+)";
+  cl_int err;
+  cl_platform_id platform;
+  ASSERT_EQ(clGetPlatformIDs(1, &platform, nullptr), CL_SUCCESS);
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+            CL_SUCCESS);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "scale", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  float factor = 2.0f;
+  // Index past the last parameter (the kernel has args 0 and 1).
+  EXPECT_EQ(clSetKernelArg(kernel, 2, sizeof(factor), &factor),
+            CL_INVALID_ARG_INDEX);
+  EXPECT_EQ(clSetKernelArg(kernel, 99, sizeof(factor), &factor),
+            CL_INVALID_ARG_INDEX);
+  // A size no scalar type has.
+  EXPECT_EQ(clSetKernelArg(kernel, 1, 3, &factor), CL_INVALID_ARG_SIZE);
+  // NULL value with zero size describes no argument at all.
+  EXPECT_EQ(clSetKernelArg(kernel, 1, 0, nullptr), CL_INVALID_ARG_SIZE);
+  // The failures above must not have corrupted the kernel: setting the
+  // same slots correctly still works.
+  cl_mem buf = clCreateBuffer(context, CL_MEM_READ_WRITE, 16 * 4, nullptr,
+                              &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &buf), CL_SUCCESS);
+  EXPECT_EQ(clSetKernelArg(kernel, 1, sizeof(factor), &factor), CL_SUCCESS);
+
+  clReleaseMemObject(buf);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseContext(context);
+}
+
+TEST(ClApi, ZeroDimensionNDRangeIsRejectedWithoutWedgingTheQueue) {
+  const char* src = R"(
+__kernel void fill(__global float* x) {
+  x[get_global_id(0)] = 7.0f;
+}
+)";
+  cl_int err;
+  cl_platform_id platform;
+  ASSERT_EQ(clGetPlatformIDs(1, &platform, nullptr), CL_SUCCESS);
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+            CL_SUCCESS);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &src, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "fill", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  constexpr std::size_t n = 64;
+  std::vector<float> host(n, 0.0f);
+  cl_mem buf = clCreateBuffer(context, CL_MEM_READ_WRITE, n * 4, nullptr,
+                              &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &buf), CL_SUCCESS);
+
+  // A zero-sized dimension is an enqueue-time error in any position; the
+  // command never reaches the queue, no event is produced, and nothing
+  // hangs even though the queue runs asynchronously.
+  const std::size_t zero1[1] = {0};
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, zero1, nullptr,
+                                   0, nullptr, nullptr),
+            CL_INVALID_GLOBAL_WORK_SIZE);
+  const std::size_t zero2a[2] = {0, 8};
+  const std::size_t zero2b[2] = {8, 0};
+  cl_event event = nullptr;
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue, kernel, 2, nullptr, zero2a, nullptr,
+                                   0, nullptr, &event),
+            CL_INVALID_GLOBAL_WORK_SIZE);
+  EXPECT_EQ(event, nullptr);
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue, kernel, 2, nullptr, zero2b, nullptr,
+                                   0, nullptr, nullptr),
+            CL_INVALID_GLOBAL_WORK_SIZE);
+
+  // The queue is still healthy: it drains, accepts a valid launch, and the
+  // launch runs to completion.
+  EXPECT_EQ(clFinish(queue), CL_SUCCESS);
+  const std::size_t global = n;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, buf, CL_TRUE, 0, n * 4, host.data(),
+                                0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(host[i], 7.0f) << i;
+
+  clReleaseMemObject(buf);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
 // Fixture for the event API: one context + queue on the first GPU, plus a
 // built kernel that squares a buffer in place.
 class ClApiEvents : public ::testing::Test {

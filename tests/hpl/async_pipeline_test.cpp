@@ -39,7 +39,10 @@ protected:
     purge_kernel_cache();
     reset_profile();
   }
-  void TearDown() override { clsim::set_async_enabled(true); }
+  void TearDown() override {
+    clsim::set_async_enabled(true);
+    set_kernel_build_options("");
+  }
 };
 
 std::vector<float> run_two_device_chain() {
@@ -77,6 +80,57 @@ TEST_F(AsyncPipelineTest, TwoDeviceChainMatchesSyncModeBitForBit) {
   ASSERT_EQ(async_out.size(), sync_out.size());
   for (std::size_t i = 0; i < async_out.size(); ++i) {
     ASSERT_EQ(async_out[i], sync_out[i]) << i;
+  }
+}
+
+TEST_F(AsyncPipelineTest, SyncModesCrossInterpretersBitForBit) {
+  // The full sync x interpreter matrix: HPL_SYNC={0,1} crossed with
+  // -cl-interp={stack,threaded}. Neither axis is allowed to be observable:
+  // all four combinations must produce bit-identical results, identical
+  // simulated time, and reconciled profiler counts.
+  struct Combo {
+    bool async;
+    const char* interp;
+  };
+  constexpr Combo combos[] = {{true, "stack"},
+                              {true, "threaded"},
+                              {false, "stack"},
+                              {false, "threaded"}};
+
+  std::vector<std::vector<float>> outputs;
+  std::vector<ProfileSnapshot> snapshots;
+  for (const Combo& combo : combos) {
+    clsim::set_async_enabled(combo.async);
+    set_kernel_build_options(std::string("-cl-interp=") + combo.interp);
+    purge_kernel_cache();
+    reset_profile();
+
+    outputs.push_back(run_two_device_chain());
+
+    const ProfileSnapshot snap = profile();
+    EXPECT_EQ(snap.kernel_launches, 9u) << combo.interp;  // 4*2 saxpy + 1
+    EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses,
+              snap.kernel_launches)
+        << combo.interp;
+    // saxpy built per device + triple on the Quadro.
+    EXPECT_EQ(snap.kernel_cache_misses, 3u) << combo.interp;
+    std::uint64_t registry_launches = 0;
+    for (const auto& k : kernel_profiles()) registry_launches += k.launches;
+    EXPECT_EQ(registry_launches, snap.kernel_launches) << combo.interp;
+    snapshots.push_back(snap);
+  }
+
+  for (std::size_t c = 1; c < outputs.size(); ++c) {
+    ASSERT_EQ(outputs[0].size(), outputs[c].size());
+    for (std::size_t i = 0; i < outputs[0].size(); ++i) {
+      ASSERT_EQ(outputs[0][i], outputs[c][i])
+          << "combo " << c << " element " << i;
+    }
+    EXPECT_DOUBLE_EQ(snapshots[0].kernel_sim_seconds,
+                     snapshots[c].kernel_sim_seconds)
+        << "combo " << c;
+    EXPECT_EQ(snapshots[0].bytes_to_device, snapshots[c].bytes_to_device);
+    EXPECT_EQ(snapshots[0].bytes_to_host, snapshots[c].bytes_to_host);
   }
 }
 

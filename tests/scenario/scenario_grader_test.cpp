@@ -1,0 +1,106 @@
+// The scenario grader graded: the reduced matrix must come back clean
+// (every workload correct, every profile reconciled, every run inside its
+// envelope, full cross-variant identity), the JSON scorecard must carry
+// the schema CI validates, and — the grader's own acceptance test — a
+// kernel with a deliberately wrong boundary policy must be caught.
+
+#include <gtest/gtest.h>
+
+#include "clsim/runtime.hpp"
+#include "hpl/runtime.hpp"
+#include "scenario/scenario.hpp"
+
+namespace scenario = hplrepro::scenario;
+namespace clsim = hplrepro::clsim;
+
+namespace {
+
+TEST(ScenarioGrader, WorkloadRegistryCoversBenchsuiteAndStencils) {
+  const std::vector<std::string> names = scenario::workload_names();
+  const std::vector<std::string> expected = {
+      "ep", "floyd", "transpose", "spmv", "reduction",
+      "blur", "sobel", "jacobi"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ScenarioGrader, CellLabelAndBuildOptions) {
+  const scenario::Cell cell{"Tesla", false, "threaded", "-O0", "small"};
+  EXPECT_EQ(cell.label(), "Tesla/sync/threaded/-O0/small");
+  EXPECT_EQ(cell.build_options(), "-O0 -cl-interp=threaded");
+}
+
+TEST(ScenarioGrader, ReducedMatrixGradesClean) {
+  const scenario::Axes axes = scenario::Axes::reduced();
+  ASSERT_EQ(axes.cell_count(), 24u);  // 3 devices x 2 sync x 2 interp x 2 opt
+
+  const scenario::SweepReport report = scenario::run_sweep(axes);
+
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells.size(), 24u);
+  // 24 cells x 8 workloads, minus EP on the 8 Quadro cells (no doubles).
+  EXPECT_EQ(report.graded, 184u);
+  EXPECT_EQ(report.passed, 184u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.skipped, 8u);
+  EXPECT_TRUE(report.identity_failures.empty());
+
+  for (const auto& cell : report.cells) {
+    EXPECT_TRUE(cell.passed()) << cell.cell.label();
+    for (const auto& grade : cell.grades) {
+      if (grade.skipped) {
+        EXPECT_EQ(grade.workload, "ep");
+        EXPECT_EQ(cell.cell.device, "Quadro");
+        continue;
+      }
+      EXPECT_TRUE(grade.failures.empty())
+          << cell.cell.label() << " " << grade.workload << ": "
+          << grade.failures.front();
+      EXPECT_NE(grade.output_hash, 0u);
+      EXPECT_GE(grade.launches, 1u);
+      EXPECT_EQ(grade.cache_misses, 1u);
+      EXPECT_EQ(grade.cache_hits + grade.cache_misses, grade.launches);
+      EXPECT_GT(grade.kernel_sim_seconds, 0.0);
+    }
+  }
+}
+
+TEST(ScenarioGrader, SweepRestoresRuntimeConfiguration) {
+  clsim::set_async_enabled(true);
+  HPL::set_kernel_build_options("-O2");
+
+  scenario::Axes axes = scenario::Axes::reduced();
+  axes.devices = {"Tesla"};  // one device is enough to exercise the guard
+  (void)scenario::run_sweep(axes);
+
+  EXPECT_TRUE(clsim::async_enabled());
+  EXPECT_EQ(HPL::kernel_build_options(), "-O2");
+  HPL::set_kernel_build_options("");
+}
+
+TEST(ScenarioGrader, JsonReportCarriesSchemaAndSummary) {
+  scenario::Axes axes = scenario::Axes::reduced();
+  axes.devices = {"Tesla"};
+  axes.opts = {"-O2"};
+  const scenario::SweepReport report = scenario::run_sweep(axes);
+  const std::string json = scenario::report_json(report, 1);
+
+  EXPECT_NE(json.find("\"schema\": \"hplrepro-scenario-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("Tesla/async/stack/-O2/small"), std::string::npos);
+  EXPECT_NE(json.find("\"self_test\": {\"sabotage_caught\": true}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  // Omitting the self-test block is the -1 contract.
+  EXPECT_EQ(scenario::report_json(report).find("self_test"),
+            std::string::npos);
+}
+
+// The acceptance criterion for the grader itself: a deliberately broken
+// kernel (blur graded against a reference with a different edge policy)
+// must be flagged — and only by the correctness rule.
+TEST(ScenarioGrader, SabotagedBoundaryPolicyIsCaught) {
+  EXPECT_TRUE(scenario::grader_catches_sabotage());
+}
+
+}  // namespace
