@@ -15,6 +15,7 @@
 #include "benchsuite/common.hpp"
 #include "clsim/runtime.hpp"
 #include "hpl/HPL.h"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -52,13 +53,20 @@ inline void print_header(const std::string& title,
 /// results file on destruction. Alongside the per-row metrics it embeds
 /// the final ProfileSnapshot and the per-kernel profiler registry, so a
 /// single run yields the per-phase decomposition machine-readably.
+///
+/// Every binary using it also understands `--metrics <path>`: the
+/// quantitative metrics layer (support/metrics.hpp) is switched on at
+/// startup and its "hplrepro-metrics-v1" JSON is written on destruction,
+/// equivalent to running with HPL_METRICS=<path>.
 class JsonReporter {
 public:
   JsonReporter(int argc, char** argv, std::string benchmark)
       : benchmark_(std::move(benchmark)) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--metrics") metrics_path_ = argv[i + 1];
     }
+    if (!metrics_path_.empty()) hplrepro::metrics::set_enabled(true);
   }
 
   bool requested() const { return !path_.empty(); }
@@ -70,6 +78,14 @@ public:
   }
 
   ~JsonReporter() {
+    if (!metrics_path_.empty()) {
+      if (HPL::metrics_write(metrics_path_)) {
+        std::cout << "\n[metrics written to " << metrics_path_ << "]\n";
+      } else {
+        std::cerr << "bench: cannot open " << metrics_path_
+                  << " for writing\n";
+      }
+    }
     if (path_.empty()) return;
     std::ofstream os(path_);
     if (!os) {
@@ -146,6 +162,7 @@ private:
 
   std::string benchmark_;
   std::string path_;
+  std::string metrics_path_;
   std::vector<Row> rows_;
 };
 

@@ -227,10 +227,11 @@ int main(int argc, char** argv) {
   print_opt_pipeline_table();
   print_interp_table(json);
   // google-benchmark rejects flags it does not know, so hide `--json
-  // <path>` (consumed by JsonReporter above) from it.
+  // <path>` and `--metrics <path>` (consumed by JsonReporter above) from it.
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if ((arg == "--json" || arg == "--metrics") && i + 1 < argc) {
       ++i;
       continue;
     }

@@ -6,18 +6,22 @@
 //   bench/scenario_sweep                 # full matrix
 //   bench/scenario_sweep --reduced       # small sizes only (ctest/CI)
 //   bench/scenario_sweep --json BENCH_scenario.json
+//   bench/scenario_sweep --metrics metrics.json   # hplrepro-metrics-v1
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "hpl/HPL.h"
 #include "scenario/scenario.hpp"
+#include "support/metrics.hpp"
 
 namespace scenario = hplrepro::scenario;
 
 int main(int argc, char** argv) {
   bool reduced = false;
   std::string json_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--reduced") {
@@ -26,8 +30,12 @@ int main(int argc, char** argv) {
       reduced = false;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+      hplrepro::metrics::set_enabled(true);
     } else {
-      std::cerr << "usage: scenario_sweep [--reduced|--full] [--json <path>]\n";
+      std::cerr << "usage: scenario_sweep [--reduced|--full] [--json <path>]"
+                   " [--metrics <path>]\n";
       return 2;
     }
   }
@@ -70,6 +78,15 @@ int main(int argc, char** argv) {
     }
     os << scenario::report_json(report, sabotage_caught ? 1 : 0);
     std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!metrics_path.empty()) {
+    if (!HPL::metrics_write(metrics_path)) {
+      std::cerr << "scenario_sweep: cannot open " << metrics_path
+                << " for writing\n";
+      return 2;
+    }
+    std::cout << "wrote " << metrics_path << "\n";
   }
 
   return report.ok() && sabotage_caught ? 0 : 1;

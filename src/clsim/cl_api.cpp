@@ -99,6 +99,8 @@ bool collect_wait_list(cl_uint num_events, const cl_event* wait_list,
 /// Completes an enqueue: optionally blocks, optionally returns a handle.
 cl_int finish_enqueue(clsim::CommandQueue& queue, clsim::Event ev,
                       cl_bool blocking, cl_event* event_out) {
+  static auto& enqueues = hplrepro::metrics::counter("clapi.enqueues");
+  enqueues.add();
   if (blocking == CL_TRUE) {
     try {
       ev.wait();
@@ -107,6 +109,9 @@ cl_int finish_enqueue(clsim::CommandQueue& queue, clsim::Event ev,
       // the queue's sticky copy so the next clFinish does not report the
       // same error a second time.
       queue.consume_error(ev);
+      static auto& deferred =
+          hplrepro::metrics::counter("clapi.deferred_errors");
+      deferred.add();
       return CL_OUT_OF_RESOURCES;  // deferred execution error
     }
   }
@@ -567,6 +572,9 @@ cl_int clFinish(cl_command_queue queue) {
   try {
     queue->queue->finish();
   } catch (const hplrepro::Error&) {
+    static auto& deferred =
+        hplrepro::metrics::counter("clapi.deferred_errors");
+    deferred.add();
     return CL_OUT_OF_RESOURCES;  // a queued command failed to execute
   }
   return CL_SUCCESS;

@@ -6,6 +6,7 @@
 
 #include "clsim/coalescing.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -274,6 +275,26 @@ LaunchResult execute_ndrange(const clc::Module& module,
   result.stats = total_stats;
   result.timing = simulate_kernel_time(total_stats, device);
   result.wall_seconds = wall.seconds();
+  if (metrics::enabled()) {
+    static auto& launches = metrics::counter("vm.launches");
+    static auto& ops = metrics::counter("vm.ops");
+    static auto& fused = metrics::counter("vm.fused_ops");
+    static auto& items = metrics::counter("vm.items");
+    static auto& groups = metrics::counter("vm.groups");
+    static auto& global_bytes = metrics::counter("vm.global_bytes");
+    static auto& barriers = metrics::counter("vm.barriers");
+    static auto& launch_wall =
+        metrics::histogram("vm.launch.wall_ns");
+    launches.add_always(1);
+    ops.add_always(total_stats.total_ops());
+    fused.add_always(total_stats.fused_ops);
+    items.add_always(total_stats.items);
+    groups.add_always(total_stats.groups);
+    global_bytes.add_always(total_stats.global_load_bytes +
+                            total_stats.global_store_bytes);
+    barriers.add_always(total_stats.barriers_executed);
+    launch_wall.record_seconds(result.wall_seconds);
+  }
   span.arg("device", device.name)
       .arg("groups", total_stats.groups)
       .arg("items", total_stats.items)

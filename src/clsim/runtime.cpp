@@ -333,7 +333,16 @@ double Event::host_ended_us() const {
 
 // --- CommandQueue -------------------------------------------------------------
 
-CommandQueue::CommandQueue(Context& context) : device_(context.device()) {}
+CommandQueue::CommandQueue(Context& context) : device_(context.device()) {
+  const std::string prefix = "queue." + device_.name();
+  depth_gauge_ = &metrics::gauge(prefix + ".depth");
+  util_gauge_ = &metrics::gauge(prefix + ".util_pct");
+  busy_counter_ = &metrics::counter(prefix + ".busy_ns");
+  dwell_queued_ = &metrics::histogram(prefix + ".dwell.queued_ns");
+  dwell_wait_ = &metrics::histogram(prefix + ".dwell.wait_ns");
+  dwell_run_ = &metrics::histogram(prefix + ".dwell.run_ns");
+  created_us_ = trace::now_us();
+}
 
 CommandQueue::~CommandQueue() = default;  // worker_ dtor drains and joins
 
@@ -344,6 +353,7 @@ Event CommandQueue::submit(Command cmd) {
   // is still pending, and a zero stamp would make its queued-phase record
   // span the whole process lifetime.
   cmd.enqueue_us = trace::now_us();
+  if (metrics::enabled()) depth_gauge_->add(1);
   Event event(cmd.state);
   auto shared = std::make_shared<Command>(std::move(cmd));
   worker_.post([this, shared] { execute(*shared); });
@@ -356,6 +366,10 @@ Event CommandQueue::submit(Command cmd) {
 
 void CommandQueue::execute(Command& cmd) {
   Event::State& st = *cmd.state;
+  // Sampled once so the pickup stamp and the dwell records below agree
+  // even if metrics are toggled while the command runs.
+  const bool metrics_on = metrics::enabled();
+  const double pickup_us = metrics_on ? trace::now_us() : 0.0;
   {
     std::lock_guard lock(st.mu);
     st.status = Event::Status::Submitted;
@@ -391,6 +405,34 @@ void CommandQueue::execute(Command& cmd) {
     sim_seconds_ = st.end_s;
     wall_seconds_ += st.wall_seconds;
     if (cmd.is_kernel) sim_kernel_seconds_ += st.sim_seconds;
+  }
+
+  if (error != nullptr) {
+    // Both modes reach this point through the same worker path, so the
+    // post-mortem has identical shape whether HPL_SYNC is set or not.
+    metrics::flight_dump_once(cmd.is_kernel ? "kernel command failed"
+                                            : "command failed");
+  }
+
+  if (metrics_on) {
+    auto to_ns = [](double us) {
+      return us > 0 ? static_cast<std::uint64_t>(us * 1e3) : 0;
+    };
+    const bool ran = st.host_start_us > 0;  // wait-list failures never run
+    dwell_queued_->record_always(to_ns(pickup_us - cmd.enqueue_us));
+    if (ran) {
+      dwell_wait_->record_always(to_ns(st.host_start_us - pickup_us));
+      const double run_us = st.host_end_us - st.host_start_us;
+      dwell_run_->record_always(to_ns(run_us));
+      busy_counter_->add_always(to_ns(run_us));
+      if (run_us > 0) busy_us_ += run_us;
+    }
+    const double elapsed_us = st.host_end_us - created_us_;
+    if (elapsed_us > 0) {
+      util_gauge_->set(
+          static_cast<std::int64_t>(busy_us_ / elapsed_us * 100.0));
+    }
+    depth_gauge_->add(-1);
   }
 
   if (trace::enabled() && !error) {

@@ -39,6 +39,7 @@
 #include "clsim/device.hpp"
 #include "clsim/executor.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace hplrepro::clsim {
@@ -408,6 +409,16 @@ private:
   double sim_kernel_seconds_ = 0;
   double wall_seconds_ = 0;
   std::exception_ptr first_error_;
+  // Metrics handles, resolved once at construction so the worker never
+  // touches the registry. Queues on the same device share them by name.
+  metrics::Gauge* depth_gauge_;
+  metrics::Gauge* util_gauge_;
+  metrics::Counter* busy_counter_;
+  metrics::Histogram* dwell_queued_;
+  metrics::Histogram* dwell_wait_;
+  metrics::Histogram* dwell_run_;
+  double created_us_ = 0;   // trace clock at construction (for utilization)
+  double busy_us_ = 0;      // worker-thread-only running total
   // Declared last so it stops (draining any queued commands that touch
   // the members above) before they are destroyed.
   hplrepro::SerialWorker worker_;

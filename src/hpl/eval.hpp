@@ -26,6 +26,7 @@
 #include "hpl/codegen.hpp"
 #include "hpl/runtime.hpp"
 #include "hpl/trace.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -127,6 +128,13 @@ private:
 
     Runtime& rt = Runtime::get();
     hplrepro::Stopwatch host_watch;
+    // Sampled once: decides every metrics-only clock read below, so a
+    // metrics-off eval pays nothing beyond this relaxed load.
+    const bool metrics_on = hplrepro::metrics::enabled();
+    // Host trace-clock instant eval() entered: the start of the latency
+    // window the critical-path analyzer partitions.
+    const double eval_start_us = metrics_on ? hplrepro::trace::now_us() : 0.0;
+    double capture_us = 0, codegen_us = 0;
 
     // --- Capture + code generation (first invocation only) ---
     const void* key = reinterpret_cast<const void*>(fn_);
@@ -135,6 +143,7 @@ private:
       detail::KernelBuilder builder;
       {
         hplrepro::trace::Span span("capture", "hpl");
+        hplrepro::Stopwatch watch;
         detail::CaptureScope scope(builder);
         // Braced initialisation evaluates left to right, so parameter
         // indices are assigned positionally.
@@ -142,17 +151,20 @@ private:
             Params(detail::FormalTag{}, static_cast<int>(Is))...};
         std::apply(fn_, formals);
         builder.check_balanced();
+        capture_us = watch.seconds() * 1e6;
       }
       CachedKernel fresh;
       fresh.name = rt.next_kernel_name();
       fresh.params = builder.params();
       {
         hplrepro::trace::Span span("codegen", "hpl");
+        hplrepro::Stopwatch watch;
         fresh.source = detail::generate_kernel_source(
             fresh.name, fresh.params, builder.body(), builder.predefined());
         span.arg("kernel", fresh.name)
             .arg("source_bytes",
                  static_cast<std::uint64_t>(fresh.source.size()));
+        codegen_us = watch.seconds() * 1e6;
       }
       cached = &rt.insert_kernel(key, std::move(fresh));
     }
@@ -160,17 +172,33 @@ private:
     // --- Build for the target device (cached per device) ---
     detail::DeviceEntry& dev = rt.entry(device_);
     bool cache_hit = false;
-    detail::BuiltKernel& built = rt.build_for(*cached, dev, &cache_hit);
+    double build_us = 0;
+    detail::BuiltKernel* built_slot;
+    if (metrics_on) {
+      hplrepro::Stopwatch build_watch;
+      built_slot = &rt.build_for(*cached, dev, &cache_hit);
+      if (!cache_hit) build_us = build_watch.seconds() * 1e6;
+    } else {
+      built_slot = &rt.build_for(*cached, dev, &cache_hit);
+    }
+    detail::BuiltKernel& built = *built_slot;
 
     // --- Bind arguments; minimal transfers ---
     std::vector<detail::BoundArray> arrays;
     std::optional<clsim::NDRange> default_global;
+    // Collects the coherence transfers this eval enqueues, so completion
+    // can attribute their execution windows to this launch.
+    detail::TransferCapture transfer_capture;
+    double marshal_us = 0;
     {
       hplrepro::trace::Span span("marshal", "hpl");
+      std::optional<hplrepro::Stopwatch> watch;
+      if (metrics_on) watch.emplace();
       span.arg("kernel", cached->name);
       (bind_arg<Params>(static_cast<unsigned>(Is), actuals, *cached, dev,
                         *built.kernel, arrays, default_global),
        ...);
+      if (watch.has_value()) marshal_us = watch->seconds() * 1e6;
     }
 
     // Hidden dimension-size arguments (rank >= 2), in parameter order.
@@ -229,14 +257,21 @@ private:
       if (bound.written) rt.mark_device_written(*bound.impl, dev);
     }
 
+    // Enqueue done: the host-prep segment of the critical path ends here.
+    // (In sync mode the kernel already ran inside the enqueue; attribution
+    // clips the host window to the completion instant.)
+    const double enqueue_us = metrics_on ? hplrepro::trace::now_us() : 0.0;
+
     // Completion-side accounting, run on the queue worker (or inline in
     // sync mode): simulated seconds and the per-kernel profiler registry.
     // Registered via on_settled so a launch that traps still lands in the
     // registry — keeping profiler_report reconciled with profile() — even
     // though it has no profiling data to contribute.
     event.on_settled([&rt, name = cached->name,
-                      dev_name = dev.device.name(),
-                      cache_hit](const clsim::Event& e, bool failed) {
+                      dev_name = dev.device.name(), cache_hit, metrics_on,
+                      transfers = transfer_capture.take(), eval_start_us,
+                      enqueue_us, capture_us, codegen_us, build_us,
+                      marshal_us](const clsim::Event& e, bool failed) {
       if (failed) {
         detail::profiler_record_failed_launch(name, dev_name, cache_hit);
         return;
@@ -246,6 +281,38 @@ private:
         p.sim_wall_seconds += e.wall_seconds();
       });
       detail::profiler_record_launch(name, dev_name, cache_hit, e);
+      // Gated on the *enqueue-time* decision so the launch counter, the
+      // latency histogram and the critical-path log always agree even if
+      // metrics are toggled while commands are in flight.
+      if (metrics_on) {
+        namespace metrics = hplrepro::metrics;
+        // All of this eval's commands completed at or before the kernel
+        // (transfers are ordered ahead of it), so the profiling accessors
+        // below never block.
+        const double done_us = e.host_ended_us();
+        static auto& latency = metrics::histogram("hpl.eval.latency_ns");
+        const double latency_us = done_us - eval_start_us;
+        latency.record_always(
+            latency_us > 0 ? static_cast<std::uint64_t>(latency_us * 1e3)
+                           : 0);
+        metrics::CriticalPathInput input;
+        input.kernel = name;
+        input.device = dev_name;
+        input.start_us = eval_start_us;
+        input.enqueue_us = enqueue_us;
+        input.done_us = done_us;
+        input.kernel_start_us = e.host_started_us();
+        input.kernel_end_us = done_us;
+        for (const auto& t : transfers) {
+          input.transfer_windows.emplace_back(t.host_started_us(),
+                                              t.host_ended_us());
+        }
+        input.capture_us = capture_us;
+        input.codegen_us = codegen_us;
+        input.build_us = build_us;
+        input.marshal_us = marshal_us;
+        metrics::record_critical_path(input);
+      }
     });
 
     // In sync mode the simulator consumed host wall-clock inside this call;
@@ -257,6 +324,14 @@ private:
       p.kernel_launches += 1;
       p.host_seconds += host_watch.seconds() - sim_wall;
     });
+    if (metrics_on) {
+      static auto& launches = hplrepro::metrics::counter("hpl.eval.launches");
+      static auto& host_ns = hplrepro::metrics::histogram("hpl.eval.host_ns");
+      launches.add_always(1);
+      const double host_s = host_watch.seconds() - sim_wall;
+      host_ns.record_always(
+          host_s > 0 ? static_cast<std::uint64_t>(host_s * 1e9) : 0);
+    }
   }
 
   /// Binds actual argument `actual` to parameter `i`.

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "hpl/trace.hpp"
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
 namespace HPL {
@@ -80,6 +82,24 @@ const std::string& kernel_build_options() {
 }
 
 namespace detail {
+
+// --- TransferCapture -----------------------------------------------------------
+
+namespace {
+thread_local TransferCapture* tl_transfer_capture = nullptr;
+}  // namespace
+
+TransferCapture::TransferCapture() : prev_(tl_transfer_capture) {
+  tl_transfer_capture = this;
+}
+
+TransferCapture::~TransferCapture() { tl_transfer_capture = prev_; }
+
+void TransferCapture::note(const hplrepro::clsim::Event& event) {
+  if (tl_transfer_capture != nullptr) {
+    tl_transfer_capture->events_.push_back(event);
+  }
+}
 
 // --- Runtime -------------------------------------------------------------------
 
@@ -179,9 +199,13 @@ BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev,
   if (cache_hit != nullptr) *cache_hit = it != cached.built.end();
   if (it != cached.built.end()) {
     with_prof([](ProfileSnapshot& p) { ++p.kernel_cache_hits; });
+    static auto& hit_counter = hplrepro::metrics::counter("hpl.cache.hit");
+    hit_counter.add();
     return it->second;
   }
   with_prof([](ProfileSnapshot& p) { ++p.kernel_cache_misses; });
+  static auto& miss_counter = hplrepro::metrics::counter("hpl.cache.miss");
+  miss_counter.add();
 
   hplrepro::trace::Span span("build", "hpl");
   span.arg("kernel", cached.name).arg("device", dev.device.name());
@@ -241,6 +265,7 @@ void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
         profiler_record_transfer(name, /*to_device=*/true, nbytes,
                                  e.sim_seconds());
       });
+  TransferCapture::note(event);
   impl.host_readers.push_back(event);  // upload reads host_ptr in flight
   copy.valid = true;
 }
@@ -279,6 +304,7 @@ void Runtime::make_host_current_async(ArrayImpl& impl) {
             profiler_record_transfer(name, /*to_device=*/false, nbytes,
                                      e.sim_seconds());
           });
+      TransferCapture::note(event);
       impl.host_ready = event;
       impl.host_readers.clear();
       impl.host_valid = true;
@@ -294,6 +320,17 @@ void Runtime::sync_to_host(ArrayImpl& impl) {
   make_host_current_async(impl);
   // The lazy synchronization point: the host blocks only here, when it
   // actually dereferences the data (or is about to overwrite it).
+  if (hplrepro::metrics::enabled() && !impl.host_ready.complete()) {
+    static auto& stalls = hplrepro::metrics::counter("hpl.sync.stalls");
+    static auto& stall_ns =
+        hplrepro::metrics::histogram("hpl.sync.stall_ns");
+    hplrepro::Stopwatch watch;
+    impl.host_ready.wait();
+    stalls.add_always(1);
+    stall_ns.record_always(
+        static_cast<std::uint64_t>(watch.seconds() * 1e9));
+    return;
+  }
   impl.host_ready.wait();
 }
 

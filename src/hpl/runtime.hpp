@@ -126,6 +126,28 @@ struct CachedKernel {
   std::map<const hplrepro::clsim::DeviceSpec*, BuiltKernel> built;
 };
 
+/// While alive on a thread, collects every coherence-transfer event the
+/// Runtime enqueues from that thread. eval() opens one around argument
+/// marshalling so a launch knows exactly which transfers it caused —
+/// their host execution windows feed the critical-path attribution.
+/// Scopes nest (the inner one captures); cheap no-op when none is open.
+class TransferCapture {
+public:
+  TransferCapture();
+  ~TransferCapture();
+  TransferCapture(const TransferCapture&) = delete;
+  TransferCapture& operator=(const TransferCapture&) = delete;
+
+  std::vector<hplrepro::clsim::Event> take() { return std::move(events_); }
+
+  /// Called by the Runtime when it enqueues a transfer on this thread.
+  static void note(const hplrepro::clsim::Event& event);
+
+private:
+  std::vector<hplrepro::clsim::Event> events_;
+  TransferCapture* prev_ = nullptr;
+};
+
 class Runtime {
 public:
   static Runtime& get();

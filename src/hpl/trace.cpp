@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "hpl/runtime.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/trace.hpp"
@@ -138,6 +139,22 @@ std::string profiler_report() {
 }
 
 void trace_to(const std::string& path) { hplrepro::trace::trace_to(path); }
+
+void metrics_to(const std::string& path) {
+  hplrepro::metrics::metrics_to(path);
+}
+
+std::string metrics_report() {
+  // Quiesce so in-flight completion callbacks (latency, critical path)
+  // have landed before the shards are merged.
+  detail::Runtime::get().finish_all();
+  return hplrepro::metrics::report(hplrepro::metrics::snapshot());
+}
+
+bool metrics_write(const std::string& path) {
+  detail::Runtime::get().finish_all();
+  return hplrepro::metrics::write_json(path);
+}
 
 namespace detail {
 

@@ -68,6 +68,21 @@ std::string profiler_report();
 /// chrome://tracing or https://ui.perfetto.dev.
 void trace_to(const std::string& path);
 
+/// Enables the quantitative metrics layer (support/metrics.hpp) and
+/// arranges for the "hplrepro-metrics-v1" JSON to be written to `path` at
+/// process exit (same as running with HPL_METRICS=<path>).
+void metrics_to(const std::string& path);
+
+/// Quiesces every queue, then renders the metrics registry — counters,
+/// gauges, latency-histogram quantiles (p50/p90/p99/p99.9) and the
+/// critical-path decomposition — as human-readable tables. Free of
+/// nan/inf even when nothing ran.
+std::string metrics_report();
+
+/// Quiesces every queue, then writes the metrics JSON to `path` now.
+/// Returns false (without throwing) if the file cannot be opened.
+bool metrics_write(const std::string& path);
+
 namespace detail {
 
 /// Called by eval for every launch.

@@ -6,10 +6,21 @@
 /// the OpenCL-style baselines (kernel capture, code generation, clc builds,
 /// argument marshalling). Device execution time is simulated, not measured;
 /// see clsim::TimingModel.
+///
+/// Every duration in the stack — stopwatches, trace spans, event
+/// timestamps, metrics histograms — is measured on MonotonicClock below
+/// (std::chrono::steady_clock), never system_clock: durations must not
+/// jump when the wall clock is adjusted. The static_assert keeps the
+/// invariant from regressing silently.
 
 #include <chrono>
 
 namespace hplrepro {
+
+/// The one clock used for all durations in this codebase.
+using MonotonicClock = std::chrono::steady_clock;
+static_assert(MonotonicClock::is_steady,
+              "duration measurements require a steady (monotonic) clock");
 
 class Stopwatch {
 public:
@@ -26,7 +37,7 @@ public:
   double microseconds() const { return seconds() * 1e6; }
 
 private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;
   Clock::time_point start_;
 };
 

@@ -1,5 +1,7 @@
 #include "support/trace.hpp"
 
+#include "support/metrics.hpp"
+
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
@@ -11,11 +13,13 @@
 #include <sstream>
 #include <thread>
 
+#include "support/stopwatch.hpp"
+
 namespace hplrepro::trace {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = hplrepro::MonotonicClock;  // steady: see stopwatch.hpp
 
 struct Collector {
   std::mutex mu;
@@ -236,12 +240,16 @@ void write_pending() {
 #ifndef HPLREPRO_TRACE_DISABLED
 
 Span::Span(const char* name, const char* cat) : name_(name), cat_(cat) {
+  // The flight recorder sees every span even when tracing is off: it is
+  // the post-mortem context for kernel traps in otherwise-silent runs.
+  metrics::flight_record(name, cat, /*begin=*/true);
   if (!enabled()) return;
   active_ = true;
   start_us_ = now_us();
 }
 
 Span::~Span() {
+  metrics::flight_record(name_, cat_, /*begin=*/false);
   if (!active_) return;
   EventRecord ev;
   ev.name = name_;

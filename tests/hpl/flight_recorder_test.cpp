@@ -1,0 +1,130 @@
+// The flight recorder post-mortem at the HPL level: a trapped kernel dumps
+// every thread's recent-span ring to stderr exactly once, the dump has the
+// same content shape whether the pipeline runs asynchronously or in
+// HPL_SYNC=1 mode, and clean runs never dump.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "clsim/runtime.hpp"
+#include "hpl/HPL.h"
+#include "support/metrics.hpp"
+
+using namespace HPL;
+
+namespace clsim = hplrepro::clsim;
+namespace metrics = hplrepro::metrics;
+
+namespace {
+
+void triple(Array<float, 1> data) { data[idx] = 3.0f * data[idx]; }
+
+// Traps at execution time: work-items of one group diverge at a barrier.
+void divergent(Array<float, 1> data) {
+  if_(lidx < 2) { barrier(LOCAL); } endif_
+  data[idx] = 1.0f;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    clsim::set_async_enabled(true);
+    purge_kernel_cache();
+    reset_profile();
+    metrics::flight_reset_for_test();
+  }
+  void TearDown() override {
+    clsim::set_async_enabled(true);
+    metrics::flight_reset_for_test();
+  }
+};
+
+/// Runs one trapping launch and returns the retained dump. The trap
+/// surfaces from eval itself in sync mode and from the next quiescing
+/// operation in async mode; either way the worker dumps before rethrowing.
+metrics::FlightDump run_trap() {
+  constexpr std::size_t n = 8;
+  Array<float, 1> bad(n);
+  try {
+    eval(divergent).global(n).local(4)(bad);
+    detail::Runtime::get().finish_all();
+    ADD_FAILURE() << "divergent kernel did not trap";
+  } catch (const hplrepro::clc::TrapError&) {
+  }
+  return metrics::flight_last_dump();
+}
+
+/// The mode-stable shape of a dump: which spans appear, in which category.
+/// Generated kernel names carry a global build counter, so they are
+/// normalized; phase marks are ignored because the host's own span *ends*
+/// race with the worker-side dump (the begin marks always precede it).
+std::set<std::pair<std::string, std::string>> dump_shape(
+    const metrics::FlightDump& dump) {
+  std::set<std::pair<std::string, std::string>> shape;
+  for (const auto& e : dump.entries) {
+    std::string name = e.name;
+    if (name.rfind("hpl_kernel_", 0) == 0) name = "hpl_kernel_N";
+    shape.emplace(std::move(name), e.cat);
+  }
+  return shape;
+}
+
+TEST_F(FlightRecorderTest, CleanRunDumpsNothing) {
+  constexpr std::size_t n = 256;
+  Array<float, 1> data(n);
+  for (std::size_t i = 0; i < n; ++i) data(i) = 1.0f;
+  for (int rep = 0; rep < 3; ++rep) eval(triple)(data);
+  detail::Runtime::get().finish_all();
+  EXPECT_EQ(data(0), 27.0f);
+
+  EXPECT_EQ(metrics::flight_dump_count(), 0u);
+  EXPECT_FALSE(metrics::flight_last_dump().dumped);
+}
+
+TEST_F(FlightRecorderTest, TrappedAsyncKernelDumpsExactlyOnce) {
+  const metrics::FlightDump dump = run_trap();
+  EXPECT_EQ(metrics::flight_dump_count(), 1u);
+  ASSERT_TRUE(dump.dumped);
+  EXPECT_EQ(dump.reason, "kernel command failed");
+  EXPECT_FALSE(dump.entries.empty());
+
+  // Entries are in timeline order, and the recent host-side pipeline
+  // stages for the failing eval are all present.
+  for (std::size_t i = 1; i < dump.entries.size(); ++i) {
+    EXPECT_LE(dump.entries[i - 1].ts_us, dump.entries[i].ts_us);
+  }
+  const auto shape = dump_shape(dump);
+  for (const char* span : {"capture", "codegen", "marshal", "launch"}) {
+    EXPECT_EQ(shape.count({span, "hpl"}), 1u) << span;
+  }
+  EXPECT_EQ(shape.count({"hpl_kernel_N", "vm"}), 1u);
+
+  // A second trap in the same process does not dump again: the first
+  // post-mortem is the one that matters and must not be overwritten.
+  const metrics::FlightDump second = run_trap();
+  EXPECT_EQ(metrics::flight_dump_count(), 1u);
+  EXPECT_EQ(second.entries.size(), dump.entries.size());
+}
+
+TEST_F(FlightRecorderTest, SyncAndAsyncDumpsHaveIdenticalShape) {
+  const metrics::FlightDump async_dump = run_trap();
+  ASSERT_TRUE(async_dump.dumped);
+
+  metrics::flight_reset_for_test();
+  clsim::set_async_enabled(false);
+  purge_kernel_cache();
+  reset_profile();
+  const metrics::FlightDump sync_dump = run_trap();
+  ASSERT_TRUE(sync_dump.dumped);
+
+  // Same trigger reason and the same set of (name, cat, phase) marks:
+  // HPL_SYNC only changes *when* the host blocks, not what ran.
+  EXPECT_EQ(sync_dump.reason, async_dump.reason);
+  EXPECT_EQ(dump_shape(sync_dump), dump_shape(async_dump));
+}
+
+}  // namespace

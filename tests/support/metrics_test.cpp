@@ -1,0 +1,417 @@
+// The hplrepro::metrics layer: histogram bucket math, quantile accuracy
+// against a sorted-vector oracle, multi-threaded recording (exercised
+// under the TSAN CI job), zero-sample guards, the critical-path interval
+// partition, and the flight-recorder ring/dump-once machinery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/prng.hpp"
+
+using namespace hplrepro;
+
+namespace {
+
+/// Registry names are process-global; each test records into its own.
+metrics::Histogram& fresh_hist(const std::string& name) {
+  metrics::Histogram& h = metrics::histogram(name);
+  h.reset();
+  return h;
+}
+
+const metrics::HistogramSnapshot& find_hist(const metrics::Snapshot& snap,
+                                            const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return h;
+  }
+  ADD_FAILURE() << "histogram " << name << " not in snapshot";
+  static metrics::HistogramSnapshot empty;
+  return empty;
+}
+
+// --- Bucket math ---------------------------------------------------------------
+
+TEST(MetricsHistogram, BucketIndexIsExactBelowSubCount) {
+  for (std::uint64_t v = 0; v < metrics::Histogram::kSubCount; ++v) {
+    EXPECT_EQ(metrics::Histogram::bucket_index(v), v);
+    EXPECT_EQ(metrics::Histogram::bucket_lower(v), v);
+    EXPECT_EQ(metrics::Histogram::bucket_width(v), 1u);
+  }
+}
+
+TEST(MetricsHistogram, EveryValueFallsInsideItsBucket) {
+  SplitMix64 prng(0xB0CE7);
+  for (int i = 0; i < 20000; ++i) {
+    // Random bit widths so every octave gets hit.
+    const int bits = static_cast<int>(prng.next_below(50)) + 1;
+    const std::uint64_t v = prng.next_u64() >> (64 - bits);
+    const std::size_t idx = metrics::Histogram::bucket_index(v);
+    ASSERT_LT(idx, metrics::Histogram::kBucketCount);
+    const std::uint64_t lo = metrics::Histogram::bucket_lower(idx);
+    const std::uint64_t w = metrics::Histogram::bucket_width(idx);
+    const std::uint64_t clamped =
+        std::min(v, (std::uint64_t{1} << metrics::Histogram::kMaxBits) - 1);
+    EXPECT_LE(lo, clamped) << "v=" << v << " idx=" << idx;
+    EXPECT_LT(clamped, lo + w) << "v=" << v << " idx=" << idx;
+  }
+}
+
+TEST(MetricsHistogram, BucketIndexIsMonotoneAcrossBoundaries) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t idx = metrics::Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+  EXPECT_EQ(metrics::Histogram::bucket_index(
+                (std::uint64_t{1} << metrics::Histogram::kMaxBits) + 12345),
+            metrics::Histogram::kBucketCount - 1);
+}
+
+TEST(MetricsHistogram, RelativeBucketWidthIsBounded) {
+  // The quantile-error guarantee: width / lower <= 2^-kSubBits for every
+  // bucket past the exact range.
+  for (std::size_t idx = metrics::Histogram::kSubCount;
+       idx < metrics::Histogram::kBucketCount; ++idx) {
+    const double lo =
+        static_cast<double>(metrics::Histogram::bucket_lower(idx));
+    const double w =
+        static_cast<double>(metrics::Histogram::bucket_width(idx));
+    EXPECT_LE(w / lo, 1.0 / (1 << metrics::Histogram::kSubBits) + 1e-12);
+  }
+}
+
+// --- Quantile accuracy vs sorted oracle ----------------------------------------
+
+void check_quantiles_against_oracle(const std::string& name,
+                                    std::vector<std::uint64_t> samples) {
+  metrics::set_enabled(true);
+  metrics::Histogram& h = fresh_hist(name);
+  for (std::uint64_t s : samples) h.record(s);
+
+  std::sort(samples.begin(), samples.end());
+  const metrics::HistogramSnapshot snap =
+      find_hist(metrics::snapshot(), name);
+  ASSERT_EQ(snap.count, samples.size());
+
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(std::ceil(
+                                 q * static_cast<double>(samples.size()))) -
+                             1;
+    const std::uint64_t oracle = samples[std::min(rank, samples.size() - 1)];
+    const double estimate = snap.quantile(q);
+    // The estimate is the midpoint of the bucket holding the rank-q
+    // sample, so it is within one bucket width of the oracle.
+    const double tolerance = static_cast<double>(metrics::Histogram::
+        bucket_width(metrics::Histogram::bucket_index(oracle)));
+    EXPECT_NEAR(estimate, static_cast<double>(oracle), tolerance)
+        << name << " q=" << q;
+  }
+  // Precomputed quantiles must be monotone.
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  EXPECT_LE(snap.p99, snap.p999);
+}
+
+TEST(MetricsQuantiles, UniformSamplesMatchOracle) {
+  SplitMix64 prng(1);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(prng.next_below(1000000));
+  check_quantiles_against_oracle("test.quantile.uniform", std::move(samples));
+}
+
+TEST(MetricsQuantiles, HeavyTailSamplesMatchOracle) {
+  SplitMix64 prng(2);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    // Exponential-ish: random magnitude, random mantissa.
+    const int bits = static_cast<int>(prng.next_below(40)) + 1;
+    samples.push_back(prng.next_u64() >> (64 - bits));
+  }
+  check_quantiles_against_oracle("test.quantile.heavy", std::move(samples));
+}
+
+TEST(MetricsQuantiles, ConstantSamplesMatchOracle) {
+  check_quantiles_against_oracle(
+      "test.quantile.constant",
+      std::vector<std::uint64_t>(1000, 123456));
+}
+
+TEST(MetricsQuantiles, SmallSampleCounts) {
+  check_quantiles_against_oracle("test.quantile.small", {42});
+  check_quantiles_against_oracle("test.quantile.two", {10, 1000000});
+}
+
+// --- Counters and gauges -------------------------------------------------------
+
+TEST(MetricsCounters, StripedCountsSum) {
+  metrics::set_enabled(true);
+  metrics::Counter& c = metrics::counter("test.counter.sum");
+  c.reset();
+  for (int i = 0; i < 1000; ++i) c.add(2);
+  EXPECT_EQ(c.value(), 2000u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsCounters, DisabledCounterDoesNotCount) {
+  metrics::set_enabled(false);
+  metrics::Counter& c = metrics::counter("test.counter.off");
+  c.reset();
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  metrics::set_enabled(true);
+}
+
+TEST(MetricsGauges, TracksValueAndHighWater) {
+  metrics::Gauge& g = metrics::gauge("test.gauge");
+  g.reset();
+  g.add(3);
+  g.add(4);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 7);
+  g.set(-10);
+  EXPECT_EQ(g.value(), -10);
+  EXPECT_EQ(g.max_value(), 7);
+}
+
+// --- Multi-threaded recording (exercised under the TSAN CI job) ----------------
+
+TEST(MetricsThreaded, ConcurrentRecordingLosesNothing) {
+  metrics::set_enabled(true);
+  metrics::Histogram& h = fresh_hist("test.threaded.hist");
+  metrics::Counter& c = metrics::counter("test.threaded.counter");
+  c.reset();
+  metrics::Gauge& g = metrics::gauge("test.threaded.gauge");
+  g.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 prng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(prng.next_below(1 << 20));
+        c.add();
+        g.add(1);
+        g.add(-1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const metrics::HistogramSnapshot snap =
+      find_hist(metrics::snapshot(), "test.threaded.hist");
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_LE(g.max_value(), kThreads);
+  // Bucket counts must account for every sample.
+  std::uint64_t bucket_sum = 0;
+  for (const auto& [lo, n] : snap.buckets) bucket_sum += n;
+  EXPECT_EQ(bucket_sum, snap.count);
+}
+
+// --- Zero-sample guards --------------------------------------------------------
+
+TEST(MetricsReport, EmptyMetricsProduceNoNanOrInf) {
+  metrics::set_enabled(true);
+  fresh_hist("test.report.empty");
+  const metrics::Snapshot snap = metrics::snapshot();
+  const metrics::HistogramSnapshot& h = find_hist(snap, "test.report.empty");
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.mean, 0.0);
+  EXPECT_EQ(h.p50, 0.0);
+  EXPECT_EQ(h.p999, 0.0);
+
+  for (const std::string& text :
+       {metrics::report(snap), metrics::to_json(snap)}) {
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+// --- Critical-path attribution -------------------------------------------------
+
+metrics::CriticalPathInput path_input() {
+  metrics::CriticalPathInput in;
+  in.kernel = "k";
+  in.device = "d";
+  return in;
+}
+
+double segment_sum(const metrics::CriticalPath& p) {
+  return p.host_prep_us + p.queue_wait_us + p.transfer_us + p.kernel_us;
+}
+
+TEST(MetricsCriticalPath, SequentialWindowsPartitionExactly) {
+  metrics::CriticalPathInput in = path_input();
+  in.start_us = 0;
+  in.enqueue_us = 10;
+  in.kernel_start_us = 20;
+  in.kernel_end_us = 50;
+  in.done_us = 50;
+  const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+  EXPECT_DOUBLE_EQ(p.total_us, 50);
+  EXPECT_DOUBLE_EQ(p.host_prep_us, 10);
+  EXPECT_DOUBLE_EQ(p.kernel_us, 30);
+  EXPECT_DOUBLE_EQ(p.queue_wait_us, 10);
+  EXPECT_DOUBLE_EQ(p.transfer_us, 0);
+  EXPECT_DOUBLE_EQ(segment_sum(p), p.total_us);
+}
+
+TEST(MetricsCriticalPath, TransferOverlappingHostPrepWinsPriority) {
+  metrics::CriticalPathInput in = path_input();
+  in.start_us = 0;
+  in.enqueue_us = 10;
+  in.transfer_windows = {{2, 8}};
+  in.kernel_start_us = 20;
+  in.kernel_end_us = 50;
+  in.done_us = 50;
+  const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+  EXPECT_DOUBLE_EQ(p.transfer_us, 6);
+  EXPECT_DOUBLE_EQ(p.host_prep_us, 4);  // [0,2) + [8,10)
+  EXPECT_DOUBLE_EQ(p.kernel_us, 30);
+  EXPECT_DOUBLE_EQ(p.queue_wait_us, 10);
+  EXPECT_DOUBLE_EQ(segment_sum(p), p.total_us);
+}
+
+TEST(MetricsCriticalPath, KernelWindowWinsOverTransfer) {
+  metrics::CriticalPathInput in = path_input();
+  in.start_us = 0;
+  in.enqueue_us = 5;
+  in.transfer_windows = {{15, 25}};  // overlaps the kernel's first 5us
+  in.kernel_start_us = 20;
+  in.kernel_end_us = 50;
+  in.done_us = 50;
+  const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+  EXPECT_DOUBLE_EQ(p.kernel_us, 30);
+  EXPECT_DOUBLE_EQ(p.transfer_us, 5);  // only [15,20)
+  EXPECT_DOUBLE_EQ(segment_sum(p), p.total_us);
+}
+
+TEST(MetricsCriticalPath, SyncModeEnqueueAfterDoneIsClipped) {
+  // In HPL_SYNC=1 the enqueue returns after the kernel ran; the host
+  // window must clip to the completion instant and stay disjoint.
+  metrics::CriticalPathInput in = path_input();
+  in.start_us = 0;
+  in.enqueue_us = 60;
+  in.kernel_start_us = 10;
+  in.kernel_end_us = 50;
+  in.done_us = 50;
+  const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+  EXPECT_DOUBLE_EQ(p.total_us, 50);
+  EXPECT_DOUBLE_EQ(p.kernel_us, 40);
+  EXPECT_DOUBLE_EQ(p.host_prep_us, 10);  // [0,10) not covered by the kernel
+  EXPECT_DOUBLE_EQ(p.queue_wait_us, 0);
+  EXPECT_DOUBLE_EQ(segment_sum(p), p.total_us);
+}
+
+TEST(MetricsCriticalPath, DegenerateWindowIsAllZero) {
+  metrics::CriticalPathInput in = path_input();
+  in.start_us = 100;
+  in.done_us = 90;  // clock went nowhere (or inputs are garbage)
+  const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+  EXPECT_DOUBLE_EQ(p.total_us, 0);
+  EXPECT_DOUBLE_EQ(segment_sum(p), 0);
+}
+
+TEST(MetricsCriticalPath, RandomWindowsAlwaysSumToTotal) {
+  SplitMix64 prng(0xCAFE);
+  for (int i = 0; i < 2000; ++i) {
+    metrics::CriticalPathInput in = path_input();
+    in.start_us = prng.next_double() * 100;
+    in.done_us = in.start_us + prng.next_double() * 1000;
+    in.enqueue_us = prng.next_double() * 1200;
+    in.kernel_start_us = prng.next_double() * 1200;
+    in.kernel_end_us = in.kernel_start_us + prng.next_double() * 300;
+    const int transfers = static_cast<int>(prng.next_below(4));
+    for (int t = 0; t < transfers; ++t) {
+      const double a = prng.next_double() * 1200;
+      in.transfer_windows.emplace_back(a, a + prng.next_double() * 200);
+    }
+    const metrics::CriticalPath p = metrics::attribute_critical_path(in);
+    EXPECT_GE(p.host_prep_us, 0);
+    EXPECT_GE(p.queue_wait_us, 0);
+    EXPECT_GE(p.transfer_us, -1e-9);
+    EXPECT_GE(p.kernel_us, 0);
+    EXPECT_NEAR(segment_sum(p), p.total_us, 1e-6);
+  }
+}
+
+// --- Flight recorder -----------------------------------------------------------
+
+TEST(FlightRecorder, DumpsOnceAndRetainsEntries) {
+  metrics::flight_reset_for_test();
+  EXPECT_EQ(metrics::flight_dump_count(), 0u);
+  EXPECT_FALSE(metrics::flight_last_dump().dumped);
+
+  metrics::flight_record("alpha", "test", true);
+  metrics::flight_record("alpha", "test", false);
+  metrics::flight_record("beta", "test", true);
+
+  metrics::flight_dump_once("unit test");
+  EXPECT_EQ(metrics::flight_dump_count(), 1u);
+  const metrics::FlightDump dump = metrics::flight_last_dump();
+  ASSERT_TRUE(dump.dumped);
+  EXPECT_EQ(dump.reason, "unit test");
+  ASSERT_GE(dump.entries.size(), 3u);
+
+  // Entries are in timeline order (same-thread marks additionally keep
+  // their per-thread sequence) and the latch holds: a second trigger
+  // changes nothing.
+  for (std::size_t i = 1; i < dump.entries.size(); ++i) {
+    EXPECT_LE(dump.entries[i - 1].ts_us, dump.entries[i].ts_us);
+    if (dump.entries[i - 1].thread == dump.entries[i].thread) {
+      EXPECT_LT(dump.entries[i - 1].seq, dump.entries[i].seq);
+    }
+  }
+  metrics::flight_record("gamma", "test", true);
+  metrics::flight_dump_once("second trigger");
+  EXPECT_EQ(metrics::flight_dump_count(), 1u);
+  EXPECT_EQ(metrics::flight_last_dump().reason, "unit test");
+
+  metrics::flight_reset_for_test();
+  EXPECT_EQ(metrics::flight_dump_count(), 0u);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheMostRecentEntries) {
+  metrics::flight_reset_for_test();
+  for (std::size_t i = 0; i < metrics::kFlightRingCapacity + 50; ++i) {
+    metrics::flight_record("spin", "test", true);
+  }
+  metrics::flight_dump_once("overflow");
+  const metrics::FlightDump dump = metrics::flight_last_dump();
+  // Only this thread recorded since reset; its ring is capacity-bounded.
+  EXPECT_LE(dump.entries.size(), metrics::kFlightRingCapacity);
+  EXPECT_GT(dump.entries.size(), 0u);
+  metrics::flight_reset_for_test();
+}
+
+TEST(FlightRecorder, ConcurrentRecordingIsSafe) {
+  metrics::flight_reset_for_test();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5000; ++i) {
+        metrics::flight_record("worker", "test", (i & 1) == 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  metrics::flight_dump_once("threads");
+  EXPECT_EQ(metrics::flight_dump_count(), 1u);
+  metrics::flight_reset_for_test();
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate an hplrepro-metrics-v1 JSON document.
+
+Usage:
+  validate_metrics.py <metrics.json>
+  validate_metrics.py --run <scenario_sweep-binary> <metrics.json>
+
+With --run, the scenario sweep is executed first (reduced matrix, metrics
+enabled) so the document under test is freshly produced by the binary being
+shipped; the sweep's own stdout is suppressed.
+
+Checks (each failure is reported, exit status 1 if any):
+  * schema tag, and name-sorted unique counters/gauges/histograms;
+  * every histogram: bucket counts sum to the sample count, quantiles are
+    monotone (p50 <= p90 <= p99 <= p99.9) and bounded by the recorded max
+    up to one log-bucket of slack, no negative or non-finite numbers;
+  * eval accounting reconciles: the hpl.eval.latency_ns sample count, the
+    hpl.eval.launches counter and critical_path.evals all agree;
+  * every critical-path entry partitions its eval exactly: the four
+    segments are non-negative and sum to total_us within tolerance, and
+    the running totals do too;
+  * a clean run must not have tripped the flight recorder.
+"""
+
+import json
+import subprocess
+import sys
+
+SUB_BITS = 5  # mirrors metrics::Histogram::kSubBits
+REL_TOL = 1e-6
+ABS_TOL_US = 1e-3
+
+errors = []
+
+
+def check(ok, message):
+    if not ok:
+        errors.append(message)
+
+
+def bucket_slack(value):
+    """One log-bucket of width at `value` (quantiles are bucket midpoints)."""
+    return max(1.0, float(value) / (1 << SUB_BITS))
+
+
+def validate_histogram(h):
+    name = h["name"]
+    bucket_sum = sum(b["count"] for b in h["buckets"])
+    check(bucket_sum == h["count"],
+          f"{name}: bucket counts sum to {bucket_sum}, not count {h['count']}")
+    check(all(b["count"] > 0 for b in h["buckets"]),
+          f"{name}: empty buckets must be omitted")
+    lows = [b["lo"] for b in h["buckets"]]
+    check(lows == sorted(lows), f"{name}: bucket lower bounds not ascending")
+
+    qs = [h["p50"], h["p90"], h["p99"], h["p999"]]
+    check(all(q >= 0 for q in qs), f"{name}: negative quantile in {qs}")
+    check(qs == sorted(qs), f"{name}: quantiles not monotone: {qs}")
+    if h["count"] == 0:
+        check(all(q == 0 for q in qs) and h["mean"] == 0,
+              f"{name}: empty histogram must report zero quantiles/mean")
+    else:
+        check(qs[-1] <= h["max"] + bucket_slack(h["max"]),
+              f"{name}: p999 {qs[-1]} exceeds max {h['max']} by more than "
+              "one bucket")
+        check(h["min"] <= h["max"], f"{name}: min {h['min']} > max {h['max']}")
+        check(0 <= h["mean"] <= h["max"] + bucket_slack(h["max"]),
+              f"{name}: mean {h['mean']} outside [0, max]")
+
+
+def validate_critical_entry(p, where):
+    segments = [p["host_prep_us"], p["queue_wait_us"], p["transfer_us"],
+                p["kernel_us"]]
+    check(all(s >= -ABS_TOL_US for s in segments),
+          f"{where}: negative segment in {segments}")
+    total = p["total_us"]
+    tol = ABS_TOL_US + REL_TOL * abs(total)
+    check(abs(sum(segments) - total) <= tol,
+          f"{where}: segments sum to {sum(segments)}, total is {total}")
+
+
+def validate(doc):
+    check(doc.get("schema") == "hplrepro-metrics-v1",
+          f"bad schema tag: {doc.get('schema')!r}")
+
+    for section in ("counters", "gauges", "histograms"):
+        names = [entry["name"] for entry in doc[section]]
+        check(names == sorted(names), f"{section} not sorted by name")
+        check(len(names) == len(set(names)), f"duplicate names in {section}")
+
+    for h in doc["histograms"]:
+        validate_histogram(h)
+
+    counters = {c["name"]: c["value"] for c in doc["counters"]}
+    latency = next((h for h in doc["histograms"]
+                    if h["name"] == "hpl.eval.latency_ns"), None)
+    check(latency is not None, "hpl.eval.latency_ns histogram missing")
+
+    cp = doc["critical_path"]
+    evals = cp["evals"]
+    check(evals > 0, "critical_path.evals is zero: nothing was attributed")
+    check(counters.get("hpl.eval.launches") == evals,
+          f"hpl.eval.launches {counters.get('hpl.eval.launches')} != "
+          f"critical_path.evals {evals}")
+    if latency is not None:
+        check(latency["count"] == evals,
+              f"latency sample count {latency['count']} != evals {evals}")
+
+    validate_critical_entry(cp["totals"], "critical_path.totals")
+    for i, entry in enumerate(cp["recent"]):
+        validate_critical_entry(entry, f"critical_path.recent[{i}]"
+                                f" ({entry['kernel']}@{entry['device']})")
+
+    hits = counters.get("hpl.cache.hit", 0)
+    misses = counters.get("hpl.cache.miss", 0)
+    check(hits + misses == evals,
+          f"cache hits {hits} + misses {misses} != evals {evals}")
+
+    check(doc["flight_recorder"]["dumped"] is False,
+          "flight recorder dumped during a clean run")
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--run":
+        binary = argv[2]
+        path = argv[3] if len(argv) > 3 else "metrics_validate.json"
+        result = subprocess.run(
+            [binary, "--reduced", "--metrics", path],
+            stdout=subprocess.DEVNULL, timeout=280)
+        if result.returncode != 0:
+            print(f"FAIL: {binary} exited with {result.returncode}")
+            return 1
+    elif len(argv) == 2:
+        path = argv[1]
+    else:
+        print(__doc__)
+        return 2
+
+    with open(path) as f:
+        doc = json.load(f)
+    validate(doc)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"OK: {path} satisfies hplrepro-metrics-v1 "
+          f"({doc['critical_path']['evals']} evals, "
+          f"{len(doc['histograms'])} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
