@@ -132,9 +132,16 @@ __kernel void sync_heavy(__global float* data) {
 }
 
 void BM_BarrierGroupSchedulingThreaded(benchmark::State& state) {
-  barrier_group_scheduling(state, "-cl-interp=threaded");
+  barrier_group_scheduling(state, "-cl-interp=threaded -cl-wg-loops=off");
 }
 BENCHMARK(BM_BarrierGroupSchedulingThreaded);
+
+void BM_BarrierGroupSchedulingThreadedWgLoops(benchmark::State& state) {
+  // Work-group compilation (default under threaded): barrier regions run
+  // as work-item loops on one activation instead of per-item resumes.
+  barrier_group_scheduling(state, "-cl-interp=threaded");
+}
+BENCHMARK(BM_BarrierGroupSchedulingThreadedWgLoops);
 
 void BM_BarrierGroupSchedulingStack(benchmark::State& state) {
   barrier_group_scheduling(state, "-cl-interp=stack");
@@ -175,49 +182,87 @@ void print_opt_pipeline_table() {
   std::printf("  ]\n}\n");
 }
 
-// Compares the two interpreters at O2 on every corpus kernel: host
-// wall-clock inside the VM (best of kRepeats to shed scheduler noise),
-// with a cross-check that both produced bit-identical outputs and
-// identical dynamic op totals — the lowering contract.
+// Compares the interpreter configurations at O2 on every corpus kernel
+// plus the barrier-heavy extras: host wall-clock inside the VM (best of
+// kRepeats to shed scheduler noise) for the stack interpreter, the
+// register interpreter with work-group compilation off, and the default
+// threaded+wg-loops configuration. Cross-checks that all three produced
+// bit-identical outputs and identical dynamic op totals — the lowering
+// and work-group-compilation contracts. Besides the overall geomeans, a
+// "geomean_barrier" row reports the wg-loops speedup over the dedicated
+// barrier-kernel rows (barrier_kernel_names()), whose geometries make
+// group scheduling — what region looping replaces — the dominant cost.
 void print_interp_table(hplrepro::bench::JsonReporter& json) {
-  constexpr int kRepeats = 5;
+  constexpr int kRepeats = 9;
   const clsim::Device device =
       *clsim::Platform::get().device_by_name("Tesla");
-  const auto& names = bs::corpus_kernel_names();
+  std::vector<std::string> names = bs::corpus_kernel_names();
+  for (const std::string& name : bs::barrier_kernel_names()) {
+    names.push_back(name);
+  }
   std::printf("{\n  \"interpreter\": [\n");
-  double log_sum = 0;
+  double log_sum = 0, log_sum_wg = 0, log_sum_barrier = 0;
+  std::size_t barrier_rows = 0;
+  const std::size_t corpus_rows = bs::corpus_kernel_names().size();
   for (std::size_t i = 0; i < names.size(); ++i) {
-    double stack_wall = 0, threaded_wall = 0;
+    double stack_wall = 0, threaded_wall = 0, wg_wall = 0;
     bool identical = true;
     for (int r = 0; r < kRepeats; ++r) {
       const bs::CorpusRun s =
           bs::run_corpus_kernel(names[i], device, "-O2 -cl-interp=stack");
-      const bs::CorpusRun t =
+      const bs::CorpusRun t = bs::run_corpus_kernel(
+          names[i], device, "-O2 -cl-interp=threaded -cl-wg-loops=off");
+      const bs::CorpusRun w =
           bs::run_corpus_kernel(names[i], device, "-O2 -cl-interp=threaded");
       identical = identical && s.outputs == t.outputs &&
-                  s.stats.total_ops() == t.stats.total_ops();
+                  s.outputs == w.outputs &&
+                  s.stats.total_ops() == t.stats.total_ops() &&
+                  s.stats.total_ops() == w.stats.total_ops() &&
+                  s.stats.barriers_executed == w.stats.barriers_executed;
       stack_wall = r == 0 ? s.kernel_wall_seconds
                           : std::min(stack_wall, s.kernel_wall_seconds);
       threaded_wall = r == 0 ? t.kernel_wall_seconds
                              : std::min(threaded_wall, t.kernel_wall_seconds);
+      wg_wall = r == 0 ? w.kernel_wall_seconds
+                       : std::min(wg_wall, w.kernel_wall_seconds);
     }
     const double speedup = stack_wall / threaded_wall;
+    const double wg_speedup = threaded_wall / wg_wall;
     log_sum += std::log(speedup);
+    log_sum_wg += std::log(stack_wall / wg_wall);
+    if (i >= corpus_rows) {  // the barrier_kernel_names() rows
+      log_sum_barrier += std::log(wg_speedup);
+      ++barrier_rows;
+    }
     std::printf(
         "    {\"kernel\": \"%s\", \"stack_wall_s\": %.9f, "
-        "\"threaded_wall_s\": %.9f, \"speedup\": %.3f, "
+        "\"threaded_wall_s\": %.9f, \"wg_wall_s\": %.9f, "
+        "\"speedup\": %.3f, \"wg_speedup\": %.3f, "
         "\"identical\": %s},\n",
-        names[i].c_str(), stack_wall, threaded_wall, speedup,
-        identical ? "true" : "false");
+        names[i].c_str(), stack_wall, threaded_wall, wg_wall, speedup,
+        wg_speedup, identical ? "true" : "false");
     json.add_row(names[i], {{"stack_wall_s", stack_wall},
                             {"threaded_wall_s", threaded_wall},
-                            {"speedup", speedup}});
+                            {"wg_wall_s", wg_wall},
+                            {"speedup", speedup},
+                            {"wg_speedup", wg_speedup}});
   }
   const double geomean =
       std::exp(log_sum / static_cast<double>(names.size()));
-  std::printf("    {\"kernel\": \"geomean\", \"speedup\": %.3f}\n  ]\n}\n",
-              geomean);
+  const double geomean_wg =
+      std::exp(log_sum_wg / static_cast<double>(names.size()));
+  const double geomean_barrier =
+      barrier_rows == 0
+          ? 1.0
+          : std::exp(log_sum_barrier / static_cast<double>(barrier_rows));
+  std::printf(
+      "    {\"kernel\": \"geomean\", \"speedup\": %.3f},\n"
+      "    {\"kernel\": \"geomean_wg\", \"speedup\": %.3f},\n"
+      "    {\"kernel\": \"geomean_barrier\", \"wg_speedup\": %.3f}\n  ]\n}\n",
+      geomean, geomean_wg, geomean_barrier);
   json.add_row("geomean", {{"speedup", geomean}});
+  json.add_row("geomean_wg", {{"speedup", geomean_wg}});
+  json.add_row("geomean_barrier", {{"wg_speedup", geomean_barrier}});
 }
 
 }  // namespace

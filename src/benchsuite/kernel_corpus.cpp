@@ -124,15 +124,11 @@ void run_floyd(const clsim::Device& device, const std::string& options,
 }
 
 void run_reduction(const clsim::Device& device, const std::string& options,
-                   CorpusRun& run) {
-  ReductionConfig config;
-  config.elements = 1 << 12;
-  config.groups = 8;
-  config.local_size = 64;
+                   CorpusRun& run, const ReductionConfig& config,
+                   const char* kernel = "reduce_sum") {
   const std::vector<float> input = reduction_make_input(config);
 
-  CorpusHarness h(device, reduction_kernel_source(), options, "reduce_sum",
-                  run);
+  CorpusHarness h(device, reduction_kernel_source(), options, kernel, run);
   clsim::Buffer in =
       h.make_buffer(input.size() * sizeof(float), input.data());
   clsim::Buffer partials = h.make_buffer(config.groups * sizeof(float));
@@ -256,11 +252,7 @@ void run_sobel(const clsim::Device& device, const std::string& options,
 }
 
 void run_jacobi(const clsim::Device& device, const std::string& options,
-                CorpusRun& run) {
-  StencilConfig config;
-  config.width = 48;
-  config.height = 36;
-  config.iterations = 3;
+                CorpusRun& run, const StencilConfig& config) {
   const std::vector<float> input = stencil_make_image(config);
 
   CorpusHarness h(device, jacobi_kernel_source(), options, "jacobi_step",
@@ -285,12 +277,79 @@ void run_jacobi(const clsim::Device& device, const std::string& options,
   h.read_output(*src);
 }
 
+// The barrier-exchange form of the Jacobi sweep on a 1-D ring: publish
+// one cell to the tile, one barrier, relax against the two tile
+// neighbours (periodic within the tile). Ping-pongs the buffers for a
+// few sweeps so the row has enough signal.
+void run_jacobi_ring(const clsim::Device& device, const std::string& options,
+                     CorpusRun& run) {
+  constexpr std::size_t kGroups = 8;
+  constexpr std::size_t kLocal = 1024;  // the kernel's __local ring size
+  constexpr int kSweeps = 4;
+  const std::size_t n = kGroups * kLocal;
+  std::vector<float> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = static_cast<float>(i % 97) * 0.25f;
+  }
+
+  CorpusHarness h(device, jacobi_kernel_source(), options, "jacobi_ring",
+                  run);
+  clsim::Buffer a = h.make_buffer(n * sizeof(float), input.data());
+  clsim::Buffer b = h.make_buffer(n * sizeof(float));
+  clsim::Buffer* src = &a;
+  clsim::Buffer* dst = &b;
+  for (int s = 0; s < kSweeps; ++s) {
+    h.kernel().set_arg(0, *dst);
+    h.kernel().set_arg(1, *src);
+    h.kernel().set_arg(2, static_cast<std::uint32_t>(kLocal - 1));
+    h.launch(clsim::NDRange{n}, clsim::NDRange{kLocal});
+    std::swap(src, dst);
+  }
+  h.read_output(*src);
+}
+
+// Geometries: the corpus sizes stay test-speed small; the _big variants
+// give the barrier-heavy kernels enough items per group that group
+// scheduling cost (what work-group compilation removes) dominates.
+ReductionConfig reduction_corpus_config() {
+  ReductionConfig config;
+  config.elements = 1 << 12;
+  config.groups = 8;
+  config.local_size = 64;
+  return config;
+}
+
+ReductionConfig reduction_big_config() {
+  ReductionConfig config;
+  // One element per item, 256-item groups, and the flat two-region
+  // kernel (reduce_sum_flat): per-item work is O(1), so the per-item
+  // activation cost that work-group loops remove dominates.
+  config.groups = 8;
+  config.local_size = 1024;  // reduce_sum_flat's __local tile size
+  config.elements = config.groups * config.local_size;
+  return config;
+}
+
+StencilConfig jacobi_corpus_config() {
+  StencilConfig config;
+  config.width = 48;
+  config.height = 36;
+  config.iterations = 3;
+  return config;
+}
+
 }  // namespace
 
 const std::vector<std::string>& corpus_kernel_names() {
   static const std::vector<std::string> names = {
       "ep",   "floyd", "reduction", "spmv",
       "blur", "sobel", "jacobi",    "transpose"};
+  return names;
+}
+
+const std::vector<std::string>& barrier_kernel_names() {
+  static const std::vector<std::string> names = {"reduction_big",
+                                                 "jacobi_big"};
   return names;
 }
 
@@ -304,7 +363,10 @@ CorpusRun run_corpus_kernel(const std::string& name,
   } else if (name == "floyd") {
     run_floyd(device, build_options, run);
   } else if (name == "reduction") {
-    run_reduction(device, build_options, run);
+    run_reduction(device, build_options, run, reduction_corpus_config());
+  } else if (name == "reduction_big") {
+    run_reduction(device, build_options, run, reduction_big_config(),
+                  "reduce_sum_flat");
   } else if (name == "spmv") {
     run_spmv(device, build_options, run);
   } else if (name == "blur") {
@@ -312,7 +374,9 @@ CorpusRun run_corpus_kernel(const std::string& name,
   } else if (name == "sobel") {
     run_sobel(device, build_options, run);
   } else if (name == "jacobi") {
-    run_jacobi(device, build_options, run);
+    run_jacobi(device, build_options, run, jacobi_corpus_config());
+  } else if (name == "jacobi_big") {
+    run_jacobi_ring(device, build_options, run);
   } else if (name == "transpose") {
     run_transpose(device, build_options, run);
   } else {

@@ -43,6 +43,16 @@ struct CorpusRun {
 /// "sobel", "jacobi", "transpose".
 const std::vector<std::string>& corpus_kernel_names();
 
+/// Barrier-heavy extra rows for interpreter benchmarking: "reduction_big"
+/// (the flat local-tiled reduce: publish to the tile, one barrier, item 0
+/// folds the tile) and "jacobi_big" (the barrier-exchange Jacobi sweep on
+/// a 1-D ring, periodic within the tile). Both are two barrier regions of
+/// O(1) work per item over 256-item groups — the shape where the per-item
+/// activation cost that work-group loops remove dominates; accepted by
+/// run_corpus_kernel like any corpus name but NOT part of
+/// corpus_kernel_names() (scenario cells and opt tables stay 8-wide).
+const std::vector<std::string>& barrier_kernel_names();
+
 /// Builds and runs corpus kernel `name` on `device` with the given
 /// clBuildProgram-style options ("" = driver default, "-cl-opt-disable"
 /// = unoptimized). Throws InvalidArgument for an unknown name.

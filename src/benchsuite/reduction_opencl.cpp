@@ -38,6 +38,39 @@ __kernel void reduce_sum(__global const float* in,
     partials[get_group_id(0)] = sdata[0];
   }
 }
+
+/* The flat local-tiled form: every item publishes one element to the
+ * tile, one barrier, then item 0 serially folds the tile into the
+ * group's partial. Two barrier regions whose bodies amortize to O(1)
+ * work per item (the fold costs one add per published element), so with
+ * large groups the per-item activation state — one VM, register file
+ * and resume bookkeeping per item — dominates: the shape work-group
+ * loops are built for. */
+__kernel void reduce_sum_flat(__global const float* in,
+                              __global float* partials,
+                              uint n) {
+  __local float sdata[1024];
+  uint tid = (uint)get_local_id(0);
+  uint gid = (uint)get_global_id(0);
+
+  sdata[tid] = gid < n ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+
+  if (tid == 0u) {
+    uint m = (uint)get_local_size(0);
+    float s0 = 0.0f;
+    float s1 = 0.0f;
+    float s2 = 0.0f;
+    float s3 = 0.0f;
+    for (uint i = 0u; i < m; i += 4u) {
+      s0 += sdata[i];
+      s1 += sdata[i + 1u];
+      s2 += sdata[i + 2u];
+      s3 += sdata[i + 3u];
+    }
+    partials[get_group_id(0)] = ((s0 + s1) + s2) + s3;
+  }
+}
 )CLC";
 
 void check(cl_int err, const char* what) {

@@ -119,6 +119,26 @@ __kernel void jacobi_step(__global float* out, __global const float* in,
     out[y * width + x] = 0.25f * (((l + r) + u) + d);
   }
 }
+
+/* The barrier-exchange form of the sweep on a 1-D ring: each work-item
+ * publishes its cell to the group's tile, synchronizes once, then relaxes
+ * against its two tile neighbours (periodic within the tile, `mask` =
+ * local_size - 1). Two barrier regions of O(1) work per item over large
+ * groups — the geometry where the per-item activation cost that
+ * work-group loops remove dominates the kernel. */
+__kernel void jacobi_ring(__global float* out, __global const float* in,
+                          uint mask) {
+  __local float ring[1024];
+  uint lid = (uint)get_local_id(0);
+  uint gid = (uint)get_global_id(0);
+
+  ring[lid] = in[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+
+  float l = ring[(lid - 1u) & mask];
+  float r = ring[(lid + 1u) & mask];
+  out[gid] = (l + ring[lid] + r) * (1.0f / 3.0f);
+}
 )CLC";
 
 #undef HPLREPRO_SAMPLE_EDGE_CLC

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clc/types.hpp"
@@ -266,6 +267,46 @@ struct RegFunction {
   std::vector<RegBlock> blocks;
 };
 
+/// Work-group compilation metadata for one kernel (pocl-style work-item
+/// loops): the register code is split at barriers into regions, and the
+/// registers live across any region boundary get per-item spill slots so
+/// a whole group can run on one shared activation. Produced by
+/// analyze_wg_loops (wgloops.hpp) when -cl-wg-loops is on.
+struct WgInfo {
+  /// A kernel is eligible when every barrier sits in its own top-level
+  /// code (no barrier reachable through a Call) and its block structure is
+  /// well formed. Ineligible kernels fall back to per-item activations.
+  bool eligible = false;
+  /// Number of barrier-delimited regions (resume points): 1 for
+  /// barrier-free kernels, barriers + 1 otherwise.
+  std::uint32_t region_count = 0;
+  /// Sorted union of the item-varying registers live at any region entry
+  /// (block 0 and every barrier resume block). Only these get per-item
+  /// spill slots; everything else lives in the shared file. Registers
+  /// never written by any instruction (kernel arguments and
+  /// never-assigned zeros) are uniform across the group — they are
+  /// installed once per group and excluded from all spill traffic. A
+  /// register's position in this vector is its spill column.
+  std::vector<std::uint16_t> live_regs;
+  /// Per-block index into `entry_lists`/`save_lists`, -1 for blocks that
+  /// are not region entries. Block 0 and every barrier resume block get
+  /// an entry.
+  std::vector<std::int32_t> entry_index;
+  /// (register, spill column) restore list per region entry: the
+  /// item-varying registers live into that block. The VM restores this
+  /// list when an item enters the region.
+  std::vector<std::vector<std::pair<std::uint16_t, std::uint16_t>>>
+      entry_lists;
+  /// (register, spill column) save list per region entry B: the subset of
+  /// B's restore list a barrier resuming at B must write back — registers
+  /// defined in some region that reaches such a barrier. Values carried
+  /// unmodified across a barrier already sit in their spill columns (the
+  /// save that first materialised them wrote the row, and restores don't
+  /// dirty it), so they are skipped.
+  std::vector<std::vector<std::pair<std::uint16_t, std::uint16_t>>>
+      save_lists;
+};
+
 /// A compiled translation unit plus its entry-point table.
 struct Module {
   std::vector<CompiledFunction> functions;
@@ -276,6 +317,11 @@ struct Module {
   /// runs on the stack interpreter.
   std::vector<RegFunction> reg_functions;
 
+  /// Work-group compilation metadata, parallel to `functions`. Filled by
+  /// analyze_wg_loops (-cl-wg-loops, on by default under threaded); empty
+  /// when work-item loops are disabled or the module is stack-only.
+  std::vector<WgInfo> wg_info;
+
   const CompiledFunction* find(const std::string& name) const {
     auto it = by_name.find(name);
     return it == by_name.end() ? nullptr : &functions[it->second];
@@ -283,6 +329,10 @@ struct Module {
 
   bool has_reg_form() const {
     return !functions.empty() && reg_functions.size() == functions.size();
+  }
+
+  bool has_wg_form() const {
+    return has_reg_form() && wg_info.size() == functions.size();
   }
 
   std::vector<std::string> kernel_names() const {

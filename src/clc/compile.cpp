@@ -1,6 +1,7 @@
 #include "clc/compile.hpp"
 
 #include "clc/codegen.hpp"
+#include "clc/wgloops.hpp"
 #include "clc/lexer.hpp"
 #include "clc/parser.hpp"
 #include "clc/preprocessor.hpp"
@@ -34,6 +35,10 @@ bool parse_build_options(std::string_view options, CompileOptions& out,
       out.interp = InterpMode::Stack;
     } else if (tok == "-cl-interp=threaded") {
       out.interp = InterpMode::Threaded;
+    } else if (tok == "-cl-wg-loops" || tok == "-cl-wg-loops=on") {
+      out.wg_loops = true;
+    } else if (tok == "-cl-wg-loops=off") {
+      out.wg_loops = false;
     } else {
       error = "unrecognized build option '" + std::string(tok) + "'";
       return false;
@@ -76,6 +81,10 @@ CompileResult compile(std::string_view source, const CompileOptions& options) {
     if (!note.empty()) {
       if (!result.build_log.empty()) result.build_log += '\n';
       result.build_log += note;
+    } else if (options.wg_loops) {
+      // Work-group compilation: region/liveness analysis over the register
+      // form so eligible kernels run as work-item loops (WorkGroupVM).
+      analyze_wg_loops(result.module);
     }
   }
   return result;

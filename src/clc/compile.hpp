@@ -22,13 +22,18 @@ enum class InterpMode : std::uint8_t { Stack, Threaded };
 struct CompileOptions {
   OptLevel opt_level = OptLevel::O2;  // real drivers optimize by default
   InterpMode interp = InterpMode::Threaded;
+  /// Work-group compilation (pocl-style work-item loops): split kernels at
+  /// barriers and run each region as a loop over the group on one shared
+  /// activation. Only meaningful under InterpMode::Threaded; on by default.
+  bool wg_loops = true;
 };
 
 /// Parses a clBuildProgram-style options string ("-cl-opt-disable -w ...").
 /// Recognised: -cl-opt-disable / -O0 (disable the optimizer), -O1/-O2/-O3
 /// (enable it; all map to the full pipeline), -cl-mad-enable (accepted; mad
 /// fusion is bit-exact here so it is always on at O2), -w (ignored),
-/// -cl-interp=stack|threaded (pick the interpreter; default threaded).
+/// -cl-interp=stack|threaded (pick the interpreter; default threaded),
+/// -cl-wg-loops[=on|off] (work-item loops; default on under threaded).
 /// Returns false and sets `error` on the first unrecognised option.
 bool parse_build_options(std::string_view options, CompileOptions& out,
                          std::string& error);

@@ -1,8 +1,10 @@
 #include "clc/vm.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "clc/builtins.hpp"
 #include "clc/fold.hpp"
@@ -664,7 +666,7 @@ void RegItemVM::reset(const Module& module, const CompiledFunction& kernel,
       static_cast<std::size_t>(&kernel - module.functions.data());
   const RegFunction& fn = module.reg_functions[index];
   frames_.clear();
-  frames_.push_back(Frame{&fn, 0, kNoRet, 0, 0});
+  frames_.push_back(RegFrame{&fn, 0, kRegNoRet, 0, 0});
   regs_.assign(fn.num_regs, Value{});
   for (std::size_t i = 0; i < args.size(); ++i) regs_[i] = args[i];
   private_arena_.assign(fn.private_bytes, std::byte{0});
@@ -672,16 +674,44 @@ void RegItemVM::reset(const Module& module, const CompiledFunction& kernel,
   pending_block_ = 0;
 }
 
-RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
-                         const WorkItemInfo& item, ExecStats& stats,
-                         MemTracker* tracker) {
-  std::uint64_t fuel = fuel_;
-  Frame* fr = &frames_.back();
+// One dispatch loop, two execution shapes. RegRunner::run is the body of
+// both register interpreters (see the comment on the definition below).
+struct RegRunner {
+  template <class VM>
+  static RunStatus run(VM& vm, const MemoryEnv& mem, const LaunchInfo& launch,
+                       const WorkItemInfo* items, ExecStats& stats,
+                       MemTracker* tracker);
+};
+
+// RegRunner::run is the body of both register interpreters:
+//   - VM = RegItemVM: one work-item per activation; barriers suspend
+//     (return RunStatus::Barrier) exactly as before.
+//   - VM = WorkGroupVM: pocl-style work-item loops — every item of the
+//     group executes on this one activation; a barrier saves the item's
+//     cross-region live registers to its spill row and the loop advances
+//     to the next item instead of suspending.
+// All mode-specific code sits in `if constexpr (kWG)` branches, so each
+// instantiation only touches the members its VM actually has.
+template <class VM>
+RunStatus RegRunner::run(VM& vm, const MemoryEnv& mem,
+                         const LaunchInfo& launch, const WorkItemInfo* items,
+                         ExecStats& stats, MemTracker* tracker) {
+  constexpr bool kWG = std::is_same_v<VM, WorkGroupVM>;
+
+  std::uint64_t fuel = vm.fuel_;
+  RegFrame* fr = &vm.frames_.back();
   const RegFunction* fn = fr->fn;
   const RegInstr* code = fn->code.data();
-  Value* R = regs_.data() + fr->base;
+  Value* R = vm.regs_.data() + fr->base;
   std::uint32_t pc = 0;
   const RegInstr* in = nullptr;
+
+  // Which work-item is executing: fixed in item mode, the loop cursor in
+  // wg mode (wg_advance below rebinds item/priv/R when switching items).
+  const WorkItemInfo* item = items;
+  std::vector<std::byte>* priv = nullptr;
+  [[maybe_unused]] std::size_t cur = static_cast<std::size_t>(-1);
+  if constexpr (!kWG) priv = &vm.private_arena_;
 
   auto trap = [](const char* what) -> void { throw TrapError(what); };
 
@@ -704,10 +734,10 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
         }
         return mem.local.data() + offset;
       case PtrSpace::Private:
-        if (offset + size > private_arena_.size()) {
+        if (offset + size > priv->size()) {
           trap("private access out of bounds");
         }
-        return private_arena_.data() + offset;
+        return priv->data() + offset;
     }
     trap("bad pointer space");
     return nullptr;
@@ -725,7 +755,7 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
         }
         ++stats.global_accesses;
         if (tracker) {
-          tracker->global_access(pc_key, item.linear_in_group,
+          tracker->global_access(pc_key, item->linear_in_group,
                                  pointer_buffer(ptr), pointer_offset(ptr),
                                  size, store);
         }
@@ -758,9 +788,53 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
     pc = blk.start;
   };
 
+  // wg mode only: advance the work-item loop to the next unfinished item
+  // and enter its pending region — restore its spill row into the shared
+  // register file, reset the per-item fuel budget (each item-region entry
+  // gets the full budget, exactly like a per-item run() call), account the
+  // region's entry block. Returns false when no unfinished item remains
+  // past the cursor, i.e. the current phase is over. Only called at frame
+  // depth 1 (eligible kernels have no barriers inside callees), so the
+  // kernel frame's register window starts at vm.regs_[0].
+  auto wg_advance = [&]() -> bool {
+    if constexpr (kWG) {
+      const std::size_t n = vm.group_items_;
+      std::size_t i = cur + 1;  // first call: cur == size_t(-1) wraps to 0
+      while (i < n && vm.done_[i]) ++i;
+      if (i >= n) return false;
+      cur = i;
+      item = items + cur;
+      priv = &vm.privs_[cur];
+      // fr/fn/code/R still address the kernel frame: Call/Ret rebind them
+      // on every push/pop and barriers only occur at frame depth 1.
+      const auto blk = vm.pending_[cur];
+      const auto span = vm.restore_by_block_[blk];
+      const auto* pairs = vm.spill_pairs_.data() + span.begin;
+      // A fresh item (pending block 0) restores from the argument image; a
+      // resumed one from the spill columns its barrier save wrote.
+      const Value* src = blk == 0
+                             ? vm.spill_init_.data()
+                             : vm.spills_.data() + cur * vm.spill_stride_;
+      for (std::uint32_t k = 0; k < span.len; ++k) {
+        R[pairs[k].first] = src[pairs[k].second];
+      }
+      fuel = vm.fuel_;
+      ++vm.regions_executed_;
+      enter_block(blk);
+      return true;
+    } else {
+      return false;
+    }
+  };
+
   // Kernel entry accounts block 0; resumption after a barrier accounts the
-  // barrier's resume block.
-  enter_block(pending_block_);
+  // barrier's resume block. In wg mode the first wg_advance picks the
+  // phase's first unfinished item.
+  if constexpr (kWG) {
+    if (!wg_advance()) return RunStatus::Done;
+  } else {
+    enter_block(vm.pending_block_);
+  }
 
 #if HPLREPRO_VM_COMPUTED_GOTO
   static const void* const kLabels[] = {
@@ -994,70 +1068,118 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
   VM_NEXT
 
   VM_CASE(Call) {
-    if (frames_.size() >= 64) trap("call stack overflow");
+    if (vm.frames_.size() >= 64) trap("call stack overflow");
     const RegFunction& callee =
-        module_->reg_functions[static_cast<std::size_t>(in->aux)];
+        vm.module_->reg_functions[static_cast<std::size_t>(in->aux)];
     fr->pc = pc;
-    Frame next;
+    RegFrame next;
     next.fn = &callee;
     next.ret_reg = in->b ? static_cast<std::uint32_t>(fr->base + in->dst)
-                         : kNoRet;
-    next.base = regs_.size();
+                         : kRegNoRet;
+    next.base = vm.regs_.size();
     next.priv_base = fr->priv_base + fn->private_bytes;
     const std::size_t abase = fr->base + in->a;
     // resize value-initializes the new registers (callee locals are zero,
     // like the stack interpreter's fresh slots).
-    regs_.resize(next.base + callee.num_regs);
+    vm.regs_.resize(next.base + callee.num_regs);
     for (std::size_t i = 0; i < callee.num_params; ++i) {
-      regs_[next.base + i] = regs_[abase + i];
+      vm.regs_[next.base + i] = vm.regs_[abase + i];
     }
-    if (private_arena_.size() < next.priv_base + callee.private_bytes) {
-      private_arena_.resize(next.priv_base + callee.private_bytes);
+    if (priv->size() < next.priv_base + callee.private_bytes) {
+      priv->resize(next.priv_base + callee.private_bytes);
     }
-    frames_.push_back(next);
-    fr = &frames_.back();
+    vm.frames_.push_back(next);
+    fr = &vm.frames_.back();
     fn = &callee;
     code = fn->code.data();
-    R = regs_.data() + fr->base;
+    R = vm.regs_.data() + fr->base;
     enter_block(0);
   }
   VM_NEXT
 
   VM_CASE(Ret) {
-    const Value result = R[in->a];
-    const std::uint32_t rr = fr->ret_reg;
-    regs_.resize(fr->base);
-    frames_.pop_back();
-    if (frames_.empty()) return RunStatus::Done;
-    fr = &frames_.back();
-    fn = fr->fn;
-    code = fn->code.data();
-    R = regs_.data() + fr->base;
-    pc = fr->pc;
-    if (rr != kNoRet) regs_[rr] = result;
+    bool handled = false;
+    if constexpr (kWG) {
+      if (vm.frames_.size() == 1) {
+        // Kernel-level return: this item is finished. Keep the shared
+        // kernel frame and move the loop to the next unfinished item.
+        vm.done_[cur] = 1;
+        ++vm.done_count_;
+        ++vm.phase_finished_;
+        if (!wg_advance()) return RunStatus::Done;
+        handled = true;
+      }
+    }
+    if (!handled) {
+      const Value result = R[in->a];
+      const std::uint32_t rr = fr->ret_reg;
+      vm.regs_.resize(fr->base);
+      vm.frames_.pop_back();
+      if (vm.frames_.empty()) return RunStatus::Done;
+      fr = &vm.frames_.back();
+      fn = fr->fn;
+      code = fn->code.data();
+      R = vm.regs_.data() + fr->base;
+      pc = fr->pc;
+      if (rr != kRegNoRet) vm.regs_[rr] = result;
+    }
   }
   VM_NEXT
 
   VM_CASE(RetVoid) {
-    regs_.resize(fr->base);
-    frames_.pop_back();
-    if (frames_.empty()) return RunStatus::Done;
-    fr = &frames_.back();
-    fn = fr->fn;
-    code = fn->code.data();
-    R = regs_.data() + fr->base;
-    pc = fr->pc;
+    bool handled = false;
+    if constexpr (kWG) {
+      if (vm.frames_.size() == 1) {
+        vm.done_[cur] = 1;
+        ++vm.done_count_;
+        ++vm.phase_finished_;
+        if (!wg_advance()) return RunStatus::Done;
+        handled = true;
+      }
+    }
+    if (!handled) {
+      vm.regs_.resize(fr->base);
+      vm.frames_.pop_back();
+      if (vm.frames_.empty()) return RunStatus::Done;
+      fr = &vm.frames_.back();
+      fn = fr->fn;
+      code = fn->code.data();
+      R = vm.regs_.data() + fr->base;
+      pc = fr->pc;
+    }
   }
   VM_NEXT
 
   VM_CASE(Barrier) {
-    barrier_flags_ = R[in->a].u64;
+    vm.barrier_flags_ = R[in->a].u64;
     ++stats.barriers_executed;
-    // Suspend: the register file (regs_/frames_) is the saved state; the
-    // resume block is accounted on the next run() call.
-    pending_block_ = static_cast<std::uint32_t>(in->aux);
-    return RunStatus::Barrier;
+    if constexpr (kWG) {
+      // A barrier the front end did not record would have made the kernel
+      // ineligible; mirror the item-mode fast path's trap just in case.
+      if (!vm.uses_barrier_) {
+        trap("kernel reached a barrier not seen at compile time");
+      }
+      // Save the resume block's save list — the live registers a region
+      // reaching this barrier may have modified; the rest already sit in
+      // their spill columns — park the item there, run the next item.
+      const auto resume = static_cast<std::uint32_t>(in->aux);
+      const auto span = vm.save_by_block_[resume];
+      const auto* pairs = vm.spill_pairs_.data() + span.begin;
+      Value* row = vm.spills_.data() + cur * vm.spill_stride_;
+      for (std::uint32_t k = 0; k < span.len; ++k) {
+        row[pairs[k].second] = R[pairs[k].first];
+      }
+      vm.pending_[cur] = resume;
+      ++vm.phase_at_barrier_;
+      if (!wg_advance()) return RunStatus::Barrier;
+    } else {
+      // Suspend: the register file (regs_/frames_) is the saved state; the
+      // resume block is accounted on the next run() call.
+      vm.pending_block_ = static_cast<std::uint32_t>(in->aux);
+      return RunStatus::Barrier;
+    }
   }
+  VM_NEXT
 
   VM_CASE(WorkItem) {
     const auto id = static_cast<Builtin>(in->aux);
@@ -1068,9 +1190,9 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
       case Builtin::GetWorkDim:
         v = static_cast<std::uint64_t>(launch.work_dim);
         break;
-      case Builtin::GetGlobalId: v = item.global_id[d]; break;
-      case Builtin::GetLocalId: v = item.local_id[d]; break;
-      case Builtin::GetGroupId: v = item.group_id[d]; break;
+      case Builtin::GetGlobalId: v = item->global_id[d]; break;
+      case Builtin::GetLocalId: v = item->local_id[d]; break;
+      case Builtin::GetGroupId: v = item->group_id[d]; break;
       case Builtin::GetGlobalSize: v = launch.global_size[d]; break;
       case Builtin::GetLocalSize: v = launch.local_size[d]; break;
       case Builtin::GetNumGroups: v = launch.num_groups[d]; break;
@@ -1144,6 +1266,117 @@ RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
 #endif
 #undef VM_CASE
 #undef VM_NEXT
+}
+
+RunStatus RegItemVM::run(const MemoryEnv& mem, const LaunchInfo& launch,
+                         const WorkItemInfo& item, ExecStats& stats,
+                         MemTracker* tracker) {
+  return RegRunner::run(*this, mem, launch, &item, stats, tracker);
+}
+
+// --- Work-group execution mode ----------------------------------------------
+
+void WorkGroupVM::prepare(const Module& module, const CompiledFunction& kernel,
+                          std::span<const Value> args,
+                          std::size_t group_items) {
+  if (!module.has_wg_form()) {
+    throw InternalError("WorkGroupVM::prepare: module has no wg form");
+  }
+  if (args.size() != kernel.params.size()) {
+    throw InternalError("WorkGroupVM::prepare: argument count mismatch");
+  }
+  module_ = &module;
+  const auto index =
+      static_cast<std::size_t>(&kernel - module.functions.data());
+  if (!module.wg_info[index].eligible) {
+    throw InternalError("WorkGroupVM::prepare: kernel not wg-eligible");
+  }
+  kernel_fn_ = &module.reg_functions[index];
+  wg_ = &module.wg_info[index];
+  uses_barrier_ = kernel.uses_barrier;
+  kernel_priv_bytes_ = kernel_fn_->private_bytes;
+  group_items_ = group_items;
+
+  args_.assign(args.begin(), args.end());
+
+  // Per-item spill row template: parameter registers get the launch
+  // arguments (parameters occupy registers 0..num_params-1), everything
+  // else starts zeroed, matching RegItemVM::reset's fresh register file.
+  const std::size_t live_n = wg_->live_regs.size();
+  spill_init_.assign(live_n, Value{});
+  for (std::size_t k = 0; k < live_n; ++k) {
+    const std::uint16_t r = wg_->live_regs[k];
+    if (r < args.size()) spill_init_[k] = args[r];
+  }
+  spills_.resize(group_items * live_n);
+  spill_stride_ = live_n;
+  privs_.resize(group_items);
+  pending_.assign(group_items, 0);
+  done_.assign(group_items, 0);
+
+  // Flatten the per-entry restore/save lists into per-block spans over one
+  // contiguous pair array (see vm.hpp). Non-entry blocks keep empty spans;
+  // they are never looked up.
+  const std::size_t nblocks = kernel_fn_->blocks.size();
+  spill_pairs_.clear();
+  restore_by_block_.assign(nblocks, SpillSpan{});
+  save_by_block_.assign(nblocks, SpillSpan{});
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::int32_t e = wg_->entry_index[b];
+    if (e < 0) continue;
+    const auto& restore = wg_->entry_lists[static_cast<std::size_t>(e)];
+    restore_by_block_[b].begin = static_cast<std::uint32_t>(
+        spill_pairs_.size());
+    restore_by_block_[b].len = static_cast<std::uint32_t>(restore.size());
+    spill_pairs_.insert(spill_pairs_.end(), restore.begin(), restore.end());
+    const auto& save = wg_->save_lists[static_cast<std::size_t>(e)];
+    save_by_block_[b].begin = static_cast<std::uint32_t>(spill_pairs_.size());
+    save_by_block_[b].len = static_cast<std::uint32_t>(save.size());
+    spill_pairs_.insert(spill_pairs_.end(), save.begin(), save.end());
+  }
+}
+
+void WorkGroupVM::run_group(const MemoryEnv& mem, const LaunchInfo& launch,
+                            const WorkItemInfo* items, ExecStats& stats,
+                            MemTracker* tracker) {
+  const RegFunction& fn = *kernel_fn_;
+  frames_.clear();
+  frames_.push_back(RegFrame{&fn, 0, kRegNoRet, 0, 0});
+  regs_.assign(fn.num_regs, Value{});
+  // Uniform registers — the ones no instruction writes — keep these values
+  // for every item of the group: arguments in the parameter registers,
+  // zeros elsewhere. Item-varying parameters are re-restored per item from
+  // the spill-row argument image, which is harmless.
+  const std::size_t nparams =
+      std::min<std::size_t>(fn.num_params, args_.size());
+  for (std::size_t r = 0; r < nparams; ++r) regs_[r] = args_[r];
+
+  // Spill rows need no initialization: pending block 0 restores from the
+  // argument image, and every later restore reads columns its barrier save
+  // wrote within this group run.
+  std::fill(done_.begin(), done_.end(), char{0});
+  std::fill(pending_.begin(), pending_.end(), std::uint32_t{0});
+  for (std::size_t i = 0; i < group_items_; ++i) {
+    privs_[i].assign(kernel_priv_bytes_, std::byte{0});
+  }
+  done_count_ = 0;
+  barrier_flags_ = 0;
+
+  // One RegRunner phase runs every unfinished item up to its next barrier
+  // (or exit). Items finishing in a phase where others reached a barrier
+  // is the divergent-barrier condition — same trap as the item-mode group
+  // scheduler in clsim.
+  while (done_count_ < group_items_) {
+    phase_finished_ = 0;
+    phase_at_barrier_ = 0;
+    RegRunner::run(*this, mem, launch, items, stats, tracker);
+    if (phase_at_barrier_ != 0 && phase_finished_ != 0) {
+      throw TrapError(
+          "divergent barrier: some work-items exited while others wait at a "
+          "barrier");
+    }
+  }
+  loop_trips_ += group_items_;
 }
 
 }  // namespace hplrepro::clc

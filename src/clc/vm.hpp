@@ -99,6 +99,23 @@ private:
   std::uint64_t fuel_ = 1ull << 62;
 };
 
+/// Sentinel "no return register" for RegFrame::ret_reg.
+inline constexpr std::uint32_t kRegNoRet = 0xFFFFFFFFu;
+
+/// A call frame of the register interpreters (RegItemVM / WorkGroupVM).
+struct RegFrame {
+  const RegFunction* fn = nullptr;
+  std::uint32_t pc = 0;        // saved across calls; live in run()'s locals
+  std::uint32_t ret_reg = kRegNoRet;  // absolute index into regs_, or kRegNoRet
+  std::size_t base = 0;        // this frame's register window in regs_
+  std::size_t priv_base = 0;
+};
+
+/// The shared direct-threaded dispatch loop behind RegItemVM (one
+/// activation per work-item) and WorkGroupVM (one activation per group,
+/// pocl-style work-item loops). Defined in vm.cpp.
+struct RegRunner;
+
 /// Executes the register form (Module::reg_functions) produced by
 /// lower_module with a direct-threaded dispatch loop (computed goto under
 /// GCC/Clang; define HPLREPRO_VM_FORCE_SWITCH to get the portable switch
@@ -120,23 +137,95 @@ public:
   void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
 
 private:
-  static constexpr std::uint32_t kNoRet = 0xFFFFFFFFu;
-
-  struct Frame {
-    const RegFunction* fn = nullptr;
-    std::uint32_t pc = 0;        // saved across calls; live in run()'s locals
-    std::uint32_t ret_reg = kNoRet;  // absolute index into regs_, or kNoRet
-    std::size_t base = 0;        // this frame's register window in regs_
-    std::size_t priv_base = 0;
-  };
+  friend struct RegRunner;
 
   const Module* module_ = nullptr;
   std::vector<Value> regs_;
-  std::vector<Frame> frames_;
+  std::vector<RegFrame> frames_;
   std::vector<std::byte> private_arena_;
   std::uint64_t barrier_flags_ = 0;
   std::uint64_t fuel_ = 1ull << 62;
   std::uint32_t pending_block_ = 0;  // block to account+enter on next run()
+};
+
+/// Work-group execution mode (the -cl-wg-loops tentpole): runs all items
+/// of a work-group on ONE activation by looping each barrier-delimited
+/// region over the group — no per-item reset(), no per-item register
+/// files, no suspend/resume machinery. Per-item state is reduced to the
+/// spill rows of the registers live across region boundaries (WgInfo,
+/// computed at build time by analyze_wg_loops) plus a private arena for
+/// kernels that use private memory.
+///
+/// Fuel and ExecStats accounting stay field-identical to RegItemVM: the
+/// fuel budget is debited per item per region (each item-region entry
+/// resets the local budget, exactly like a per-item run() call), and the
+/// block histograms are accounted per entered block as before.
+class WorkGroupVM {
+public:
+  /// Binds the VM to a kernel (must be wg-eligible per module.wg_info) and
+  /// its launch arguments for groups of `group_items` work-items. Called
+  /// once per launch chunk; run_group reuses all scratch across groups.
+  void prepare(const Module& module, const CompiledFunction& kernel,
+               std::span<const Value> args, std::size_t group_items);
+
+  /// Runs one whole work-group to completion. `items` must point at
+  /// group_items WorkItemInfo entries. Throws TrapError on kernel traps,
+  /// including the divergent-barrier condition (a region exit taken by
+  /// some items while others reached a barrier).
+  void run_group(const MemoryEnv& mem, const LaunchInfo& launch,
+                 const WorkItemInfo* items, ExecStats& stats,
+                 MemTracker* tracker);
+
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+  /// One trip per work-item run through the region loops; accumulated over
+  /// every group this VM executed (the vm.wg_loop_trips metric).
+  std::uint64_t loop_trips() const { return loop_trips_; }
+  /// Item-region executions: loop_trips plus one per barrier resumption
+  /// (the vm.regions metric).
+  std::uint64_t regions_executed() const { return regions_executed_; }
+
+private:
+  friend struct RegRunner;
+
+  const Module* module_ = nullptr;
+  const RegFunction* kernel_fn_ = nullptr;
+  const WgInfo* wg_ = nullptr;
+  bool uses_barrier_ = false;
+  std::uint64_t kernel_priv_bytes_ = 0;
+  std::size_t group_items_ = 0;
+
+  std::vector<Value> regs_;       // ONE shared register file for the group
+  std::vector<RegFrame> frames_;
+  std::vector<Value> args_;        // launch arguments, installed per group
+  std::vector<Value> spill_init_;  // per-item row template: args/zeros
+  std::vector<Value> spills_;      // group_items x live_regs rows
+  std::size_t spill_stride_ = 0;   // row width (= wg_->live_regs.size())
+
+  // WgInfo's per-entry restore/save lists flattened by prepare() into one
+  // contiguous pair array with per-block spans, so the region-switch hot
+  // path does a single indexed load instead of chasing entry_index into a
+  // vector of vectors.
+  struct SpillSpan {
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+  };
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> spill_pairs_;
+  std::vector<SpillSpan> restore_by_block_;
+  std::vector<SpillSpan> save_by_block_;
+  std::vector<std::vector<std::byte>> privs_;  // per-item private arenas
+  std::vector<std::uint32_t> pending_;  // per-item resume block
+  std::vector<char> done_;
+  std::uint64_t barrier_flags_ = 0;
+  std::uint64_t fuel_ = 1ull << 62;
+
+  // Phase bookkeeping for the divergent-barrier trap.
+  std::size_t done_count_ = 0;
+  std::size_t phase_finished_ = 0;
+  std::size_t phase_at_barrier_ = 0;
+
+  std::uint64_t loop_trips_ = 0;
+  std::uint64_t regions_executed_ = 0;
 };
 
 }  // namespace hplrepro::clc

@@ -1,5 +1,6 @@
 #include "clsim/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <type_traits>
@@ -17,6 +18,7 @@ using clc::LaunchInfo;
 using clc::MemoryEnv;
 using clc::RegItemVM;
 using clc::RunStatus;
+using clc::WorkGroupVM;
 using clc::WorkItemInfo;
 using clc::WorkItemVM;
 
@@ -62,11 +64,15 @@ struct GroupGrid {
 
 /// Runs all work-items of one work-group to completion, honouring
 /// barriers. Reuses the caller's VM pool, local arena and phase-tracking
-/// scratch across groups. `VM` is WorkItemVM (stack form) or RegItemVM
-/// (register form); both expose the same reset/run/set_fuel protocol.
+/// scratch across groups. `VM` is WorkItemVM (stack form), RegItemVM
+/// (register form) — both expose the same reset/run/set_fuel protocol —
+/// or WorkGroupVM, which executes the whole group itself via work-item
+/// loops (one prepare per chunk, one run_group call per group).
 template <class VM>
 class GroupRunner {
 public:
+  static constexpr bool kIsWG = std::is_same_v<VM, WorkGroupVM>;
+
   GroupRunner(const clc::Module& module, const clc::CompiledFunction& kernel,
               std::span<const clc::Value> args,
               std::span<std::span<std::byte>> buffers,
@@ -82,22 +88,50 @@ public:
     local_arena_.resize(kernel.local_bytes + extra_local_bytes);
     group_items_ = launch.local_size[0] * launch.local_size[1] *
                    launch.local_size[2];
-    if (!kernel.uses_barrier) {
+    if constexpr (kIsWG) {
+      // One activation runs the whole group as work-item loops; barriers
+      // are handled inside run_group, so no per-item VMs or phase flags.
       vms_.resize(1);
+      vms_[0].prepare(module, kernel, args, group_items_);
     } else {
-      vms_.resize(group_items_);
-      done_.resize(group_items_);
+      if (!kernel.uses_barrier) {
+        vms_.resize(1);
+      } else {
+        vms_.resize(group_items_);
+        done_.resize(group_items_);
+      }
     }
     for (VM& vm : vms_) vm.set_fuel(fuel);
     items_.resize(group_items_);
   }
 
+  /// Work-item loop trips / item-region executions accumulated by this
+  /// runner's VM (wg mode only; zero otherwise). Feed the vm.wg_loop_trips
+  /// and vm.regions metrics.
+  std::uint64_t wg_loop_trips() const {
+    if constexpr (kIsWG) {
+      return vms_[0].loop_trips();
+    } else {
+      return 0;
+    }
+  }
+  std::uint64_t wg_regions() const {
+    if constexpr (kIsWG) {
+      return vms_[0].regions_executed();
+    } else {
+      return 0;
+    }
+  }
+
   void run_group(std::size_t gx, std::size_t gy, std::size_t gz,
                  ExecStats& stats) {
-    // Kernels with no __local data have an empty arena; skip the per-group
-    // zeroing entirely instead of touching it group after group.
-    if (!local_arena_.empty()) {
-      std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
+    // Zero only the statically declared __local range. Dynamic __local
+    // (extra_local_bytes, set per launch like clSetKernelArg with a size)
+    // is uninitialised on real devices; leaving it untouched is still
+    // deterministic across interpreters because every mode performs the
+    // identical store sequence before any read.
+    if (kernel_.local_bytes != 0) {
+      std::fill_n(local_arena_.begin(), kernel_.local_bytes, std::byte{0});
     }
     MemoryEnv mem{buffers_, std::span<std::byte>(local_arena_)};
     clc::MemTracker* tracker = use_tracker_ ? &tracker_ : nullptr;
@@ -123,7 +157,12 @@ public:
       }
     }
 
-    if (!kernel_.uses_barrier) {
+    if constexpr (kIsWG) {
+      // Work-group mode: the VM loops every item of the group over each
+      // barrier-delimited region on one activation; barrier phasing and
+      // the divergent-barrier trap live inside run_group.
+      vms_[0].run_group(mem, launch_, items_.data(), stats, tracker);
+    } else if (!kernel_.uses_barrier) {
       // Fast path: one VM reused; every item runs to completion.
       VM& vm = vms_[0];
       for (std::size_t i = 0; i < group_items_; ++i) {
@@ -243,6 +282,8 @@ LaunchResult execute_ndrange(const clc::Module& module,
 
   ExecStats total_stats;
   std::mutex stats_mutex;
+  std::uint64_t wg_trips = 0;    // work-item loop trips (wg mode only)
+  std::uint64_t wg_regions = 0;  // item-region executions (wg mode only)
   const std::uint64_t fuel = work_item_fuel();  // one snapshot per launch
 
   auto run_with = [&](auto vm_tag) {
@@ -260,12 +301,22 @@ LaunchResult execute_ndrange(const clc::Module& module,
           }
           std::lock_guard lock(stats_mutex);
           total_stats += chunk_stats;
+          wg_trips += runner.wg_loop_trips();
+          wg_regions += runner.wg_regions();
         });
   };
   // Modules built with -cl-interp=threaded carry the register form; run it
-  // with the direct-threaded VM. Stack-only modules (or lowering fallback)
-  // use the reference stack interpreter.
-  if (module.has_reg_form()) {
+  // with the direct-threaded VM — in work-group mode (work-item loops) when
+  // the build's -cl-wg-loops analysis marked this kernel eligible, else one
+  // item per activation. Stack-only modules (or lowering fallback) use the
+  // reference stack interpreter.
+  const auto kernel_index =
+      static_cast<std::size_t>(&kernel - module.functions.data());
+  const bool use_wg =
+      module.has_wg_form() && module.wg_info[kernel_index].eligible;
+  if (use_wg) {
+    run_with(std::type_identity<WorkGroupVM>{});
+  } else if (module.has_reg_form()) {
     run_with(std::type_identity<RegItemVM>{});
   } else {
     run_with(std::type_identity<WorkItemVM>{});
@@ -283,6 +334,9 @@ LaunchResult execute_ndrange(const clc::Module& module,
     static auto& groups = metrics::counter("vm.groups");
     static auto& global_bytes = metrics::counter("vm.global_bytes");
     static auto& barriers = metrics::counter("vm.barriers");
+    static auto& wg_launches = metrics::counter("vm.wg_launches");
+    static auto& wg_loop_trips = metrics::counter("vm.wg_loop_trips");
+    static auto& regions = metrics::counter("vm.regions");
     static auto& launch_wall =
         metrics::histogram("vm.launch.wall_ns");
     launches.add_always(1);
@@ -293,6 +347,9 @@ LaunchResult execute_ndrange(const clc::Module& module,
     global_bytes.add_always(total_stats.global_load_bytes +
                             total_stats.global_store_bytes);
     barriers.add_always(total_stats.barriers_executed);
+    wg_launches.add_always(use_wg ? 1 : 0);
+    wg_loop_trips.add_always(wg_trips);
+    regions.add_always(wg_regions);
     launch_wall.record_seconds(result.wall_seconds);
   }
   span.arg("device", device.name)

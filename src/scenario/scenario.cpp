@@ -237,6 +237,9 @@ std::string Cell::label() const {
 }
 
 std::string Cell::build_options() const {
+  if (interp == "threaded-wg-off") {
+    return opt + " -cl-interp=threaded -cl-wg-loops=off";
+  }
   return opt + " -cl-interp=" + interp;
 }
 

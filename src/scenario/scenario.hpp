@@ -6,7 +6,8 @@
 /// enumerates every configuration the runtime actually exposes —
 ///
 ///   device {CPU, Tesla, Quadro} × sync {HPL_SYNC=0,1} ×
-///   interpreter {-cl-interp=stack,threaded} × opt {-O0,-O2} × size
+///   interpreter {-cl-interp=stack, threaded, threaded -cl-wg-loops=off} ×
+///   opt {-O0,-O2} × size
 ///
 /// — runs every benchsuite workload (the five paper benchmarks plus the
 /// stencil family) through each cell, and grades three things per run:
@@ -38,13 +39,16 @@ namespace hplrepro::scenario {
 struct Axes {
   std::vector<std::string> devices = {"CPU", "Tesla", "Quadro"};
   std::vector<bool> async_modes = {true, false};
-  std::vector<std::string> interps = {"stack", "threaded"};
+  /// "threaded-wg-off" is the register interpreter with the work-group
+  /// loop pass disabled: it must be observationally identical to
+  /// "threaded", which the profile-identity grade enforces.
+  std::vector<std::string> interps = {"stack", "threaded", "threaded-wg-off"};
   std::vector<std::string> opts = {"-O0", "-O2"};
   std::vector<std::string> sizes = {"small", "large"};
 
-  /// The full matrix: 3 × 2 × 2 × 2 × 2 = 48 cells.
+  /// The full matrix: 3 × 2 × 3 × 2 × 2 = 72 cells.
   static Axes full();
-  /// The reduced matrix for ctest/CI: small sizes only (24 cells).
+  /// The reduced matrix for ctest/CI: small sizes only (36 cells).
   static Axes reduced();
 
   std::size_t cell_count() const {

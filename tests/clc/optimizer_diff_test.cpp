@@ -1,12 +1,17 @@
-// Three-way differential harness over the interpreter/optimizer matrix:
-//   O0 stack  vs  O2 stack     — the optimizer pipeline contract
-//                                (bit-identical outputs, never more ops);
-//   O2 stack  vs  O2 threaded  — the register-lowering contract
-//                                (bit-identical outputs AND field-by-field
-//                                identical ExecStats: the block-level
-//                                accounting must sum to exactly what the
-//                                stack interpreter counts per instruction).
-// Every kernel in both corpora runs through all three configurations;
+// Four-way differential harness over the interpreter/optimizer matrix:
+//   O0 stack  vs  O2 stack       — the optimizer pipeline contract
+//                                  (bit-identical outputs, never more ops);
+//   O2 stack  vs  O2 threaded    — the register-lowering contract
+//                                  (bit-identical outputs AND field-by-field
+//                                  identical ExecStats: the block-level
+//                                  accounting must sum to exactly what the
+//                                  stack interpreter counts per instruction);
+//   O2 threaded -cl-wg-loops=off vs on — the work-group-compilation
+//                                  contract (running barrier regions as
+//                                  work-item loops on one activation keeps
+//                                  bits AND every counter, fuel semantics
+//                                  included, identical to per-item runs).
+// Every kernel in both corpora runs through all four configurations;
 // semantics preservation down to the last bit, with measurable savings.
 
 #include <gtest/gtest.h>
@@ -287,8 +292,11 @@ TEST_P(OptimizerDiffLanguage, BitIdenticalAndNoMoreOps) {
                               ck.global, ck.local, "-O0 -cl-interp=stack");
   const DiffRun o2 = run_diff(ck.source, ck.kernel_name, ck.words,
                               ck.global, ck.local, "-O2 -cl-interp=stack");
-  const DiffRun reg = run_diff(ck.source, ck.kernel_name, ck.words,
-                               ck.global, ck.local, "-O2 -cl-interp=threaded");
+  const DiffRun reg =
+      run_diff(ck.source, ck.kernel_name, ck.words, ck.global, ck.local,
+               "-O2 -cl-interp=threaded -cl-wg-loops=off");
+  const DiffRun wg = run_diff(ck.source, ck.kernel_name, ck.words,
+                              ck.global, ck.local, "-O2 -cl-interp=threaded");
 
   ASSERT_EQ(o0.words.size(), o2.words.size());
   for (std::size_t i = 0; i < o0.words.size(); ++i) {
@@ -300,6 +308,10 @@ TEST_P(OptimizerDiffLanguage, BitIdenticalAndNoMoreOps) {
   // Register interpreter: same bytecode, same bits, same counters.
   EXPECT_EQ(o2.words, reg.words) << ck.label;
   expect_stats_identical(o2.stats, reg.stats, ck.label);
+
+  // Work-group compilation: same bits, same counters again.
+  EXPECT_EQ(reg.words, wg.words) << ck.label;
+  expect_stats_identical(reg.stats, wg.stats, ck.label);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -340,14 +352,19 @@ TEST_P(OptimizerDiffBenchsuite, BitIdenticalAndNoMoreOps) {
       bs::run_corpus_kernel(name, device, "-O0 -cl-interp=stack");
   const bs::CorpusRun o2 =
       bs::run_corpus_kernel(name, device, "-O2 -cl-interp=stack");
-  const bs::CorpusRun reg =
+  const bs::CorpusRun reg = bs::run_corpus_kernel(
+      name, device, "-O2 -cl-interp=threaded -cl-wg-loops=off");
+  const bs::CorpusRun wg =
       bs::run_corpus_kernel(name, device, "-O2 -cl-interp=threaded");
 
   // The interpreter swap has no float tolerance at all: both execute the
   // same O2 bytecode, so even EP's transcendental outputs must be
-  // bit-for-bit equal, and every dynamic counter must match.
+  // bit-for-bit equal, and every dynamic counter must match. The same
+  // holds for the work-item-loop execution of that bytecode.
   EXPECT_EQ(o2.outputs, reg.outputs) << name;
   expect_stats_identical(o2.stats, reg.stats, name);
+  EXPECT_EQ(reg.outputs, wg.outputs) << name;
+  expect_stats_identical(reg.stats, wg.stats, name);
 
   ASSERT_EQ(o0.outputs.size(), o2.outputs.size());
   for (std::size_t b = 0; b < o0.outputs.size(); ++b) {
@@ -376,8 +393,18 @@ TEST_P(OptimizerDiffBenchsuite, BitIdenticalAndNoMoreOps) {
   EXPECT_EQ(o0.opt_report.level, clc::OptLevel::O0);
 }
 
+// The corpus rows plus the barrier-heavy extras — the rows where the
+// work-group-compilation contract is under the most pressure.
+std::vector<std::string> diff_kernel_names() {
+  std::vector<std::string> names = bs::corpus_kernel_names();
+  for (const std::string& name : bs::barrier_kernel_names()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 INSTANTIATE_TEST_SUITE_P(BenchKernels, OptimizerDiffBenchsuite,
-                         ::testing::ValuesIn(bs::corpus_kernel_names()),
+                         ::testing::ValuesIn(diff_kernel_names()),
                          [](const ::testing::TestParamInfo<std::string>& i) {
                            return i.param;
                          });
@@ -485,12 +512,44 @@ __kernel void relay(__global uint* out) {
 )CLC";
   const DiffRun stack =
       run_diff(source, "relay", 64 * 3, 64, 16, "-O2 -cl-interp=stack");
-  const DiffRun reg =
+  const DiffRun reg = run_diff(source, "relay", 64 * 3, 64, 16,
+                               "-O2 -cl-interp=threaded -cl-wg-loops=off");
+  const DiffRun wg =
       run_diff(source, "relay", 64 * 3, 64, 16, "-O2 -cl-interp=threaded");
   EXPECT_EQ(stack.words, reg.words);
   expect_stats_identical(stack.stats, reg.stats, "relay");
+  // Work-group compilation replaces the suspend/resume machinery with
+  // per-region spill rows; any value lost across a region switch (or a
+  // spill row clobbered by another item) changes the bits.
+  EXPECT_EQ(reg.words, wg.words);
+  expect_stats_identical(reg.stats, wg.stats, "relay");
   // 64 items x 16 barrier executions each (2 per round x 8 rounds).
   EXPECT_EQ(reg.stats.barriers_executed, 64u * 16u);
+  EXPECT_EQ(wg.stats.barriers_executed, 64u * 16u);
+}
+
+// A barrier inside a divergent branch must trap — not deadlock, not
+// silently release — in BOTH execution modes. The work-item-loop mode has
+// its own phase bookkeeping (items finishing while others park at a
+// barrier), so it gets its own regression here, next to the item-mode
+// scheduler's.
+TEST(OptimizerDiff, DivergentBarrierTrapsInBothModes) {
+  const std::string source = R"CLC(
+__kernel void diverge(__global uint* out) {
+  size_t lid = get_local_id(0);
+  if (lid < 8u) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = (uint)lid;
+}
+)CLC";
+  for (const char* options :
+       {"-O2 -cl-interp=threaded -cl-wg-loops=off",
+        "-O2 -cl-interp=threaded"}) {
+    EXPECT_THROW(run_diff(source, "diverge", 16, 16, 16, options),
+                 clc::TrapError)
+        << options;
+  }
 }
 
 // Sanity for the option-string surface the harness depends on.

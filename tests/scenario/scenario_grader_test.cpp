@@ -27,21 +27,28 @@ TEST(ScenarioGrader, CellLabelAndBuildOptions) {
   const scenario::Cell cell{"Tesla", false, "threaded", "-O0", "small"};
   EXPECT_EQ(cell.label(), "Tesla/sync/threaded/-O0/small");
   EXPECT_EQ(cell.build_options(), "-O0 -cl-interp=threaded");
+
+  const scenario::Cell wg_off{"Tesla", true, "threaded-wg-off", "-O2",
+                              "small"};
+  EXPECT_EQ(wg_off.label(), "Tesla/async/threaded-wg-off/-O2/small");
+  EXPECT_EQ(wg_off.build_options(),
+            "-O2 -cl-interp=threaded -cl-wg-loops=off");
 }
 
 TEST(ScenarioGrader, ReducedMatrixGradesClean) {
   const scenario::Axes axes = scenario::Axes::reduced();
-  ASSERT_EQ(axes.cell_count(), 24u);  // 3 devices x 2 sync x 2 interp x 2 opt
+  // 3 devices x 2 sync x 3 interp x 2 opt
+  ASSERT_EQ(axes.cell_count(), 36u);
 
   const scenario::SweepReport report = scenario::run_sweep(axes);
 
   EXPECT_TRUE(report.ok());
-  EXPECT_EQ(report.cells.size(), 24u);
-  // 24 cells x 8 workloads, minus EP on the 8 Quadro cells (no doubles).
-  EXPECT_EQ(report.graded, 184u);
-  EXPECT_EQ(report.passed, 184u);
+  EXPECT_EQ(report.cells.size(), 36u);
+  // 36 cells x 8 workloads, minus EP on the 12 Quadro cells (no doubles).
+  EXPECT_EQ(report.graded, 276u);
+  EXPECT_EQ(report.passed, 276u);
   EXPECT_EQ(report.failed, 0u);
-  EXPECT_EQ(report.skipped, 8u);
+  EXPECT_EQ(report.skipped, 12u);
   EXPECT_TRUE(report.identity_failures.empty());
 
   for (const auto& cell : report.cells) {

@@ -116,6 +116,26 @@ def validate(doc):
     check(hits + misses == evals,
           f"cache hits {hits} + misses {misses} != evals {evals}")
 
+    # Work-group loop accounting (vm.wg_* are emitted alongside vm.launches
+    # whenever the executor runs): a wg-mode launch contributes exactly one
+    # loop trip per work-item, and at least one region entry per trip.
+    if "vm.wg_launches" in counters:
+        wg_launches = counters["vm.wg_launches"]
+        wg_trips = counters.get("vm.wg_loop_trips", 0)
+        wg_regions = counters.get("vm.regions", 0)
+        launches = counters.get("vm.launches", 0)
+        items = counters.get("vm.items", 0)
+        check(wg_launches <= launches,
+              f"vm.wg_launches {wg_launches} > vm.launches {launches}")
+        check(wg_trips <= items,
+              f"vm.wg_loop_trips {wg_trips} > vm.items {items}")
+        check(wg_regions >= wg_trips,
+              f"vm.regions {wg_regions} < vm.wg_loop_trips {wg_trips}")
+        if wg_launches == launches and launches > 0:
+            check(wg_trips == items,
+                  f"all launches ran in wg mode but vm.wg_loop_trips "
+                  f"{wg_trips} != vm.items {items}")
+
     check(doc["flight_recorder"]["dumped"] is False,
           "flight recorder dumped during a clean run")
 
