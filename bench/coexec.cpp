@@ -1,0 +1,254 @@
+// Co-execution benchmark: split each workload's NDRange across the GPUs
+// and report the achieved fraction of the summed per-device roofline for
+// every scheduling policy.
+//
+// The roofline for a device set is the ideal co-execution time
+//     T_ideal = 1 / sum_d (1 / T_d)
+// where T_d is the simulated kernel time of the whole workload run on
+// device d alone: it assumes every device computes at its single-device
+// rate with zero imbalance. The achieved time is the scheduler's
+// simulated makespan (the busiest slot's clock), so
+//     fraction = T_ideal / makespan
+// is 1.0 for a perfect split. A static half/half split of an asymmetric
+// pair (Tesla ~6x the Quadro's bandwidth) is bounded by the slow device
+// and lands far below the adaptive policies.
+//
+// Every co-executed run is also checked bit-identical against the
+// single-device result; any mismatch fails the binary.
+//
+// `--json <path>` writes an hplrepro-coexec-v1 document (validated in CI
+// by tools/validate_coexec.py).
+
+#include <cstddef>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/stencil.hpp"
+#include "benchsuite/transpose.hpp"
+#include "coexec/coexec.hpp"
+
+namespace {
+
+using hplrepro::bench::fmt;
+using hplrepro::coexec::Policy;
+namespace benchsuite = hplrepro::benchsuite;
+
+constexpr Policy kPolicies[] = {Policy::Static, Policy::Dynamic,
+                                Policy::Guided};
+
+/// One workload run: a bit-exact result signature plus its timings.
+struct RunOutcome {
+  std::vector<double> signature;
+  benchsuite::Timings timings;
+};
+
+/// Runs the workload on `single` when `devs` is empty, co-executed across
+/// `devs` under `policy` otherwise.
+using WorkloadFn = std::function<RunOutcome(
+    const std::vector<HPL::Device>& devs, Policy policy, HPL::Device single)>;
+
+struct PolicyOutcome {
+  Policy policy = Policy::Static;
+  double makespan_s = 0;
+  double fraction = 0;
+  std::size_t chunks = 0;
+  bool bit_identical = false;
+};
+
+struct WorkloadOutcome {
+  std::string name;
+  std::vector<std::pair<std::string, double>> device_seconds;
+  double ideal_s = 0;
+  std::vector<PolicyOutcome> policies;
+};
+
+std::vector<double> widen(const std::vector<float>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+WorkloadOutcome run_workload(const std::string& name,
+                             const std::vector<HPL::Device>& devices,
+                             const WorkloadFn& run) {
+  WorkloadOutcome out;
+  out.name = name;
+
+  // Per-device rooflines: the workload alone on each device.
+  std::vector<double> reference;
+  double inv_sum = 0;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    HPL::purge_kernel_cache();
+    HPL::reset_profile();
+    const RunOutcome single = run({}, Policy::Static, devices[d]);
+    if (d == 0) reference = single.signature;
+    const double t = single.timings.kernel_sim_seconds;
+    out.device_seconds.emplace_back(devices[d].name(), t);
+    inv_sum += 1.0 / t;
+  }
+  out.ideal_s = 1.0 / inv_sum;
+
+  for (const Policy policy : kPolicies) {
+    HPL::purge_kernel_cache();
+    HPL::reset_profile();
+    const RunOutcome split = run(devices, policy, devices[0]);
+    const hplrepro::coexec::DispatchResult plan =
+        hplrepro::coexec::last_dispatch();
+    PolicyOutcome po;
+    po.policy = policy;
+    po.makespan_s = plan.makespan();
+    po.fraction = out.ideal_s / po.makespan_s;
+    po.chunks = plan.chunks.size();
+    po.bit_identical = split.signature == reference;
+    out.policies.push_back(po);
+  }
+  return out;
+}
+
+WorkloadOutcome bench_reduction(const std::vector<HPL::Device>& devices) {
+  return run_workload(
+      "reduction", devices,
+      [](const std::vector<HPL::Device>& devs, Policy policy,
+         HPL::Device single) {
+        benchsuite::ReductionConfig cfg;
+        cfg.elements = 1 << 23;
+        cfg.groups = 1024;
+        cfg.local_size = 128;
+        cfg.coexec_devices = devs;
+        cfg.coexec_policy = policy;
+        const auto run = benchsuite::reduction_hpl(cfg, single);
+        return RunOutcome{{run.sum}, run.timings};
+      });
+}
+
+WorkloadOutcome bench_transpose(const std::vector<HPL::Device>& devices) {
+  return run_workload(
+      "transpose", devices,
+      [](const std::vector<HPL::Device>& devs, Policy policy,
+         HPL::Device single) {
+        benchsuite::TransposeConfig cfg;
+        cfg.rows = 2048;
+        cfg.cols = 2048;
+        cfg.coexec_devices = devs;
+        cfg.coexec_policy = policy;
+        const auto run = benchsuite::transpose_hpl(cfg, single);
+        return RunOutcome{widen(run.output), run.timings};
+      });
+}
+
+WorkloadOutcome bench_jacobi(const std::vector<HPL::Device>& devices) {
+  return run_workload(
+      "jacobi", devices,
+      [](const std::vector<HPL::Device>& devs, Policy policy,
+         HPL::Device single) {
+        benchsuite::StencilConfig cfg;
+        cfg.width = 1024;
+        cfg.height = 1024;
+        cfg.iterations = 1;  // one sweep == one dispatch == one makespan
+        cfg.coexec_devices = devs;
+        cfg.coexec_policy = policy;
+        const auto run = benchsuite::jacobi_hpl(cfg, single);
+        return RunOutcome{widen(run.output), run.timings};
+      });
+}
+
+void write_json(const std::string& path,
+                const std::vector<HPL::Device>& devices,
+                const std::vector<WorkloadOutcome>& workloads) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "coexec: cannot open " << path << " for writing\n";
+    return;
+  }
+  os << "{\n  \"schema\": \"hplrepro-coexec-v1\",\n  \"devices\": [";
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    os << (d ? ", " : "") << "\"" << devices[d].name() << "\"";
+  }
+  os << "],\n  \"workloads\": [\n";
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const WorkloadOutcome& wl = workloads[w];
+    os << "    {\"name\": \"" << wl.name << "\",\n"
+       << "     \"single_device_seconds\": {";
+    for (std::size_t d = 0; d < wl.device_seconds.size(); ++d) {
+      os << (d ? ", " : "") << "\"" << wl.device_seconds[d].first
+         << "\": " << hplrepro::format_double(wl.device_seconds[d].second, 9);
+    }
+    os << "},\n     \"ideal_seconds\": "
+       << hplrepro::format_double(wl.ideal_s, 9) << ",\n"
+       << "     \"policies\": [\n";
+    for (std::size_t p = 0; p < wl.policies.size(); ++p) {
+      const PolicyOutcome& po = wl.policies[p];
+      os << "       {\"policy\": \"" << policy_name(po.policy)
+         << "\", \"makespan_seconds\": "
+         << hplrepro::format_double(po.makespan_s, 9)
+         << ", \"fraction_of_roofline\": "
+         << hplrepro::format_double(po.fraction, 9)
+         << ", \"chunks\": " << po.chunks << ", \"bit_identical\": "
+         << (po.bit_identical ? "true" : "false") << "}"
+         << (p + 1 < wl.policies.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (w + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\n[json results written to " << path << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  hplrepro::bench::print_header(
+      "Co-execution: fraction of summed per-device roofline",
+      "the EngineCL-style multi-device extension, §co-execution of "
+      "DESIGN.md");
+
+  const std::vector<HPL::Device> devices = {hplrepro::bench::hpl_tesla(),
+                                            hplrepro::bench::hpl_quadro()};
+  std::cout << "device set:";
+  for (const HPL::Device& d : devices) std::cout << " [" << d.name() << "]";
+  std::cout << "\n\n";
+
+  const std::vector<WorkloadOutcome> workloads = {
+      bench_reduction(devices), bench_transpose(devices),
+      bench_jacobi(devices)};
+
+  bool all_identical = true;
+  hplrepro::Table table(
+      {"workload", "policy", "makespan", "ideal", "fraction", "chunks",
+       "bit-identical"});
+  for (const WorkloadOutcome& wl : workloads) {
+    for (const PolicyOutcome& po : wl.policies) {
+      table.add_row({wl.name, policy_name(po.policy),
+                     fmt(po.makespan_s * 1e3) + " ms",
+                     fmt(wl.ideal_s * 1e3) + " ms", fmt(po.fraction, 3),
+                     std::to_string(po.chunks),
+                     po.bit_identical ? "yes" : "NO"});
+      all_identical = all_identical && po.bit_identical;
+    }
+  }
+  table.print(std::cout);
+
+  // Greppable per-policy rows for CI.
+  std::cout << "\n";
+  for (const WorkloadOutcome& wl : workloads) {
+    for (const PolicyOutcome& po : wl.policies) {
+      std::cout << "ROOFLINE " << wl.name << " " << policy_name(po.policy)
+                << " " << fmt(po.fraction, 3) << "\n";
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, devices, workloads);
+
+  if (!all_identical) {
+    std::cerr << "\nFAIL: co-executed result differs from single-device\n";
+    return 1;
+  }
+  return 0;
+}

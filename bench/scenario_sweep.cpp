@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
 
   const scenario::SweepReport report = scenario::run_sweep(axes);
   const bool sabotage_caught = scenario::grader_catches_sabotage();
+  const std::vector<scenario::CoexecGrade> coexec =
+      scenario::run_coexec_axis();
 
   for (const auto& cell : report.cells) {
     if (cell.passed()) continue;
@@ -61,11 +63,23 @@ int main(int argc, char** argv) {
   for (const auto& failure : report.identity_failures) {
     std::cout << "FAIL identity: " << failure << "\n";
   }
+  std::size_t coexec_failed = 0;
+  for (const auto& grade : coexec) {
+    if (grade.passed()) continue;
+    ++coexec_failed;
+    for (const auto& failure : grade.failures) {
+      std::cout << "FAIL coexec " << grade.workload << "/" << grade.policy
+                << "/" << grade.device_count << "dev: " << failure << "\n";
+    }
+  }
 
   std::cout << "graded " << report.graded << " runs: " << report.passed
             << " passed, " << report.failed << " failed, " << report.skipped
             << " skipped, " << report.identity_failures.size()
             << " identity failures\n";
+  std::cout << "coexec axis: " << coexec.size() << " grades, "
+            << (coexec.size() - coexec_failed) << " passed, "
+            << coexec_failed << " failed\n";
   std::cout << "self-test (sabotaged boundary policy caught): "
             << (sabotage_caught ? "yes" : "NO") << "\n";
 
@@ -76,7 +90,7 @@ int main(int argc, char** argv) {
                 << " for writing\n";
       return 2;
     }
-    os << scenario::report_json(report, sabotage_caught ? 1 : 0);
+    os << scenario::report_json(report, sabotage_caught ? 1 : 0, &coexec);
     std::cout << "wrote " << json_path << "\n";
   }
 
@@ -89,5 +103,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << metrics_path << "\n";
   }
 
-  return report.ok() && sabotage_caught ? 0 : 1;
+  return report.ok() && sabotage_caught && coexec_failed == 0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "benchsuite/common.hpp"
+#include "coexec/coexec.hpp"
 #include "hpl/runtime.hpp"
 
 namespace hplrepro::benchsuite {
@@ -20,6 +21,11 @@ struct ReductionConfig {
   std::size_t local_size = 128;
   std::uint64_t seed = 0xADD5EEDull;
   int repeats = 1;  // kernel launches per run (idempotent)
+
+  /// When non-empty, the HPL run co-executes each eval across these
+  /// devices under `coexec_policy` (the `device` argument is ignored).
+  std::vector<HPL::Device> coexec_devices;
+  hplrepro::coexec::Policy coexec_policy = hplrepro::coexec::Policy::Static;
 
   std::size_t global_size() const { return groups * local_size; }
 };

@@ -48,10 +48,16 @@ ReductionRun reduction_hpl(const ReductionConfig& config, HPL::Device device) {
   const float* partial_host = nullptr;
   run.timings = time_hpl_section([&] {
     for (int r = 0; r < config.repeats; ++r) {
-      eval(reduce_sum)
-          .global(config.global_size())
-          .local(config.local_size)
-          .device(device)(in, partials, static_cast<std::uint32_t>(n));
+      auto ev = eval(reduce_sum);
+      ev.global(config.global_size()).local(config.local_size);
+      if (config.coexec_devices.empty()) {
+        ev.device(device);
+      } else {
+        // Split along the (only) dimension: partials maps one row per
+        // work-group, the grid-stride input stays a whole-array read.
+        ev.devices(config.coexec_devices).policy(config.coexec_policy);
+      }
+      ev(in, partials, static_cast<std::uint32_t>(n));
     }
     partial_host = partials.data();  // syncs the partials back to the host
   });

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "benchsuite/common.hpp"
+#include "coexec/coexec.hpp"
 #include "hpl/runtime.hpp"
 
 namespace hplrepro::benchsuite {
@@ -41,6 +42,13 @@ struct StencilConfig {
   int iterations = 4;  // Jacobi sweeps (blur/sobel run one pass)
   std::uint64_t seed = 0x57E2C115EEDull;
   int repeats = 1;  // relaunches per run for blur/sobel (idempotent)
+
+  /// When non-empty, the HPL run co-executes each eval across these
+  /// devices under `coexec_policy` (the `device` argument is ignored).
+  /// Stencils split along global dimension 1 — the image-row dimension —
+  /// with a one-row read halo.
+  std::vector<HPL::Device> coexec_devices;
+  hplrepro::coexec::Policy coexec_policy = hplrepro::coexec::Policy::Static;
 
   /// Local domain edge (both dimensions). The global domain is the image
   /// rounded up to tile multiples; kernels guard the ragged border.

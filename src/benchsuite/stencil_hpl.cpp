@@ -19,6 +19,22 @@ std::size_t round_up_tiles(std::size_t n) {
   return (n + kTile - 1) / kTile * kTile;
 }
 
+// Points an eval at one device or, when the config asks for it, at a
+// co-executed split along global dimension 1 (the image-row dimension —
+// out[y][x] writes one row band per chunk). The 3x3 neighbourhood needs a
+// one-row read halo; Wrap edges reach the opposite image border, so there
+// the reads stay whole-array instead.
+template <typename Ev>
+void stencil_target(Ev& ev, const StencilConfig& config, HPL::Device device) {
+  if (config.coexec_devices.empty()) {
+    ev.device(device);
+  } else {
+    ev.devices(config.coexec_devices).policy(config.coexec_policy)
+        .split_dim(1);
+    if (config.edge != EdgePolicy::Wrap) ev.halo(1);
+  }
+}
+
 // Emits the policy resolver into the kernel being captured: leaves the
 // resolved tap img[y][x] in `dest`, using sx/sy as caller-provided scratch.
 void sample_edge(Float& dest, Array<float, 2>& img, Int& sx, Int& sy,
@@ -143,10 +159,11 @@ StencilRun blur_hpl(const StencilConfig& config, HPL::Device device) {
   const float* result = nullptr;
   run.timings = time_hpl_section([&] {
     for (int r = 0; r < config.repeats; ++r) {
-      eval(blur_kernel)
-          .global(round_up_tiles(config.width), round_up_tiles(config.height))
-          .local(kTile, kTile)
-          .device(device)(out, in, weights, width, height, edge);
+      auto ev = eval(blur_kernel);
+      ev.global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile);
+      stencil_target(ev, config, device);
+      ev(out, in, weights, width, height, edge);
     }
     result = out.data();  // syncs the result back to the host
   });
@@ -169,10 +186,11 @@ StencilRun sobel_hpl(const StencilConfig& config, HPL::Device device) {
   const float* result = nullptr;
   run.timings = time_hpl_section([&] {
     for (int r = 0; r < config.repeats; ++r) {
-      eval(sobel_kernel)
-          .global(round_up_tiles(config.width), round_up_tiles(config.height))
-          .local(kTile, kTile)
-          .device(device)(out, in, width, height, edge);
+      auto ev = eval(sobel_kernel);
+      ev.global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile);
+      stencil_target(ev, config, device);
+      ev(out, in, width, height, edge);
     }
     result = out.data();
   });
@@ -197,10 +215,11 @@ StencilRun jacobi_hpl(const StencilConfig& config, HPL::Device device) {
   const float* result = nullptr;
   run.timings = time_hpl_section([&] {
     for (int it = 0; it < config.iterations; ++it) {
-      eval(jacobi_kernel)
-          .global(round_up_tiles(config.width), round_up_tiles(config.height))
-          .local(kTile, kTile)
-          .device(device)(*dst, *src, width, height, edge);
+      auto ev = eval(jacobi_kernel);
+      ev.global(round_up_tiles(config.width), round_up_tiles(config.height))
+          .local(kTile, kTile);
+      stencil_target(ev, config, device);
+      ev(*dst, *src, width, height, edge);
       std::swap(src, dst);
     }
     result = src->data();  // after the swap, src holds the latest sweep

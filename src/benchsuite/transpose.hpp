@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "benchsuite/common.hpp"
+#include "coexec/coexec.hpp"
 #include "hpl/runtime.hpp"
 
 namespace hplrepro::benchsuite {
@@ -20,6 +21,11 @@ struct TransposeConfig {
   std::size_t cols = 512;
   std::uint64_t seed = 0x7A05E5EEDull;
   int repeats = 1;  // kernel launches per run (idempotent)
+
+  /// When non-empty, the HPL run co-executes each eval across these
+  /// devices under `coexec_policy` (the `device` argument is ignored).
+  std::vector<HPL::Device> coexec_devices;
+  hplrepro::coexec::Policy coexec_policy = hplrepro::coexec::Policy::Static;
 
   static constexpr std::size_t kTile = 16;  // fixed tile edge
 };

@@ -34,10 +34,16 @@ TransposeRun transpose_hpl(const TransposeConfig& config, HPL::Device device) {
   const float* result = nullptr;
   run.timings = time_hpl_section([&] {
     for (int r = 0; r < config.repeats; ++r) {
-      eval(transpose_tiled)
-          .global(cols, rows)
-          .local(kTile, kTile)
-          .device(device)(out, in);
+      auto ev = eval(transpose_tiled);
+      ev.global(cols, rows).local(kTile, kTile);
+      if (config.coexec_devices.empty()) {
+        ev.device(device);
+      } else {
+        // Split along dimension 0: each chunk writes a contiguous band of
+        // out rows while reading a column stripe of in (whole-array read).
+        ev.devices(config.coexec_devices).policy(config.coexec_policy);
+      }
+      ev(out, in);
     }
     result = out.data();  // syncs the result back to the host
   });

@@ -37,21 +37,62 @@ std::uint64_t work_item_fuel() {
   return g_work_item_fuel.load(std::memory_order_relaxed);
 }
 
+namespace {
+
+std::vector<std::size_t> divisors_up_to(std::size_t n, std::size_t cap) {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 1; d <= n && d <= cap; ++d) {
+    if (n % d == 0) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
 NDRange choose_local_range(const NDRange& global, std::size_t max_group) {
   NDRange local;
   local.dims = global.dims;
-  std::size_t budget = max_group;
+  // Enumerate divisor combinations and keep the one that (a) maximizes the
+  // smallest per-dimension extent, then (b) maximizes total group size,
+  // then (c) minimizes the max/min spread. Greedy largest-first factoring
+  // would hand all 256 items to dimension 0 (256x1 strips for a 512x512
+  // global); balanced divisors keep groups square-ish, which matters once
+  // co-execution chunking shrinks the split dimension.
+  std::vector<std::size_t> divs[3];
   for (int d = 0; d < global.dims; ++d) {
-    std::size_t pick = 1;
-    for (std::size_t candidate = budget; candidate >= 1; --candidate) {
-      if (global.sizes[d] % candidate == 0) {
-        pick = candidate;
-        break;
+    divs[d] = divisors_up_to(global.sizes[d], max_group);
+  }
+  for (int d = global.dims; d < 3; ++d) divs[d] = {1};
+
+  std::size_t best[3] = {1, 1, 1};
+  std::size_t best_min = 0, best_total = 0, best_spread = ~std::size_t{0};
+  for (std::size_t a : divs[0]) {
+    for (std::size_t b : divs[1]) {
+      if (a * b > max_group) break;  // divisors ascend
+      for (std::size_t c : divs[2]) {
+        const std::size_t total = a * b * c;
+        if (total > max_group) break;
+        std::size_t lo = a, hi = a;
+        if (global.dims > 1) { lo = std::min(lo, b); hi = std::max(hi, b); }
+        if (global.dims > 2) { lo = std::min(lo, c); hi = std::max(hi, c); }
+        const std::size_t spread = hi - lo;
+        const bool better =
+            lo > best_min ||
+            (lo == best_min &&
+             (total > best_total ||
+              (total == best_total && spread < best_spread)));
+        if (better) {
+          best[0] = a;
+          best[1] = b;
+          best[2] = c;
+          best_min = lo;
+          best_total = total;
+          best_spread = spread;
+        }
       }
     }
-    local.sizes[d] = pick;
-    budget = std::max<std::size_t>(1, budget / pick);
   }
+  for (int d = 0; d < 3; ++d) local.sizes[d] = best[d];
   return local;
 }
 
@@ -263,19 +304,37 @@ LaunchResult execute_ndrange(const clc::Module& module,
                              const NDRange& global, const NDRange& local,
                              const DeviceSpec& device,
                              hplrepro::ThreadPool& pool,
-                             std::uint64_t extra_local_bytes) {
+                             std::uint64_t extra_local_bytes,
+                             const LaunchSlice* slice) {
   hplrepro::Stopwatch wall;
   trace::Span span(kernel.name.c_str(), "vm");
 
   validate_launch(kernel, global, local, device, extra_local_bytes);
   LaunchInfo launch;
   launch.work_dim = global.dims;
+  // The LaunchInfo always describes the FULL launch — work-items in a
+  // sliced launch must see the same get_global_size/get_num_groups as the
+  // unsplit launch. Only the iteration grid below is narrowed.
   GroupGrid grid{};
   for (int d = 0; d < 3; ++d) {
     launch.global_size[d] = global.sizes[d];
     launch.local_size[d] = local.sizes[d];
     launch.num_groups[d] = global.sizes[d] / local.sizes[d];
     grid.counts[d] = launch.num_groups[d];
+  }
+
+  std::size_t group_offset[3] = {0, 0, 0};
+  if (slice != nullptr) {
+    if (slice->dim < 0 || slice->dim >= global.dims) {
+      throw InvalidArgument("launch slice dimension out of range");
+    }
+    if (slice->group_count == 0 ||
+        slice->group_begin + slice->group_count >
+            launch.num_groups[slice->dim]) {
+      throw InvalidArgument("launch slice exceeds the group grid");
+    }
+    grid.counts[slice->dim] = slice->group_count;
+    group_offset[slice->dim] = slice->group_begin;
   }
 
   const std::size_t total_groups = grid.total();
@@ -294,9 +353,12 @@ LaunchResult execute_ndrange(const clc::Module& module,
                                  device, extra_local_bytes, fuel);
           ExecStats chunk_stats;
           for (std::size_t g = begin; g < end; ++g) {
-            const std::size_t gx = g % grid.counts[0];
-            const std::size_t gy = (g / grid.counts[0]) % grid.counts[1];
-            const std::size_t gz = g / (grid.counts[0] * grid.counts[1]);
+            const std::size_t gx =
+                g % grid.counts[0] + group_offset[0];
+            const std::size_t gy =
+                (g / grid.counts[0]) % grid.counts[1] + group_offset[1];
+            const std::size_t gz =
+                g / (grid.counts[0] * grid.counts[1]) + group_offset[2];
             runner.run_group(gx, gy, gz, chunk_stats);
           }
           std::lock_guard lock(stats_mutex);

@@ -34,9 +34,23 @@ struct NDRange {
 };
 
 /// Picks a local range whose sizes divide `global` evenly; used when the
-/// client does not specify one (OpenCL's NULL local_work_size).
+/// client does not specify one (OpenCL's NULL local_work_size). Divisors
+/// are chosen to be balanced across dimensions (maximize the smallest
+/// per-dimension extent under the group budget, then total group size)
+/// rather than greedily factoring dimension 0 first, which degenerates to
+/// 256x1 strips for square 2-D globals.
 NDRange choose_local_range(const NDRange& global,
                            std::size_t max_group = 256);
+
+/// A contiguous run of work-groups along one NDRange dimension. Used by
+/// the co-execution scheduler to launch a slice of a kernel's group grid
+/// on one device while keeping the work-items' view of the launch (global
+/// sizes, group counts) identical to the unsplit launch.
+struct LaunchSlice {
+  int dim = 0;                   // dimension being partitioned
+  std::size_t group_begin = 0;   // first group index along `dim`
+  std::size_t group_count = 0;   // number of groups along `dim`
+};
 
 /// Per-work-item dynamic instruction budget between barriers. Kernels that
 /// exceed it trap (guards the host against runaway device loops). The
@@ -64,7 +78,11 @@ void validate_launch(const clc::CompiledFunction& kernel,
 /// indices — including Local-space pointers into the per-group arena for
 /// dynamically sized __local arguments); `buffers` is the buffer table
 /// those pointers index. `extra_local_bytes` extends every group's local
-/// arena beyond the kernel's statically declared __local arrays.
+/// arena beyond the kernel's statically declared __local arrays. When
+/// `slice` is non-null only that run of groups executes, but work-items
+/// still observe the full launch geometry (get_global_size /
+/// get_num_groups return the unsplit values), so grid-stride kernels
+/// remain bit-identical under co-execution splits.
 LaunchResult execute_ndrange(const clc::Module& module,
                              const clc::CompiledFunction& kernel,
                              std::span<const clc::Value> args,
@@ -72,7 +90,8 @@ LaunchResult execute_ndrange(const clc::Module& module,
                              const NDRange& global, const NDRange& local,
                              const DeviceSpec& device,
                              hplrepro::ThreadPool& pool,
-                             std::uint64_t extra_local_bytes = 0);
+                             std::uint64_t extra_local_bytes = 0,
+                             const LaunchSlice* slice = nullptr);
 
 }  // namespace hplrepro::clsim
 

@@ -581,10 +581,42 @@ Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, void* dst,
   return submit(std::move(cmd));
 }
 
+Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
+                                        std::size_t bytes,
+                                        std::size_t src_offset,
+                                        std::size_t dst_offset,
+                                        std::vector<Event> wait_list) {
+  if (src_offset + bytes > src.size()) {
+    throw RuntimeError("copy_buffer source out of range");
+  }
+  if (dst_offset + bytes > dst.size()) {
+    throw RuntimeError("copy_buffer destination out of range");
+  }
+  if (src.storage_ == dst.storage_ &&
+      src_offset < dst_offset + bytes && dst_offset < src_offset + bytes) {
+    throw RuntimeError("copy_buffer regions overlap");
+  }
+  Command cmd;
+  cmd.label = "copy_buffer " + std::to_string(bytes) + "B";
+  cmd.cat = "transfer";
+  cmd.wait_list = std::move(wait_list);
+  cmd.run = [src_storage = src.storage_, dst_storage = dst.storage_, bytes,
+             src_offset, dst_offset,
+             spec = &device_.spec()](Event::State& st) {
+    hplrepro::Stopwatch wall;
+    std::memcpy(dst_storage->data.get() + dst_offset,
+                src_storage->data.get() + src_offset, bytes);
+    st.sim_seconds = simulate_transfer_time(bytes, *spec);
+    st.wall_seconds = wall.seconds();
+  };
+  return submit(std::move(cmd));
+}
+
 Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
                                            const NDRange& global,
                                            std::optional<NDRange> local,
-                                           std::vector<Event> wait_list) {
+                                           std::vector<Event> wait_list,
+                                           std::optional<LaunchSlice> slice) {
   // Assemble the argument vector and buffer table. This snapshots the
   // kernel's arguments (retaining buffer storage) so the caller may rebind
   // them for the next launch while this one is still pending.
@@ -629,6 +661,17 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
   // itself (and its traps) is deferred to the worker.
   validate_launch(*kernel.fn_, global, local_range, device_.spec(),
                   extra_local_bytes);
+  if (slice.has_value()) {
+    if (slice->dim < 0 || slice->dim >= global.dims) {
+      throw RuntimeError("launch slice dimension out of range");
+    }
+    const std::size_t groups =
+        global.sizes[slice->dim] / local_range.sizes[slice->dim];
+    if (slice->group_count == 0 ||
+        slice->group_begin + slice->group_count > groups) {
+      throw RuntimeError("launch slice exceeds the group grid");
+    }
+  }
 
   Command cmd;
   cmd.label = kernel.name();
@@ -638,7 +681,7 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
   cmd.run = [module = kernel.module_, fn = kernel.fn_,
              args = std::move(args), retained = std::move(retained), global,
              local_range, spec = &device_.spec(),
-             extra_local_bytes](Event::State& st) {
+             extra_local_bytes, slice](Event::State& st) {
     std::vector<std::span<std::byte>> buffers;
     buffers.reserve(retained.size());
     for (const auto& storage : retained) {
@@ -646,7 +689,8 @@ Event CommandQueue::enqueue_ndrange_kernel(Kernel& kernel,
     }
     LaunchResult launch = execute_ndrange(
         *module, *fn, args, std::span<std::span<std::byte>>(buffers), global,
-        local_range, *spec, Platform::get().pool(), extra_local_bytes);
+        local_range, *spec, Platform::get().pool(), extra_local_bytes,
+        slice.has_value() ? &*slice : nullptr);
     st.sim_seconds = launch.timing.total_s;
     st.wall_seconds = launch.wall_seconds;
     st.stats = launch.stats;

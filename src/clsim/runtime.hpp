@@ -353,13 +353,26 @@ public:
                             std::size_t bytes, std::size_t offset = 0,
                             std::vector<Event> wait_list = {});
 
+  /// Device-to-device (or same-device) copy, the clEnqueueCopyBuffer
+  /// analogue. Runs on THIS queue — by convention the source device's —
+  /// and is billed one transfer on its simulated interconnect. The
+  /// co-execution merge step uses it to reconcile disjoint written
+  /// regions without a host round-trip.
+  Event enqueue_copy_buffer(const Buffer& src, Buffer& dst,
+                            std::size_t bytes, std::size_t src_offset = 0,
+                            std::size_t dst_offset = 0,
+                            std::vector<Event> wait_list = {});
+
   /// Launches a kernel over `global` work-items. Passing no `local` lets
   /// the runtime pick one (OpenCL's NULL local size). Arguments are
   /// snapshotted at enqueue time, so the kernel object may be re-armed for
-  /// the next launch immediately.
+  /// the next launch immediately. A `slice` narrows execution to a run of
+  /// work-groups along one dimension (co-execution splits); work-items
+  /// still observe the full launch geometry.
   Event enqueue_ndrange_kernel(Kernel& kernel, const NDRange& global,
                                std::optional<NDRange> local = std::nullopt,
-                               std::vector<Event> wait_list = {});
+                               std::vector<Event> wait_list = {},
+                               std::optional<LaunchSlice> slice = std::nullopt);
 
   /// Blocks until all enqueued commands (and their completion callbacks)
   /// have finished, then rethrows the first deferred execution error, if

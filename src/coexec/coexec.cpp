@@ -1,0 +1,194 @@
+#include "coexec/coexec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <optional>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+
+namespace hplrepro::coexec {
+
+namespace {
+
+std::mutex g_last_mu;
+DispatchResult g_last;
+
+void record_metrics(const DispatchResult& result) {
+  if (!metrics::enabled()) return;
+  static auto& evals = metrics::counter("coexec.evals");
+  static auto& chunks = metrics::counter("coexec.chunks");
+  static auto& chunks_static = metrics::counter("coexec.chunks.static");
+  static auto& chunks_dynamic = metrics::counter("coexec.chunks.dynamic");
+  static auto& chunks_guided = metrics::counter("coexec.chunks.guided");
+  evals.add_always(1);
+  chunks.add_always(result.chunks.size());
+  switch (result.policy) {
+    case Policy::Static:
+      chunks_static.add_always(result.chunks.size());
+      break;
+    case Policy::Dynamic:
+      chunks_dynamic.add_always(result.chunks.size());
+      break;
+    case Policy::Guided:
+      chunks_guided.add_always(result.chunks.size());
+      break;
+  }
+}
+
+}  // namespace
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::Static:
+      return "static";
+    case Policy::Dynamic:
+      return "dynamic";
+    case Policy::Guided:
+      return "guided";
+  }
+  return "?";
+}
+
+double DispatchResult::makespan() const {
+  double best = 0;
+  for (const double s : slot_seconds) best = std::max(best, s);
+  return best;
+}
+
+DispatchResult dispatch(Policy policy, std::size_t total, int n_slots,
+                        const LaunchFn& launch,
+                        const std::vector<double>& weights) {
+  if (total == 0) {
+    throw InvalidArgument("coexec: nothing to distribute (total == 0)");
+  }
+  if (n_slots < 1) {
+    throw InvalidArgument("coexec: need at least one slot");
+  }
+  const auto n = static_cast<std::size_t>(n_slots);
+  if (!weights.empty() && weights.size() != n) {
+    throw InvalidArgument("coexec: weight vector size != slot count");
+  }
+  std::vector<double> w(n, 1.0);
+  if (!weights.empty()) {
+    for (const double v : weights) {
+      if (!(v > 0)) {
+        throw InvalidArgument("coexec: slot weights must be positive");
+      }
+    }
+    w = weights;
+  }
+  double w_sum = 0;
+  for (const double v : w) w_sum += v;
+
+  DispatchResult result;
+  result.policy = policy;
+  result.total = total;
+  result.slot_seconds.assign(n, 0.0);
+
+  if (policy == Policy::Static || n == 1) {
+    // One contiguous chunk per slot; launch all, then resolve all (the
+    // queues run concurrently either way).
+    std::vector<std::function<double()>> resolvers;
+    std::vector<int> slots;
+    const std::size_t base = total / n;
+    const std::size_t rem = total % n;
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t count = base + (s < rem ? 1 : 0);
+      if (count == 0) continue;
+      Chunk chunk{static_cast<int>(s), cursor, count};
+      cursor += count;
+      result.chunks.push_back(chunk);
+      resolvers.push_back(launch(chunk));
+      slots.push_back(chunk.slot);
+    }
+    for (std::size_t i = 0; i < resolvers.size(); ++i) {
+      result.slot_seconds[static_cast<std::size_t>(slots[i])] +=
+          resolvers[i]();
+    }
+  } else {
+    // Dynamic / Guided: keep one chunk in flight per slot; each next
+    // chunk goes to the slot whose simulated clock frees up first.
+    const std::size_t dyn_chunk =
+        std::max<std::size_t>(1, total / (16 * n));
+    std::vector<std::function<double()>> pending(n);
+    std::vector<std::optional<double>> pending_dur(n);
+    std::vector<char> in_flight(n, 0);
+    std::size_t next = 0;
+
+    auto issue = [&](std::size_t s) {
+      const std::size_t remaining = total - next;
+      std::size_t count;
+      if (policy == Policy::Dynamic) {
+        count = dyn_chunk;
+      } else {
+        // HGuided: a slot's chunk is proportional to its share of the
+        // device set's computing power, halved to leave a tail. The
+        // weighted floor (an eighth of the slot's proportional share of
+        // the whole range) stops the tail from degenerating into
+        // one-group chunks whose per-launch overhead swamps the compute.
+        const double share_w = w[s] / w_sum;
+        const auto floor_s = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(total) *
+                                        share_w / 8.0));
+        const double share = static_cast<double>(remaining) * share_w / 2.0;
+        count = std::max(
+            floor_s, static_cast<std::size_t>(std::ceil(share)));
+      }
+      count = std::min(count, remaining);
+      Chunk chunk{static_cast<int>(s), next, count};
+      next += count;
+      result.chunks.push_back(chunk);
+      pending[s] = launch(chunk);
+      pending_dur[s].reset();
+      in_flight[s] = 1;
+    };
+
+    for (std::size_t s = 0; s < n && next < total; ++s) issue(s);
+
+    while (next < total) {
+      // Finish-first slot on the SIMULATED timeline. Resolving a pending
+      // duration blocks the host until that chunk completes, but the
+      // simulated clocks — and therefore the chunk plan — are unaffected
+      // by how long that takes in wall time.
+      std::size_t best = 0;
+      double best_t = 0;
+      bool found = false;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!in_flight[s]) continue;
+        if (!pending_dur[s].has_value()) pending_dur[s] = pending[s]();
+        const double t = result.slot_seconds[s] + *pending_dur[s];
+        if (!found || t < best_t) {  // strict <: lower slot wins ties
+          best = s;
+          best_t = t;
+          found = true;
+        }
+      }
+      result.slot_seconds[best] += *pending_dur[best];
+      in_flight[best] = 0;
+      issue(best);
+    }
+
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!in_flight[s]) continue;
+      if (!pending_dur[s].has_value()) pending_dur[s] = pending[s]();
+      result.slot_seconds[s] += *pending_dur[s];
+    }
+  }
+
+  record_metrics(result);
+  {
+    std::lock_guard<std::mutex> lock(g_last_mu);
+    g_last = result;
+  }
+  return result;
+}
+
+DispatchResult last_dispatch() {
+  std::lock_guard<std::mutex> lock(g_last_mu);
+  return g_last;
+}
+
+}  // namespace hplrepro::coexec

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "clsim/runtime.hpp"
+#include "hpl/ranges.hpp"
 #include "hpl/types.hpp"
 
 namespace HPL {
@@ -32,24 +33,38 @@ struct ArrayImpl {
   // --- Host copy ---
   std::vector<std::byte> owned_storage;  // used when the user gave no pointer
   void* host_ptr = nullptr;
-  bool host_valid = true;
+  /// Byte ranges of the host copy that are current. Region-granular so a
+  /// co-executed kernel can leave disjoint written ranges on different
+  /// devices without any copy being wholly valid or wholly stale.
+  RangeSet host_valid;
 
   // --- Lazy synchronization (async command pipeline) ---
   // Commands that touch `host_ptr` run on queue worker threads, so host
   // access must be ordered against them:
-  //  * `host_ready` is the in-flight (or completed) d2h read that makes the
-  //    host copy current; host reads wait on it.
+  //  * `host_pending` are in-flight d2h reads filling (sub-ranges of) the
+  //    host copy; host reads wait them all out. Possibly on several
+  //    queues at once when a gather pulls disjoint regions from
+  //    different devices.
   //  * `host_readers` are in-flight h2d uploads still reading `host_ptr`;
   //    host writes — and any later d2h — must wait them out.
-  // A default Event is already complete, so the quiescent state waits on
-  // nothing.
-  hplrepro::clsim::Event host_ready;
+  std::vector<hplrepro::clsim::Event> host_pending;
   std::vector<hplrepro::clsim::Event> host_readers;
 
   // --- Device copies (key: identity of the clsim device spec) ---
   struct DeviceCopy {
     std::shared_ptr<hplrepro::clsim::Buffer> buffer;
-    bool valid = false;
+    /// Byte ranges of the buffer that are current.
+    RangeSet valid;
+    /// In-flight device-to-device copies writing this buffer. They run on
+    /// the SOURCE device's queue, so this buffer's own in-order queue does
+    /// not serialize them; the next command touching the buffer (on any
+    /// queue) must carry them in its wait-list.
+    std::vector<hplrepro::clsim::Event> pending_d2d;
+    /// Most recent command enqueued on the buffer's own queue that touches
+    /// it (launch, h2d, d2h, outgoing d2d). That queue is in-order, so an
+    /// incoming d2d from a peer queue only needs to wait this one event to
+    /// be ordered after every prior access.
+    hplrepro::clsim::Event last_event;
   };
   std::unordered_map<const hplrepro::clsim::DeviceSpec*, DeviceCopy> copies;
 

@@ -1,0 +1,137 @@
+#ifndef HPLREPRO_HPL_RANGES_HPP
+#define HPLREPRO_HPL_RANGES_HPP
+
+/// \file ranges.hpp
+/// Byte-range validity sets for the region-granular coherence protocol.
+///
+/// A RangeSet is a sorted list of disjoint half-open byte intervals
+/// [begin, end). ArrayImpl tracks one per copy (host and each device), so
+/// two devices can hold *disjoint* written regions of the same array at
+/// once — the co-execution scheduler depends on this — and the runtime
+/// transfers only the sub-ranges a consumer is actually missing.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace HPL {
+namespace detail {
+
+struct ByteRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // half-open
+
+  bool empty() const { return end <= begin; }
+  std::size_t size() const { return empty() ? 0 : end - begin; }
+
+  bool operator==(const ByteRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+class RangeSet {
+public:
+  RangeSet() = default;
+
+  static RangeSet whole(std::size_t bytes) {
+    RangeSet set;
+    set.add({0, bytes});
+    return set;
+  }
+
+  bool empty() const { return runs_.empty(); }
+  void clear() { runs_.clear(); }
+  const std::vector<ByteRange>& runs() const { return runs_; }
+
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const ByteRange& r : runs_) n += r.size();
+    return n;
+  }
+
+  /// Adds [r.begin, r.end), coalescing with overlapping/adjacent runs.
+  void add(ByteRange r) {
+    if (r.empty()) return;
+    std::vector<ByteRange> out;
+    out.reserve(runs_.size() + 1);
+    for (const ByteRange& run : runs_) {
+      if (run.end < r.begin || run.begin > r.end) {
+        out.push_back(run);  // disjoint and non-adjacent
+      } else {
+        r.begin = std::min(r.begin, run.begin);
+        r.end = std::max(r.end, run.end);
+      }
+    }
+    out.push_back(r);
+    std::sort(out.begin(), out.end(),
+              [](const ByteRange& a, const ByteRange& b) {
+                return a.begin < b.begin;
+              });
+    runs_ = std::move(out);
+  }
+
+  /// Removes [r.begin, r.end) from the set (runs may be split).
+  void subtract(const ByteRange& r) {
+    if (r.empty()) return;
+    std::vector<ByteRange> out;
+    out.reserve(runs_.size() + 1);
+    for (const ByteRange& run : runs_) {
+      if (run.end <= r.begin || run.begin >= r.end) {
+        out.push_back(run);
+        continue;
+      }
+      if (run.begin < r.begin) out.push_back({run.begin, r.begin});
+      if (run.end > r.end) out.push_back({r.end, run.end});
+    }
+    runs_ = std::move(out);
+  }
+
+  /// True iff every byte of `r` is covered.
+  bool covers(const ByteRange& r) const {
+    if (r.empty()) return true;
+    for (const ByteRange& run : runs_) {
+      if (run.begin <= r.begin && r.end <= run.end) return true;
+    }
+    return false;
+  }
+
+  bool intersects(const ByteRange& r) const {
+    for (const ByteRange& run : runs_) {
+      if (run.begin < r.end && r.begin < run.end) return true;
+    }
+    return false;
+  }
+
+  /// The covered pieces of `r`, in ascending order.
+  std::vector<ByteRange> intersect(const ByteRange& r) const {
+    std::vector<ByteRange> out;
+    for (const ByteRange& run : runs_) {
+      const std::size_t b = std::max(run.begin, r.begin);
+      const std::size_t e = std::min(run.end, r.end);
+      if (b < e) out.push_back({b, e});
+    }
+    return out;
+  }
+
+  /// The gaps of `r` not covered by the set, in ascending order.
+  std::vector<ByteRange> missing(const ByteRange& r) const {
+    std::vector<ByteRange> out;
+    std::size_t cursor = r.begin;
+    for (const ByteRange& run : runs_) {
+      if (run.end <= cursor) continue;
+      if (run.begin >= r.end) break;
+      if (run.begin > cursor) out.push_back({cursor, run.begin});
+      cursor = std::max(cursor, run.end);
+    }
+    if (cursor < r.end) out.push_back({cursor, r.end});
+    return out;
+  }
+
+private:
+  std::vector<ByteRange> runs_;  // sorted, disjoint, non-adjacent
+};
+
+}  // namespace detail
+}  // namespace HPL
+
+#endif  // HPLREPRO_HPL_RANGES_HPP

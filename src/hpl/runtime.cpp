@@ -1,5 +1,6 @@
 #include "hpl/runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "hpl/trace.hpp"
@@ -149,18 +150,24 @@ DeviceEntry& Runtime::entry_at(int index) {
 }
 
 CachedKernel* Runtime::find_kernel(const void* fn) {
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
   auto it = kernel_cache_.find(fn);
   return it == kernel_cache_.end() ? nullptr : &it->second;
 }
 
 CachedKernel& Runtime::insert_kernel(const void* fn, CachedKernel kernel) {
-  return kernel_cache_[fn] = std::move(kernel);
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
+  // First insert wins: two threads may have captured the same kernel
+  // concurrently, and the loser's copy must not destroy the CachedKernel
+  // a concurrent eval is already building against.
+  return kernel_cache_.try_emplace(fn, std::move(kernel)).first->second;
 }
 
 void Runtime::clear_kernel_cache() {
   // In-flight launches retain what they captured, but quiescing first keeps
   // "purge then measure cold behaviour" deterministic.
   finish_all();
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
   kernel_cache_.clear();
 }
 
@@ -170,7 +177,11 @@ void Runtime::set_build_options(std::string options) {
   if (!clc::parse_build_options(options, parsed, error)) {
     throw hplrepro::InvalidArgument("HPL: " + error);
   }
-  build_options_ = std::move(options);
+  {
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    if (options == build_options_) return;  // unchanged: keep the cache
+    build_options_ = std::move(options);
+  }
   // Cached binaries were built with the old options; force rebuilds.
   clear_kernel_cache();
 }
@@ -194,6 +205,10 @@ void Runtime::reset_profile_counters() {
 
 BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev,
                                 bool* cache_hit) {
+  // Held across lookup AND build so a concurrent eval of the same kernel
+  // on the same device sees either "not built yet" (and serializes behind
+  // the build) or the finished binary — never a half-constructed entry.
+  std::lock_guard<std::mutex> cache_lock(kernel_mutex_);
   const auto* key = &dev.device.spec();
   auto it = cached.built.find(key);
   if (cache_hit != nullptr) *cache_hit = it != cached.built.end();
@@ -221,10 +236,37 @@ BuiltKernel& Runtime::build_for(CachedKernel& cached, DeviceEntry& dev,
 }
 
 std::string Runtime::next_kernel_name() {
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
   return "hpl_kernel_" + std::to_string(next_kernel_id_++);
 }
 
 // --- Coherence ------------------------------------------------------------------
+//
+// Region-granular protocol: every copy (host and per-device) carries a
+// RangeSet of currently-valid byte ranges. Writes invalidate only the
+// written range on sibling copies, so co-executed chunks on different
+// devices accumulate disjoint valid regions; reads transfer only the
+// missing sub-ranges, preferring a direct device-to-device copy over a
+// host round-trip.
+
+namespace {
+
+void append_incomplete(std::vector<clsim::Event>& deps,
+                       const std::vector<clsim::Event>& events) {
+  for (const auto& e : events) {
+    if (!e.complete()) deps.push_back(e);
+  }
+}
+
+void prune_complete(std::vector<clsim::Event>& events) {
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const clsim::Event& e) {
+                                return e.complete();
+                              }),
+               events.end());
+}
+
+}  // namespace
 
 ArrayImpl::DeviceCopy& Runtime::device_copy(ArrayImpl& impl,
                                             DeviceEntry& dev) {
@@ -234,25 +276,54 @@ ArrayImpl::DeviceCopy& Runtime::device_copy(ArrayImpl& impl,
       it->second.buffer->size() == impl.bytes()) {
     return it->second;
   }
+  if (it != impl.copies.end() && !it->second.valid.empty()) {
+    // The old, size-mismatched buffer may hold the only valid copy of
+    // some region (the array was resized while its data lived on the
+    // device). Rescue those bytes to the host before dropping it —
+    // clamped to the new extent, since bytes past it have no host
+    // location anymore.
+    ArrayImpl::DeviceCopy& old = it->second;
+    const std::size_t limit =
+        std::min(old.buffer->size(), impl.bytes());
+    for (const ByteRange& run : old.valid.runs()) {
+      const ByteRange clamped{run.begin, std::min(run.end, limit)};
+      if (clamped.empty()) continue;
+      for (const ByteRange& piece : impl.host_valid.missing(clamped)) {
+        std::vector<clsim::Event> deps = impl.host_readers;
+        append_incomplete(deps, impl.host_pending);
+        append_incomplete(deps, old.pending_d2d);
+        clsim::Event event = dev.queue->enqueue_read_buffer(
+            *old.buffer, impl.host_bytes() + piece.begin, piece.size(),
+            /*offset=*/piece.begin, std::move(deps));
+        event.wait();  // blocking: the buffer dies when we recreate it
+        const std::size_t nbytes = piece.size();
+        with_prof([&](ProfileSnapshot& p) {
+          p.transfer_sim_seconds += event.sim_seconds();
+          p.sim_wall_seconds += event.wall_seconds();
+          p.bytes_to_host += nbytes;
+        });
+        profiler_record_transfer(dev.device.name(), /*to_device=*/false,
+                                 nbytes, event.sim_seconds());
+        impl.host_valid.add(piece);
+      }
+    }
+  }
   ArrayImpl::DeviceCopy copy;
   copy.buffer = std::make_shared<clsim::Buffer>(*dev.context, impl.bytes());
-  copy.valid = false;
   return impl.copies[key] = std::move(copy);
 }
 
-void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
-  ArrayImpl::DeviceCopy& copy = device_copy(impl, dev);
-  if (copy.valid) return;
-  // If the current bits live on another device, chain d2h -> h2d through
-  // events instead of blocking the host: the upload's wait-list carries the
-  // dependency, so the host thread keeps going.
-  if (!impl.host_valid) make_host_current_async(impl);
+void Runtime::upload_range(ArrayImpl& impl, DeviceEntry& dev,
+                           ArrayImpl::DeviceCopy& copy, ByteRange range) {
   hplrepro::trace::Span span("transfer:h2d", "hpl");
-  const std::size_t nbytes = impl.bytes();
+  const std::size_t nbytes = range.size();
   std::vector<clsim::Event> deps;
-  if (!impl.host_ready.complete()) deps.push_back(impl.host_ready);
+  append_incomplete(deps, impl.host_pending);  // d2h still filling host_ptr
+  append_incomplete(deps, copy.pending_d2d);   // peer copies still writing
+  copy.pending_d2d.clear();  // this upload now transitively orders them
   clsim::Event event = dev.queue->enqueue_write_buffer(
-      *copy.buffer, impl.host_ptr, nbytes, /*offset=*/0, std::move(deps));
+      *copy.buffer, impl.host_bytes() + range.begin, nbytes,
+      /*offset=*/range.begin, std::move(deps));
   span.arg("bytes", static_cast<std::uint64_t>(nbytes))
       .arg("device", dev.device.name());
   event.on_complete(
@@ -267,71 +338,192 @@ void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
       });
   TransferCapture::note(event);
   impl.host_readers.push_back(event);  // upload reads host_ptr in flight
-  copy.valid = true;
+  copy.valid.add(range);
+  copy.last_event = event;
 }
 
-void Runtime::mark_device_written(ArrayImpl& impl, DeviceEntry& dev) {
-  const auto* key = &dev.device.spec();
-  for (auto& [other, copy] : impl.copies) copy.valid = (other == key);
-  impl.host_valid = false;
-}
+void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev,
+                               ByteRange range) {
+  ArrayImpl::DeviceCopy& copy = device_copy(impl, dev);
+  if (copy.valid.covers(range)) return;
+  prune_complete(impl.host_readers);
 
-void Runtime::make_host_current_async(ArrayImpl& impl) {
-  if (impl.host_valid) return;
-  // Find any valid device copy and read it back through its owning queue.
-  for (int i = 0; i < device_count(); ++i) {
-    DeviceEntry& dev = entry_at(i);
-    auto it = impl.copies.find(&dev.device.spec());
-    if (it != impl.copies.end() && it->second.valid) {
-      hplrepro::trace::Span span("transfer:d2h", "hpl");
-      const std::size_t nbytes = impl.bytes();
-      // The read writes host_ptr: wait out uploads still reading it, and
-      // any earlier read still filling it.
-      std::vector<clsim::Event> deps = impl.host_readers;
-      if (!impl.host_ready.complete()) deps.push_back(impl.host_ready);
-      clsim::Event event = dev.queue->enqueue_read_buffer(
-          *it->second.buffer, impl.host_ptr, nbytes, /*offset=*/0,
-          std::move(deps));
+  RangeSet need;
+  for (const ByteRange& piece : copy.valid.missing(range)) need.add(piece);
+
+  // 1. Pieces the host already covers: direct sub-range h2d.
+  {
+    std::vector<ByteRange> from_host;
+    for (const ByteRange& piece : need.runs()) {
+      for (const ByteRange& sub : impl.host_valid.intersect(piece)) {
+        from_host.push_back(sub);
+      }
+    }
+    for (const ByteRange& sub : from_host) {
+      upload_range(impl, dev, copy, sub);
+      need.subtract(sub);
+    }
+  }
+
+  // 2. Pieces valid on a peer device: direct d2d on the peer's queue, no
+  //    host round-trip. The copy waits out the destination buffer's
+  //    in-order history (last_event) plus any pending cross-queue writes
+  //    on either side.
+  for (int i = 0; i < device_count() && !need.empty(); ++i) {
+    DeviceEntry& peer = entry_at(i);
+    if (&peer == &dev) continue;
+    auto it = impl.copies.find(&peer.device.spec());
+    if (it == impl.copies.end() || it->second.valid.empty()) continue;
+    ArrayImpl::DeviceCopy& src = it->second;
+    std::vector<ByteRange> from_peer;
+    for (const ByteRange& piece : need.runs()) {
+      for (const ByteRange& sub : src.valid.intersect(piece)) {
+        from_peer.push_back(sub);
+      }
+    }
+    for (const ByteRange& sub : from_peer) {
+      hplrepro::trace::Span span("transfer:d2d", "hpl");
+      const std::size_t nbytes = sub.size();
+      std::vector<clsim::Event> deps;
+      append_incomplete(deps, copy.pending_d2d);
+      copy.pending_d2d.clear();
+      if (!copy.last_event.complete()) deps.push_back(copy.last_event);
+      append_incomplete(deps, src.pending_d2d);
+      clsim::Event event = peer.queue->enqueue_copy_buffer(
+          *src.buffer, *copy.buffer, nbytes, /*src_offset=*/sub.begin,
+          /*dst_offset=*/sub.begin, std::move(deps));
       span.arg("bytes", static_cast<std::uint64_t>(nbytes))
-          .arg("device", dev.device.name());
+          .arg("from", peer.device.name())
+          .arg("to", dev.device.name());
       event.on_complete(
           [this, nbytes, name = dev.device.name()](const clsim::Event& e) {
             with_prof([&](ProfileSnapshot& p) {
               p.transfer_sim_seconds += e.sim_seconds();
               p.sim_wall_seconds += e.wall_seconds();
-              p.bytes_to_host += nbytes;
+              p.bytes_device_to_device += nbytes;
             });
-            profiler_record_transfer(name, /*to_device=*/false, nbytes,
-                                     e.sim_seconds());
+            profiler_record_copy(name, nbytes, e.sim_seconds());
           });
       TransferCapture::note(event);
-      impl.host_ready = event;
-      impl.host_readers.clear();
-      impl.host_valid = true;
-      return;
+      src.last_event = event;           // outgoing copy reads src in-order
+      copy.pending_d2d.push_back(event);  // cross-queue write into dst
+      copy.valid.add(sub);
+      need.subtract(sub);
     }
   }
-  // No valid copy anywhere: the array was never written; treat the host
-  // copy as the (zero-initialised) truth.
-  impl.host_valid = true;
+
+  // 3. Regions never written anywhere: the host's (zero-initialised)
+  //    storage is the truth; make it formally valid and upload.
+  for (const ByteRange& piece : need.runs()) {
+    make_host_current_async(impl, piece);
+    upload_range(impl, dev, copy, piece);
+  }
+}
+
+void Runtime::ensure_on_device(ArrayImpl& impl, DeviceEntry& dev) {
+  ensure_on_device(impl, dev, ByteRange{0, impl.bytes()});
+}
+
+void Runtime::mark_device_written(ArrayImpl& impl, DeviceEntry& dev,
+                                  ByteRange range) {
+  const auto* key = &dev.device.spec();
+  for (auto& [other, copy] : impl.copies) {
+    if (other == key) {
+      copy.valid.add(range);
+    } else {
+      copy.valid.subtract(range);
+    }
+  }
+  impl.host_valid.subtract(range);
+}
+
+void Runtime::mark_device_written(ArrayImpl& impl, DeviceEntry& dev) {
+  mark_device_written(impl, dev, ByteRange{0, impl.bytes()});
+}
+
+void Runtime::make_host_current_async(ArrayImpl& impl, ByteRange range) {
+  if (impl.host_valid.covers(range)) return;
+  prune_complete(impl.host_readers);
+  // Gather every missing piece from whichever device copies cover it.
+  // Pieces are disjoint, so reads enqueued on different queues may fill
+  // host_ptr concurrently without conflict.
+  for (const ByteRange& gap : impl.host_valid.missing(range)) {
+    RangeSet need;
+    need.add(gap);
+    for (int i = 0; i < device_count() && !need.empty(); ++i) {
+      DeviceEntry& dev = entry_at(i);
+      auto it = impl.copies.find(&dev.device.spec());
+      if (it == impl.copies.end() || it->second.valid.empty()) continue;
+      ArrayImpl::DeviceCopy& src = it->second;
+      std::vector<ByteRange> from_dev;
+      for (const ByteRange& piece : need.runs()) {
+        for (const ByteRange& sub : src.valid.intersect(piece)) {
+          from_dev.push_back(sub);
+        }
+      }
+      for (const ByteRange& sub : from_dev) {
+        hplrepro::trace::Span span("transfer:d2h", "hpl");
+        const std::size_t nbytes = sub.size();
+        // The read writes host_ptr: wait out uploads still reading it,
+        // earlier reads still filling it, and cross-queue writes to the
+        // source buffer.
+        std::vector<clsim::Event> deps = impl.host_readers;
+        append_incomplete(deps, impl.host_pending);
+        append_incomplete(deps, src.pending_d2d);
+        clsim::Event event = dev.queue->enqueue_read_buffer(
+            *src.buffer, impl.host_bytes() + sub.begin, nbytes,
+            /*offset=*/sub.begin, std::move(deps));
+        span.arg("bytes", static_cast<std::uint64_t>(nbytes))
+            .arg("device", dev.device.name());
+        event.on_complete(
+            [this, nbytes,
+             name = dev.device.name()](const clsim::Event& e) {
+              with_prof([&](ProfileSnapshot& p) {
+                p.transfer_sim_seconds += e.sim_seconds();
+                p.sim_wall_seconds += e.wall_seconds();
+                p.bytes_to_host += nbytes;
+              });
+              profiler_record_transfer(name, /*to_device=*/false, nbytes,
+                                       e.sim_seconds());
+            });
+        TransferCapture::note(event);
+        impl.host_pending.push_back(event);
+        src.last_event = event;
+        impl.host_valid.add(sub);
+        need.subtract(sub);
+      }
+    }
+    // Leftovers were never written anywhere: the host copy (typically
+    // zero-initialised library storage) is the truth.
+    for (const ByteRange& piece : need.runs()) {
+      impl.host_valid.add(piece);
+    }
+  }
+}
+
+void Runtime::make_host_current_async(ArrayImpl& impl) {
+  make_host_current_async(impl, ByteRange{0, impl.bytes()});
 }
 
 void Runtime::sync_to_host(ArrayImpl& impl) {
   make_host_current_async(impl);
   // The lazy synchronization point: the host blocks only here, when it
   // actually dereferences the data (or is about to overwrite it).
-  if (hplrepro::metrics::enabled() && !impl.host_ready.complete()) {
+  bool stalled = false;
+  hplrepro::Stopwatch watch;
+  for (auto& e : impl.host_pending) {
+    if (!e.complete()) stalled = true;
+    e.wait();
+  }
+  impl.host_pending.clear();
+  if (hplrepro::metrics::enabled() && stalled) {
     static auto& stalls = hplrepro::metrics::counter("hpl.sync.stalls");
     static auto& stall_ns =
         hplrepro::metrics::histogram("hpl.sync.stall_ns");
-    hplrepro::Stopwatch watch;
-    impl.host_ready.wait();
     stalls.add_always(1);
     stall_ns.record_always(
         static_cast<std::uint64_t>(watch.seconds() * 1e9));
-    return;
   }
-  impl.host_ready.wait();
 }
 
 // --- ArrayImpl helpers ------------------------------------------------------------
@@ -346,9 +538,11 @@ ArrayImpl::~ArrayImpl() {
     } catch (...) {
     }
   }
-  try {
-    host_ready.wait();
-  } catch (...) {
+  for (auto& e : host_pending) {
+    try {
+      e.wait();
+    } catch (...) {
+    }
   }
 }
 
@@ -361,6 +555,7 @@ ArrayImplPtr make_array_impl(const char* type_name, std::size_t elem_size,
   impl->flag = flag;
   impl->owned_storage.assign(impl->bytes(), std::byte{0});
   impl->host_ptr = impl->owned_storage.data();
+  impl->host_valid = RangeSet::whole(impl->bytes());
   return impl;
 }
 
@@ -374,6 +569,7 @@ ArrayImplPtr make_array_impl_wrapping(const char* type_name,
   impl->dims = std::move(dims);
   impl->flag = flag;
   impl->host_ptr = host_ptr;
+  impl->host_valid = RangeSet::whole(impl->bytes());
   return impl;
 }
 
@@ -382,10 +578,17 @@ void sync_to_host(ArrayImpl& impl) { Runtime::get().sync_to_host(impl); }
 void prepare_host_write(ArrayImpl& impl) {
   Runtime::get().sync_to_host(impl);
   // The host is about to scribble on host_ptr: in-flight uploads still
-  // reading it must finish first.
+  // reading it must finish first, as must cross-queue writes into any
+  // device copy (they will be invalidated below, and a pending copy must
+  // not resurrect stale bytes after that).
   for (auto& e : impl.host_readers) e.wait();
   impl.host_readers.clear();
-  for (auto& [key, copy] : impl.copies) copy.valid = false;
+  for (auto& [key, copy] : impl.copies) {
+    for (auto& e : copy.pending_d2d) e.wait();
+    copy.pending_d2d.clear();
+    copy.valid.clear();
+  }
+  impl.host_valid = RangeSet::whole(impl.bytes());
 }
 
 }  // namespace detail

@@ -70,6 +70,9 @@ struct ProfileSnapshot {
   std::uint64_t kernel_cache_misses = 0;
   std::uint64_t bytes_to_device = 0;
   std::uint64_t bytes_to_host = 0;
+  /// Direct device-to-device reconciliation copies (co-execution merge
+  /// steps that avoid a host round-trip).
+  std::uint64_t bytes_device_to_device = 0;
   /// Host wall-clock consumed *simulating* device work (an artifact of the
   /// simulator, excluded from modeled time).
   double sim_wall_seconds = 0;
@@ -94,7 +97,9 @@ void purge_kernel_cache();
 /// Sets the clBuildProgram-style options used for every subsequent kernel
 /// build (e.g. "-cl-opt-disable" to run generated kernels unoptimized).
 /// Purges the kernel cache so already-built kernels are rebuilt with the
-/// new options. Throws InvalidArgument on an unrecognised option.
+/// new options — unless the options are unchanged, in which case it is a
+/// no-op (sweeps re-assert options per cell and must not lose the cache).
+/// Throws InvalidArgument on an unrecognised option.
 void set_kernel_build_options(const std::string& options);
 
 /// The options set by set_kernel_build_options (default: "", which builds
@@ -114,6 +119,12 @@ struct DeviceEntry {
 struct BuiltKernel {
   std::unique_ptr<hplrepro::clsim::Program> program;
   std::unique_ptr<hplrepro::clsim::Kernel> kernel;
+  /// Serializes bind-args + enqueue on this binary: clsim::Kernel arg
+  /// slots are sticky (clSetKernelArg semantics), so two host threads
+  /// launching the same built kernel must not interleave their set_arg
+  /// sequences. unique_ptr keeps BuiltKernel movable.
+  std::unique_ptr<std::mutex> launch_mutex =
+      std::make_unique<std::mutex>();
 };
 
 /// A captured kernel: generated source plus per-device binaries. Cached by
@@ -168,18 +179,33 @@ public:
                          bool* cache_hit = nullptr);
 
   /// Ensures the array has a buffer on `dev` sized to its current dims.
+  /// If an old, size-mismatched buffer holds the only valid copy of some
+  /// region, its contents are rescued to the host before it is dropped.
   ArrayImpl::DeviceCopy& device_copy(ArrayImpl& impl, DeviceEntry& dev);
 
-  /// Makes the device copy valid (uploading from host if needed). The
-  /// upload is enqueued asynchronously; ordering against other commands
+  /// Makes `range` of the device copy valid, transferring only the
+  /// missing sub-ranges — from the host where it covers them, directly
+  /// from a peer device copy (no host round-trip) otherwise. Transfers
+  /// are enqueued asynchronously; ordering against other commands
   /// touching the array is carried by event wait-lists.
+  void ensure_on_device(ArrayImpl& impl, DeviceEntry& dev,
+                        ByteRange range);
+  /// Whole-array convenience overload.
   void ensure_on_device(ArrayImpl& impl, DeviceEntry& dev);
 
-  /// Marks the device copy as the only valid one (kernel wrote it).
+  /// Records that a kernel wrote `range` of the device copy: the range
+  /// becomes valid there and stale everywhere else. Other regions keep
+  /// their validity, so co-executed chunks on different devices
+  /// accumulate disjoint valid ranges instead of clobbering each other.
+  void mark_device_written(ArrayImpl& impl, DeviceEntry& dev,
+                           ByteRange range);
+  /// Whole-array convenience overload.
   void mark_device_written(ArrayImpl& impl, DeviceEntry& dev);
 
-  /// Enqueues the d2h read that makes the host copy current (if one is
-  /// needed) without blocking; `impl.host_ready` tracks its completion.
+  /// Enqueues the d2h reads that make `range` of the host copy current
+  /// (gathering from every device holding a missing piece) without
+  /// blocking; `impl.host_pending` tracks their completion.
+  void make_host_current_async(ArrayImpl& impl, ByteRange range);
   void make_host_current_async(ArrayImpl& impl);
 
   /// make_host_current_async + blocks until the host copy is readable.
@@ -220,7 +246,16 @@ private:
   /// before devices_ — whose ~CommandQueue drains in-flight commands whose
   /// completion callbacks land in with_prof().
   ~Runtime();
+
+  /// Enqueues one sub-range h2d upload and records its accounting.
+  void upload_range(ArrayImpl& impl, DeviceEntry& dev,
+                    ArrayImpl::DeviceCopy& copy, ByteRange range);
+
   std::vector<DeviceEntry> devices_;
+  /// Guards kernel_cache_, next_kernel_id_ and build_options_ (concurrent
+  /// eval()s race on all three). Lock order: kernel_mutex_ before
+  /// prof_mutex_; never the reverse.
+  std::mutex kernel_mutex_;
   std::map<const void*, CachedKernel> kernel_cache_;
   std::mutex prof_mutex_;
   ProfileSnapshot prof_;

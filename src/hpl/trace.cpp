@@ -219,6 +219,17 @@ void profiler_record_transfer(const std::string& device, bool to_device,
   t.sim_seconds += sim_seconds;
 }
 
+void profiler_record_copy(const std::string& dst_device,
+                          std::uint64_t bytes, double sim_seconds) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  TransferProfile& t = reg.transfers[dst_device];
+  t.device = dst_device;
+  t.d2d_count += 1;
+  t.d2d_bytes += bytes;
+  t.sim_seconds += sim_seconds;
+}
+
 void profiler_reset() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);

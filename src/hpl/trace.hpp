@@ -52,6 +52,9 @@ struct TransferProfile {
   std::uint64_t to_host_bytes = 0;
   std::uint64_t to_device_count = 0;
   std::uint64_t to_host_count = 0;
+  /// Direct device-to-device copies INTO this device (coexec merges).
+  std::uint64_t d2d_bytes = 0;
+  std::uint64_t d2d_count = 0;
   double sim_seconds = 0;
 };
 
@@ -104,6 +107,11 @@ void profiler_record_build(const std::string& kernel,
 /// Called for every coherence transfer.
 void profiler_record_transfer(const std::string& device, bool to_device,
                               std::uint64_t bytes, double sim_seconds);
+
+/// Called for every direct device-to-device copy; attributed to the
+/// destination device's row.
+void profiler_record_copy(const std::string& dst_device,
+                          std::uint64_t bytes, double sim_seconds);
 
 /// Clears the registry (reset_profile does this so report sums always
 /// match the ProfileSnapshot counters).

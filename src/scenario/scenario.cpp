@@ -4,9 +4,14 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
 
+#include "benchsuite/reduction.hpp"
+#include "benchsuite/stencil.hpp"
+#include "benchsuite/transpose.hpp"
 #include "clsim/runtime.hpp"
+#include "coexec/coexec.hpp"
 #include "hpl/runtime.hpp"
 #include "hpl/trace.hpp"
 #include "scenario/workloads.hpp"
@@ -366,6 +371,155 @@ SweepReport run_sweep(const Axes& axes) {
   return report;
 }
 
+namespace {
+
+/// Device sets of the coexec axis: the asymmetric GPU pair, optionally
+/// plus the host CPU.
+std::vector<HPL::Device> coexec_device_set(int n) {
+  std::vector<HPL::Device> ds{hpl_device("Tesla"), hpl_device("Quadro")};
+  if (n >= 3) ds.push_back(HPL::Device::cpu_device());
+  return ds;
+}
+
+/// Runs one coexec-axis workload and returns its output signature.
+/// An empty device set runs single-device on Tesla (the reference).
+/// Every workload issues exactly ONE eval, so the profile counters of a
+/// co-executed run reconcile against coexec::last_dispatch() alone.
+std::vector<double> coexec_run(const std::string& name,
+                               const std::vector<HPL::Device>& devs,
+                               hplrepro::coexec::Policy policy) {
+  namespace bs = hplrepro::benchsuite;
+  const HPL::Device single = hpl_device("Tesla");
+  const auto widen = [](const std::vector<float>& v) {
+    return std::vector<double>(v.begin(), v.end());
+  };
+  if (name == "reduction") {
+    bs::ReductionConfig cfg;
+    cfg.elements = 1 << 16;
+    cfg.groups = 64;
+    cfg.local_size = 128;
+    cfg.coexec_devices = devs;
+    cfg.coexec_policy = policy;
+    return {bs::reduction_hpl(cfg, single).sum};
+  }
+  if (name == "transpose") {
+    bs::TransposeConfig cfg;
+    cfg.rows = 128;
+    cfg.cols = 128;
+    cfg.coexec_devices = devs;
+    cfg.coexec_policy = policy;
+    return widen(bs::transpose_hpl(cfg, single).output);
+  }
+  if (name == "jacobi") {
+    bs::StencilConfig cfg;
+    cfg.width = 96;
+    cfg.height = 96;
+    cfg.iterations = 1;
+    cfg.coexec_devices = devs;
+    cfg.coexec_policy = policy;
+    return widen(bs::jacobi_hpl(cfg, single).output);
+  }
+  throw hplrepro::InvalidArgument("unknown coexec workload '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<CoexecGrade> run_coexec_axis() {
+  namespace coexec = hplrepro::coexec;
+  const char* kWorkloads[] = {"reduction", "transpose", "jacobi"};
+  const coexec::Policy kPolicies[] = {
+      coexec::Policy::Static, coexec::Policy::Dynamic,
+      coexec::Policy::Guided};
+
+  std::vector<CoexecGrade> grades;
+  for (const char* workload : kWorkloads) {
+    // Single-device reference signature (bit-identity baseline).
+    HPL::purge_kernel_cache();
+    HPL::reset_profile();
+    const std::vector<double> reference =
+        coexec_run(workload, {}, coexec::Policy::Static);
+
+    for (const int nset : {2, 3}) {
+      const std::vector<HPL::Device> devs = coexec_device_set(nset);
+      for (const coexec::Policy policy : kPolicies) {
+        CoexecGrade grade;
+        grade.workload = workload;
+        grade.policy = coexec::policy_name(policy);
+        grade.device_count = nset;
+
+        HPL::purge_kernel_cache();
+        HPL::reset_profile();
+        const std::vector<double> split =
+            coexec_run(workload, devs, policy);
+        const coexec::DispatchResult plan = coexec::last_dispatch();
+        const HPL::ProfileSnapshot prof = HPL::profile();
+        grade.chunks = plan.chunks.size();
+        grade.launches = prof.kernel_launches;
+        grade.cache_hits = prof.kernel_cache_hits;
+        grade.cache_misses = prof.kernel_cache_misses;
+
+        if (split != reference) {
+          grade.failures.push_back(fail(
+              "coexec-identity",
+              "split result differs from the single-device run"));
+        }
+
+        // Plan sanity: >= 2 chunks covering [0, total) exactly once.
+        if (plan.chunks.size() < 2) {
+          grade.failures.push_back(fail(
+              "coexec-plan", "co-executed NDRange produced " +
+                                 std::to_string(plan.chunks.size()) +
+                                 " chunk(s)"));
+        }
+        std::vector<coexec::Chunk> sorted = plan.chunks;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const coexec::Chunk& a, const coexec::Chunk& b) {
+                    return a.begin < b.begin;
+                  });
+        std::size_t cursor = 0;
+        bool contiguous = true;
+        for (const coexec::Chunk& chunk : sorted) {
+          contiguous = contiguous && chunk.begin == cursor &&
+                       chunk.count > 0;
+          cursor += chunk.count;
+        }
+        if (!contiguous || cursor != plan.total) {
+          grade.failures.push_back(fail(
+              "coexec-plan", "chunks do not cover the range exactly"));
+        }
+
+        // Profile reconciliation: each chunk is one mini-eval.
+        if (grade.launches != grade.chunks) {
+          grade.failures.push_back(fail(
+              "coexec-profile",
+              "launches " + std::to_string(grade.launches) +
+                  " != plan chunks " + std::to_string(grade.chunks)));
+        }
+        if (grade.cache_hits + grade.cache_misses != grade.launches) {
+          grade.failures.push_back(fail(
+              "coexec-profile",
+              "hits " + std::to_string(grade.cache_hits) + " + misses " +
+                  std::to_string(grade.cache_misses) + " != launches " +
+                  std::to_string(grade.launches)));
+        }
+        std::set<int> slots;
+        for (const coexec::Chunk& chunk : plan.chunks) {
+          slots.insert(chunk.slot);
+        }
+        if (grade.cache_misses != slots.size()) {
+          grade.failures.push_back(fail(
+              "coexec-profile",
+              "misses " + std::to_string(grade.cache_misses) +
+                  " != devices that received work (" +
+                  std::to_string(slots.size()) + ")"));
+        }
+        grades.push_back(std::move(grade));
+      }
+    }
+  }
+  return grades;
+}
+
 bool grader_catches_sabotage() {
   ConfigGuard guard;
   const Workload broken = sabotage_workload();
@@ -386,7 +540,8 @@ bool grader_catches_sabotage() {
   return correctness_failed;
 }
 
-std::string report_json(const SweepReport& report, int sabotage_caught) {
+std::string report_json(const SweepReport& report, int sabotage_caught,
+                        const std::vector<CoexecGrade>* coexec) {
   std::ostringstream out;
   out << "{\n  \"schema\": \"hplrepro-scenario-v1\",\n";
 
@@ -449,17 +604,43 @@ std::string report_json(const SweepReport& report, int sabotage_caught) {
 
   out << "  \"identity_failures\": [" << string_list(report.identity_failures)
       << "],\n";
+
+  std::size_t coexec_failed = 0;
+  if (coexec != nullptr) {
+    out << "  \"coexec\": [\n";
+    for (std::size_t g = 0; g < coexec->size(); ++g) {
+      const CoexecGrade& grade = (*coexec)[g];
+      if (!grade.passed()) ++coexec_failed;
+      out << "    {\"workload\": \"" << json_escape(grade.workload)
+          << "\", \"policy\": \"" << json_escape(grade.policy)
+          << "\", \"devices\": " << grade.device_count
+          << ", \"chunks\": " << grade.chunks
+          << ", \"launches\": " << grade.launches
+          << ", \"cache_hits\": " << grade.cache_hits
+          << ", \"cache_misses\": " << grade.cache_misses
+          << ", \"status\": \"" << (grade.passed() ? "pass" : "fail")
+          << "\", \"failures\": [" << string_list(grade.failures) << "]}"
+          << (g + 1 < coexec->size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+  }
+
   if (sabotage_caught >= 0) {
     out << "  \"self_test\": {\"sabotage_caught\": "
         << (sabotage_caught ? "true" : "false") << "},\n";
   }
+  const bool ok = report.ok() && coexec_failed == 0;
   out << "  \"summary\": {\"cells\": " << report.cells.size()
       << ", \"graded\": " << report.graded
       << ", \"passed\": " << report.passed
       << ", \"failed\": " << report.failed
       << ", \"skipped\": " << report.skipped
-      << ", \"identity_failures\": " << report.identity_failures.size()
-      << ", \"ok\": " << (report.ok() ? "true" : "false") << "}\n";
+      << ", \"identity_failures\": " << report.identity_failures.size();
+  if (coexec != nullptr) {
+    out << ", \"coexec_graded\": " << coexec->size()
+        << ", \"coexec_failed\": " << coexec_failed;
+  }
+  out << ", \"ok\": " << (ok ? "true" : "false") << "}\n";
   out << "}\n";
   return out.str();
 }

@@ -118,6 +118,28 @@ struct SweepReport {
   bool ok() const { return failed == 0 && identity_failures.empty(); }
 };
 
+/// One grade of the co-execution axis: a workload NDRange split across a
+/// device set under one scheduling policy, checked bit-identical against
+/// the single-device run and reconciled against the dispatcher's chunk
+/// plan (launches == chunks, hits + misses == launches, misses == devices
+/// that actually received work, contiguous exact coverage).
+struct CoexecGrade {
+  std::string workload;       // reduction / transpose / jacobi
+  std::string policy;         // static / dynamic / guided
+  int device_count = 2;       // size of the device set
+  std::uint64_t chunks = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::vector<std::string> failures;
+  bool passed() const { return failures.empty(); }
+};
+
+/// Runs the co-execution axis: {reduction, transpose, jacobi} x
+/// {static, dynamic, guided} x device sets {2: Tesla+Quadro,
+/// 3: +host CPU} — 18 grades.
+std::vector<CoexecGrade> run_coexec_axis();
+
 /// The workloads the sweep grades, in run order: the five paper benchmarks
 /// plus blur, sobel and jacobi.
 std::vector<std::string> workload_names();
@@ -131,8 +153,11 @@ SweepReport run_sweep(const Axes& axes);
 bool grader_catches_sabotage();
 
 /// Renders the report as JSON (schema "hplrepro-scenario-v1").
-/// `sabotage_caught` < 0 omits the self-test block, else 0/1.
-std::string report_json(const SweepReport& report, int sabotage_caught = -1);
+/// `sabotage_caught` < 0 omits the self-test block, else 0/1. When
+/// `coexec` is non-null its grades are embedded as a top-level "coexec"
+/// array and any failures are folded into summary.ok.
+std::string report_json(const SweepReport& report, int sabotage_caught = -1,
+                        const std::vector<CoexecGrade>* coexec = nullptr);
 
 }  // namespace hplrepro::scenario
 

@@ -28,6 +28,103 @@ TEST(Executor, ChooseLocalRangeDividesEvenly) {
   EXPECT_LE(local2d.sizes[0] * local2d.sizes[1], 256u);
 }
 
+TEST(Executor, ChooseLocalRangeBalancesSquareGlobals) {
+  // Greedy dimension-0-first factoring used to produce 256x1 strips; the
+  // divisor search must pick the balanced tile instead.
+  const auto square = clsim::choose_local_range(clsim::NDRange(512, 512));
+  EXPECT_EQ(square.sizes[0], 16u);
+  EXPECT_EQ(square.sizes[1], 16u);
+
+  const auto small = clsim::choose_local_range(clsim::NDRange(64, 64));
+  EXPECT_EQ(small.sizes[0], 16u);
+  EXPECT_EQ(small.sizes[1], 16u);  // 16x16 fills the 256 budget exactly
+}
+
+TEST(Executor, ChooseLocalRangeHandlesRaggedGlobals) {
+  // 512x3: dimension 1 only divides by 1 or 3; keeping the 3 maximizes
+  // the minimum extent, and dimension 0 fills the rest of the budget.
+  const auto ragged = clsim::choose_local_range(clsim::NDRange(512, 3));
+  EXPECT_EQ(ragged.sizes[0], 64u);
+  EXPECT_EQ(ragged.sizes[1], 3u);
+  EXPECT_EQ(512 % ragged.sizes[0], 0u);
+}
+
+TEST(Executor, ChooseLocalRangeHandlesPrimeExtents) {
+  // A prime extent has no divisor between 1 and itself: (251, 4) can only
+  // use 251x1 (fits the 256 budget) or 1xb; more covered items wins.
+  const auto prime = clsim::choose_local_range(clsim::NDRange(251, 4));
+  EXPECT_EQ(prime.sizes[0], 251u);
+  EXPECT_EQ(prime.sizes[1], 1u);
+
+  // A square prime tile fits whole.
+  const auto sq_prime = clsim::choose_local_range(clsim::NDRange(13, 13));
+  EXPECT_EQ(sq_prime.sizes[0], 13u);
+  EXPECT_EQ(sq_prime.sizes[1], 13u);
+}
+
+TEST(Executor, LaunchSliceRunsOnlyItsGroupsWithFullGeometry) {
+  // A slice narrows execution to a run of work-groups, but work-items
+  // must still observe the FULL launch geometry (global size, group
+  // count) — co-executed grid-stride kernels depend on it.
+  const char* src = R"(
+__kernel void tag(__global int* out) {
+  size_t i = get_global_id(0);
+  out[i] = (int)(get_global_size(0) * 1000 + get_group_id(0));
+}
+)";
+  clsim::Context context(tesla());
+  clsim::CommandQueue queue(context);
+  clsim::Buffer buffer(context, 32 * sizeof(std::int32_t));
+  std::vector<std::int32_t> init(32, -1);
+  queue.enqueue_write_buffer(buffer, init.data(), 32 * sizeof(std::int32_t));
+  clsim::Program program(context, src);
+  program.build();
+  clsim::Kernel kernel(program, "tag");
+  kernel.set_arg(0, buffer);
+  clsim::LaunchSlice slice;
+  slice.dim = 0;
+  slice.group_begin = 2;
+  slice.group_count = 3;
+  queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(32),
+                               clsim::NDRange(4), {}, slice);
+  std::vector<std::int32_t> out(32);
+  queue.enqueue_read_buffer(buffer, out.data(), 32 * sizeof(std::int32_t));
+  queue.finish();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t group = i / 4;
+    if (group >= 2 && group < 5) {
+      EXPECT_EQ(out[i], static_cast<std::int32_t>(32 * 1000 + group)) << i;
+    } else {
+      EXPECT_EQ(out[i], -1) << i;  // outside the slice: untouched
+    }
+  }
+}
+
+TEST(Executor, LaunchSliceOutOfRangeRejected) {
+  const char* src = "__kernel void k(__global int* o) { o[0] = 1; }";
+  clsim::Context context(tesla());
+  clsim::CommandQueue queue(context);
+  clsim::Buffer buffer(context, 64);
+  clsim::Program program(context, src);
+  program.build();
+  clsim::Kernel kernel(program, "k");
+  kernel.set_arg(0, buffer);
+
+  clsim::LaunchSlice overrun{0, 6, 4};  // 8 groups: 6+4 > 8
+  EXPECT_THROW(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(32),
+                                            clsim::NDRange(4), {}, overrun),
+               clsim::RuntimeError);
+  clsim::LaunchSlice bad_dim{1, 0, 1};  // 1-D launch has no dimension 1
+  EXPECT_THROW(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(32),
+                                            clsim::NDRange(4), {}, bad_dim),
+               clsim::RuntimeError);
+  clsim::LaunchSlice empty{0, 0, 0};  // zero groups
+  EXPECT_THROW(queue.enqueue_ndrange_kernel(kernel, clsim::NDRange(32),
+                                            clsim::NDRange(4), {}, empty),
+               clsim::RuntimeError);
+  queue.finish();
+}
+
 TEST(Executor, ThreeDimensionalRange) {
   const char* src = R"(
 __kernel void k(__global int* out) {

@@ -128,6 +128,79 @@ TEST_F(CoherenceTest, KernelBinaryReusedAcrossInvocations) {
   EXPECT_EQ(prof.kernel_launches, 3u);
 }
 
+// --- Region-granular coherence (validity is tracked per byte range, so a
+// co-executed array can live split across devices without false sharing) ---
+
+TEST_F(CoherenceTest, SplitWriteGathersEachRegionFromItsOwner) {
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+
+  Array<float, 1> out(4096);
+  eval(writer).devices({tesla, quadro})(out);
+
+  const auto before = profile();
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 4096; ++i) sum += out.get(i);
+  const auto after = profile();
+  EXPECT_EQ(sum, 4096.0f);
+  // Each device holds only the region it wrote; the host gather must move
+  // every byte exactly once, and nothing device-to-device.
+  EXPECT_EQ(after.bytes_to_host - before.bytes_to_host,
+            4096 * sizeof(float));
+  EXPECT_EQ(after.bytes_device_to_device, before.bytes_device_to_device);
+}
+
+TEST_F(CoherenceTest, CrossDeviceMergeUsesDeviceToDeviceTransfers) {
+  const Device tesla = *Device::by_name("Tesla");
+  const Device quadro = *Device::by_name("Quadro");
+
+  Array<float, 1> data(4096);
+  for (std::size_t i = 0; i < 4096; ++i) data(i) = 0.0f;
+
+  // Split increment: each device ends up owning half the array.
+  eval(incr).devices({tesla, quadro})(data);
+
+  // A whole-array launch on Tesla needs Quadro's half. The host copy is
+  // stale, so the merge must come straight from Quadro's buffer — no
+  // host round-trip, no re-upload.
+  const auto mid = profile();
+  eval(incr).device(tesla)(data);
+  const auto after = profile();
+  EXPECT_EQ(after.bytes_device_to_device - mid.bytes_device_to_device,
+            2048 * sizeof(float));
+  EXPECT_EQ(after.bytes_to_host - mid.bytes_to_host, 0u);
+  EXPECT_EQ(after.bytes_to_device - mid.bytes_to_device, 0u);
+
+  EXPECT_EQ(data(0), 2.0f);
+  EXPECT_EQ(data(2047), 2.0f);
+  EXPECT_EQ(data(2048), 2.0f);
+  EXPECT_EQ(data(4095), 2.0f);
+}
+
+TEST_F(CoherenceTest, ResizeRescuesTheSoleValidDeviceCopy) {
+  // Regression: when an array is resized while a device buffer holds the
+  // only valid copy, Runtime::device_copy used to drop the old buffer and
+  // lose the data. It must sync the still-addressable bytes back to the
+  // host before recreating the buffer.
+  Array<float, 1> a(256);
+  eval(writer)(a);  // device copy = 1.0f everywhere; host copy stale
+
+  a.impl()->dims[0] = 128;  // shrink in place; host storage stays allocated
+
+  const auto before = profile();
+  eval(incr)(a);  // device_copy sees the size mismatch mid-bind
+  const auto after = profile();
+  // The rescue pulls the surviving extent (128 floats) back to the host...
+  EXPECT_EQ(after.bytes_to_host - before.bytes_to_host,
+            128 * sizeof(float));
+  // ...and the relaunch re-uploads it into the fresh, smaller buffer.
+  EXPECT_EQ(after.bytes_to_device - before.bytes_to_device,
+            128 * sizeof(float));
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(a.get(i), 2.0f) << "lost rescued byte at " << i;
+  }
+}
+
 TEST_F(CoherenceTest, SeparateDevicesBuildSeparateBinaries) {
   purge_kernel_cache();
   reset_profile();

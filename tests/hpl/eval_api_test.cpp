@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "hpl/HPL.h"
 
 using namespace HPL;
@@ -143,6 +145,67 @@ TEST(EvalApi, PlatformHasThreeDevices) {
   EXPECT_TRUE(Device::cpu_device().is_cpu());
   EXPECT_FALSE(Device::by_name("Tesla")->supports_double() == false);
   EXPECT_FALSE(Device::by_name("Quadro")->supports_double());
+}
+
+void tag_value(Array<float, 1> out, Float v) { out[idx] = v; }
+
+TEST(EvalApiRace, ConcurrentSameKernelEvalsKeepArgumentsPaired) {
+  // Regression: two host threads eval()ing the SAME kernel share one
+  // clsim::Kernel object per device. Without the per-built-kernel launch
+  // mutex spanning bind + enqueue, thread B could overwrite thread A's
+  // argument slots between A's set_arg and A's enqueue, launching A's
+  // NDRange with B's buffer or scalar.
+  purge_kernel_cache();
+  reset_profile();
+
+  constexpr std::size_t kElems = 512;
+  constexpr int kIters = 50;
+  Array<float, 1> warm(kElems), a(kElems), b(kElems);
+  eval(tag_value)(warm, 0.0f);  // build once so both threads race on binds
+
+  std::thread t1([&] {
+    for (int i = 0; i < kIters; ++i) eval(tag_value)(a, 1.0f);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < kIters; ++i) eval(tag_value)(b, 2.0f);
+  });
+  t1.join();
+  t2.join();
+
+  for (std::size_t i = 0; i < kElems; ++i) {
+    ASSERT_EQ(a.get(i), 1.0f) << "arg-slot mix-up at " << i;
+    ASSERT_EQ(b.get(i), 2.0f) << "arg-slot mix-up at " << i;
+  }
+  const auto snap = profile();
+  EXPECT_EQ(snap.kernel_launches, 2u * kIters + 1u);
+  EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses,
+            snap.kernel_launches);
+}
+
+void cold_shared(Array<float, 1> out) { out[idx] = 7.0f; }
+
+TEST(EvalApiRace, ConcurrentColdFirstInvocationBuildsConsistently) {
+  // Both threads hit an empty cache for the same kernel: capture happens
+  // per thread (thread_local builders), but the kernel-source registry is
+  // first-wins and build_for is serialised, so exactly one binary is
+  // built per device and both launches complete correctly.
+  purge_kernel_cache();
+  reset_profile();
+
+  Array<float, 1> a(128), b(128);
+  std::thread t1([&] { eval(cold_shared)(a); });
+  std::thread t2([&] { eval(cold_shared)(b); });
+  t1.join();
+  t2.join();
+
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(a.get(i), 7.0f);
+    ASSERT_EQ(b.get(i), 7.0f);
+  }
+  const auto snap = profile();
+  EXPECT_EQ(snap.kernel_launches, 2u);
+  EXPECT_EQ(snap.kernel_cache_hits + snap.kernel_cache_misses, 2u);
+  EXPECT_EQ(snap.kernels_built, 1u);
 }
 
 }  // namespace

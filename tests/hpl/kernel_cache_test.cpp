@@ -103,4 +103,30 @@ TEST_F(KernelCacheTest, ProfilerRegistryTracksLaunchesAndHits) {
   EXPECT_GT(kernels[0].sim.total_s, 0.0);
 }
 
+TEST_F(KernelCacheTest, UnchangedBuildOptionsKeepTheCacheWarm) {
+  // Regression: set_kernel_build_options used to purge the whole binary
+  // cache even when the options string was identical to the current one,
+  // turning every configuration-refresh call site into a rebuild storm.
+  Array<float, 1> x(64), y(64);
+
+  set_kernel_build_options("");
+  eval(saxpy)(y, x, 1.0f);  // cold: miss
+  set_kernel_build_options("");  // unchanged: must NOT purge
+  eval(saxpy)(y, x, 1.0f);
+  auto snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 1u);
+  EXPECT_EQ(snap.kernel_cache_hits, 1u);
+
+  set_kernel_build_options("-cl-opt-disable");  // changed: purges
+  eval(saxpy)(y, x, 1.0f);
+  set_kernel_build_options("-cl-opt-disable");  // unchanged again
+  eval(saxpy)(y, x, 1.0f);
+  snap = profile();
+  EXPECT_EQ(snap.kernel_cache_misses, 2u);
+  EXPECT_EQ(snap.kernel_cache_hits, 2u);
+  EXPECT_EQ(snap.kernels_built, 2u);
+
+  set_kernel_build_options("");  // leave global state as found
+}
+
 }  // namespace

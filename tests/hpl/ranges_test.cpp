@@ -1,0 +1,159 @@
+#include "hpl/ranges.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using HPL::detail::ByteRange;
+using HPL::detail::RangeSet;
+
+std::vector<ByteRange> runs(const RangeSet& s) { return s.runs(); }
+
+TEST(RangeSetTest, EmptyByDefault) {
+  RangeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_FALSE(s.covers({0, 1}));
+  EXPECT_TRUE(s.covers({5, 5}));  // empty range trivially covered
+}
+
+TEST(RangeSetTest, WholeCoversEverything) {
+  RangeSet s = RangeSet::whole(100);
+  EXPECT_TRUE(s.covers({0, 100}));
+  EXPECT_TRUE(s.covers({37, 63}));
+  EXPECT_FALSE(s.covers({0, 101}));
+  EXPECT_EQ(s.total(), 100u);
+  ASSERT_EQ(runs(s).size(), 1u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{0, 100}));
+}
+
+TEST(RangeSetTest, AddCoalescesAdjacent) {
+  RangeSet s;
+  s.add({0, 10});
+  s.add({10, 20});
+  ASSERT_EQ(runs(s).size(), 1u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{0, 20}));
+}
+
+TEST(RangeSetTest, AddCoalescesOverlapping) {
+  RangeSet s;
+  s.add({0, 10});
+  s.add({30, 40});
+  s.add({5, 35});
+  ASSERT_EQ(runs(s).size(), 1u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{0, 40}));
+}
+
+TEST(RangeSetTest, AddKeepsDisjointRunsSorted) {
+  RangeSet s;
+  s.add({40, 50});
+  s.add({0, 10});
+  s.add({20, 30});
+  ASSERT_EQ(runs(s).size(), 3u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{0, 10}));
+  EXPECT_EQ(runs(s)[1], (ByteRange{20, 30}));
+  EXPECT_EQ(runs(s)[2], (ByteRange{40, 50}));
+  EXPECT_EQ(s.total(), 30u);
+}
+
+TEST(RangeSetTest, AddEmptyIsNoop) {
+  RangeSet s;
+  s.add({7, 7});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSetTest, SubtractSplitsRun) {
+  RangeSet s = RangeSet::whole(100);
+  s.subtract({40, 60});
+  ASSERT_EQ(runs(s).size(), 2u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{0, 40}));
+  EXPECT_EQ(runs(s)[1], (ByteRange{60, 100}));
+  EXPECT_FALSE(s.covers({40, 41}));
+  EXPECT_TRUE(s.covers({0, 40}));
+}
+
+TEST(RangeSetTest, SubtractTrimsEdges) {
+  RangeSet s;
+  s.add({10, 30});
+  s.subtract({0, 15});
+  s.subtract({25, 40});
+  ASSERT_EQ(runs(s).size(), 1u);
+  EXPECT_EQ(runs(s)[0], (ByteRange{15, 25}));
+}
+
+TEST(RangeSetTest, SubtractRemovesWholeRuns) {
+  RangeSet s;
+  s.add({0, 10});
+  s.add({20, 30});
+  s.subtract({0, 30});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSetTest, MissingReportsGaps) {
+  RangeSet s;
+  s.add({10, 20});
+  s.add({30, 40});
+  auto gaps = s.missing({0, 50});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (ByteRange{0, 10}));
+  EXPECT_EQ(gaps[1], (ByteRange{20, 30}));
+  EXPECT_EQ(gaps[2], (ByteRange{40, 50}));
+}
+
+TEST(RangeSetTest, MissingWhollyCoveredIsEmpty) {
+  RangeSet s = RangeSet::whole(64);
+  EXPECT_TRUE(s.missing({16, 48}).empty());
+}
+
+TEST(RangeSetTest, MissingWhollyUncovered) {
+  RangeSet s;
+  s.add({100, 200});
+  auto gaps = s.missing({0, 50});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (ByteRange{0, 50}));
+}
+
+TEST(RangeSetTest, IntersectReturnsCoveredPieces) {
+  RangeSet s;
+  s.add({10, 20});
+  s.add({30, 40});
+  auto in = s.intersect({15, 35});
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0], (ByteRange{15, 20}));
+  EXPECT_EQ(in[1], (ByteRange{30, 35}));
+}
+
+TEST(RangeSetTest, IntersectsPredicate) {
+  RangeSet s;
+  s.add({10, 20});
+  EXPECT_TRUE(s.intersects({19, 25}));
+  EXPECT_FALSE(s.intersects({20, 25}));  // half-open: touching is disjoint
+  EXPECT_FALSE(s.intersects({0, 10}));
+}
+
+TEST(RangeSetTest, DisjointWritersScenario) {
+  // Two devices each own half; the host misses everything, then gathers.
+  const std::size_t bytes = 1024;
+  RangeSet dev0, dev1, host = RangeSet::whole(bytes);
+  dev0.add({0, 512});
+  host.subtract({0, 512});
+  dev1.add({512, 1024});
+  host.subtract({512, 1024});
+  EXPECT_TRUE(host.empty());
+  auto gaps = host.missing({0, bytes});
+  ASSERT_EQ(gaps.size(), 1u);
+  // Gather piece-wise: dev0 covers the front, dev1 the back.
+  auto from0 = dev0.intersect(gaps[0]);
+  ASSERT_EQ(from0.size(), 1u);
+  EXPECT_EQ(from0[0], (ByteRange{0, 512}));
+  host.add(from0[0]);
+  auto rest = host.missing({0, bytes});
+  ASSERT_EQ(rest.size(), 1u);
+  auto from1 = dev1.intersect(rest[0]);
+  ASSERT_EQ(from1.size(), 1u);
+  EXPECT_EQ(from1[0], (ByteRange{512, 1024}));
+  host.add(from1[0]);
+  EXPECT_TRUE(host.covers({0, bytes}));
+}
+
+}  // namespace

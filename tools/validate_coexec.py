@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate an hplrepro-coexec-v1 JSON document (from `bench/coexec --json`).
+
+Usage:
+  validate_coexec.py <BENCH_coexec.json>
+
+Checks (each failure is reported, exit status 1 if any):
+  * schema tag, >= 2 devices, >= 3 workloads;
+  * every workload reports one result per policy (static/dynamic/guided),
+    a positive per-device roofline for every device in the set, and an
+    ideal time no larger than the fastest single device;
+  * every policy result: positive makespan, fraction == ideal/makespan
+    (within tolerance), fraction in (0, 1.05], >= 2 chunks, and the
+    co-executed result bit-identical to the single-device run;
+  * acceptance: on at least two workloads an adaptive policy (dynamic or
+    guided) achieves >= 70% of the summed per-device roofline while the
+    static split is at least 20 points worse.
+"""
+
+import json
+import sys
+
+POLICIES = ("static", "dynamic", "guided")
+REL_TOL = 1e-6
+
+errors = []
+
+
+def check(ok, message):
+    if not ok:
+        errors.append(message)
+
+
+def validate(doc):
+    check(doc.get("schema") == "hplrepro-coexec-v1",
+          f"bad schema tag: {doc.get('schema')!r}")
+    devices = doc.get("devices", [])
+    check(len(devices) >= 2, f"need >= 2 devices, got {devices}")
+    workloads = doc.get("workloads", [])
+    check(len(workloads) >= 3, f"need >= 3 workloads, got {len(workloads)}")
+
+    accepted = 0
+    for wl in workloads:
+        name = wl.get("name", "?")
+        singles = wl.get("single_device_seconds", {})
+        check(set(singles) == set(devices),
+              f"{name}: single-device rooflines {sorted(singles)} don't "
+              f"match the device set")
+        check(all(t > 0 for t in singles.values()),
+              f"{name}: non-positive single-device time")
+        ideal = wl.get("ideal_seconds", 0)
+        check(ideal > 0, f"{name}: non-positive ideal_seconds")
+        if singles and all(t > 0 for t in singles.values()):
+            fastest = min(singles.values())
+            check(ideal <= fastest * (1 + REL_TOL),
+                  f"{name}: ideal {ideal} exceeds fastest device {fastest}")
+
+        by_policy = {}
+        for pol in wl.get("policies", []):
+            pname = pol.get("policy", "?")
+            by_policy[pname] = pol
+            makespan = pol.get("makespan_seconds", 0)
+            fraction = pol.get("fraction_of_roofline", 0)
+            check(makespan > 0, f"{name}/{pname}: non-positive makespan")
+            if makespan > 0 and ideal > 0:
+                expect = ideal / makespan
+                check(abs(fraction - expect) <= REL_TOL * max(1, expect),
+                      f"{name}/{pname}: fraction {fraction} != "
+                      f"ideal/makespan {expect}")
+            check(0 < fraction <= 1.05,
+                  f"{name}/{pname}: fraction {fraction} outside (0, 1.05]")
+            check(pol.get("chunks", 0) >= 2,
+                  f"{name}/{pname}: a co-executed NDRange must split into "
+                  f">= 2 chunks, got {pol.get('chunks')}")
+            check(pol.get("bit_identical") is True,
+                  f"{name}/{pname}: result not bit-identical to the "
+                  f"single-device run")
+        check(sorted(by_policy) == sorted(POLICIES),
+              f"{name}: policies {sorted(by_policy)} != {sorted(POLICIES)}")
+
+        if sorted(by_policy) == sorted(POLICIES):
+            static_f = by_policy["static"]["fraction_of_roofline"]
+            best_adaptive = max(by_policy[p]["fraction_of_roofline"]
+                                for p in ("dynamic", "guided"))
+            if best_adaptive >= 0.70 and static_f <= best_adaptive - 0.20:
+                accepted += 1
+
+    check(accepted >= 2,
+          f"acceptance: an adaptive policy must reach >= 70% of the summed "
+          f"roofline (with static >= 20 points worse) on >= 2 workloads; "
+          f"only {accepted} qualified")
+    return accepted
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+    accepted = validate(doc)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"OK: {argv[1]} satisfies hplrepro-coexec-v1 "
+          f"({len(doc['workloads'])} workloads, {accepted} meet the "
+          f"adaptive-policy acceptance bar)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

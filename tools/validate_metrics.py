@@ -136,6 +136,27 @@ def validate(doc):
                   f"all launches ran in wg mode but vm.wg_loop_trips "
                   f"{wg_trips} != vm.items {items}")
 
+    # Co-execution accounting: every coexec eval fans out into >= 2 chunks,
+    # each chunk is a full mini-eval (so it is already inside
+    # hpl.eval.launches), and every chunk was produced by exactly one
+    # scheduling policy.
+    if "coexec.chunks" in counters:
+        co_evals = counters.get("coexec.evals", 0)
+        co_chunks = counters["coexec.chunks"]
+        check(co_evals > 0,
+              "coexec.chunks present but coexec.evals is zero")
+        check(co_chunks >= 2 * co_evals,
+              f"coexec.chunks {co_chunks} < 2 * coexec.evals {co_evals}: "
+              "a co-executed NDRange must split into at least two chunks")
+        check(co_chunks <= evals,
+              f"coexec.chunks {co_chunks} > hpl.eval.launches {evals}: "
+              "chunks are mini-evals and cannot outnumber launches")
+        by_policy = sum(counters.get(f"coexec.chunks.{p}", 0)
+                        for p in ("static", "dynamic", "guided"))
+        check(by_policy == co_chunks,
+              f"per-policy chunk counters sum to {by_policy}, "
+              f"not coexec.chunks {co_chunks}")
+
     check(doc["flight_recorder"]["dumped"] is False,
           "flight recorder dumped during a clean run")
 
