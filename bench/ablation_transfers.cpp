@@ -13,11 +13,19 @@
 // synchronous enqueues on the same workload: modeled time must be
 // identical (drain-time timestamping); host wall-clock is reported so the
 // perf trajectory records both modes.
+//
+// A third table runs the kernel-fusion ablation: the chained pattern
+// programs of the scenario fusion axis, fused vs unfused, reporting launch
+// and global-traffic deltas. With --fusion-json <path> the grades are
+// written as an "hplrepro-fusion-v1" document (tools/validate_fusion.py).
 
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "benchsuite/floyd.hpp"
+#include "scenario/scenario.hpp"
 #include "support/stopwatch.hpp"
 
 namespace bs = hplrepro::benchsuite;
@@ -71,6 +79,56 @@ Run run_floyd(std::size_t n, bool defeat_coherence) {
                       run.transfer_sim;
   run.wall_seconds = wall;
   return run;
+}
+
+/// Serializes the fusion-axis grades as "hplrepro-fusion-v1". The chained
+/// corpus totals carry the headline number CI gates on: the fraction of
+/// launches the rewriter eliminated.
+bool write_fusion_json(const std::string& path,
+                       const std::vector<hplrepro::scenario::FusionGrade>&
+                           grades) {
+  std::ofstream os(path);
+  if (!os) return false;
+  std::uint64_t chained_unfused = 0, chained_fused = 0;
+  std::uint64_t chained_unfused_bytes = 0, chained_fused_bytes = 0;
+  std::size_t failed = 0;
+  os << "{\n  \"schema\": \"hplrepro-fusion-v1\",\n  \"programs\": [\n";
+  for (std::size_t i = 0; i < grades.size(); ++i) {
+    const auto& g = grades[i];
+    if (g.chained) {
+      chained_unfused += g.unfused_launches;
+      chained_fused += g.fused_launches;
+      chained_unfused_bytes += g.unfused_bytes;
+      chained_fused_bytes += g.fused_bytes;
+    }
+    if (!g.passed()) ++failed;
+    os << "    {\"name\": \"" << g.program << "\", \"chained\": "
+       << (g.chained ? "true" : "false")
+       << ", \"unfused_launches\": " << g.unfused_launches
+       << ", \"fused_launches\": " << g.fused_launches
+       << ", \"launches_saved\": " << g.launches_saved
+       << ", \"unfused_bytes\": " << g.unfused_bytes
+       << ", \"fused_bytes\": " << g.fused_bytes
+       << ", \"unfused_sim_s\": " << g.unfused_sim_seconds
+       << ", \"fused_sim_s\": " << g.fused_sim_seconds
+       << ", \"bit_identical\": " << (g.bit_identical ? "true" : "false")
+       << ", \"status\": \"" << (g.passed() ? "pass" : "fail") << "\"}"
+       << (i + 1 < grades.size() ? ",\n" : "\n");
+  }
+  const double reduction =
+      chained_unfused
+          ? 1.0 - static_cast<double>(chained_fused) /
+                      static_cast<double>(chained_unfused)
+          : 0.0;
+  os << "  ],\n  \"summary\": {\"programs\": " << grades.size()
+     << ", \"failed\": " << failed
+     << ", \"chained_unfused_launches\": " << chained_unfused
+     << ", \"chained_fused_launches\": " << chained_fused
+     << ", \"chained_unfused_bytes\": " << chained_unfused_bytes
+     << ", \"chained_fused_bytes\": " << chained_fused_bytes
+     << ", \"launch_reduction\": " << reduction
+     << ", \"ok\": " << (failed == 0 ? "true" : "false") << "}\n}\n";
+  return true;
 }
 
 }  // namespace
@@ -139,5 +197,63 @@ int main(int argc, char** argv) {
                    async.total_modeled - sync.total_modeled}});
   }
   pipe.print(std::cout);
-  return 0;
+
+  // --- Kernel fusion ablation -----------------------------------------------
+  std::cout << "\nLazy-DAG kernel fusion (chained pattern programs, fused "
+               "vs unfused). Every rewrite keeps the producer's store, so "
+               "the fused run is bit-identical; what changes is launches "
+               "and global-memory traffic:\n\n";
+  const std::vector<hplrepro::scenario::FusionGrade> fusion =
+      hplrepro::scenario::run_fusion_axis();
+  hplrepro::Table ftable({"program", "launches", "saved", "global bytes",
+                          "traffic", "modeled", "identical"});
+  std::uint64_t chained_unfused = 0, chained_fused = 0;
+  std::size_t fusion_failed = 0;
+  for (const auto& g : fusion) {
+    if (g.chained) {
+      chained_unfused += g.unfused_launches;
+      chained_fused += g.fused_launches;
+    }
+    if (!g.passed()) ++fusion_failed;
+    ftable.add_row({g.program,
+                    std::to_string(g.unfused_launches) + " -> " +
+                        std::to_string(g.fused_launches),
+                    std::to_string(g.launches_saved),
+                    std::to_string(g.unfused_bytes) + " -> " +
+                        std::to_string(g.fused_bytes),
+                    fmt_x(static_cast<double>(g.unfused_bytes) /
+                          static_cast<double>(g.fused_bytes ? g.fused_bytes
+                                                            : 1)),
+                    fmt(g.unfused_sim_seconds) + " -> " +
+                        fmt(g.fused_sim_seconds),
+                    g.bit_identical ? "yes" : "NO"});
+    for (const auto& failure : g.failures) {
+      std::cout << "FAIL fusion " << g.program << ": " << failure << "\n";
+    }
+  }
+  ftable.print(std::cout);
+  const double reduction =
+      chained_unfused ? 1.0 - static_cast<double>(chained_fused) /
+                                  static_cast<double>(chained_unfused)
+                      : 0.0;
+  // Greppable gate line for CI (the chained-corpus launch reduction).
+  std::cout << "\nFUSION LAUNCH REDUCTION " << chained_unfused << " "
+            << chained_fused << " "
+            << static_cast<int>(reduction * 100.0 + 0.5) << "%\n";
+
+  std::string fusion_json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--fusion-json") {
+      fusion_json_path = argv[i + 1];
+    }
+  }
+  if (!fusion_json_path.empty()) {
+    if (!write_fusion_json(fusion_json_path, fusion)) {
+      std::cerr << "ablation_transfers: cannot open " << fusion_json_path
+                << " for writing\n";
+      return 2;
+    }
+    std::cout << "wrote " << fusion_json_path << "\n";
+  }
+  return fusion_failed == 0 ? 0 : 1;
 }

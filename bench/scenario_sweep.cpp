@@ -1,7 +1,8 @@
 // Scenario sweep driver: runs the grader matrix (device × sync ×
-// interpreter × opt × size) over every benchsuite workload, runs the
-// grader's sabotage self-test, prints a scoreboard, and with
-// --json <path> writes the "hplrepro-scenario-v1" scorecard.
+// interpreter × opt × fusion × size) over every benchsuite workload, the
+// co-execution and fusion axes, the grader's sabotage self-test, prints a
+// scoreboard, and with --json <path> writes the "hplrepro-scenario-v1"
+// scorecard.
 //
 //   bench/scenario_sweep                 # full matrix
 //   bench/scenario_sweep --reduced       # small sizes only (ctest/CI)
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
   const bool sabotage_caught = scenario::grader_catches_sabotage();
   const std::vector<scenario::CoexecGrade> coexec =
       scenario::run_coexec_axis();
+  const std::vector<scenario::FusionGrade> fusion =
+      scenario::run_fusion_axis();
 
   for (const auto& cell : report.cells) {
     if (cell.passed()) continue;
@@ -73,6 +76,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::size_t fusion_failed = 0;
+  std::uint64_t chained_unfused = 0, chained_fused = 0;
+  for (const auto& grade : fusion) {
+    if (grade.chained) {
+      chained_unfused += grade.unfused_launches;
+      chained_fused += grade.fused_launches;
+    }
+    if (grade.passed()) continue;
+    ++fusion_failed;
+    for (const auto& failure : grade.failures) {
+      std::cout << "FAIL fusion " << grade.program << ": " << failure
+                << "\n";
+    }
+  }
+
   std::cout << "graded " << report.graded << " runs: " << report.passed
             << " passed, " << report.failed << " failed, " << report.skipped
             << " skipped, " << report.identity_failures.size()
@@ -80,6 +98,10 @@ int main(int argc, char** argv) {
   std::cout << "coexec axis: " << coexec.size() << " grades, "
             << (coexec.size() - coexec_failed) << " passed, "
             << coexec_failed << " failed\n";
+  std::cout << "fusion axis: " << fusion.size() << " grades, "
+            << (fusion.size() - fusion_failed) << " passed, "
+            << fusion_failed << " failed (chained corpus: "
+            << chained_unfused << " -> " << chained_fused << " launches)\n";
   std::cout << "self-test (sabotaged boundary policy caught): "
             << (sabotage_caught ? "yes" : "NO") << "\n";
 
@@ -90,7 +112,8 @@ int main(int argc, char** argv) {
                 << " for writing\n";
       return 2;
     }
-    os << scenario::report_json(report, sabotage_caught ? 1 : 0, &coexec);
+    os << scenario::report_json(report, sabotage_caught ? 1 : 0, &coexec,
+                                &fusion);
     std::cout << "wrote " << json_path << "\n";
   }
 
@@ -103,5 +126,8 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << metrics_path << "\n";
   }
 
-  return report.ok() && sabotage_caught && coexec_failed == 0 ? 0 : 1;
+  return report.ok() && sabotage_caught && coexec_failed == 0 &&
+                 fusion_failed == 0
+             ? 0
+             : 1;
 }

@@ -39,6 +39,10 @@ bool parse_build_options(std::string_view options, CompileOptions& out,
       out.wg_loops = true;
     } else if (tok == "-cl-wg-loops=off") {
       out.wg_loops = false;
+    } else if (tok == "-cl-fusion" || tok == "-cl-fusion=on") {
+      out.fusion = true;
+    } else if (tok == "-cl-fusion=off") {
+      out.fusion = false;
     } else {
       error = "unrecognized build option '" + std::string(tok) + "'";
       return false;

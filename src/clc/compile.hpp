@@ -26,6 +26,11 @@ struct CompileOptions {
   /// barriers and run each region as a loop over the group on one shared
   /// activation. Only meaningful under InterpMode::Threaded; on by default.
   bool wg_loops = true;
+  /// Lazy-DAG kernel fusion in the HPL front-end (map-map/map-reduce
+  /// rewrites before launch). Parsed here so the option travels with the
+  /// other build knobs; clc::compile itself ignores it — the HPL runtime
+  /// applies it to its eval DAG. On by default.
+  bool fusion = true;
 };
 
 /// Parses a clBuildProgram-style options string ("-cl-opt-disable -w ...").
@@ -33,7 +38,8 @@ struct CompileOptions {
 /// (enable it; all map to the full pipeline), -cl-mad-enable (accepted; mad
 /// fusion is bit-exact here so it is always on at O2), -w (ignored),
 /// -cl-interp=stack|threaded (pick the interpreter; default threaded),
-/// -cl-wg-loops[=on|off] (work-item loops; default on under threaded).
+/// -cl-wg-loops[=on|off] (work-item loops; default on under threaded),
+/// -cl-fusion[=on|off] (HPL eval-DAG kernel fusion; default on).
 /// Returns false and sets `error` on the first unrecognised option.
 bool parse_build_options(std::string_view options, CompileOptions& out,
                          std::string& error);

@@ -23,6 +23,7 @@
 #include "hpl/array.hpp"     // IWYU pragma: export
 #include "hpl/eval.hpp"      // IWYU pragma: export
 #include "hpl/expr.hpp"      // IWYU pragma: export
+#include "hpl/fusion.hpp"    // IWYU pragma: export
 #include "hpl/keywords.hpp"  // IWYU pragma: export
 #include "hpl/patterns.hpp"  // IWYU pragma: export
 #include "hpl/runtime.hpp"   // IWYU pragma: export

@@ -30,6 +30,7 @@
 #include "coexec/coexec.hpp"
 #include "hpl/array.hpp"
 #include "hpl/codegen.hpp"
+#include "hpl/fusion.hpp"
 #include "hpl/runtime.hpp"
 #include "hpl/trace.hpp"
 #include "support/metrics.hpp"
@@ -309,7 +310,8 @@ private:
     Runtime& rt = Runtime::get();
     hplrepro::Stopwatch host_watch;
     // Sampled once: decides every metrics-only clock read below, so a
-    // metrics-off eval pays nothing beyond this relaxed load.
+    // metrics-off eval pays nothing beyond this relaxed load. Stored on
+    // the node, so a deferred launch keeps the enqueue-time decision.
     const bool metrics_on = hplrepro::metrics::enabled();
     // Host trace-clock instant eval() entered: the start of the latency
     // window the critical-path analyzer partitions.
@@ -320,143 +322,45 @@ private:
     CachedKernel* cached = capture_kernel(
         rt, std::index_sequence<Is...>{}, capture_us, codegen_us);
 
-    // --- Build for the target device (cached per device) ---
-    detail::DeviceEntry& dev = rt.entry(device_);
-    bool cache_hit = false;
-    double build_us = 0;
-    detail::BuiltKernel* built_slot;
-    if (metrics_on) {
-      hplrepro::Stopwatch build_watch;
-      built_slot = &rt.build_for(*cached, dev, &cache_hit);
-      if (!cache_hit) build_us = build_watch.seconds() * 1e6;
-    } else {
-      built_slot = &rt.build_for(*cached, dev, &cache_hit);
-    }
-    detail::BuiltKernel& built = *built_slot;
-
-    // --- Bind arguments; minimal transfers ---
-    std::vector<detail::BoundArray> arrays;
+    // --- Record the invocation as a DAG node ---
+    // Everything the launch needs is resolved here (device entry, global
+    // range, snapshotted scalar values), so eval() keeps its error
+    // contract and later host mutations cannot change what was asked.
+    detail::DagNode node;
+    node.cached = cached;
+    node.dev = &rt.entry(device_);
+    node.metrics_on = metrics_on;
+    node.eval_start_us = eval_start_us;
+    node.capture_us = capture_us;
+    node.codegen_us = codegen_us;
     std::optional<clsim::NDRange> default_global;
-    // Collects the coherence transfers this eval enqueues, so completion
-    // can attribute their execution windows to this launch.
-    detail::TransferCapture transfer_capture;
-    double marshal_us = 0;
-    clsim::Event event;
-    {
-      // clsim::Kernel arg slots are sticky (clSetKernelArg semantics), so
-      // bind + hidden-dim args + enqueue must be atomic per built kernel:
-      // a concurrent eval of the same kernel on the same device would
-      // otherwise interleave set_arg sequences and launch with a mix of
-      // both evals' arguments.
-      std::lock_guard<std::mutex> launch_lock(*built.launch_mutex);
-      {
-        hplrepro::trace::Span span("marshal", "hpl");
-        std::optional<hplrepro::Stopwatch> watch;
-        if (metrics_on) watch.emplace();
-        span.arg("kernel", cached->name);
-        (bind_arg<Params>(static_cast<unsigned>(Is), actuals, *cached, dev,
-                          *built.kernel, arrays, default_global),
-         ...);
-        if (watch.has_value()) marshal_us = watch->seconds() * 1e6;
-      }
+    (record_arg<Params>(actuals, *cached, node, default_global), ...);
 
-      // Hidden dimension-size arguments (rank >= 2), in parameter order.
-      unsigned hidden = static_cast<unsigned>(kNumParams);
-      for (const auto& bound : arrays) {
-        for (int d = 1; d < bound.ndim; ++d) {
-          built.kernel->set_arg(
-              hidden++,
-              static_cast<std::uint32_t>(
-                  bound.impl->dims[static_cast<std::size_t>(d)]));
-        }
-      }
-
-      // --- Domains ---
-      clsim::NDRange global_range;
-      if (global_.has_value()) {
-        global_range = *global_;
-      } else if (default_global.has_value()) {
-        global_range = *default_global;  // dims of the first array argument
-      } else {
-        throw hplrepro::InvalidArgument(
-            "HPL: no global domain: specify .global(...) or pass an array "
-            "first argument");
-      }
-
-      // Cross-queue writes into any bound buffer (pending d2d merges) are
-      // not serialized by this queue; carry them in the wait-list.
-      std::vector<clsim::Event> deps;
-      for (const auto& bound : arrays) {
-        for (const auto& e : bound.copy->pending_d2d) {
-          if (!e.complete()) deps.push_back(e);
-        }
-        bound.copy->pending_d2d.clear();
-      }
-
-      // --- Launch (non-blocking: the queue worker runs the kernel) ---
-      hplrepro::trace::Span span("launch", "hpl");
-      try {
-        event = dev.queue->enqueue_ndrange_kernel(*built.kernel, global_range,
-                                                  local_, std::move(deps));
-      } catch (const hplrepro::clc::TrapError&) {
-        // Synchronous mode (HPL_SYNC=1) surfaces the deferred execution
-        // error at the enqueue; async mode stores it on the event. The
-        // launch still happened, so account it exactly like an async
-        // failed launch — keeping hits + misses == kernel_launches and
-        // profiler_report reconciled with profile() — then rethrow.
-        rt.with_prof([&](ProfileSnapshot& p) { p.kernel_launches += 1; });
-        detail::profiler_record_failed_launch(cached->name,
-                                              dev.device.name(), cache_hit);
-        throw;
-      }
-      if (span.active()) {
-        // Only enqueue-time facts here: reading ExecStats/TimingBreakdown
-        // would block on the launch. The clsim device track carries the
-        // full per-launch picture (with queued/submitted/started/ended).
-        span.arg("kernel", cached->name)
-            .arg("device", dev.device.name())
-            .arg("cache_hit", static_cast<std::uint64_t>(cache_hit))
-            .arg("opt_report", built.program->opt_report().summary());
-      }
+    if (global_.has_value()) {
+      node.global = *global_;
+    } else if (default_global.has_value()) {
+      node.global = *default_global;  // dims of the first array argument
+    } else {
+      throw hplrepro::InvalidArgument(
+          "HPL: no global domain: specify .global(...) or pass an array "
+          "first argument");
     }
+    node.local = local_;
 
-    for (const auto& bound : arrays) {
-      if (bound.written) rt.mark_device_written(*bound.impl, dev);
-      bound.copy->last_event = event;  // incoming d2d must order after us
-    }
-
-    // Enqueue done: the host-prep segment of the critical path ends here.
-    // (In sync mode the kernel already ran inside the enqueue; attribution
-    // clips the host window to the completion instant.)
-    const double enqueue_us = metrics_on ? hplrepro::trace::now_us() : 0.0;
-
-    // Completion-side accounting, run on the queue worker (or inline in
-    // sync mode): simulated seconds and the per-kernel profiler registry.
-    // Registered via on_settled so a launch that traps still lands in the
-    // registry — keeping profiler_report reconciled with profile() — even
-    // though it has no profiling data to contribute.
-    detail::account_launch_settled(rt, event, cached->name,
-                                   dev.device.name(), cache_hit, metrics_on,
-                                   transfer_capture.take(), eval_start_us,
-                                   enqueue_us, capture_us, codegen_us,
-                                   build_us, marshal_us);
-
-    // In sync mode the simulator consumed host wall-clock inside this call;
-    // subtract it so host_seconds keeps meaning "eval overhead". In async
-    // mode the simulation runs on the worker and costs this thread nothing.
-    const double sim_wall =
-        clsim::async_enabled() ? 0.0 : event.wall_seconds();
+    // Front-end overhead (capture/codegen/marshal of the record) counts
+    // as eval host time in both modes; launch_node accounts its own
+    // window, so the two sum to the full per-launch overhead.
     rt.with_prof([&](ProfileSnapshot& p) {
-      p.kernel_launches += 1;
-      p.host_seconds += host_watch.seconds() - sim_wall;
+      p.host_seconds += host_watch.seconds();
     });
-    if (metrics_on) {
-      static auto& launches = hplrepro::metrics::counter("hpl.eval.launches");
-      static auto& host_ns = hplrepro::metrics::histogram("hpl.eval.host_ns");
-      launches.add_always(1);
-      const double host_s = host_watch.seconds() - sim_wall;
-      host_ns.record_always(
-          host_s > 0 ? static_cast<std::uint64_t>(host_s * 1e9) : 0);
+
+    if (detail::fusion_active()) {
+      // Deferred: launches at the next forcing point, possibly fused.
+      detail::record_node(std::move(node));
+    } else {
+      // Eager (HPL_NO_FUSION=1 / -cl-fusion=off): the exact pre-DAG
+      // launch sequence, through the same launch path a flush uses.
+      detail::launch_node(rt, node);
     }
   }
 
@@ -488,6 +392,10 @@ private:
       CachedKernel fresh;
       fresh.name = rt.next_kernel_name();
       fresh.params = builder.params();
+      // Kept for the fusion rewriter (fusion.cpp), which splices captured
+      // bodies into synthesized kernels.
+      fresh.body = builder.body();
+      fresh.predefined = builder.predefined();
       {
         hplrepro::trace::Span span("codegen", "hpl");
         hplrepro::Stopwatch watch;
@@ -526,6 +434,11 @@ private:
       throw hplrepro::Error(
           "HPL: eval can only be used in host code (paper §III-C)");
     }
+
+    // A co-executed eval is a forcing point: deferred producers must land
+    // before the NDRange is split across devices (the per-chunk coherence
+    // logic reasons about materialised arrays, not pending rewrites).
+    detail::flush_dag();
 
     Runtime& rt = Runtime::get();
     const bool metrics_on = hplrepro::metrics::enabled();
@@ -850,15 +763,16 @@ private:
     }
   }
 
-  /// Binds actual argument `actual` to parameter `i`.
+  /// Collects actual argument `actual` into the DAG node (array impls are
+  /// retained; scalar values snapshotted). Transfers and kernel-argument
+  /// binding happen later, in launch_node.
   template <typename Param, typename Actual>
-  void bind_arg(unsigned i, Actual& actual, detail::CachedKernel& cached,
-                detail::DeviceEntry& dev, hplrepro::clsim::Kernel& kernel,
-                std::vector<detail::BoundArray>& arrays,
-                std::optional<hplrepro::clsim::NDRange>& default_global) {
+  void record_arg(Actual& actual, detail::CachedKernel& cached,
+                  detail::DagNode& node,
+                  std::optional<hplrepro::clsim::NDRange>& default_global) {
     namespace clsim = hplrepro::clsim;
-    using detail::Runtime;
     using ActualD = std::decay_t<Actual>;
+    (void)cached;
 
     if constexpr (detail::IsHplArray<Param>::value &&
                   detail::HplArrayTraits<Param>::ndim >= 1) {
@@ -870,16 +784,7 @@ private:
                     "eval: array element type mismatch");
       static_assert(PT::ndim == AT::ndim, "eval: array rank mismatch");
 
-      Runtime& rt = Runtime::get();
       detail::ArrayImplPtr impl = actual.impl();
-      const detail::ParamAccess access = cached.params[i].access;
-      if (access.read) {
-        rt.ensure_on_device(*impl, dev);
-      }
-      auto& copy = rt.device_copy(*impl, dev);
-      kernel.set_arg(i, *copy.buffer);
-
-      arrays.push_back({impl, access.written, PT::ndim, &copy});
       if (!default_global.has_value()) {
         clsim::NDRange range;
         range.dims = static_cast<int>(impl->dims.size());
@@ -888,19 +793,27 @@ private:
         }
         default_global = range;
       }
+      detail::NodeArg arg;
+      arg.impl = std::move(impl);
+      arg.ndim = PT::ndim;
+      node.args.push_back(std::move(arg));
     } else {
       // Scalar parameter: accept an HPL scalar or a plain arithmetic value.
       using T = typename detail::HplArrayTraits<Param>::elem;
+      T value;
       if constexpr (detail::IsHplArray<ActualD>::value) {
         static_assert(detail::HplArrayTraits<ActualD>::ndim == 0,
                       "eval: scalar parameter requires a scalar argument");
-        detail::set_scalar_arg<T>(kernel, i,
-                                  static_cast<T>(actual.value()));
+        value = static_cast<T>(actual.value());
       } else {
         static_assert(std::is_arithmetic_v<ActualD>,
                       "eval: scalar parameter requires an arithmetic value");
-        detail::set_scalar_arg<T>(kernel, i, static_cast<T>(actual));
+        value = static_cast<T>(actual);
       }
+      detail::NodeArg arg;
+      arg.ndim = 0;
+      arg.scalar = detail::make_scalar_value<T>(value);
+      node.args.push_back(std::move(arg));
     }
   }
 

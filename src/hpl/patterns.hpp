@@ -24,6 +24,10 @@
 /// the platform's default accelerator).
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "hpl/array.hpp"
 #include "hpl/eval.hpp"
@@ -34,6 +38,58 @@ namespace patterns_detail {
 
 inline constexpr std::size_t kReduceGroups = 64;
 inline constexpr std::size_t kReduceLocal = 128;
+
+/// Per-element-type pool of partial-sum scratch arrays. reduce_sum/dot used
+/// to construct a fresh kReduceGroups-element Array on every call — a host
+/// allocation plus a fresh device buffer per reduction. The pool hands the
+/// same scratch arrays back out, so steady-state reductions reuse a
+/// device-resident buffer. Leaked singleton: leases may be released during
+/// static destruction, after a function-local static pool would be gone.
+template <typename T>
+class PartialsPool {
+public:
+  /// RAII lease: acquire on construction, return to the pool on scope exit.
+  class Lease {
+  public:
+    explicit Lease(PartialsPool& pool)
+        : pool_(pool), array_(pool.acquire()) {}
+    ~Lease() { pool_.release(std::move(array_)); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Array<T, 1>& array() { return *array_; }
+
+  private:
+    PartialsPool& pool_;
+    std::unique_ptr<Array<T, 1>> array_;
+  };
+
+  static PartialsPool& get() {
+    static PartialsPool* pool = new PartialsPool;
+    return *pool;
+  }
+
+private:
+  std::unique_ptr<Array<T, 1>> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto out = std::move(free_.back());
+        free_.pop_back();
+        return out;
+      }
+    }
+    return std::make_unique<Array<T, 1>>(kReduceGroups);
+  }
+
+  void release(std::unique_ptr<Array<T, 1>> array) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(array));
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Array<T, 1>>> free_;
+};
 
 template <typename T>
 void fill_kernel(Array<T, 1> out, Array<T, 0> value) {
@@ -185,7 +241,8 @@ void div(Array<T, 1>& out, Array<T, 1>& a, Array<T, 1>& b,
 template <typename T>
 T reduce_sum(Array<T, 1>& in, Device device = Device()) {
   using namespace patterns_detail;
-  Array<T, 1> partials(kReduceGroups);
+  typename PartialsPool<T>::Lease lease(PartialsPool<T>::get());
+  Array<T, 1>& partials = lease.array();
   eval(reduce_kernel<T>)
       .global(kReduceGroups * kReduceLocal)
       .local(kReduceLocal)
@@ -198,7 +255,8 @@ T reduce_sum(Array<T, 1>& in, Device device = Device()) {
 template <typename T>
 T dot(Array<T, 1>& a, Array<T, 1>& b, Device device = Device()) {
   using namespace patterns_detail;
-  Array<T, 1> partials(kReduceGroups);
+  typename PartialsPool<T>::Lease lease(PartialsPool<T>::get());
+  Array<T, 1>& partials = lease.array();
   eval(dot_kernel<T>)
       .global(kReduceGroups * kReduceLocal)
       .local(kReduceLocal)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "hpl/fusion.hpp"
 #include "hpl/trace.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
@@ -115,10 +116,15 @@ Runtime::Runtime() {
 
 Runtime::~Runtime() {
   // Commands may still be pending at process exit (an eval whose result
-  // was never read). Drain every queue while prof_mutex_/prof_ and the
-  // profiler registry are still alive, so no completion callback runs
-  // during member destruction. Deferred errors have nowhere to go from a
-  // destructor; swallow them.
+  // was never read). Deferred DAG nodes launch first (they reference the
+  // caches this destructor is about to tear down), then every queue is
+  // drained while prof_mutex_/prof_ and the profiler registry are still
+  // alive, so no completion callback runs during member destruction.
+  // Deferred errors have nowhere to go from a destructor; swallow them.
+  try {
+    detail::flush_dag();
+  } catch (...) {
+  }
   for (auto& dev : devices_) {
     try {
       dev.queue->finish();
@@ -163,12 +169,27 @@ CachedKernel& Runtime::insert_kernel(const void* fn, CachedKernel kernel) {
   return kernel_cache_.try_emplace(fn, std::move(kernel)).first->second;
 }
 
+CachedKernel* Runtime::find_fused_kernel(const std::string& key) {
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
+  auto it = fused_cache_.find(key);
+  return it == fused_cache_.end() ? nullptr : &it->second;
+}
+
+CachedKernel& Runtime::insert_fused_kernel(const std::string& key,
+                                           CachedKernel kernel) {
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
+  return fused_cache_.try_emplace(key, std::move(kernel)).first->second;
+}
+
 void Runtime::clear_kernel_cache() {
   // In-flight launches retain what they captured, but quiescing first keeps
-  // "purge then measure cold behaviour" deterministic.
+  // "purge then measure cold behaviour" deterministic. finish_all also
+  // flushes the eval DAG, so no deferred node is left holding a pointer
+  // into the caches cleared below.
   finish_all();
   std::lock_guard<std::mutex> lock(kernel_mutex_);
   kernel_cache_.clear();
+  fused_cache_.clear();
 }
 
 void Runtime::set_build_options(std::string options) {
@@ -177,16 +198,32 @@ void Runtime::set_build_options(std::string options) {
   if (!clc::parse_build_options(options, parsed, error)) {
     throw hplrepro::InvalidArgument("HPL: " + error);
   }
+  // Everything recorded under the old options must also launch (and
+  // build) under them; flush before the swap.
+  detail::flush_dag();
+  // A "-cl-fusion" token drives the runtime fusion toggle; its absence
+  // leaves the toggle alone (parsed.fusion merely holds the default then).
+  const bool has_fusion_token =
+      options.find("-cl-fusion") != std::string::npos;
+  bool unchanged = false;
   {
     std::lock_guard<std::mutex> lock(kernel_mutex_);
-    if (options == build_options_) return;  // unchanged: keep the cache
-    build_options_ = std::move(options);
+    unchanged = options == build_options_;
+    if (!unchanged) build_options_ = std::move(options);
+  }
+  if (unchanged) {  // keep the cache; the fusion token still applies
+    if (has_fusion_token) apply_fusion_build_option(parsed.fusion);
+    return;
   }
   // Cached binaries were built with the old options; force rebuilds.
   clear_kernel_cache();
+  if (has_fusion_token) apply_fusion_build_option(parsed.fusion);
 }
 
 void Runtime::finish_all() {
+  // Forcing point: "every command has completed" includes evals still
+  // deferred on the DAG. Reentrancy-safe (flush_dag no-ops inside a flush).
+  detail::flush_dag();
   for (auto& dev : devices_) dev.queue->finish();
 }
 
@@ -573,9 +610,16 @@ ArrayImplPtr make_array_impl_wrapping(const char* type_name,
   return impl;
 }
 
-void sync_to_host(ArrayImpl& impl) { Runtime::get().sync_to_host(impl); }
+void sync_to_host(ArrayImpl& impl) {
+  // Host read of an array: the canonical forcing point. Pending producers
+  // (of this array or any other — the DAG is flushed whole to preserve
+  // program order) launch before the d2h sync.
+  flush_dag();
+  Runtime::get().sync_to_host(impl);
+}
 
 void prepare_host_write(ArrayImpl& impl) {
+  flush_dag();
   Runtime::get().sync_to_host(impl);
   // The host is about to scribble on host_ptr: in-flight uploads still
   // reading it must finish first, as must cross-queue writes into any

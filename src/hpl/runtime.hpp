@@ -129,11 +129,17 @@ struct BuiltKernel {
 
 /// A captured kernel: generated source plus per-device binaries. Cached by
 /// kernel function address so repeat invocations skip capture, codegen and
-/// compilation (paper §V-B).
+/// compilation (paper §V-B). `body` and `predefined` keep the pre-codegen
+/// pieces around so the fusion pass (fusion.hpp) can splice kernel bodies
+/// together and re-run codegen on the result.
 struct CachedKernel {
   std::string name;
   std::string source;
   std::vector<ParamSig> params;
+  /// Captured statement lines (as emitted by KernelBuilder::body()).
+  std::string body;
+  /// Predefined work-item variables the body uses (idx, lidx, ...).
+  std::vector<std::pair<std::string, std::string>> predefined;
   std::map<const hplrepro::clsim::DeviceSpec*, BuiltKernel> built;
 };
 
@@ -171,6 +177,14 @@ public:
   /// Cache lookup by kernel function address; nullptr on miss.
   CachedKernel* find_kernel(const void* fn);
   CachedKernel& insert_kernel(const void* fn, CachedKernel kernel);
+
+  /// Fused-kernel cache, keyed by a content hash of the synthesized
+  /// source (fusion.cpp): the same producer->consumer chain flushed again
+  /// reuses the previously synthesized (and built) kernel. Same
+  /// first-insert-wins contract as insert_kernel.
+  CachedKernel* find_fused_kernel(const std::string& key);
+  CachedKernel& insert_fused_kernel(const std::string& key,
+                                    CachedKernel kernel);
 
   /// Ensures `cached` is built for `dev` and returns the binary. When
   /// `cache_hit` is non-null it is set to whether the binary was already
@@ -257,6 +271,7 @@ private:
   /// prof_mutex_; never the reverse.
   std::mutex kernel_mutex_;
   std::map<const void*, CachedKernel> kernel_cache_;
+  std::map<std::string, CachedKernel> fused_cache_;
   std::mutex prof_mutex_;
   ProfileSnapshot prof_;
   std::string build_options_;

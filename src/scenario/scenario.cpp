@@ -12,6 +12,8 @@
 #include "benchsuite/transpose.hpp"
 #include "clsim/runtime.hpp"
 #include "coexec/coexec.hpp"
+#include "hpl/fusion.hpp"
+#include "hpl/patterns.hpp"
 #include "hpl/runtime.hpp"
 #include "hpl/trace.hpp"
 #include "scenario/workloads.hpp"
@@ -197,10 +199,14 @@ class ConfigGuard {
 public:
   ConfigGuard()
       : async_(clsim::async_enabled()),
-        options_(HPL::kernel_build_options()) {}
+        options_(HPL::kernel_build_options()),
+        fusion_(HPL::fusion_enabled()) {}
   ~ConfigGuard() {
     clsim::set_async_enabled(async_);
     HPL::set_kernel_build_options(options_);
+    // The restored options may carry no -cl-fusion token, which leaves the
+    // runtime toggle wherever the last cell put it; restore it explicitly.
+    HPL::set_fusion_enabled(fusion_);
     HPL::purge_kernel_cache();
     HPL::reset_profile();
   }
@@ -208,6 +214,7 @@ public:
 private:
   bool async_;
   std::string options_;
+  bool fusion_;
 };
 
 std::string json_escape(const std::string& s) {
@@ -238,14 +245,16 @@ Axes Axes::reduced() {
 
 std::string Cell::label() const {
   return device + "/" + (async ? "async" : "sync") + "/" + interp + "/" +
-         opt + "/" + size;
+         opt + "/" + size + "/" + (fusion ? "fused" : "nofuse");
 }
 
 std::string Cell::build_options() const {
+  const std::string fusion_token =
+      std::string(" -cl-fusion=") + (fusion ? "on" : "off");
   if (interp == "threaded-wg-off") {
-    return opt + " -cl-interp=threaded -cl-wg-loops=off";
+    return opt + " -cl-interp=threaded -cl-wg-loops=off" + fusion_token;
   }
-  return opt + " -cl-interp=" + interp;
+  return opt + " -cl-interp=" + interp + fusion_token;
 }
 
 bool CellReport::passed() const {
@@ -292,30 +301,36 @@ SweepReport run_sweep(const Axes& axes) {
       for (const auto& opt : axes.opts) {
         for (const auto& interp : axes.interps) {
           for (const bool async : axes.async_modes) {
-            Cell cell{device, async, interp, opt, size};
-            CellReport cell_report;
-            cell_report.cell = cell;
-            for (const auto& workload : workloads()) {
-              WorkloadGrade grade =
-                  grade_one(workload, cell, reference_for(workload, size));
-              if (grade.skipped) {
-                ++report.skipped;
-              } else {
-                ++report.graded;
-                if (grade.failures.empty()) {
-                  ++report.passed;
+            for (const bool fusion : axes.fusion_modes) {
+              Cell cell{device, async, interp, opt, size, fusion};
+              CellReport cell_report;
+              cell_report.cell = cell;
+              for (const auto& workload : workloads()) {
+                WorkloadGrade grade =
+                    grade_one(workload, cell, reference_for(workload, size));
+                if (grade.skipped) {
+                  ++report.skipped;
                 } else {
-                  ++report.failed;
+                  ++report.graded;
+                  if (grade.failures.empty()) {
+                    ++report.passed;
+                  } else {
+                    ++report.failed;
+                  }
+                  // Fusion mode deliberately stays OUT of both group keys:
+                  // the benchsuite kernels are fusion-ineligible, so the
+                  // lazy DAG must be observationally neutral — fused and
+                  // unfused cells land in the same identity group.
+                  const std::string run_key =
+                      device + "|" + size + "|" + workload.name;
+                  sync_interp_groups[run_key + "|" + opt].push_back(
+                      {cell.label(), grade});
+                  opt_groups[run_key].push_back({cell.label(), grade});
                 }
-                const std::string run_key =
-                    device + "|" + size + "|" + workload.name;
-                sync_interp_groups[run_key + "|" + opt].push_back(
-                    {cell.label(), grade});
-                opt_groups[run_key].push_back({cell.label(), grade});
+                cell_report.grades.push_back(std::move(grade));
               }
-              cell_report.grades.push_back(std::move(grade));
+              report.cells.push_back(std::move(cell_report));
             }
-            report.cells.push_back(std::move(cell_report));
           }
         }
       }
@@ -520,6 +535,178 @@ std::vector<CoexecGrade> run_coexec_axis() {
   return grades;
 }
 
+namespace {
+
+// The kernel body below needs HPL's expression operators in scope.
+using namespace HPL;
+
+/// The fusion-ineligible control: two statements, so no rewrite rule may
+/// touch it — the fused run must be launch-for-launch the unfused run.
+void fusion_control_kernel(HPL::Array<float, 1> out, HPL::Array<float, 1> in) {
+  out[HPL::idx] = in[HPL::idx] * 2.0f;
+  out[HPL::idx] = out[HPL::idx] + 1.0f;
+}
+
+/// The programs of the fusion axis: chains of single-statement pattern
+/// kernels (what the rewrite rules fire on) plus the control. Each returns
+/// its observable output; reading it is the forcing point that flushes the
+/// DAG in fused mode.
+struct FusionProgram {
+  const char* name;
+  bool chained;  // expected to fuse
+  std::vector<double> (*run)();
+};
+
+std::vector<double> fusion_read_back(HPL::Array<float, 1>& a) {
+  std::vector<double> out(a.length());
+  for (std::size_t i = 0; i < a.length(); ++i) out[i] = a.get(i);
+  return out;
+}
+
+constexpr std::size_t kFusionN = 2048;
+
+const FusionProgram kFusionPrograms[] = {
+    // fill + iota + scale + add: two producer chains meeting in one
+    // consumer — the whole program folds into a single map kernel.
+    {"map_chain", true,
+     [] {
+       HPL::Array<float, 1> b(kFusionN), t(kFusionN), out(kFusionN);
+       HPL::fill(b, 3.0f);
+       HPL::iota(t);
+       HPL::scale(t, 2.0f);
+       HPL::add(out, t, b);
+       return fusion_read_back(out);
+     }},
+    // A map feeding the grid-stride reduction: one pass over the data.
+    {"map_reduce", true,
+     [] {
+       HPL::Array<float, 1> a(kFusionN);
+       HPL::fill(a, 2.5f);
+       return std::vector<double>{
+           static_cast<double>(HPL::reduce_sum(a))};
+     }},
+    // Two independent producers inlined into dot()'s reduction loop.
+    {"dot_chain", true,
+     [] {
+       HPL::Array<float, 1> a(kFusionN), b(kFusionN);
+       HPL::iota(a);
+       HPL::fill(b, 0.5f);
+       return std::vector<double>{static_cast<double>(HPL::dot(a, b))};
+     }},
+    // The first fill is fully overwritten before anyone reads it: dead.
+    {"dead_temp", true,
+     [] {
+       HPL::Array<float, 1> t(kFusionN);
+       HPL::fill(t, 1.0f);
+       HPL::fill(t, 2.0f);
+       return fusion_read_back(t);
+     }},
+    // Multi-statement kernels: the rewriter must keep its hands off.
+    {"control_multi_statement", false,
+     [] {
+       HPL::Array<float, 1> in(kFusionN), out(kFusionN);
+       for (std::size_t i = 0; i < kFusionN; ++i) {
+         in(i) = static_cast<float>(i % 7);
+       }
+       HPL::eval(fusion_control_kernel)(out, in);
+       HPL::eval(fusion_control_kernel)(in, out);
+       return fusion_read_back(in);
+     }},
+};
+
+}  // namespace
+
+std::vector<FusionGrade> run_fusion_axis() {
+  ConfigGuard guard;
+  std::vector<FusionGrade> grades;
+  for (const FusionProgram& program : kFusionPrograms) {
+    FusionGrade grade;
+    grade.program = program.name;
+    grade.chained = program.chained;
+
+    struct Observation {
+      std::vector<double> output;
+      std::uint64_t launches = 0;
+      std::uint64_t bytes = 0;
+      double sim_seconds = 0;
+    };
+    const auto observe = [&](bool fused) {
+      HPL::set_fusion_enabled(fused);
+      HPL::purge_kernel_cache();
+      HPL::reset_profile();
+      Observation obs;
+      obs.output = program.run();
+      const HPL::ProfileSnapshot prof = HPL::profile();
+      obs.launches = prof.kernel_launches;
+      obs.sim_seconds = prof.kernel_sim_seconds;
+      for (const auto& k : HPL::kernel_profiles()) {
+        obs.bytes += k.global_bytes;
+      }
+      if (prof.kernel_cache_hits + prof.kernel_cache_misses !=
+          prof.kernel_launches) {
+        grade.failures.push_back(fail(
+            "fusion-profile",
+            std::string(fused ? "fused" : "unfused") + " run: hits " +
+                std::to_string(prof.kernel_cache_hits) + " + misses " +
+                std::to_string(prof.kernel_cache_misses) + " != launches " +
+                std::to_string(prof.kernel_launches)));
+      }
+      return obs;
+    };
+    const Observation unfused = observe(false);
+    const Observation fused = observe(true);
+
+    grade.unfused_launches = unfused.launches;
+    grade.fused_launches = fused.launches;
+    grade.unfused_bytes = unfused.bytes;
+    grade.fused_bytes = fused.bytes;
+    grade.unfused_sim_seconds = unfused.sim_seconds;
+    grade.fused_sim_seconds = fused.sim_seconds;
+    grade.bit_identical = unfused.output == fused.output;
+
+    if (!grade.bit_identical) {
+      grade.failures.push_back(fail(
+          "fusion-identity", "fused output differs from the unfused run"));
+    }
+    if (fused.launches > unfused.launches) {
+      grade.failures.push_back(fail(
+          "fusion-delta", "fused run launched MORE kernels (" +
+                              std::to_string(fused.launches) + " > " +
+                              std::to_string(unfused.launches) + ")"));
+    } else {
+      grade.launches_saved = unfused.launches - fused.launches;
+    }
+    if (program.chained) {
+      if (grade.launches_saved == 0) {
+        grade.failures.push_back(fail(
+            "fusion-delta", "chained program saved no launches (" +
+                                std::to_string(unfused.launches) +
+                                " unfused)"));
+      }
+      if (fused.bytes >= unfused.bytes) {
+        grade.failures.push_back(fail(
+            "fusion-traffic",
+            "fused traffic " + std::to_string(fused.bytes) +
+                " B is not below unfused " + std::to_string(unfused.bytes) +
+                " B"));
+      }
+    } else {
+      if (fused.launches != unfused.launches ||
+          fused.bytes != unfused.bytes) {
+        grade.failures.push_back(fail(
+            "fusion-control",
+            "rewriter touched a fusion-ineligible program (launches " +
+                std::to_string(unfused.launches) + " -> " +
+                std::to_string(fused.launches) + ", bytes " +
+                std::to_string(unfused.bytes) + " -> " +
+                std::to_string(fused.bytes) + ")"));
+      }
+    }
+    grades.push_back(std::move(grade));
+  }
+  return grades;
+}
+
 bool grader_catches_sabotage() {
   ConfigGuard guard;
   const Workload broken = sabotage_workload();
@@ -541,7 +728,8 @@ bool grader_catches_sabotage() {
 }
 
 std::string report_json(const SweepReport& report, int sabotage_caught,
-                        const std::vector<CoexecGrade>* coexec) {
+                        const std::vector<CoexecGrade>* coexec,
+                        const std::vector<FusionGrade>* fusion) {
   std::ostringstream out;
   out << "{\n  \"schema\": \"hplrepro-scenario-v1\",\n";
 
@@ -562,6 +750,12 @@ std::string report_json(const SweepReport& report, int sabotage_caught,
   out << "],\n";
   out << "    \"interps\": [" << string_list(report.axes.interps) << "],\n";
   out << "    \"opts\": [" << string_list(report.axes.opts) << "],\n";
+  out << "    \"fusion\": [";
+  for (std::size_t i = 0; i < report.axes.fusion_modes.size(); ++i) {
+    out << (i ? ", " : "")
+        << (report.axes.fusion_modes[i] ? "true" : "false");
+  }
+  out << "],\n";
   out << "    \"sizes\": [" << string_list(report.axes.sizes) << "]\n";
   out << "  },\n";
 
@@ -625,11 +819,35 @@ std::string report_json(const SweepReport& report, int sabotage_caught,
     out << "  ],\n";
   }
 
+  std::size_t fusion_failed = 0;
+  if (fusion != nullptr) {
+    out << "  \"fusion\": [\n";
+    for (std::size_t g = 0; g < fusion->size(); ++g) {
+      const FusionGrade& grade = (*fusion)[g];
+      if (!grade.passed()) ++fusion_failed;
+      out << "    {\"program\": \"" << json_escape(grade.program)
+          << "\", \"chained\": " << (grade.chained ? "true" : "false")
+          << ", \"unfused_launches\": " << grade.unfused_launches
+          << ", \"fused_launches\": " << grade.fused_launches
+          << ", \"launches_saved\": " << grade.launches_saved
+          << ", \"unfused_bytes\": " << grade.unfused_bytes
+          << ", \"fused_bytes\": " << grade.fused_bytes
+          << ", \"unfused_sim_seconds\": " << grade.unfused_sim_seconds
+          << ", \"fused_sim_seconds\": " << grade.fused_sim_seconds
+          << ", \"bit_identical\": "
+          << (grade.bit_identical ? "true" : "false")
+          << ", \"status\": \"" << (grade.passed() ? "pass" : "fail")
+          << "\", \"failures\": [" << string_list(grade.failures) << "]}"
+          << (g + 1 < fusion->size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+  }
+
   if (sabotage_caught >= 0) {
     out << "  \"self_test\": {\"sabotage_caught\": "
         << (sabotage_caught ? "true" : "false") << "},\n";
   }
-  const bool ok = report.ok() && coexec_failed == 0;
+  const bool ok = report.ok() && coexec_failed == 0 && fusion_failed == 0;
   out << "  \"summary\": {\"cells\": " << report.cells.size()
       << ", \"graded\": " << report.graded
       << ", \"passed\": " << report.passed
@@ -639,6 +857,10 @@ std::string report_json(const SweepReport& report, int sabotage_caught,
   if (coexec != nullptr) {
     out << ", \"coexec_graded\": " << coexec->size()
         << ", \"coexec_failed\": " << coexec_failed;
+  }
+  if (fusion != nullptr) {
+    out << ", \"fusion_graded\": " << fusion->size()
+        << ", \"fusion_failed\": " << fusion_failed;
   }
   out << ", \"ok\": " << (ok ? "true" : "false") << "}\n";
   out << "}\n";

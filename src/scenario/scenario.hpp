@@ -7,7 +7,7 @@
 ///
 ///   device {CPU, Tesla, Quadro} × sync {HPL_SYNC=0,1} ×
 ///   interpreter {-cl-interp=stack, threaded, threaded -cl-wg-loops=off} ×
-///   opt {-O0,-O2} × size
+///   opt {-O0,-O2} × fusion {-cl-fusion=on,off} × size
 ///
 /// — runs every benchsuite workload (the five paper benchmarks plus the
 /// stencil family) through each cell, and grades three things per run:
@@ -44,16 +44,22 @@ struct Axes {
   /// "threaded", which the profile-identity grade enforces.
   std::vector<std::string> interps = {"stack", "threaded", "threaded-wg-off"};
   std::vector<std::string> opts = {"-O0", "-O2"};
+  /// Lazy-DAG kernel fusion on/off (the "-cl-fusion" build option). The
+  /// benchsuite kernels are all fusion-ineligible (multi-statement), so
+  /// this axis grades *observational neutrality*: recording evals on the
+  /// DAG and launching them at forcing points must change nothing a cell
+  /// can see. The fused-vs-unfused deltas live in run_fusion_axis().
+  std::vector<bool> fusion_modes = {true, false};
   std::vector<std::string> sizes = {"small", "large"};
 
-  /// The full matrix: 3 × 2 × 3 × 2 × 2 = 72 cells.
+  /// The full matrix: 3 × 2 × 3 × 2 × 2 × 2 = 144 cells.
   static Axes full();
-  /// The reduced matrix for ctest/CI: small sizes only (36 cells).
+  /// The reduced matrix for ctest/CI: small sizes only (72 cells).
   static Axes reduced();
 
   std::size_t cell_count() const {
     return devices.size() * async_modes.size() * interps.size() *
-           opts.size() * sizes.size();
+           opts.size() * fusion_modes.size() * sizes.size();
   }
 };
 
@@ -64,8 +70,9 @@ struct Cell {
   std::string interp;
   std::string opt;
   std::string size;
+  bool fusion = true;
 
-  /// "Tesla/async/stack/-O2/small" — stable id used in reports.
+  /// "Tesla/async/stack/-O2/small/fused" — stable id used in reports.
   std::string label() const;
   /// The clBuildProgram-style options string the cell runs under.
   std::string build_options() const;
@@ -140,6 +147,32 @@ struct CoexecGrade {
 /// 3: +host CPU} — 18 grades.
 std::vector<CoexecGrade> run_coexec_axis();
 
+/// One grade of the fusion axis: a chained pattern program (the kernels
+/// the rewrite rules actually fire on) run unfused and fused, checked
+/// bit-identical, profile-reconciled (hits + misses == launches in both
+/// modes), and graded on its deltas: a chained program must save launches
+/// and global-memory traffic; a control program (multi-statement kernels)
+/// must be untouched by the rewriter.
+struct FusionGrade {
+  std::string program;
+  bool chained = true;  // expected to fuse; false = ineligible control
+  std::uint64_t unfused_launches = 0;
+  std::uint64_t fused_launches = 0;
+  std::uint64_t launches_saved = 0;
+  std::uint64_t unfused_bytes = 0;  // global-memory traffic (kernel registry)
+  std::uint64_t fused_bytes = 0;
+  double unfused_sim_seconds = 0;
+  double fused_sim_seconds = 0;
+  bool bit_identical = false;
+  std::vector<std::string> failures;
+  bool passed() const { return failures.empty(); }
+};
+
+/// Runs the fusion axis: chained pattern programs (map chains, map→reduce,
+/// two producers→dot, a dead temporary) plus a fusion-ineligible control,
+/// each run unfused then fused.
+std::vector<FusionGrade> run_fusion_axis();
+
 /// The workloads the sweep grades, in run order: the five paper benchmarks
 /// plus blur, sobel and jacobi.
 std::vector<std::string> workload_names();
@@ -154,10 +187,12 @@ bool grader_catches_sabotage();
 
 /// Renders the report as JSON (schema "hplrepro-scenario-v1").
 /// `sabotage_caught` < 0 omits the self-test block, else 0/1. When
-/// `coexec` is non-null its grades are embedded as a top-level "coexec"
-/// array and any failures are folded into summary.ok.
+/// `coexec` (resp. `fusion`) is non-null its grades are embedded as a
+/// top-level "coexec" (resp. "fusion") array and any failures are folded
+/// into summary.ok.
 std::string report_json(const SweepReport& report, int sabotage_caught = -1,
-                        const std::vector<CoexecGrade>* coexec = nullptr);
+                        const std::vector<CoexecGrade>* coexec = nullptr,
+                        const std::vector<FusionGrade>* fusion = nullptr);
 
 }  // namespace hplrepro::scenario
 

@@ -88,6 +88,9 @@ TEST_F(AsyncPipelineTest, SyncModesCrossInterpretersBitForBit) {
   // -cl-interp={stack,threaded}. Neither axis is allowed to be observable:
   // all four combinations must produce bit-identical results, identical
   // simulated time, and reconciled profiler counts.
+  // Eager launches: the per-combo count assertions below pin the exact
+  // unfused sequence (the fused matrix is fusion_test.cpp's job).
+  ScopedFusionDisable fusion_off;
   struct Combo {
     bool async;
     const char* interp;
@@ -182,6 +185,9 @@ TEST_F(AsyncPipelineTest, FailedLaunchesKeepProfileReconciled) {
   // the per-kernel registry, in both pipeline modes, so
   // hits + misses == kernel_launches and profiler_report keeps reconciling
   // with profile() after the failure.
+  // Eager mode: the sync-mode half of the test expects the trap to surface
+  // from eval() itself, which only holds when nothing is deferred.
+  ScopedFusionDisable fusion_off;
   auto reconciled_counts = [](std::uint64_t expected_launches) {
     const auto snap = profile();
     EXPECT_EQ(snap.kernel_launches, expected_launches);
@@ -245,6 +251,10 @@ TEST_F(AsyncPipelineTest, IndependentEvalsOverlapAcrossDevices) {
     hplrepro::Stopwatch elapsed;
     eval(triple).device(tesla)(a);
     eval(triple).device(quadro)(b);
+    // The raw queue finishes below bypass the runtime's forcing points, so
+    // launch the deferred evals explicitly (different devices: no fusion,
+    // one launch per queue, same as the eager sequence).
+    flush();
     tesla_queue.finish();
     quadro_queue.finish();
     const double wall = elapsed.seconds();

@@ -30,6 +30,7 @@ TEST_F(CoherenceTest, WriteOnlyArgumentIsNotUploaded) {
 }
 
 TEST_F(CoherenceTest, ReadArgumentUploadedExactlyOnce) {
+  ScopedFusionDisable fusion_off;  // exact per-eval hit counts below
   Array<float, 1> in(1024), out(1024);
   for (std::size_t i = 0; i < 1024; ++i) in(i) = 2.0f;
 
@@ -117,6 +118,7 @@ TEST_F(CoherenceTest, WrappedHostStorageIsRespected) {
 }
 
 TEST_F(CoherenceTest, KernelBinaryReusedAcrossInvocations) {
+  ScopedFusionDisable fusion_off;  // exact launch counts below
   purge_kernel_cache();
   reset_profile();
   Array<float, 1> data(32);
@@ -182,6 +184,10 @@ TEST_F(CoherenceTest, ResizeRescuesTheSoleValidDeviceCopy) {
   // only valid copy, Runtime::device_copy used to drop the old buffer and
   // lose the data. It must sync the still-addressable bytes back to the
   // host before recreating the buffer.
+  // Eager launches only: the test mutates impl dims between evals, which
+  // a deferred first eval (recorded with the original extent) would trip
+  // over — by-hand impl surgery is outside the DAG's coherence hooks.
+  ScopedFusionDisable fusion_off;
   Array<float, 1> a(256);
   eval(writer)(a);  // device copy = 1.0f everywhere; host copy stale
 

@@ -69,6 +69,10 @@ TEST(EvalApi, DefaultDeviceIsAccelerator) {
 void double_kernel(Array<double, 1> out) { out[idx] = 1.0; }
 
 TEST(EvalApi, DoubleKernelRejectedOnQuadro) {
+  // Eager-mode contract: the build error surfaces from eval() itself.
+  // (With fusion on, deferred evals surface it at the forcing point — see
+  // fusion_test.cpp.)
+  ScopedFusionDisable fusion_off;
   Array<double, 1> out(8);
   EXPECT_THROW(eval(double_kernel).device(*Device::by_name("Quadro"))(out),
                hplrepro::Error);
@@ -78,6 +82,7 @@ TEST(EvalApi, DoubleKernelRejectedOnQuadro) {
 }
 
 TEST(EvalApi, MismatchedLocalSizeThrows) {
+  ScopedFusionDisable fusion_off;  // eager-mode contract: throws at eval()
   Array<float, 1> out(10);
   EXPECT_THROW(eval(needs_global).global(10).local(3)(out, 1.0f),
                hplrepro::Error);
@@ -155,6 +160,7 @@ TEST(EvalApiRace, ConcurrentSameKernelEvalsKeepArgumentsPaired) {
   // mutex spanning bind + enqueue, thread B could overwrite thread A's
   // argument slots between A's set_arg and A's enqueue, launching A's
   // NDRange with B's buffer or scalar.
+  ScopedFusionDisable fusion_off;  // exact launch counts below
   purge_kernel_cache();
   reset_profile();
 
@@ -189,6 +195,7 @@ TEST(EvalApiRace, ConcurrentColdFirstInvocationBuildsConsistently) {
   // per thread (thread_local builders), but the kernel-source registry is
   // first-wins and build_for is serialised, so exactly one binary is
   // built per device and both launches complete correctly.
+  ScopedFusionDisable fusion_off;  // exact launch counts below
   purge_kernel_cache();
   reset_profile();
 

@@ -22,6 +22,11 @@ protected:
     purge_kernel_cache();
     reset_profile();
   }
+
+  // This suite asserts exact per-eval hit/miss/built counts, which only
+  // the eager launch sequence produces (fused launches are covered by
+  // fusion_test.cpp).
+  ScopedFusionDisable fusion_off_;
 };
 
 TEST_F(KernelCacheTest, ColdEvalIsAMissWarmEvalIsAHit) {

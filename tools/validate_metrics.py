@@ -157,6 +157,32 @@ def validate(doc):
               f"per-policy chunk counters sum to {by_policy}, "
               f"not coexec.chunks {co_chunks}")
 
+    # Fusion accounting: every flush launches actual <= unfused kernels and
+    # the saved/rule/traffic counters reconcile exactly with that delta.
+    if "fusion.dag_flushes" in counters:
+        fu_unfused = counters.get("fusion.unfused_launches", 0)
+        fu_actual = counters.get("fusion.actual_launches", 0)
+        fu_saved = counters.get("fusion.launches_saved", 0)
+        fu_rules = counters.get("fusion.rules_applied", 0)
+        fu_bytes = counters.get("fusion.bytes_traffic_saved", 0)
+        check(fu_actual <= fu_unfused,
+              f"fusion.actual_launches {fu_actual} > "
+              f"fusion.unfused_launches {fu_unfused}")
+        check(fu_saved == fu_unfused - fu_actual,
+              f"fusion.launches_saved {fu_saved} != unfused {fu_unfused} - "
+              f"actual {fu_actual}")
+        check(fu_actual <= evals,
+              f"fusion.actual_launches {fu_actual} > hpl.eval.launches "
+              f"{evals}: flushed launches are a subset of all launches")
+        if fu_saved > 0:
+            check(fu_rules > 0,
+                  f"fusion saved {fu_saved} launches with zero "
+                  "fusion.rules_applied")
+        if fu_rules == 0:
+            check(fu_saved == 0 and fu_bytes == 0,
+                  "no rewrite rules fired but fusion reports "
+                  f"saved={fu_saved} bytes={fu_bytes}")
+
     check(doc["flight_recorder"]["dumped"] is False,
           "flight recorder dumped during a clean run")
 
